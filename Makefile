@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench fuzz experiments corpus clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One bench per paper table/figure plus the ablations (see DESIGN.md §4).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz session over the input parsers.
+fuzz:
+	$(GO) test -fuzz FuzzReadMTX -fuzztime 30s ./internal/sparse/
+	$(GO) test -fuzz FuzzReadPlan -fuzztime 30s ./internal/reorder/
+
+# Regenerate every evaluation artifact at full scale (~5-10 min).
+experiments:
+	$(GO) run ./cmd/experiments -v
+
+# Dump the synthetic corpus as Matrix Market files into ./corpus.
+corpus:
+	mkdir -p corpus && $(GO) run ./cmd/mtxgen -corpus -outdir corpus
+
+clean:
+	$(GO) clean ./...
+	rm -rf corpus results_csv

@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/dense"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/lsh"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+// Matrix is a sparse matrix in CSR form (alias of the internal type so
+// all structural helpers are available on it).
+type Matrix = sparse.CSR
+
+// Dense is a row-major dense matrix.
+type Dense = dense.Matrix
+
+// Config is the preprocessing configuration: LSH parameters, clustering
+// threshold, ASpT tiling parameters, and the §4 skip heuristics.
+type Config = reorder.Config
+
+// Plan is the result of preprocessing a matrix.
+type Plan = reorder.Plan
+
+// LSHParams configures the MinHash candidate-pair generation.
+type LSHParams = lsh.Params
+
+// Device describes a simulated GPU.
+type Device = gpusim.Config
+
+// SimStats is the traffic/time report of one simulated kernel.
+type SimStats = gpusim.Stats
+
+// DefaultConfig returns the paper's preprocessing configuration
+// (siglen=128, bsize=2, threshold_size=256, dense-ratio skip 10%,
+// avg-similarity skip 0.1).
+func DefaultConfig() Config { return reorder.DefaultConfig() }
+
+// P100 returns the simulated device matching the paper's evaluation
+// platform.
+func P100() Device { return gpusim.P100() }
+
+// V100 returns a Volta-generation simulated device for cross-device
+// sensitivity studies.
+func V100() Device { return gpusim.V100() }
+
+// NewDense returns a zeroed rows×cols dense matrix.
+func NewDense(rows, cols int) *Dense { return dense.New(rows, cols) }
+
+// NewRandomDense returns a seeded random dense matrix with entries in
+// [-1, 1).
+func NewRandomDense(rows, cols int, seed int64) *Dense { return dense.NewRandom(rows, cols, seed) }
+
+// FromRows builds a CSR matrix from per-row column/value lists (vals may
+// be nil for an all-ones pattern matrix).
+func FromRows(rows, cols int, colIdx [][]int32, vals [][]float32) (*Matrix, error) {
+	return sparse.FromRows(rows, cols, colIdx, vals)
+}
+
+// ReadMatrixMarket parses a Matrix Market stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return sparse.ReadMTX(r) }
+
+// ReadMatrixMarketFile reads a Matrix Market file.
+func ReadMatrixMarketFile(path string) (*Matrix, error) { return sparse.ReadMTXFile(path) }
+
+// WriteMatrixMarket writes m as Matrix Market.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return sparse.WriteMTX(w, m) }
+
+// SpMM computes Y = S·X row-wise without any preprocessing (the baseline
+// of Alg 1).
+func SpMM(s *Matrix, x *Dense) (*Dense, error) { return kernels.SpMMRowWise(s, x) }
+
+// SDDMM computes O = S ⊙ (Y·Xᵀ) row-wise without preprocessing (Alg 2):
+// O keeps S's sparsity pattern.
+func SDDMM(s *Matrix, x, y *Dense) (*Matrix, error) { return kernels.SDDMMRowWise(s, x, y) }
+
+// Preprocess runs the paper's full preprocessing workflow (Fig 5) and
+// returns the plan. Use NewPipeline for an executable wrapper.
+func Preprocess(m *Matrix, cfg Config) (*Plan, error) { return reorder.Preprocess(m, cfg) }
+
+// GenerateScrambledClusters generates the paper's motivating input: rows
+// drawn from `clusters` latent prototypes, randomly permuted so plain
+// ASpT cannot see the structure. Useful for demos and tests.
+func GenerateScrambledClusters(rows, cols, clusters int, seed int64) (*Matrix, error) {
+	return synth.Clustered(synth.ClusterParams{
+		Rows: rows, Cols: cols, Clusters: clusters,
+		PrototypeNNZ: 24, Keep: 0.8, Noise: 2, Seed: seed, Scrambled: true,
+	})
+}
+
+// GenerateUniform generates an Erdős–Rényi-style matrix (the scattered
+// regime where reordering is correctly skipped).
+func GenerateUniform(rows, cols, nnzPerRow int, seed int64) (*Matrix, error) {
+	return synth.Uniform(rows, cols, nnzPerRow, seed)
+}
+
+// GenerateRMAT generates a scale-free R-MAT graph adjacency matrix with
+// Graph500 quadrant probabilities.
+func GenerateRMAT(scale, edgeFactor int, seed int64) (*Matrix, error) {
+	return synth.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
+}

@@ -1,0 +1,110 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Figures 8-12, Tables 1-4 and the METIS comparison of §5.2) on the
+// synthetic corpus through the GPU simulator.
+//
+// Usage:
+//
+//	experiments [-run fig8,tab1,...] [-scale 1.0] [-ks 512,1024] [-v]
+//	            [-families f1,f2] [-csv dir] [-md results.md]
+//
+// With no -run flag every experiment (paper artifacts, then extensions)
+// is regenerated in paper order, followed by the published-vs-measured
+// headline comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all): "+strings.Join(experiments.All, ","))
+		scale   = flag.Float64("scale", 1.0, "corpus scale factor (matrix dimensions multiply by this)")
+		ks      = flag.String("ks", "512,1024", "comma-separated dense-matrix widths")
+		fams    = flag.String("families", "", "comma-separated corpus families (default: all): "+strings.Join(synth.Families, ","))
+		verbose = flag.Bool("v", false, "print per-matrix progress")
+		csvDir  = flag.String("csv", "", "also write each report's data series to CSV files in this directory")
+		mdPath  = flag.String("md", "", "also render all reports into a Markdown document at this path")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Corpus.Scale = *scale
+	if *fams != "" {
+		opts.Corpus.Families = strings.Split(*fams, ",")
+	}
+	if *verbose {
+		opts.Verbose = os.Stderr
+	}
+	opts.Ks = nil
+	for _, s := range strings.Split(*ks, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || k <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: bad K %q\n", s)
+			os.Exit(2)
+		}
+		opts.Ks = append(opts.Ks, k)
+	}
+
+	var ids []string
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+		for _, id := range ids {
+			if !contains(experiments.All, id) {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (known: %s)\n",
+					id, strings.Join(experiments.All, ","))
+				os.Exit(2)
+			}
+		}
+	}
+
+	reports, err := experiments.RunAll(opts, ids, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: md: %v\n", err)
+			os.Exit(1)
+		}
+		header := fmt.Sprintf("Run options: scale %.2f, Ks %v, device %s.", *scale, opts.Ks, opts.Device.Name)
+		if err := experiments.WriteMarkdown(f, reports, ids, header); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "experiments: md: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: md: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mdPath)
+	}
+	if *csvDir != "" {
+		paths, err := experiments.WriteAllCSV(reports, *csvDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: csv: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestContains(t *testing.T) {
+	if !contains([]string{"a", "b"}, "b") || contains([]string{"a"}, "c") {
+		t.Fatalf("contains broken")
+	}
+}
+
+func TestCLISingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	md := filepath.Join(dir, "out.md")
+	cmd := exec.Command("go", "run", ".",
+		"-run", "fig12", "-scale", "0.04", "-ks", "64",
+		"-families", "scrambled", "-csv", dir, "-md", md)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments: %v\n%s", err, b)
+	}
+	out := string(b)
+	for _, want := range []string{"evaluated", "Fig 12", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig12.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	mdBytes, err := os.ReadFile(md)
+	if err != nil || !strings.Contains(string(mdBytes), "# Experiment results") {
+		t.Fatalf("markdown not written: %v", err)
+	}
+}
+
+func TestCLIRejectsBadArgs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bad := [][]string{
+		{"-run", "nonsense"},
+		{"-ks", "abc"},
+		{"-ks", "-5"},
+	}
+	for _, args := range bad {
+		if _, err := exec.Command("go", append([]string{"run", "."}, args...)...).CombinedOutput(); err == nil {
+			t.Fatalf("args %v: expected failure", args)
+		}
+	}
+}

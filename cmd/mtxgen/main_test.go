@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestGenerateFunction(t *testing.T) {
+	for _, family := range []string{"uniform", "diagonal", "banded", "rmat", "blockdiag", "clustered", "scrambled", "bipartite"} {
+		m, err := generate(family, 256, 256, 8, 32, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", family, err)
+		}
+	}
+	if _, err := generate("nope", 10, 10, 2, 2, 1); err == nil {
+		t.Fatalf("unknown family accepted")
+	}
+}
+
+func TestCLIWritesFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := filepath.Join(t.TempDir(), "m.mtx")
+	cmd := exec.Command("go", "run", ".", "-family", "scrambled", "-rows", "256", "-cols", "256", "-out", out)
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("mtxgen: %v\n%s", err, b)
+	}
+	m, err := sparse.ReadMTXFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 256 || m.NNZ() == 0 {
+		t.Fatalf("generated matrix wrong: %v", m)
+	}
+}
+
+func TestCLIStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	b, err := exec.Command("go", "run", ".", "-family", "diagonal", "-rows", "64").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mtxgen: %v\n%s", err, b)
+	}
+	if !strings.HasPrefix(string(b), "%%MatrixMarket") {
+		t.Fatalf("stdout is not Matrix Market:\n%.80s", b)
+	}
+	if _, err := sparse.ReadMTX(strings.NewReader(string(b))); err != nil {
+		t.Fatalf("stdout unparseable: %v", err)
+	}
+}
+
+func TestCLIRequiresMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	if _, err := exec.Command("go", "run", ".").CombinedOutput(); err == nil {
+		t.Fatalf("no-args run should fail")
+	}
+}

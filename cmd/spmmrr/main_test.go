@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI builds the command once per test binary and runs it with args.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command("go", append([]string{"run", "."}, args...)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("spmmrr %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateAndExec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runCLI(t, "-gen", "scrambled", "-rows", "512", "-k", "64", "-op", "spmm", "-exec")
+	for _, want := range []string{"plan:", "SpMM simulation", "speedup", "native execution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIPlanRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "m.plan")
+	mtx := filepath.Join(dir, "m.mtx")
+	out := runCLI(t, "-gen", "scrambled", "-rows", "512", "-k", "64", "-op", "spmm",
+		"-saveplan", plan, "-out", mtx)
+	if !strings.Contains(out, "plan written") || !strings.Contains(out, "reordered matrix written") {
+		t.Fatalf("save outputs missing:\n%s", out)
+	}
+	if _, err := os.Stat(plan); err != nil {
+		t.Fatalf("plan file: %v", err)
+	}
+	out = runCLI(t, "-gen", "scrambled", "-rows", "512", "-k", "64", "-op", "spmm", "-loadplan", plan)
+	if !strings.Contains(out, "plan loaded") {
+		t.Fatalf("load output missing:\n%s", out)
+	}
+	// The written matrix round-trips through -in.
+	out = runCLI(t, "-in", mtx, "-k", "64", "-op", "spmm", "-mode", "off")
+	if !strings.Contains(out, "SpMM simulation") {
+		t.Fatalf("mtx input failed:\n%s", out)
+	}
+}
+
+func TestCLIModesAndBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runCLI(t, "-gen", "banded", "-rows", "512", "-k", "64", "-op", "sddmm",
+		"-mode", "trial", "-breakdown")
+	for _, want := range []string{"SDDMM simulation", "DRAM", "sparse structure"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIBatchDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	// Generate two small matrices via the sibling tool.
+	for _, name := range []string{"a", "b"} {
+		cmd := exec.Command("go", "run", "../mtxgen",
+			"-family", "scrambled", "-rows", "256", "-cols", "256",
+			"-out", filepath.Join(dir, name+".mtx"))
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("mtxgen: %v\n%s", err, b)
+		}
+	}
+	out := runCLI(t, "-dir", dir, "-k", "64")
+	if !strings.Contains(out, "rr/row") || !strings.Contains(out, "a ") {
+		t.Fatalf("batch output wrong:\n%s", out)
+	}
+	// Empty directory is an error.
+	if _, err := exec.Command("go", "run", ".", "-dir", t.TempDir()).CombinedOutput(); err == nil {
+		t.Fatalf("empty dir accepted")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cases := [][]string{
+		{},               // neither -in nor -gen
+		{"-gen", "nope"}, // unknown family
+		{"-gen", "banded", "-mode", "bogus", "-rows", "128"},
+		{"-in", "/nonexistent.mtx"},
+	}
+	for _, args := range cases {
+		if _, err := exec.Command("go", append([]string{"run", "."}, args...)...).CombinedOutput(); err == nil {
+			t.Fatalf("args %v: expected failure", args)
+		}
+	}
+}

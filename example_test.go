@@ -1,0 +1,108 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the minimal end-to-end flow: build a matrix,
+// preprocess it, and run SpMM through the pipeline. Results are
+// identical to the plain kernel; only the execution order changes.
+func Example() {
+	// The paper's worked-example matrix (Fig 1a): 6×6, 12 nonzeros.
+	rows := [][]int32{{0, 4}, {1, 5}, {2, 4}, {1}, {0, 3, 4}, {2, 5}}
+	m, err := repro.FromRows(6, 6, rows, nil)
+	if err != nil {
+		panic(err)
+	}
+	pipe, err := repro.NewPipeline(m, repro.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	x := repro.NewDense(6, 2)
+	x.Fill(1)
+	y, err := pipe.SpMM(x)
+	if err != nil {
+		panic(err)
+	}
+	// Row 4 of S has three ones, so row 4 of Y is 3 in every column.
+	fmt.Println(y.At(4, 0), y.At(4, 1))
+	// Output: 3 3
+}
+
+// ExampleSDDMM shows the sampled dense-dense product: the output keeps
+// the sparse matrix's pattern, each value scaled by the corresponding
+// dot product.
+func ExampleSDDMM() {
+	s, err := repro.FromRows(2, 2, [][]int32{{0}, {1}}, [][]float32{{2}, {3}})
+	if err != nil {
+		panic(err)
+	}
+	x := repro.NewDense(2, 2)
+	y := repro.NewDense(2, 2)
+	x.Fill(1)
+	y.Fill(1)
+	o, err := repro.SDDMM(s, x, y) // dot products are all 2 (K=2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(o.Val)
+	// Output: [4 6]
+}
+
+// ExamplePipeline_SavePlan demonstrates the §5.4 offline scenario: the
+// preprocessing decisions are serialised once and re-applied later
+// without re-running LSH or clustering.
+func ExamplePipeline_SavePlan() {
+	m, err := repro.GenerateScrambledClusters(1024, 1024, 128, 3)
+	if err != nil {
+		panic(err)
+	}
+	pipe, err := repro.NewPipeline(m, repro.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	var plan bytes.Buffer
+	if err := pipe.SavePlan(&plan); err != nil {
+		panic(err)
+	}
+	// ... deployment time: same matrix, no LSH/clustering ...
+	pipe2, err := repro.NewPipelineFromSavedPlan(m, repro.DefaultConfig(), &plan)
+	if err != nil {
+		panic(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 4, 1)
+	a, _ := pipe.SpMM(x)
+	b, _ := pipe2.SpMM(x)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			same = false
+		}
+	}
+	fmt.Println("identical results:", same)
+	// Output: identical results: true
+}
+
+// ExampleAutoTune shows the paper's §4 trial-and-error strategy: both
+// execution plans are estimated on the device model and the faster one
+// is kept.
+func ExampleAutoTune() {
+	m, err := repro.GenerateScrambledClusters(2048, 2048, 256, 1)
+	if err != nil {
+		panic(err)
+	}
+	pipe, err := repro.AutoTune(m, repro.DefaultConfig(), repro.P100(), 512)
+	if err != nil {
+		panic(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 512, 2)
+	y, err := pipe.SpMM(x)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(y.Rows, y.Cols)
+	// Output: 2048 512
+}

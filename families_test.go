@@ -1,0 +1,84 @@
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/synth"
+)
+
+// TestPipelineEquivalenceAcrossFamilies runs the full pipeline (both
+// emission modes) against the plain kernels on one representative of
+// every corpus family: whatever the structure, reordering must be
+// invisible in the results.
+func TestPipelineEquivalenceAcrossFamilies(t *testing.T) {
+	type gen struct {
+		name string
+		fn   func() (*repro.Matrix, error)
+	}
+	gens := []gen{
+		{"uniform", func() (*repro.Matrix, error) { return synth.Uniform(400, 300, 6, 1) }},
+		{"diagonal", func() (*repro.Matrix, error) { return synth.Diagonal(300, 2, 2) }},
+		{"banded", func() (*repro.Matrix, error) { return synth.Banded(400, 400, 32, 8, 3) }},
+		{"rmat", func() (*repro.Matrix, error) { return synth.RMAT(8, 8, 0.57, 0.19, 0.19, 4) }},
+		{"blockdiag", func() (*repro.Matrix, error) { return synth.BlockDiagonal(256, 256, 32, 0.2, 0.1, 5) }},
+		{"scrambled", func() (*repro.Matrix, error) {
+			return synth.Clustered(synth.ClusterParams{
+				Rows: 400, Cols: 400, Clusters: 50, PrototypeNNZ: 10,
+				Keep: 0.8, Noise: 1, Seed: 6, Scrambled: true,
+			})
+		}},
+		{"bipartite", func() (*repro.Matrix, error) { return synth.Bipartite(300, 200, 8, 4, 7) }},
+		{"geometric", func() (*repro.Matrix, error) { return synth.Geometric(400, 6, false, 8) }},
+	}
+	for _, g := range gens {
+		for _, mergeOrder := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/mergeorder=%v", g.name, mergeOrder), func(t *testing.T) {
+				m, err := g.fn()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := repro.DefaultConfig()
+				cfg.EmitMergeOrder = mergeOrder
+				cfg.Force = true // exercise both rounds on every family
+				pipe, err := repro.NewPipeline(m, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				x := repro.NewRandomDense(m.Cols, 8, 9)
+				want, err := repro.SpMM(m, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pipe.SpMM(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want.Data {
+					if math.Abs(float64(want.Data[i]-got.Data[i])) > 1e-3 {
+						t.Fatalf("SpMM diverges at %d", i)
+					}
+				}
+				y := repro.NewRandomDense(m.Rows, 8, 10)
+				wantO, err := repro.SDDMM(m, x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotO, err := pipe.SDDMM(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gotO.SameStructure(m) {
+					t.Fatalf("SDDMM structure changed")
+				}
+				for j := range wantO.Val {
+					if math.Abs(float64(wantO.Val[j]-gotO.Val[j])) > 1e-3 {
+						t.Fatalf("SDDMM diverges at %d", j)
+					}
+				}
+			})
+		}
+	}
+}

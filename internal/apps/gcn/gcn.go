@@ -1,0 +1,178 @@
+// Package gcn implements a small graph convolutional network — forward
+// and backward pass — on top of any SpMM provider. Graph convolution is
+// the paper's first motivating application ("the most basic operation in
+// Graph Neural Networks is an SpMM"); this package is the tested
+// substrate behind examples/gnn and demonstrates that the reordering
+// pipeline drops into a real training loop (the aggregation SpMM runs
+// through the preprocessed matrix, gradients through its transpose).
+package gcn
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+)
+
+// SpMMer computes S·X for a fixed sparse matrix S. Both the plain
+// kernels and the root package's Pipeline satisfy it.
+type SpMMer interface {
+	SpMM(x *dense.Matrix) (*dense.Matrix, error)
+}
+
+// Model is an L-layer GCN: H_l = ReLU(A·(H_{l-1}·W_l)), with no
+// activation after the final layer.
+type Model struct {
+	// Agg aggregates over the (normalised) adjacency A; AggT over Aᵀ
+	// (needed by backprop; for symmetric normalised adjacencies the two
+	// may be the same object).
+	Agg, AggT SpMMer
+	// Weights holds one weight matrix per layer.
+	Weights []*dense.Matrix
+}
+
+// New initialises a model with the given layer widths (len(widths) =
+// layers+1) and deterministic small random weights.
+func New(agg, aggT SpMMer, widths []int, seed int64) (*Model, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("gcn: need at least input and output widths, got %v", widths)
+	}
+	m := &Model{Agg: agg, AggT: aggT}
+	for l := 0; l+1 < len(widths); l++ {
+		w := dense.NewRandom(widths[l], widths[l+1], seed+int64(l))
+		w.Scale(0.1)
+		m.Weights = append(m.Weights, w)
+	}
+	return m, nil
+}
+
+// forwardState caches the per-layer intermediates backprop needs.
+type forwardState struct {
+	inputs []*dense.Matrix // H_{l-1} per layer
+	pre    []*dense.Matrix // Z_l = A·(H_{l-1}·W_l) per layer
+	out    *dense.Matrix
+}
+
+// Forward runs the network on node features X and returns the output
+// embedding (rows = nodes).
+func (m *Model) Forward(x *dense.Matrix) (*dense.Matrix, error) {
+	st, err := m.forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return st.out, nil
+}
+
+func (m *Model) forward(x *dense.Matrix) (*forwardState, error) {
+	st := &forwardState{}
+	h := x
+	for l, w := range m.Weights {
+		st.inputs = append(st.inputs, h)
+		hw, err := dense.MatMul(h, w)
+		if err != nil {
+			return nil, fmt.Errorf("gcn: layer %d: %w", l, err)
+		}
+		z, err := m.Agg.SpMM(hw)
+		if err != nil {
+			return nil, fmt.Errorf("gcn: layer %d aggregation: %w", l, err)
+		}
+		st.pre = append(st.pre, z)
+		if l+1 < len(m.Weights) {
+			h = z.Clone()
+			h.ReLU()
+		} else {
+			h = z
+		}
+	}
+	st.out = h
+	return st, nil
+}
+
+// Loss returns the mean-squared-error ½‖out − target‖²/n between the
+// forward output and a target embedding.
+func (m *Model) Loss(x, target *dense.Matrix) (float64, error) {
+	out, err := m.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	diff := out.Clone()
+	diff.AddScaled(target, -1)
+	n := float64(len(diff.Data))
+	fn := diff.FrobeniusNorm()
+	return fn * fn / (2 * n), nil
+}
+
+// Step runs one full forward/backward pass against the MSE loss and
+// applies a gradient step with learning rate lr. It returns the loss
+// before the update.
+func (m *Model) Step(x, target *dense.Matrix, lr float32) (float64, error) {
+	grads, loss, err := m.Gradients(x, target)
+	if err != nil {
+		return 0, err
+	}
+	for l := range m.Weights {
+		m.Weights[l].AddScaled(grads[l], -lr)
+	}
+	return loss, nil
+}
+
+// Gradients computes ∂Loss/∂W_l for every layer by backpropagation and
+// returns them with the current loss.
+func (m *Model) Gradients(x, target *dense.Matrix) ([]*dense.Matrix, float64, error) {
+	st, err := m.forward(x)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := float64(len(st.out.Data))
+	diff := st.out.Clone()
+	diff.AddScaled(target, -1)
+	fn := diff.FrobeniusNorm()
+	loss := fn * fn / (2 * n)
+
+	grads := make([]*dense.Matrix, len(m.Weights))
+	// dZ for the output layer: (out - target)/n.
+	dZ := diff
+	dZ.Scale(float32(1 / n))
+	for l := len(m.Weights) - 1; l >= 0; l-- {
+		// Z_l = A · (H_{l-1} W_l):
+		//   dM = Aᵀ·dZ, with M = H_{l-1} W_l
+		dM, err := m.AggT.SpMM(dZ)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gcn: layer %d transpose aggregation: %w", l, err)
+		}
+		//   dW_l = H_{l-1}ᵀ · dM
+		hT := transpose(st.inputs[l])
+		dW, err := dense.MatMul(hT, dM)
+		if err != nil {
+			return nil, 0, err
+		}
+		grads[l] = dW
+		if l == 0 {
+			break
+		}
+		//   dH_{l-1} = dM · W_lᵀ, gated by ReLU'(Z_{l-1}).
+		dH, err := dense.MatMul(dM, transpose(m.Weights[l]))
+		if err != nil {
+			return nil, 0, err
+		}
+		prev := st.pre[l-1]
+		for i := range dH.Data {
+			if prev.Data[i] <= 0 {
+				dH.Data[i] = 0
+			}
+		}
+		dZ = dH
+	}
+	return grads, loss, nil
+}
+
+// transpose returns a dense transpose (narrow matrices only; weights and
+// activations here are node×features).
+func transpose(m *dense.Matrix) *dense.Matrix {
+	t := dense.New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}

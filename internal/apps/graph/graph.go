@@ -1,0 +1,120 @@
+// Package graph implements multi-source graph analytics expressed as
+// repeated SpMM over a frontier/score matrix — the "graph centrality
+// calculations" application class of §2.2. Each BFS level or power-
+// iteration round is one SpMM with K = number of simultaneous sources,
+// so the row-reordering pipeline accelerates every iteration once the
+// adjacency has been preprocessed.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// SpMMer computes S·X for the fixed adjacency (the plain kernels and the
+// root package's Pipeline both satisfy it).
+type SpMMer interface {
+	SpMM(x *dense.Matrix) (*dense.Matrix, error)
+}
+
+// MultiSourceBFS runs breadth-first reachability from the given source
+// vertices simultaneously (one column per source) and returns, for each
+// (vertex, source) pair, the BFS depth at which the vertex was first
+// reached (-1 if unreachable within maxDepth; 0 for the source itself).
+func MultiSourceBFS(agg SpMMer, n int, sources []int32, maxDepth int) (*dense.Matrix, error) {
+	for _, s := range sources {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("graph: source %d out of range [0,%d)", s, n)
+		}
+	}
+	depth := dense.New(n, len(sources))
+	depth.Fill(-1)
+	frontier := dense.New(n, len(sources))
+	for k, s := range sources {
+		depth.Set(int(s), k, 0)
+		frontier.Set(int(s), k, 1)
+	}
+	for d := 1; d <= maxDepth; d++ {
+		next, err := agg.SpMM(frontier)
+		if err != nil {
+			return nil, err
+		}
+		any := false
+		for i := 0; i < n; i++ {
+			nr, dr := next.Row(i), depth.Row(i)
+			for k := range nr {
+				if nr[k] > 0 && dr[k] < 0 {
+					dr[k] = float32(d)
+					nr[k] = 1
+					any = true
+				} else {
+					nr[k] = 0
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		frontier = next
+	}
+	return depth, nil
+}
+
+// PageRank runs the damped power iteration on a column-stochastic
+// transition matrix for the given number of rounds over `chains`
+// independent score columns (all initialised uniformly; multiple columns
+// model e.g. personalised restarts — here they exercise the SpMM width).
+// It returns the final score matrix.
+func PageRank(trans SpMMer, n, chains, rounds int, damping float32) (*dense.Matrix, error) {
+	if damping < 0 || damping > 1 {
+		return nil, fmt.Errorf("graph: damping %v outside [0,1]", damping)
+	}
+	if chains <= 0 || n <= 0 {
+		return nil, fmt.Errorf("graph: need positive n and chains")
+	}
+	scores := dense.New(n, chains)
+	scores.Fill(1 / float32(n))
+	for it := 0; it < rounds; it++ {
+		next, err := trans.SpMM(scores)
+		if err != nil {
+			return nil, err
+		}
+		base := (1 - damping) / float32(n)
+		for i := range next.Data {
+			next.Data[i] = damping*next.Data[i] + base
+		}
+		scores = next
+	}
+	return scores, nil
+}
+
+// TransitionMatrix converts an adjacency matrix into the
+// column-stochastic transition matrix used by PageRank: entry (i, j)
+// becomes 1/outdeg(j) (dangling columns stay zero; the damping term
+// redistributes their mass).
+func TransitionMatrix(adj *sparse.CSR) *sparse.CSR {
+	out := adj.Clone()
+	colDeg := out.ColCounts()
+	for i := 0; i < out.Rows; i++ {
+		cols := out.RowCols(i)
+		vals := out.Val[out.RowPtr[i]:out.RowPtr[i+1]]
+		for j := range cols {
+			if d := colDeg[cols[j]]; d > 0 {
+				vals[j] = 1 / float32(d)
+			}
+		}
+	}
+	return out
+}
+
+// ColumnMass returns the sum of one score column (diagnostic: with no
+// dangling vertices the PageRank mass stays 1).
+func ColumnMass(m *dense.Matrix, col int) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += float64(m.At(i, col))
+	}
+	return s
+}

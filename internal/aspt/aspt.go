@@ -1,0 +1,257 @@
+// Package aspt reimplements Adaptive Sparse Tiling (Hong et al.,
+// PPoPP'19) as described in §2.3 of the row-reordering paper: the sparse
+// matrix is split into panels of consecutive rows; within each panel the
+// columns are ranked by their nonzero count; columns with at least
+// DenseThreshold nonzeros in the panel become "dense columns" whose
+// nonzeros form the panel's dense tile (executed through shared memory on
+// the GPU); the remaining nonzeros form the leftover sparse part
+// (executed row-wise).
+//
+// The representation below keeps the dense-tile nonzeros in a row-major
+// CSR-like layout with tile-local column indices (positions into the
+// panel's DenseCols list), and the leftover nonzeros as an ordinary CSR
+// with the same shape as the source so it can be reordered again in the
+// paper's second round.
+package aspt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Params configures tiling.
+type Params struct {
+	// PanelSize is the number of consecutive rows per panel. The paper's
+	// worked example uses 3; GPU-scale defaults use 64 (two 32-thread
+	// warps per row-block times a few rows — the precise value only
+	// shifts constants, and is swept by an ablation bench).
+	PanelSize int
+	// DenseThreshold is the minimum number of nonzeros a column must
+	// have inside a panel to be promoted to the dense tile. The paper's
+	// worked example uses 2 (the logical minimum for any reuse); the
+	// GPU-scale default is 4, below which the shared-memory staging cost
+	// of a column is not amortised by its reuse.
+	DenseThreshold int
+}
+
+// DefaultParams returns GPU-scale tiling parameters.
+func DefaultParams() Params { return Params{PanelSize: 64, DenseThreshold: 4} }
+
+func (p Params) validate() error {
+	if p.PanelSize <= 0 {
+		return fmt.Errorf("aspt: PanelSize must be positive, got %d", p.PanelSize)
+	}
+	if p.DenseThreshold < 2 {
+		return fmt.Errorf("aspt: DenseThreshold must be >= 2, got %d", p.DenseThreshold)
+	}
+	return nil
+}
+
+// Panel describes one row panel's dense tile.
+type Panel struct {
+	// StartRow and EndRow bound the panel's rows: [StartRow, EndRow).
+	StartRow, EndRow int
+	// DenseCols lists the panel's dense columns in decreasing nonzero
+	// count (ties by column index), i.e. the front of the panel after
+	// ASpT's column sort.
+	DenseCols []int32
+	// TileNNZ is the number of nonzeros in this panel's dense tile.
+	TileNNZ int
+}
+
+// Matrix is the ASpT representation of a sparse matrix.
+type Matrix struct {
+	Params Params
+	// Src is the matrix that was tiled (already row-reordered when used
+	// inside the ASpT-RR pipeline).
+	Src *sparse.CSR
+	// Panels holds one entry per row panel.
+	Panels []Panel
+
+	// Dense-tile nonzeros, row-major across all panels. Row i's tile
+	// nonzeros occupy TileRowPtr[i]..TileRowPtr[i+1]-1. TileLocal holds
+	// positions into the owning panel's DenseCols (the tile-local column
+	// coordinate a GPU kernel uses to index shared memory); TileCol
+	// holds the original column index; TileVal the value.
+	TileRowPtr []int32
+	TileLocal  []int32
+	TileCol    []int32
+	TileVal    []float32
+
+	// Rest is the leftover sparse part: same shape as Src, containing
+	// every nonzero not captured by a dense tile.
+	Rest *sparse.CSR
+}
+
+// NNZDense returns the number of nonzeros covered by dense tiles.
+func (t *Matrix) NNZDense() int { return len(t.TileVal) }
+
+// DenseRatio returns the fraction of nonzeros in dense tiles — the
+// quantity the paper's round-1 heuristic thresholds at 10%.
+func (t *Matrix) DenseRatio() float64 {
+	if t.Src.NNZ() == 0 {
+		return 0
+	}
+	return float64(t.NNZDense()) / float64(t.Src.NNZ())
+}
+
+// NumPanels returns the number of row panels.
+func (t *Matrix) NumPanels() int { return len(t.Panels) }
+
+// PanelOf returns the index of the panel containing row i.
+func (t *Matrix) PanelOf(i int) int { return i / t.Params.PanelSize }
+
+// TileRowLocal returns row i's tile-local column positions.
+func (t *Matrix) TileRowLocal(i int) []int32 { return t.TileLocal[t.TileRowPtr[i]:t.TileRowPtr[i+1]] }
+
+// TileRowCols returns row i's tile nonzero original column indices.
+func (t *Matrix) TileRowCols(i int) []int32 { return t.TileCol[t.TileRowPtr[i]:t.TileRowPtr[i+1]] }
+
+// TileRowVals returns row i's tile nonzero values.
+func (t *Matrix) TileRowVals(i int) []float32 { return t.TileVal[t.TileRowPtr[i]:t.TileRowPtr[i+1]] }
+
+// Build tiles m with the given parameters.
+func Build(m *sparse.CSR, p Params) (*Matrix, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	t := &Matrix{
+		Params:     p,
+		Src:        m,
+		TileRowPtr: make([]int32, m.Rows+1),
+	}
+	npanels := (m.Rows + p.PanelSize - 1) / p.PanelSize
+	t.Panels = make([]Panel, 0, npanels)
+
+	rest := &sparse.CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int32, m.Rows+1),
+	}
+
+	// Scratch per-column counters with an epoch stamp so clearing
+	// between panels is O(columns touched), keeping Build O(nnz).
+	count := make([]int32, m.Cols)
+	stamp := make([]int32, m.Cols)
+	localPos := make([]int32, m.Cols)
+	epoch := int32(0)
+
+	for ps := 0; ps < m.Rows; ps += p.PanelSize {
+		pe := ps + p.PanelSize
+		if pe > m.Rows {
+			pe = m.Rows
+		}
+		epoch++
+		var touched []int32
+		for i := ps; i < pe; i++ {
+			for _, c := range m.RowCols(i) {
+				if stamp[c] != epoch {
+					stamp[c] = epoch
+					count[c] = 0
+					touched = append(touched, c)
+				}
+				count[c]++
+			}
+		}
+		panel := Panel{StartRow: ps, EndRow: pe}
+		for _, c := range touched {
+			if count[c] >= int32(p.DenseThreshold) {
+				panel.DenseCols = append(panel.DenseCols, c)
+			}
+		}
+		// ASpT's column sort: densest first, column index as tie-break.
+		sort.Slice(panel.DenseCols, func(a, b int) bool {
+			ca, cb := panel.DenseCols[a], panel.DenseCols[b]
+			if count[ca] != count[cb] {
+				return count[ca] > count[cb]
+			}
+			return ca < cb
+		})
+		for pos, c := range panel.DenseCols {
+			localPos[c] = int32(pos)
+		}
+		dense := make(map[int32]bool, len(panel.DenseCols))
+		for _, c := range panel.DenseCols {
+			dense[c] = true
+		}
+		for i := ps; i < pe; i++ {
+			cols, vals := m.RowCols(i), m.RowVals(i)
+			for j, c := range cols {
+				if dense[c] {
+					t.TileLocal = append(t.TileLocal, localPos[c])
+					t.TileCol = append(t.TileCol, c)
+					t.TileVal = append(t.TileVal, vals[j])
+					panel.TileNNZ++
+				} else {
+					rest.ColIdx = append(rest.ColIdx, c)
+					rest.Val = append(rest.Val, vals[j])
+				}
+			}
+			t.TileRowPtr[i+1] = int32(len(t.TileVal))
+			rest.RowPtr[i+1] = int32(len(rest.ColIdx))
+		}
+		t.Panels = append(t.Panels, panel)
+	}
+	t.Rest = rest
+	return t, nil
+}
+
+// Validate checks the representation's invariants: every source nonzero is
+// in exactly one of (tile, rest), tile-local indices match DenseCols, and
+// each dense column really has >= DenseThreshold nonzeros in its panel.
+func (t *Matrix) Validate() error {
+	if got, want := t.NNZDense()+t.Rest.NNZ(), t.Src.NNZ(); got != want {
+		return fmt.Errorf("aspt: tile+rest nnz %d != src nnz %d", got, want)
+	}
+	if err := t.Rest.Validate(); err != nil {
+		return fmt.Errorf("aspt: rest: %w", err)
+	}
+	for i := 0; i < t.Src.Rows; i++ {
+		panel := &t.Panels[t.PanelOf(i)]
+		locals, cols := t.TileRowLocal(i), t.TileRowCols(i)
+		for j := range locals {
+			if int(locals[j]) >= len(panel.DenseCols) {
+				return fmt.Errorf("aspt: row %d tile-local %d out of range (%d dense cols)",
+					i, locals[j], len(panel.DenseCols))
+			}
+			if panel.DenseCols[locals[j]] != cols[j] {
+				return fmt.Errorf("aspt: row %d tile col mismatch: local %d -> %d, stored %d",
+					i, locals[j], panel.DenseCols[locals[j]], cols[j])
+			}
+		}
+	}
+	// Per-panel tile column counts.
+	for pi := range t.Panels {
+		p := &t.Panels[pi]
+		counts := make(map[int32]int, len(p.DenseCols))
+		for i := p.StartRow; i < p.EndRow; i++ {
+			for _, c := range t.TileRowCols(i) {
+				counts[c]++
+			}
+		}
+		if len(counts) != len(p.DenseCols) {
+			return fmt.Errorf("aspt: panel %d has %d tile columns, declares %d",
+				pi, len(counts), len(p.DenseCols))
+		}
+		for _, c := range p.DenseCols {
+			if counts[c] < t.Params.DenseThreshold {
+				return fmt.Errorf("aspt: panel %d dense col %d has only %d nonzeros (< %d)",
+					pi, c, counts[c], t.Params.DenseThreshold)
+			}
+		}
+	}
+	return nil
+}
+
+// DenseRatioOf is a convenience that tiles m and reports the dense-tile
+// nonzero ratio without keeping the representation — used by the round-1
+// skip heuristic.
+func DenseRatioOf(m *sparse.CSR, p Params) (float64, error) {
+	t, err := Build(m, p)
+	if err != nil {
+		return 0, err
+	}
+	return t.DenseRatio(), nil
+}

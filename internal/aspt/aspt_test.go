@@ -1,0 +1,350 @@
+package aspt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperex"
+	"repro/internal/sparse"
+)
+
+func exampleParams() Params {
+	return Params{PanelSize: paperex.PanelSize, DenseThreshold: paperex.DenseThreshold}
+}
+
+func TestParamsValidation(t *testing.T) {
+	m := paperex.Matrix()
+	if _, err := Build(m, Params{PanelSize: 0, DenseThreshold: 2}); err == nil {
+		t.Errorf("accepted PanelSize 0")
+	}
+	if _, err := Build(m, Params{PanelSize: 3, DenseThreshold: 1}); err == nil {
+		t.Errorf("accepted DenseThreshold 1")
+	}
+	if _, err := Build(m, Params{PanelSize: -1, DenseThreshold: 2}); err == nil {
+		t.Errorf("accepted negative PanelSize")
+	}
+}
+
+// TestPaperWorkedExampleOriginal asserts the §2.3 tiling of the original
+// Fig 1a matrix: with panel size 3 and threshold 2, the only dense column
+// is column 4 of the first panel, holding 2 nonzeros.
+func TestPaperWorkedExampleOriginal(t *testing.T) {
+	m := paperex.Matrix()
+	tl, err := Build(m, exampleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.NumPanels(); got != 2 {
+		t.Fatalf("panels = %d, want 2", got)
+	}
+	p0, p1 := tl.Panels[0], tl.Panels[1]
+	if len(p0.DenseCols) != 1 || p0.DenseCols[0] != 4 {
+		t.Fatalf("panel 0 dense cols = %v, want [4]", p0.DenseCols)
+	}
+	if len(p1.DenseCols) != 0 {
+		t.Fatalf("panel 1 dense cols = %v, want none", p1.DenseCols)
+	}
+	if tl.NNZDense() != 2 {
+		t.Fatalf("dense nnz = %d, want 2", tl.NNZDense())
+	}
+	if tl.Rest.NNZ() != m.NNZ()-2 {
+		t.Fatalf("rest nnz = %d", tl.Rest.NNZ())
+	}
+}
+
+// TestPaperWorkedExampleReordered asserts the §3.1 claim: after
+// exchanging rows 1 and 4, the dense tiles hold 9 nonzeros and the
+// densest column of panel 0 has 3.
+func TestPaperWorkedExampleReordered(t *testing.T) {
+	m := paperex.Matrix()
+	rm, err := sparse.PermuteRows(m, paperex.SwappedRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Build(rm, exampleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.NNZDense() != 9 {
+		t.Fatalf("dense nnz after reordering = %d, want 9", tl.NNZDense())
+	}
+	// Column sort: densest first. Panel 0 rows {0,4,2}: col 4 appears 3
+	// times, col 0 twice.
+	p0 := tl.Panels[0]
+	if len(p0.DenseCols) != 2 || p0.DenseCols[0] != 4 || p0.DenseCols[1] != 0 {
+		t.Fatalf("panel 0 dense cols = %v, want [4 0]", p0.DenseCols)
+	}
+	// The clustering order of Fig 6 produces the same panels, hence the
+	// same tile population.
+	rm2, err := sparse.PermuteRows(m, paperex.ReorderedRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl2, err := Build(rm2, exampleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl2.NNZDense() != 9 {
+		t.Fatalf("dense nnz with Fig 6 order = %d, want 9", tl2.NNZDense())
+	}
+}
+
+func TestDenseRatio(t *testing.T) {
+	m := paperex.Matrix()
+	tl, err := Build(m, exampleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / float64(m.NNZ())
+	if got := tl.DenseRatio(); got != want {
+		t.Fatalf("DenseRatio = %v, want %v", got, want)
+	}
+	r, err := DenseRatioOf(m, exampleParams())
+	if err != nil || r != want {
+		t.Fatalf("DenseRatioOf = %v, %v", r, err)
+	}
+}
+
+func TestDenseRatioEmptyMatrix(t *testing.T) {
+	m := &sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int32{0}}
+	tl, err := Build(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.DenseRatio() != 0 || tl.NumPanels() != 0 {
+		t.Fatalf("empty matrix tiling wrong: ratio=%v panels=%d", tl.DenseRatio(), tl.NumPanels())
+	}
+}
+
+func TestPanelOf(t *testing.T) {
+	m := paperex.Matrix()
+	tl, err := Build(m, exampleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		want := i / 3
+		if got := tl.PanelOf(i); got != want {
+			t.Fatalf("PanelOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFullyDenseMatrix(t *testing.T) {
+	// Identical rows: every touched column is dense, rest is empty.
+	sets := make([][]int32, 8)
+	for i := range sets {
+		sets[i] = []int32{1, 3, 5}
+	}
+	m, err := sparse.FromRows(8, 8, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Build(m, Params{PanelSize: 4, DenseThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.DenseRatio() != 1 {
+		t.Fatalf("DenseRatio = %v, want 1", tl.DenseRatio())
+	}
+	if tl.Rest.NNZ() != 0 {
+		t.Fatalf("rest should be empty, nnz=%d", tl.Rest.NNZ())
+	}
+}
+
+func TestDiagonalMatrixAllRest(t *testing.T) {
+	// The Fig 7b scattered case: no column repeats within a panel.
+	sets := make([][]int32, 9)
+	for i := range sets {
+		sets[i] = []int32{int32(i)}
+	}
+	m, err := sparse.FromRows(9, 9, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Build(m, Params{PanelSize: 3, DenseThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.NNZDense() != 0 || tl.Rest.NNZ() != 9 {
+		t.Fatalf("diagonal tiling wrong: dense=%d rest=%d", tl.NNZDense(), tl.Rest.NNZ())
+	}
+}
+
+func TestTileLocalIndices(t *testing.T) {
+	m := paperex.Matrix()
+	rm, _ := sparse.PermuteRows(m, paperex.SwappedRows)
+	tl, err := Build(rm, exampleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rm.Rows; i++ {
+		panel := tl.Panels[tl.PanelOf(i)]
+		locals, cols, vals := tl.TileRowLocal(i), tl.TileRowCols(i), tl.TileRowVals(i)
+		if len(locals) != len(cols) || len(cols) != len(vals) {
+			t.Fatalf("row %d tile slices inconsistent", i)
+		}
+		for j := range locals {
+			if panel.DenseCols[locals[j]] != cols[j] {
+				t.Fatalf("row %d tile local %d maps to %d, stored %d",
+					i, locals[j], panel.DenseCols[locals[j]], cols[j])
+			}
+		}
+	}
+}
+
+// TestValidateCatchesCorruption mutates a valid tiling in targeted ways
+// and checks Validate reports each.
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Matrix {
+		m := paperex.Matrix()
+		rm, err := sparse.PermuteRows(m, paperex.SwappedRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := Build(rm, exampleParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Matrix)
+	}{
+		{"drop tile nnz", func(tl *Matrix) {
+			tl.TileVal = tl.TileVal[:len(tl.TileVal)-1]
+			tl.TileCol = tl.TileCol[:len(tl.TileCol)-1]
+			tl.TileLocal = tl.TileLocal[:len(tl.TileLocal)-1]
+		}},
+		{"corrupt rest", func(tl *Matrix) { tl.Rest.ColIdx[0] = -1 }},
+		{"local out of range", func(tl *Matrix) { tl.TileLocal[0] = 99 }},
+		{"local/col mismatch", func(tl *Matrix) {
+			// Point the first tile nonzero's local slot at a different
+			// dense column than the stored one.
+			p := &tl.Panels[0]
+			if len(p.DenseCols) < 2 {
+				t.Skip("fixture needs two dense cols")
+			}
+			if tl.TileLocal[0] == 0 {
+				tl.TileLocal[0] = 1
+			} else {
+				tl.TileLocal[0] = 0
+			}
+		}},
+		{"phantom dense col", func(tl *Matrix) {
+			tl.Panels[0].DenseCols = append(tl.Panels[0].DenseCols, 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tl := fresh()
+			tc.mutate(tl)
+			if err := tl.Validate(); err == nil {
+				t.Fatalf("Validate accepted corruption (%s)", tc.name)
+			}
+		})
+	}
+}
+
+// Property: Build partitions nonzeros exactly, Validate passes, and the
+// per-panel dense-column promise holds for random matrices and random
+// parameters.
+func TestPropertyBuildPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(50)
+		cols := 1 + rng.Intn(30)
+		sets := make([][]int32, rows)
+		for i := range sets {
+			n := rng.Intn(6)
+			if n > cols {
+				n = cols
+			}
+			seen := map[int32]bool{}
+			for len(seen) < n {
+				seen[int32(rng.Intn(cols))] = true
+			}
+			for c := range seen {
+				sets[i] = append(sets[i], c)
+			}
+		}
+		m, err := sparse.FromRows(rows, cols, sets, nil)
+		if err != nil {
+			return false
+		}
+		p := Params{PanelSize: 1 + rng.Intn(8), DenseThreshold: 2 + rng.Intn(3)}
+		tl, err := Build(m, p)
+		if err != nil {
+			return false
+		}
+		if tl.Validate() != nil {
+			return false
+		}
+		// Per-row: tile cols + rest cols == source cols as multisets.
+		for i := 0; i < rows; i++ {
+			got := map[int32]int{}
+			for _, c := range tl.TileRowCols(i) {
+				got[c]++
+			}
+			for _, c := range tl.Rest.RowCols(i) {
+				got[c]++
+			}
+			if len(got) != m.RowLen(i) {
+				return false
+			}
+			for _, c := range m.RowCols(i) {
+				if got[c] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reordering rows never decreases... is false in general; but
+// tiling a matrix twice is deterministic.
+func TestPropertyBuildDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(30)
+		sets := make([][]int32, rows)
+		for i := range sets {
+			if rng.Intn(3) > 0 {
+				sets[i] = []int32{int32(rng.Intn(10)), int32(10 + rng.Intn(10))}
+			}
+		}
+		m, err := sparse.FromRows(rows, 20, sets, nil)
+		if err != nil {
+			return false
+		}
+		a, err1 := Build(m, DefaultParams())
+		b, err2 := Build(m, DefaultParams())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.NNZDense() != b.NNZDense() || !a.Rest.Equal(b.Rest) {
+			return false
+		}
+		for i := range a.TileCol {
+			if a.TileCol[i] != b.TileCol[i] || a.TileLocal[i] != b.TileLocal[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

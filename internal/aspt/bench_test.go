@@ -1,0 +1,52 @@
+package aspt
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkBuild measures ASpT construction (panel column counting, dense
+// column promotion, tile/rest partitioning) — O(nnz) per DESIGN.md.
+func BenchmarkBuild(b *testing.B) {
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 16384, Cols: 16384, Clusters: 2048, PrototypeNNZ: 20,
+		Keep: 0.8, Noise: 2, Seed: 1, Scrambled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(m.NNZ() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(m, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildPanelSizes sweeps the panel size (an ablation on the
+// ASpT parameter the paper inherits from Hong et al.).
+func BenchmarkBuildPanelSizes(b *testing.B) {
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 8192, Cols: 8192, Clusters: 1024, PrototypeNNZ: 20,
+		Keep: 0.8, Noise: 2, Seed: 2, Scrambled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ps := range []int{16, 32, 64, 128, 256} {
+		name := map[int]string{16: "p016", 32: "p032", 64: "p064", 128: "p128", 256: "p256"}[ps]
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				tl, err := Build(m, Params{PanelSize: ps, DenseThreshold: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = tl.DenseRatio()
+			}
+			b.ReportMetric(ratio, "dense-ratio")
+		})
+	}
+}

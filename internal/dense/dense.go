@@ -1,0 +1,111 @@
+// Package dense provides the row-major dense matrix used as the second
+// operand of SpMM and SDDMM. Storage is a single contiguous float32 slice,
+// matching how the GPU kernels in the paper address X and Y.
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix: element (i, j) lives at
+// Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewRandom returns a rows×cols matrix with entries uniform in [-1, 1),
+// deterministically seeded.
+func NewRandom(rows, cols int, seed int64) *Matrix {
+	m := New(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a sub-slice of Data (mutations are visible).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// PermuteRows returns a new matrix whose row i is row perm[i] of m,
+// mirroring sparse.PermuteRows' convention.
+func (m *Matrix) PermuteRows(perm []int32) (*Matrix, error) {
+	if len(perm) != m.Rows {
+		return nil, fmt.Errorf("dense: permutation length %d for %d rows", len(perm), m.Rows)
+	}
+	out := New(m.Rows, m.Cols)
+	seen := make([]bool, m.Rows)
+	for i, p := range perm {
+		if p < 0 || int(p) >= m.Rows || seen[p] {
+			return nil, fmt.Errorf("dense: invalid permutation at position %d (value %d)", i, p)
+		}
+		seen[p] = true
+		copy(out.Row(i), m.Row(int(p)))
+	}
+	return out, nil
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// two same-shaped matrices. It panics on a shape mismatch (programming
+// error in tests).
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	max := 0.0
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AlmostEqual reports whether all elements differ by at most tol.
+func AlmostEqual(a, b *Matrix, tol float64) bool {
+	return a.Rows == b.Rows && a.Cols == b.Cols && MaxAbsDiff(a, b) <= tol
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// String summarises the matrix without dumping its contents.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+}

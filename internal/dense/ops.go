@@ -1,0 +1,72 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense helper operations used by the example applications (GNN layers,
+// gradient steps) — small, allocation-conscious, and tested so the
+// examples stay free of ad-hoc numeric code.
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled performs m += eta·delta element-wise in place. It panics on
+// shape mismatch (programming error).
+func (m *Matrix) AddScaled(delta *Matrix, eta float32) {
+	if m.Rows != delta.Rows || m.Cols != delta.Cols {
+		panic(fmt.Sprintf("dense: AddScaled shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, delta.Rows, delta.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += eta * delta.Data[i]
+	}
+}
+
+// MatMul computes A·B for dense matrices (ikj loop order, skipping zero
+// multipliers — adequate for the narrow weight matrices in the
+// examples).
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("dense: MatMul shape mismatch %dx%d · %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(l)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReLU clamps negative elements to zero in place.
+func (m *Matrix) ReLU() {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// FrobeniusNorm returns sqrt(Σ m_ij²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

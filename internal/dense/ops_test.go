@@ -1,0 +1,115 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScale(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	m.Scale(2)
+	for _, v := range m.Data {
+		if v != 6 {
+			t.Fatalf("Scale failed: %v", m.Data)
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(1)
+	b := New(2, 2)
+	b.Fill(4)
+	a.AddScaled(b, 0.5)
+	for _, v := range a.Data {
+		if v != 3 {
+			t.Fatalf("AddScaled failed: %v", a.Data)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("shape mismatch accepted")
+		}
+	}()
+	a.AddScaled(New(1, 2), 1)
+}
+
+func TestMatMul(t *testing.T) {
+	a := New(2, 3)
+	b := New(3, 2)
+	// a = [[1 2 3],[4 5 6]], b = [[7 8],[9 10],[11 12]]
+	copy(a.Data, []float32{1, 2, 3, 4, 5, 6})
+	copy(b.Data, []float32{7, 8, 9, 10, 11, 12})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+	if _, err := MatMul(a, New(2, 2)); err == nil {
+		t.Fatalf("shape mismatch accepted")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	m := New(1, 4)
+	copy(m.Data, []float32{-1, 0, 2, -0.5})
+	m.ReLU()
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("ReLU = %v", m.Data)
+		}
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := New(1, 2)
+	copy(m.Data, []float32{3, 4})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v, want 5", got)
+	}
+	if New(2, 2).FrobeniusNorm() != 0 {
+		t.Fatalf("zero matrix norm != 0")
+	}
+}
+
+// Property: MatMul distributes over AddScaled on the left operand:
+// (A + ηΔ)·B == A·B + η(Δ·B).
+func TestPropertyMatMulLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, p := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := NewRandom(n, k, seed)
+		d := NewRandom(n, k, seed+1)
+		b := NewRandom(k, p, seed+2)
+		eta := rng.Float32()
+		left := a.Clone()
+		left.AddScaled(d, eta)
+		lhs, err := MatMul(left, b)
+		if err != nil {
+			return false
+		}
+		ab, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		db, err := MatMul(d, b)
+		if err != nil {
+			return false
+		}
+		rhs := ab.Clone()
+		rhs.AddScaled(db, eta)
+		return MaxAbsDiff(lhs, rhs) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV dumps a report's value series to <dir>/<id>.csv, one column
+// per series (rows padded with empty cells where series lengths differ),
+// so the figures can be re-plotted with any external tool.
+func (r *Report) WriteCSV(dir string) (string, error) {
+	if len(r.Values) == 0 {
+		return "", fmt.Errorf("experiments: report %s has no value series", r.ID)
+	}
+	names := make([]string, 0, len(r.Values))
+	for name := range r.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := 0
+	for _, name := range names {
+		if n := len(r.Values[name]); n > rows {
+			rows = n
+		}
+	}
+
+	path := filepath.Join(dir, r.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(names); err != nil {
+		f.Close()
+		return "", err
+	}
+	record := make([]string, len(names))
+	for i := 0; i < rows; i++ {
+		for c, name := range names {
+			series := r.Values[name]
+			if i < len(series) {
+				record[c] = strconv.FormatFloat(series[i], 'g', -1, 64)
+			} else {
+				record[c] = ""
+			}
+		}
+		if err := w.Write(record); err != nil {
+			f.Close()
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// WriteAllCSV writes every report in the map to dir, returning the file
+// paths written.
+func WriteAllCSV(reports map[string]*Report, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(reports))
+	for id := range reports {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var paths []string
+	for _, id := range ids {
+		if len(reports[id].Values) == 0 {
+			continue
+		}
+		p, err := reports[id].WriteCSV(dir)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := newReport("demo", "demo")
+	r.Values["alpha"] = []float64{1, 2, 3}
+	r.Values["beta"] = []float64{4.5}
+	dir := t.TempDir()
+	path, err := r.WriteCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want header+3", len(rows))
+	}
+	if rows[0][0] != "alpha" || rows[0][1] != "beta" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][1] != "4.5" || rows[2][1] != "" {
+		t.Fatalf("padding wrong: %v", rows)
+	}
+}
+
+func TestWriteCSVEmptyReport(t *testing.T) {
+	r := newReport("empty", "empty")
+	if _, err := r.WriteCSV(t.TempDir()); err == nil {
+		t.Fatalf("empty report accepted")
+	}
+}
+
+func TestWriteAllCSV(t *testing.T) {
+	a := newReport("a", "a")
+	a.Values["x"] = []float64{1}
+	b := newReport("b", "b")
+	b.Values["y"] = []float64{2}
+	empty := newReport("c", "c")
+	dir := filepath.Join(t.TempDir(), "sub") // exercises MkdirAll
+	paths, err := WriteAllCSV(map[string]*Report{"a": a, "b": b, "c": empty}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	evals := testEvals(t)
+	sample := stratifiedSample(evals, 1)
+	seen := map[string]int{}
+	for _, ev := range sample {
+		seen[ev.Entry.Family]++
+	}
+	for fam, n := range seen {
+		if n > 1 {
+			t.Fatalf("family %s sampled %d times, want <= 1", fam, n)
+		}
+	}
+	if len(sample) < 3 {
+		t.Fatalf("sample too small: %d", len(sample))
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	a := newReport("fig8", "Figure Eight")
+	a.Text = "bucket table\n"
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, map[string]*Report{"fig8": a}, []string{"fig8", "missing"}, "hdr"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Experiment results", "hdr", "## Figure Eight", "bucket table"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

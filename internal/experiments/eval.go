@@ -1,0 +1,304 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation section (§5), each regenerating the corresponding
+// artifact on the synthetic corpus through the GPU simulator
+// (DESIGN.md §4 maps experiment ids to drivers).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/reorder"
+	"repro/internal/synth"
+)
+
+// Op identifies the kernel under test.
+type Op string
+
+// The two kernels of the paper.
+const (
+	SpMM  Op = "spmm"
+	SDDMM Op = "sddmm"
+)
+
+// System identifies one of the three compared implementations.
+type System string
+
+// The paper's three systems: the cuSPARSE-like row-wise baseline, ASpT
+// without reordering, and ASpT with row-reordering.
+const (
+	CuSPARSE System = "cusparse"
+	ASpTNR   System = "aspt-nr"
+	ASpTRR   System = "aspt-rr"
+)
+
+// Key addresses one simulated kernel run.
+type Key struct {
+	Op  Op
+	Sys System
+	K   int
+}
+
+// MatrixEval holds every simulated result for one corpus matrix.
+type MatrixEval struct {
+	Entry synth.Entry
+	// NR is the no-reordering plan (plain ASpT); RR the full Fig 5
+	// pipeline with the §4 heuristics.
+	NR, RR *reorder.Plan
+	// Results maps (op, system, K) to simulator stats.
+	Results map[Key]*gpusim.Stats
+}
+
+// Speedup returns time(base)/time(sys) for the given op and K.
+func (ev *MatrixEval) Speedup(op Op, k int, sys, base System) float64 {
+	s, b := ev.Results[Key{op, sys, k}], ev.Results[Key{op, base, k}]
+	if s == nil || b == nil || s.Time <= 0 {
+		return 0
+	}
+	return float64(b.Time) / float64(s.Time)
+}
+
+// BestBaseline returns the faster of cuSPARSE and ASpT-NR for the op/K —
+// Table 1 compares ASpT-RR against this.
+func (ev *MatrixEval) BestBaseline(op Op, k int) *gpusim.Stats {
+	c, n := ev.Results[Key{op, CuSPARSE, k}], ev.Results[Key{op, ASpTNR, k}]
+	switch {
+	case c == nil:
+		return n
+	case n == nil:
+		return c
+	case c.Time <= n.Time:
+		return c
+	default:
+		return n
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Device is the simulated GPU (default: gpusim.P100()).
+	Device gpusim.Config
+	// Reorder is the preprocessing configuration (default: the paper's).
+	Reorder reorder.Config
+	// Ks lists the dense-matrix widths (paper: 512 and 1024).
+	Ks []int
+	// Corpus parameterises matrix generation.
+	Corpus synth.Options
+	// Verbose, when non-nil, receives per-matrix progress lines.
+	Verbose io.Writer
+	// Parallel bounds how many matrices are evaluated concurrently
+	// (0 = half the CPUs; evaluation of one matrix is itself parallel
+	// inside LSH, so full-width nesting oversubscribes).
+	Parallel int
+}
+
+// DefaultOptions mirrors the paper's experimental setup.
+func DefaultOptions() Options {
+	return Options{
+		Device:  gpusim.P100(),
+		Reorder: reorder.DefaultConfig(),
+		Ks:      []int{512, 1024},
+		Corpus:  synth.Options{Scale: 1},
+	}
+}
+
+func (o *Options) fill() {
+	if o.Device.NumSMs == 0 {
+		o.Device = gpusim.P100()
+	}
+	if o.Reorder.ThresholdSize == 0 && o.Reorder.LSH.SigLen == 0 {
+		o.Reorder = reorder.DefaultConfig()
+	}
+	if len(o.Ks) == 0 {
+		o.Ks = []int{512, 1024}
+	}
+}
+
+// Evaluate preprocesses one matrix with and without reordering and
+// simulates all (op, system, K) combinations.
+func Evaluate(e synth.Entry, opts Options) (*MatrixEval, error) {
+	opts.fill()
+	nr, err := reorder.PreprocessNR(e.M, opts.Reorder)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: NR plan: %w", e.Name, err)
+	}
+	rr, err := reorder.Preprocess(e.M, opts.Reorder)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: RR plan: %w", e.Name, err)
+	}
+	ev := &MatrixEval{Entry: e, NR: nr, RR: rr, Results: make(map[Key]*gpusim.Stats)}
+	if err := ev.simulate(opts); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// simulate fills ev.Results for every op/system/K.
+func (ev *MatrixEval) simulate(opts Options) error {
+	dev := opts.Device
+	for _, k := range opts.Ks {
+		type run struct {
+			key Key
+			fn  func() (*gpusim.Stats, error)
+		}
+		runs := []run{
+			{Key{SpMM, CuSPARSE, k}, func() (*gpusim.Stats, error) {
+				return gpusim.SpMMRowWise(dev, ev.Entry.M, k, nil)
+			}},
+			{Key{SpMM, ASpTNR, k}, func() (*gpusim.Stats, error) {
+				return gpusim.SpMMASpT(dev, ev.NR.Tiled, ev.NR.RestOrder, k)
+			}},
+			{Key{SpMM, ASpTRR, k}, func() (*gpusim.Stats, error) {
+				return gpusim.SpMMASpT(dev, ev.RR.Tiled, ev.RR.RestOrder, k)
+			}},
+			{Key{SDDMM, CuSPARSE, k}, func() (*gpusim.Stats, error) {
+				// cuSPARSE has no SDDMM (§5.3); the row-wise kernel
+				// stands in as the reference point where one is needed.
+				return gpusim.SDDMMRowWise(dev, ev.Entry.M, k, nil)
+			}},
+			{Key{SDDMM, ASpTNR, k}, func() (*gpusim.Stats, error) {
+				return gpusim.SDDMMASpT(dev, ev.NR.Tiled, ev.NR.RestOrder, k)
+			}},
+			{Key{SDDMM, ASpTRR, k}, func() (*gpusim.Stats, error) {
+				return gpusim.SDDMMASpT(dev, ev.RR.Tiled, ev.RR.RestOrder, k)
+			}},
+		}
+		for _, r := range runs {
+			st, err := r.fn()
+			if err != nil {
+				return fmt.Errorf("experiments: %s: %v/%s K=%d: %w",
+					ev.Entry.Name, r.key.Op, r.key.Sys, k, err)
+			}
+			ev.Results[r.key] = st
+		}
+	}
+	return nil
+}
+
+// EvaluateCorpus generates the corpus and evaluates every matrix,
+// Parallel-wide across matrices. Results are ordered like the corpus and
+// identical to a sequential run (each evaluation is deterministic).
+func EvaluateCorpus(opts Options) ([]*MatrixEval, error) {
+	opts.fill()
+	entries, err := synth.Corpus(opts.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = (runtime.GOMAXPROCS(0) + 1) / 2
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	evals := make([]*MatrixEval, len(entries))
+	errs := make([]error, len(entries))
+	var mu sync.Mutex // serialises Verbose output
+	var done int
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				ev, err := Evaluate(entries[i], opts)
+				evals[i], errs[i] = ev, err
+				if opts.Verbose != nil && err == nil {
+					mu.Lock()
+					done++
+					fmt.Fprintf(opts.Verbose, "[%3d/%3d] %-28s %9s nnz=%-8d dense %5.1f%%->%5.1f%%  r1=%-5v r2=%-5v (%v)\n",
+						done, len(entries), entries[i].Name, entries[i].Family, entries[i].M.NNZ(),
+						100*ev.RR.DenseRatioBefore, 100*ev.RR.DenseRatioAfter,
+						ev.RR.Round1Applied, ev.RR.Round2Applied, time.Since(start).Round(time.Millisecond))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range entries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return evals, nil
+}
+
+// evaluateAll re-evaluates a set of already-evaluated matrices under a
+// different Options (e.g. forced reordering), in parallel, preserving
+// order.
+func evaluateAll(evals []*MatrixEval, opts Options) ([]*MatrixEval, error) {
+	opts.fill()
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = (runtime.GOMAXPROCS(0) + 1) / 2
+	}
+	if workers > len(evals) {
+		workers = len(evals)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*MatrixEval, len(evals))
+	errs := make([]error, len(evals))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = Evaluate(evals[i].Entry, opts)
+			}
+		}()
+	}
+	for i := range evals {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NeedsReordering filters the evals to those the §4 heuristics selected
+// for at least one round — the paper's "416 matrices" subset.
+func NeedsReordering(evals []*MatrixEval) []*MatrixEval {
+	var out []*MatrixEval
+	for _, ev := range evals {
+		if ev.RR.NeedsReordering() {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// squareEntries filters corpus entries to square matrices (the METIS
+// baseline needs an adjacency interpretation).
+func squareEntries(entries []synth.Entry) []synth.Entry {
+	var out []synth.Entry
+	for _, e := range entries {
+		if e.M.Rows == e.M.Cols {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// testOptions is a miniature configuration that keeps the full drivers
+// fast enough for unit testing.
+func testOptions() Options {
+	opts := DefaultOptions()
+	opts.Ks = []int{64, 128}
+	// Shrink the simulated device in proportion to the miniature corpus
+	// so the locality effects the paper studies are visible (the real L2
+	// would hold the entire dense operand of a 0.05-scale matrix, and
+	// 224 co-resident blocks would interleave away all temporal reuse of
+	// an 800-row matrix).
+	opts.Device.L2Bytes = 64 << 10
+	opts.Device.NumSMs = 4
+	opts.Device.BlocksPerSM = 2
+	opts.Corpus = synth.Options{
+		Scale:    0.05,
+		Families: []string{"uniform", "banded", "scrambled", "clustered", "diagonal"},
+	}
+	return opts
+}
+
+func testEvals(t *testing.T) []*MatrixEval {
+	t.Helper()
+	evals, err := EvaluateCorpus(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) == 0 {
+		t.Fatal("empty corpus")
+	}
+	return evals
+}
+
+// TestEvaluateCorpusParallelDeterministic pins the guarantee the
+// parallel evaluator makes: worker count does not change any result.
+func TestEvaluateCorpusParallelDeterministic(t *testing.T) {
+	opts := testOptions()
+	opts.Corpus.Families = []string{"scrambled", "uniform"}
+	opts.Parallel = 1
+	seq, err := EvaluateCorpus(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 8
+	par, err := EvaluateCorpus(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Entry.Name != par[i].Entry.Name {
+			t.Fatalf("order differs at %d", i)
+		}
+		for key, st := range seq[i].Results {
+			pst := par[i].Results[key]
+			if pst == nil || pst.Time != st.Time || pst.DRAMBytes != st.DRAMBytes {
+				t.Fatalf("%s %v differs between worker counts", seq[i].Entry.Name, key)
+			}
+		}
+	}
+}
+
+func TestEvaluateFillsAllKeys(t *testing.T) {
+	opts := testOptions()
+	entries, err := synth.Corpus(opts.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(entries[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []Op{SpMM, SDDMM} {
+		for _, sys := range []System{CuSPARSE, ASpTNR, ASpTRR} {
+			for _, k := range opts.Ks {
+				st := ev.Results[Key{op, sys, k}]
+				if st == nil || st.Time <= 0 {
+					t.Fatalf("missing result %v/%v/K=%d", op, sys, k)
+				}
+			}
+		}
+	}
+	if sp := ev.Speedup(SpMM, opts.Ks[0], ASpTRR, CuSPARSE); sp <= 0 {
+		t.Fatalf("speedup = %v", sp)
+	}
+	if ev.BestBaseline(SpMM, opts.Ks[0]) == nil {
+		t.Fatalf("no best baseline")
+	}
+}
+
+func TestScrambledFamilyGains(t *testing.T) {
+	evals := testEvals(t)
+	gained := 0
+	for _, ev := range evals {
+		if ev.Entry.Family != "scrambled" {
+			continue
+		}
+		if ev.Speedup(SpMM, 128, ASpTRR, ASpTNR) > 1.02 {
+			gained++
+		}
+	}
+	if gained == 0 {
+		t.Fatalf("no scrambled-cluster matrix gained from reordering")
+	}
+}
+
+func TestNeedsReorderingSelection(t *testing.T) {
+	evals := testEvals(t)
+	sel := NeedsReordering(evals)
+	if len(sel) == 0 || len(sel) == len(evals) {
+		t.Fatalf("selection degenerate: %d of %d", len(sel), len(evals))
+	}
+	// Well-clustered banded matrices should generally not be selected.
+	for _, ev := range sel {
+		if !ev.RR.NeedsReordering() {
+			t.Fatalf("selection filter broken")
+		}
+	}
+}
+
+func TestFig8Report(t *testing.T) {
+	evals := testEvals(t)
+	r := Fig8(evals, []int{64, 128})
+	if len(r.Values["nr-k64"]) != len(evals) || len(r.Values["rr-k128"]) != len(evals) {
+		t.Fatalf("fig8 series sizes wrong")
+	}
+	if !strings.Contains(r.Text, "ASpT-RR vs cuSPARSE") {
+		t.Fatalf("fig8 text: %q", r.Text)
+	}
+}
+
+func TestFig9Report(t *testing.T) {
+	evals := testEvals(t)[:6]
+	r, pts, err := Fig9(evals, 128, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("fig9 points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.SpeedupOverNR <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	if !strings.Contains(r.Text, "ΔDenseRatio") {
+		t.Fatalf("fig9 text missing quadrants")
+	}
+}
+
+func TestMetisReport(t *testing.T) {
+	evals := testEvals(t)
+	// Restrict to a handful to keep the partitioner fast.
+	var square []*MatrixEval
+	for _, ev := range evals {
+		if ev.Entry.M.Rows == ev.Entry.M.Cols {
+			square = append(square, ev)
+			if len(square) == 4 {
+				break
+			}
+		}
+	}
+	r, err := Fig9Metis(square, 128, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Values["speedup"]) != len(square) {
+		t.Fatalf("metis speedups = %d, want %d", len(r.Values["speedup"]), len(square))
+	}
+}
+
+func TestTableReports(t *testing.T) {
+	evals := testEvals(t)
+	ks := []int{64, 128}
+	t1 := Table1(evals, ks)
+	if len(t1.Values["k64"]) == 0 {
+		t.Fatalf("table1 empty")
+	}
+	t2 := Table2(evals, ks)
+	if len(t2.Values["k128"]) == 0 {
+		t.Fatalf("table2 empty")
+	}
+	t3 := Table3(evals, ks)
+	t4 := Table4(evals, ks)
+	for _, r := range []*Report{t1, t2, t3, t4} {
+		if r.Text == "" {
+			t.Fatalf("%s text empty", r.ID)
+		}
+	}
+	for _, ratio := range t3.Values["k64"] {
+		if ratio < 0 {
+			t.Fatalf("negative preprocessing ratio")
+		}
+	}
+	_ = t4
+}
+
+func TestThroughputFigs(t *testing.T) {
+	evals := testEvals(t)
+	f10 := Fig10(evals, 128)
+	f11 := Fig11(evals, 128)
+	if len(f10.Values[string(ASpTRR)]) == 0 || len(f11.Values[string(ASpTNR)]) == 0 {
+		t.Fatalf("throughput figs empty")
+	}
+	// Fig 10 x-axis is sorted by ASpT-NR throughput.
+	nr := f10.Values[string(ASpTNR)]
+	for i := 1; i < len(nr); i++ {
+		if nr[i] < nr[i-1] {
+			t.Fatalf("fig10 not sorted by ASpT-NR throughput")
+		}
+	}
+}
+
+func TestFig12Report(t *testing.T) {
+	evals := testEvals(t)
+	r := Fig12(evals)
+	if len(r.Values["seconds"]) != len(NeedsReordering(evals)) {
+		t.Fatalf("fig12 counts wrong")
+	}
+	for _, s := range r.Values["seconds"] {
+		if s <= 0 {
+			t.Fatalf("non-positive preprocessing time")
+		}
+	}
+}
+
+func TestRunAllSubset(t *testing.T) {
+	var buf bytes.Buffer
+	reports, err := RunAll(testOptions(), []string{"fig8", "tab1", "fig12"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reports))
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 8", "Table 1", "Fig 12", "evaluated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunAllEveryID exercises every registered experiment id through
+// RunAll on a micro corpus, including the extension drivers and the
+// paper-comparison epilogue.
+func TestRunAllEveryID(t *testing.T) {
+	opts := testOptions()
+	opts.Corpus.Scale = 0.04
+	opts.Corpus.Families = []string{"scrambled", "banded"}
+	var buf bytes.Buffer
+	reports, err := RunAll(opts, nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range All {
+		if reports[id] == nil {
+			t.Errorf("id %s produced no report", id)
+		}
+	}
+	if !strings.Contains(buf.String(), "Paper headline comparison") {
+		t.Errorf("paper comparison epilogue missing")
+	}
+}
+
+func TestVertexReorderHelper(t *testing.T) {
+	entries, err := synth.Corpus(synth.Options{Scale: 0.05, Families: []string{"blockdiag"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := VertexReorder(entries[0].M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != entries[0].M.Rows {
+		t.Fatalf("perm length wrong")
+	}
+}

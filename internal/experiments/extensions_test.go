@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOrderingSweep(t *testing.T) {
+	evals := testEvals(t)
+	var square []*MatrixEval
+	for _, ev := range evals {
+		if ev.Entry.M.Rows == ev.Entry.M.Cols {
+			square = append(square, ev)
+		}
+		if len(square) == 3 {
+			break
+		}
+	}
+	r, err := OrderingSweep(square, 128, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"metis-like", "rcm", "bfs", "degree", "row-reordering"} {
+		if len(r.Values[name]) != len(square) {
+			t.Fatalf("%s series has %d entries, want %d", name, len(r.Values[name]), len(square))
+		}
+		for _, sp := range r.Values[name] {
+			if sp <= 0 {
+				t.Fatalf("%s speedup %v", name, sp)
+			}
+		}
+	}
+	if !strings.Contains(r.Text, "geomean:") {
+		t.Fatalf("missing summary line")
+	}
+}
+
+func TestTable34App(t *testing.T) {
+	evals := testEvals(t)
+	r := Table34App(evals, SpMM, 128)
+	n := len(NeedsReordering(evals))
+	for _, iters := range []int{1, 10, 100, 1000, 10000} {
+		ratios := r.Values["ratio-"+itoa(iters)]
+		eff := r.Values["eff-"+itoa(iters)]
+		if len(ratios) != n || len(eff) != n {
+			t.Fatalf("iters=%d series sizes %d/%d, want %d", iters, len(ratios), len(eff), n)
+		}
+	}
+	// Ratios shrink and effective speedups grow with iteration count.
+	r1 := r.Values["ratio-1"]
+	r4 := r.Values["ratio-10000"]
+	e1 := r.Values["eff-1"]
+	e4 := r.Values["eff-10000"]
+	for i := range r1 {
+		if r4[i] >= r1[i] {
+			t.Fatalf("ratio did not shrink with iterations")
+		}
+		if e4[i] < e1[i] {
+			t.Fatalf("effective speedup decreased with iterations")
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestHeuristicsValidation(t *testing.T) {
+	evals := testEvals(t)[:6]
+	r, err := HeuristicsValidation(evals, 128, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Values["regret"]) != len(evals) {
+		t.Fatalf("regret series = %d, want %d", len(r.Values["regret"]), len(evals))
+	}
+	for _, g := range r.Values["regret"] {
+		if g < 1 {
+			t.Fatalf("regret below 1 is impossible: %v", g)
+		}
+	}
+	if !strings.Contains(r.Text, "oracle") {
+		t.Fatalf("missing summary: %q", r.Text)
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	evals := testEvals(t)
+	r, err := KSweep(evals, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.Values["k32"])
+	if n == 0 {
+		t.Fatalf("ksweep empty")
+	}
+	for _, k := range []string{"k32", "k64", "k128", "k256", "k512", "k1024", "k2048"} {
+		if len(r.Values[k]) != n {
+			t.Fatalf("series %s has %d entries, want %d", k, len(r.Values[k]), n)
+		}
+		for _, sp := range r.Values[k] {
+			if sp <= 0 {
+				t.Fatalf("speedup %v in %s", sp, k)
+			}
+		}
+	}
+}
+
+func TestFamilySummary(t *testing.T) {
+	evals := testEvals(t)
+	r := FamilySummary(evals, 128)
+	if len(r.Values) == 0 || r.Text == "" {
+		t.Fatalf("family summary empty")
+	}
+	total := 0
+	for name, series := range r.Values {
+		if len(series) == 0 {
+			t.Fatalf("series %s empty", name)
+		}
+		if name[:5] == "spmm-" {
+			total += len(series)
+		}
+	}
+	if total != len(evals) {
+		t.Fatalf("families cover %d of %d evals", total, len(evals))
+	}
+}
+
+func TestPaperComparison(t *testing.T) {
+	evals := testEvals(t)
+	reports := map[string]*Report{
+		"fig8": Fig8(evals, []int{512, 1024}),
+		"tab1": Table1(evals, []int{512, 1024}),
+		"tab2": Table2(evals, []int{512, 1024}),
+	}
+	out := PaperComparison(reports)
+	if !strings.Contains(out, "SpMM max speedup") || !strings.Contains(out, "paper") {
+		t.Fatalf("comparison table wrong:\n%s", out)
+	}
+	// Missing reports degrade gracefully.
+	partial := PaperComparison(map[string]*Report{})
+	if !strings.Contains(partial, "missing report") {
+		t.Fatalf("missing-report path broken:\n%s", partial)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// The paper's published aggregates (§5.2/§5.3), encoded so the headline
+// comparison of EXPERIMENTS.md can be regenerated mechanically against a
+// fresh run.
+var paperClaims = []struct {
+	name string
+	// paper value and the measured extractor
+	paper   float64
+	measure func(map[string]*Report) (float64, bool)
+	// within is the acceptance band for the "same regime" verdict
+	// (multiplicative, generous: a simulator reproduces shape, not
+	// digits).
+	within float64
+}{
+	{"SpMM max speedup, K=512 (paper 2.73x)", 2.73, maxOf("tab1", "k512"), 2.0},
+	{"SpMM max speedup, K=1024 (paper 2.91x)", 2.91, maxOf("tab1", "k1024"), 2.0},
+	{"SpMM geomean, K=512 (paper 1.17x)", 1.17, geoOf("tab1", "k512"), 1.25},
+	{"SpMM geomean, K=1024 (paper 1.19x)", 1.19, geoOf("tab1", "k1024"), 1.25},
+	{"SpMM median, K=512 (paper 1.12x)", 1.12, medOf("tab1", "k512"), 1.25},
+	{"SDDMM max speedup, K=512 (paper 3.19x)", 3.19, maxOf("tab2", "k512"), 2.0},
+	{"SDDMM max speedup, K=1024 (paper 2.95x)", 2.95, maxOf("tab2", "k1024"), 2.0},
+	{"SDDMM geomean, K=512 (paper 1.48x)", 1.48, geoOf("tab2", "k512"), 1.25},
+	{"SDDMM geomean, K=1024 (paper 1.49x)", 1.49, geoOf("tab2", "k1024"), 1.25},
+	{"ASpT-NR geomean vs cuSPARSE, K=512 (paper 1.35x)", 1.35, geoOf("fig8", "nr-k512"), 1.35},
+}
+
+func maxOf(id, series string) func(map[string]*Report) (float64, bool) {
+	return func(rs map[string]*Report) (float64, bool) {
+		r, ok := rs[id]
+		if !ok || len(r.Values[series]) == 0 {
+			return 0, false
+		}
+		return metrics.Max(r.Values[series]), true
+	}
+}
+
+func geoOf(id, series string) func(map[string]*Report) (float64, bool) {
+	return func(rs map[string]*Report) (float64, bool) {
+		r, ok := rs[id]
+		if !ok || len(r.Values[series]) == 0 {
+			return 0, false
+		}
+		return metrics.GeoMean(r.Values[series]), true
+	}
+}
+
+func medOf(id, series string) func(map[string]*Report) (float64, bool) {
+	return func(rs map[string]*Report) (float64, bool) {
+		r, ok := rs[id]
+		if !ok || len(r.Values[series]) == 0 {
+			return 0, false
+		}
+		return metrics.Median(r.Values[series]), true
+	}
+}
+
+// PaperComparison renders the measured-vs-published headline table from a
+// set of reports (needs at least fig8, tab1 and tab2). A claim is marked
+// "same regime" when the measured value is within the claim's
+// multiplicative band of the paper's — the shape criterion of
+// EXPERIMENTS.md, not a digit match.
+func PaperComparison(reports map[string]*Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  %-50s %8s %9s %s\n", "quantity", "paper", "measured", "verdict")
+	for _, c := range paperClaims {
+		got, ok := c.measure(reports)
+		if !ok {
+			fmt.Fprintf(&sb, "  %-50s %8.2f %9s %s\n", c.name, c.paper, "-", "(missing report)")
+			continue
+		}
+		verdict := "same regime"
+		ratio := got / c.paper
+		if ratio < 1/c.within || ratio > c.within {
+			verdict = "DIVERGES"
+		}
+		fmt.Fprintf(&sb, "  %-50s %8.2f %9.2f %s\n", c.name, c.paper, got, verdict)
+	}
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/aspt"
+	"repro/internal/sparse"
+)
+
+// Analytic tests: tiny fixtures where every byte of simulated traffic can
+// be computed by hand, pinning the traffic model exactly (DESIGN.md §5).
+
+// analyticDevice: one SM, one resident block, one row per block, tiny L2
+// (2 rows), so scheduling is strictly sequential and cache behaviour is
+// enumerable.
+func analyticDevice(k int) Config {
+	dev := P100()
+	dev.NumSMs = 1
+	dev.BlocksPerSM = 1
+	dev.RowsPerBlock = 1
+	dev.L2Bytes = 2 * k * 4 // exactly two dense rows
+	dev.L2Ways = 2
+	return dev
+}
+
+func TestAnalyticSpMMRowWise(t *testing.T) {
+	const k = 16
+	// Rows: [a], [b], [a] with a=0, b=1. Sequential processing with a
+	// 2-row LRU: a miss, b miss, a HIT.
+	m, err := sparse.FromRows(3, 2, [][]int32{{0}, {1}, {0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := analyticDevice(k)
+	st, err := SpMMRowWise(dev, m, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L2Hits != 1 || st.L2Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", st.L2Hits, st.L2Misses)
+	}
+	rowBytes := float64(k * 4)
+	wantX := 2 * rowBytes                       // two misses
+	wantStruct := float64(3*2*4) + float64(3*8) // rowptr + (col+val) per nnz
+	wantY := 3 * rowBytes                       // every output row written
+	if st.XBytes != wantX {
+		t.Fatalf("XBytes = %v, want %v", st.XBytes, wantX)
+	}
+	if st.StructBytes != wantStruct {
+		t.Fatalf("StructBytes = %v, want %v", st.StructBytes, wantStruct)
+	}
+	if st.YBytes != wantY {
+		t.Fatalf("YBytes = %v, want %v", st.YBytes, wantY)
+	}
+	if st.DRAMBytes != wantX+wantStruct+wantY {
+		t.Fatalf("DRAMBytes = %v, want %v", st.DRAMBytes, wantX+wantStruct+wantY)
+	}
+	// L2 sees all X accesses plus the streams.
+	if st.L2Bytes != 3*rowBytes+wantStruct+wantY {
+		t.Fatalf("L2Bytes = %v", st.L2Bytes)
+	}
+	if st.Flops != 2*3*float64(k) {
+		t.Fatalf("Flops = %v", st.Flops)
+	}
+}
+
+func TestAnalyticEvictionOrder(t *testing.T) {
+	const k = 16
+	// Access pattern a,b,c,a with a 2-row cache: a misses again at the
+	// end (evicted by c).
+	m, err := sparse.FromRows(4, 3, [][]int32{{0}, {1}, {2}, {0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SpMMRowWise(analyticDevice(k), m, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L2Hits != 0 || st.L2Misses != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 0/4", st.L2Hits, st.L2Misses)
+	}
+}
+
+func TestAnalyticOrderChangesTraffic(t *testing.T) {
+	const k = 16
+	// Rows touch a,b,c,a. Processing order [0,3,1,2] makes the two a-rows
+	// adjacent: a miss, a HIT, b miss, c miss.
+	m, err := sparse.FromRows(4, 3, [][]int32{{0}, {1}, {2}, {0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SpMMRowWise(analyticDevice(k), m, k, []int32{0, 3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L2Hits != 1 || st.L2Misses != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 1/3", st.L2Hits, st.L2Misses)
+	}
+}
+
+func TestAnalyticASpTSharedTraffic(t *testing.T) {
+	const k = 16
+	// Four identical rows {0,1} in one panel (panel size 4, threshold 2):
+	// both columns dense, no rest. Tile staging: 2 X-row fetches; shared
+	// reads: 8 nnz × rowBytes.
+	sets := [][]int32{{0, 1}, {0, 1}, {0, 1}, {0, 1}}
+	m, err := sparse.FromRows(4, 2, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := aspt.Build(m, aspt.Params{PanelSize: 4, DenseThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Rest.NNZ() != 0 || tl.NNZDense() != 8 {
+		t.Fatalf("fixture tiling wrong: dense=%d rest=%d", tl.NNZDense(), tl.Rest.NNZ())
+	}
+	dev := analyticDevice(k)
+	st, err := SpMMASpT(dev, tl, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := float64(k * 4)
+	if st.XAccesses != 2 || st.L2Misses != 2 || st.L2Hits != 0 {
+		t.Fatalf("staging accesses = %d (h=%d m=%d), want 2 misses",
+			st.XAccesses, st.L2Hits, st.L2Misses)
+	}
+	if st.SharedBytes != 8*rowBytes {
+		t.Fatalf("SharedBytes = %v, want %v", st.SharedBytes, 8*rowBytes)
+	}
+	// Y: tile phase writes 4 rows; no rest rows; no zero-fill needed.
+	if st.YBytes != 4*rowBytes {
+		t.Fatalf("YBytes = %v, want %v", st.YBytes, 4*rowBytes)
+	}
+	// Structure: two tile-pointer arrays (rowptr-like, 3 streams of
+	// rows*2*4: tile ptr + rest ptr... exactly: tile rowptr 4*8, tile
+	// nnz 8*8, rest rowptr 4*8, rest nnz 0.
+	wantStruct := float64(4*8 + 8*8 + 4*8)
+	if st.StructBytes != wantStruct {
+		t.Fatalf("StructBytes = %v, want %v", st.StructBytes, wantStruct)
+	}
+}
+
+func TestAnalyticSDDMMRowWise(t *testing.T) {
+	const k = 16
+	// Two rows: {0,1} and {} — Y streamed only for the non-empty row,
+	// output values once per nonzero.
+	m, err := sparse.FromRows(2, 2, [][]int32{{0, 1}, {}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SDDMMRowWise(analyticDevice(k), m, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := float64(k * 4)
+	if st.YBytes != 1*rowBytes {
+		t.Fatalf("YBytes = %v, want one row", st.YBytes)
+	}
+	if st.OutBytes != 2*4 {
+		t.Fatalf("OutBytes = %v, want 8", st.OutBytes)
+	}
+	if st.XAccesses != 2 {
+		t.Fatalf("XAccesses = %d, want 2", st.XAccesses)
+	}
+}

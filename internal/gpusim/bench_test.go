@@ -1,0 +1,75 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func benchMatrix(b *testing.B) *sparse.CSR {
+	b.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 8192, Cols: 8192, Clusters: 1024, PrototypeNNZ: 20,
+		Keep: 0.8, Noise: 2, Seed: 3, Scrambled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkSimSpMMRowWise measures simulator throughput itself (host
+// cost of simulating one kernel), not the simulated device time.
+func BenchmarkSimSpMMRowWise(b *testing.B) {
+	m := benchMatrix(b)
+	dev := P100()
+	b.SetBytes(int64(m.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpMMRowWise(dev, m, 512, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimSpMMASpT(b *testing.B) {
+	m := benchMatrix(b)
+	plan, err := reorder.Preprocess(m, reorder.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := P100()
+	b.SetBytes(int64(m.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpMMASpT(dev, plan.Tiled, plan.RestOrder, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimSDDMMASpT(b *testing.B) {
+	m := benchMatrix(b)
+	plan, err := reorder.Preprocess(m, reorder.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := P100()
+	b.SetBytes(int64(m.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SDDMMASpT(dev, plan.Tiled, plan.RestOrder, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewCache(2048, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i * 2654435761 % 8192))
+	}
+}

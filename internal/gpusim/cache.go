@@ -1,0 +1,104 @@
+package gpusim
+
+// Cache is a set-associative LRU cache over abstract line identifiers.
+// In the SpMM/SDDMM simulations a "line" is one row of the dense operand
+// X (K·4 bytes): the reuse the paper's transformation creates is
+// row-granular — either another nonzero with the same column index
+// executes while the row is still resident (L2 hit) or it does not (DRAM
+// fetch). Modelling at row granularity keeps simulation O(nnz) regardless
+// of K while preserving exactly the locality phenomenon being studied
+// (DESIGN.md §5).
+//
+// Sets are the row ID modulo the set count; ways are evicted in LRU
+// order using a per-set clock.
+type Cache struct {
+	sets  int
+	ways  int
+	tags  []int64  // sets*ways; -1 = invalid
+	used  []uint64 // LRU timestamps, parallel to tags
+	clock uint64
+
+	Hits, Misses int64
+}
+
+// NewCache builds a cache with the given total line capacity and
+// associativity. Capacity is rounded down to a multiple of ways; a
+// capacity below one full set degrades to a single direct-mapped set of
+// `capacity` ways so tiny configurations still behave sensibly.
+func NewCache(capacity, ways int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	sets := capacity / ways
+	if sets < 1 {
+		sets = 1
+		ways = capacity
+	}
+	c := &Cache{
+		sets: sets,
+		ways: ways,
+		tags: make([]int64, sets*ways),
+		used: make([]uint64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Capacity returns the number of lines the cache can hold.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+// Access touches the line and reports whether it hit. On a miss the LRU
+// way of the line's set is replaced.
+func (c *Cache) Access(line int64) bool {
+	c.clock++
+	set := int(uint64(line) % uint64(c.sets))
+	base := set * c.ways
+	victim, victimUsed := base, c.used[base]
+	for w := 0; w < c.ways; w++ {
+		idx := base + w
+		if c.tags[idx] == line {
+			c.used[idx] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.used[idx] < victimUsed {
+			victim, victimUsed = idx, c.used[idx]
+		}
+	}
+	c.tags[victim] = line
+	c.used[victim] = c.clock
+	c.Misses++
+	return false
+}
+
+// Contains reports whether the line is resident without touching LRU
+// state or counters.
+func (c *Cache) Contains(line int64) bool {
+	set := int(uint64(line) % uint64(c.sets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.used[i] = 0
+	}
+	c.clock = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// Accesses returns the total number of accesses so far.
+func (c *Cache) Accesses() int64 { return c.Hits + c.Misses }

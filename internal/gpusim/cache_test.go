@@ -1,0 +1,132 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.Access(1) {
+		t.Fatalf("cold access hit")
+	}
+	if !c.Access(1) {
+		t.Fatalf("warm access missed")
+	}
+	if c.Hits != 1 || c.Misses != 1 || c.Accesses() != 2 {
+		t.Fatalf("counters: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	// One set, 2 ways: lines 0, 2, 4 all map to set 0 with 2 sets? Use
+	// capacity 2 / ways 2 => 1 set: pure LRU of size 2.
+	c := NewCache(2, 2)
+	c.Access(10)
+	c.Access(20)
+	c.Access(10) // 20 is now LRU
+	c.Access(30) // evicts 20
+	if !c.Contains(10) || c.Contains(20) || !c.Contains(30) {
+		t.Fatalf("LRU eviction wrong: 10=%v 20=%v 30=%v",
+			c.Contains(10), c.Contains(20), c.Contains(30))
+	}
+}
+
+func TestCacheSetIsolation(t *testing.T) {
+	// 4 lines, 2 ways => 2 sets. Even lines map to set 0, odd to set 1.
+	c := NewCache(4, 2)
+	c.Access(0)
+	c.Access(2)
+	c.Access(4) // evicts 0 within set 0
+	if c.Contains(0) {
+		t.Fatalf("set 0 did not evict")
+	}
+	if !c.Contains(2) || !c.Contains(4) {
+		t.Fatalf("set 0 contents wrong")
+	}
+	c.Access(1)
+	if !c.Contains(1) || !c.Contains(2) || !c.Contains(4) {
+		t.Fatalf("set 1 access disturbed set 0")
+	}
+}
+
+func TestCacheDegenerateCapacity(t *testing.T) {
+	c := NewCache(0, 16)
+	if c.Capacity() < 1 {
+		t.Fatalf("capacity < 1")
+	}
+	c.Access(5)
+	if !c.Contains(5) {
+		t.Fatalf("single-line cache broken")
+	}
+	// Capacity smaller than ways degrades to one set of `capacity` ways.
+	c2 := NewCache(3, 16)
+	if c2.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", c2.Capacity())
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(4, 2)
+	c.Access(1)
+	c.Access(1)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 || c.Contains(1) {
+		t.Fatalf("Reset incomplete")
+	}
+}
+
+// Property: hits+misses == accesses, and re-accessing the most recent
+// line always hits.
+func TestPropertyCacheConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(1+rng.Intn(64), 1+rng.Intn(8))
+		n := int64(100 + rng.Intn(400))
+		var last int64 = -1
+		for i := int64(0); i < n; i++ {
+			line := int64(rng.Intn(100))
+			c.Access(line)
+			if last >= 0 && line == last {
+				// immediate re-access must hit (checked via Contains)
+				if !c.Contains(line) {
+					return false
+				}
+			}
+			last = line
+		}
+		return c.Hits+c.Misses == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set no larger than one set's ways never misses
+// after warm-up.
+func TestPropertyCacheNoCapacityMissSmallWorkingSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ways := 2 + rng.Intn(6)
+		sets := 1 + rng.Intn(8)
+		c := NewCache(sets*ways, ways)
+		// Pick `ways` lines all mapping to the same set.
+		set := int64(rng.Intn(sets))
+		lines := make([]int64, ways)
+		for i := range lines {
+			lines[i] = set + int64(i*sets)
+		}
+		for _, l := range lines {
+			c.Access(l)
+		}
+		before := c.Misses
+		for i := 0; i < 100; i++ {
+			c.Access(lines[rng.Intn(len(lines))])
+		}
+		return c.Misses == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package gpusim
+
+import (
+	"repro/internal/sparse"
+)
+
+// SpMMColMajor simulates the row-wise SpMM kernel against a
+// *column-major* dense operand — cuSPARSE's second layout mode (§6:
+// "The library offers two different modes depending on the access
+// patterns of dense matrices"). In column-major storage, element (c, k)
+// lives at offset k·N + c: one nonzero's K reads land in K *different*
+// cache lines, one per k-plane, and each 128-byte line covers 32
+// *consecutive column indices* of the same plane. Locality therefore
+// comes from nearby column indices in nearby nonzeros — the SpMV-style
+// spatial locality that vertex orderings (RCM/METIS) optimise — rather
+// than from repeated column indices, which is what row reordering
+// exploits in the row-major mode.
+//
+// By symmetry every k-plane sees the identical line-access sequence, so
+// one plane is simulated with 1/K of the L2 and the traffic scaled by K
+// (the same aggregation argument as the row-granularity model,
+// DESIGN.md §5).
+func SpMMColMajor(dev Config, s *sparse.CSR, k int, order []int32) (*Stats, error) {
+	e, err := newEngine(dev, k, "spmm-colmajor")
+	if err != nil {
+		return nil, err
+	}
+	ord, err := resolveOrder(order, s.Rows)
+	if err != nil {
+		return nil, err
+	}
+	const lineElems = 32 // 128-byte line / 4-byte float
+	lineBytes := float64(lineElems * dev.ElemBytes)
+	// One plane's share of the L2, in lines.
+	perPlane := dev.L2Bytes / k / (lineElems * dev.ElemBytes)
+	if perPlane < 1 {
+		perPlane = 1
+	}
+	e.cache = NewCache(perPlane, dev.L2Ways)
+
+	// Structure streaming and output (Y is written column-major too;
+	// bytes are layout-independent).
+	e.streamStruct(float64(s.Rows) * 2 * float64(dev.IndexBytes))
+	e.streamStruct(float64(s.NNZ()) * float64(dev.IndexBytes+dev.ElemBytes))
+	e.streamY(float64(s.Rows) * e.rowBytes())
+
+	// Row-wise traversal; accesses are X-plane lines c/32, each
+	// hit/miss standing for all K planes at once.
+	rpb := dev.RowsPerBlock
+	if rpb < 1 {
+		rpb = 1
+	}
+	var blocks [][]int32
+	for start := 0; start < len(ord); start += rpb {
+		end := start + rpb
+		if end > len(ord) {
+			end = len(ord)
+		}
+		var acc []int32
+		for _, row := range ord[start:end] {
+			for _, c := range s.RowCols(int(row)) {
+				acc = append(acc, c/lineElems)
+			}
+		}
+		blocks = append(blocks, acc)
+	}
+	w := dev.concurrentBlocks()
+	planeBytes := lineBytes * float64(k) // all K planes move together
+	for start := 0; start < len(blocks); start += w {
+		end := start + w
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		wave := blocks[start:end]
+		idx := make([]int, len(wave))
+		for live := len(wave); live > 0; {
+			live = 0
+			for b := range wave {
+				if idx[b] < len(wave[b]) {
+					line := wave[b][idx[b]]
+					e.st.XAccesses++
+					e.st.L2Bytes += planeBytes
+					if e.cache.Access(int64(line)) {
+						e.st.L2Hits++
+					} else {
+						e.st.L2Misses++
+						e.st.DRAMBytes += planeBytes
+						e.st.XBytes += planeBytes
+					}
+					idx[b]++
+					if idx[b] < len(wave[b]) {
+						live++
+					}
+				}
+			}
+		}
+	}
+	e.st.Blocks += int64(len(blocks))
+
+	e.st.Flops = 2 * float64(s.NNZ()) * float64(k)
+	e.st.finalize(dev)
+	return e.st, nil
+}

@@ -1,0 +1,140 @@
+// Package gpusim is the GPU substitute of this reproduction (DESIGN.md
+// §2): a throughput-oriented memory-hierarchy simulator parameterised
+// like the paper's NVIDIA P100. Kernels are executed against the
+// simulator, which schedules thread blocks round-robin over SMs, plays
+// their dense-operand accesses through a shared set-associative LRU L2,
+// stages dense tiles through per-block shared memory, and converts the
+// observed traffic into kernel time with a roofline model. The paper's
+// speedups are data-movement effects, so traffic-faithful simulation
+// reproduces their shape.
+package gpusim
+
+import "time"
+
+// Config describes the simulated device and kernel-shape constants.
+type Config struct {
+	Name string
+
+	// NumSMs is the number of streaming multiprocessors (P100: 56).
+	NumSMs int
+	// BlocksPerSM is the number of co-resident thread blocks per SM;
+	// accesses of co-resident blocks interleave in the L2.
+	BlocksPerSM int
+	// RowsPerBlock is how many sparse rows a row-wise thread block
+	// covers (one warp per row, warps*rows per block as in §2.3's
+	// execution sketch).
+	RowsPerBlock int
+
+	// SharedMemPerBlock is the shared-memory budget of one thread block
+	// in bytes (P100: 64 KiB per SM; ASpT sizes its tiles to it).
+	SharedMemPerBlock int
+	// TileKSlice is the number of dense-matrix columns a tile-processing
+	// thread block covers at once; together with SharedMemPerBlock it
+	// bounds how many X rows fit in shared memory per chunk.
+	TileKSlice int
+
+	// L2Bytes is the last-level cache capacity (P100: 4 MiB).
+	L2Bytes int
+	// L2Ways is the modelled associativity.
+	L2Ways int
+
+	// DRAMBandwidth is global-memory bandwidth in bytes/s (P100: 732e9).
+	DRAMBandwidth float64
+	// L2Bandwidth is L2 bandwidth in bytes/s.
+	L2Bandwidth float64
+	// SharedBandwidth is aggregate shared-memory bandwidth in bytes/s.
+	SharedBandwidth float64
+	// PeakFlops is peak FP32 throughput in FLOP/s (P100: 9.3e12).
+	PeakFlops float64
+
+	// LaunchOverhead is the fixed kernel-launch cost.
+	LaunchOverhead time.Duration
+	// BlockOverhead is the scheduling cost charged per thread block
+	// (models block dispatch and tile-chunk synchronisation).
+	BlockOverhead time.Duration
+
+	// ElemBytes is the size of one matrix element (float32: 4).
+	ElemBytes int
+	// IndexBytes is the size of one sparse index (int32: 4).
+	IndexBytes int
+}
+
+// P100 returns a configuration matching the paper's evaluation platform:
+// 56 Pascal SMs, 16 GB HBM2 at 732 GB/s, 4 MB L2, 64 KB shared memory per
+// SM, 9.3 TFLOP/s single precision.
+func P100() Config {
+	return Config{
+		Name:              "P100",
+		NumSMs:            56,
+		BlocksPerSM:       4,
+		RowsPerBlock:      8,
+		SharedMemPerBlock: 64 << 10,
+		TileKSlice:        128,
+		L2Bytes:           4 << 20,
+		L2Ways:            16,
+		DRAMBandwidth:     732e9,
+		L2Bandwidth:       2.2e12,
+		SharedBandwidth:   8.8e12,
+		PeakFlops:         9.3e12,
+		LaunchOverhead:    5 * time.Microsecond,
+		BlockOverhead:     150 * time.Nanosecond,
+		ElemBytes:         4,
+		IndexBytes:        4,
+	}
+}
+
+// V100 returns a Volta-generation configuration (80 SMs, 6 MB L2,
+// 900 GB/s HBM2, 14 TFLOP/s FP32) for cross-device sensitivity studies:
+// the paper evaluates only on the P100, and the device sweep shows how
+// its conclusions shift with cache capacity and bandwidth.
+func V100() Config {
+	c := P100()
+	c.Name = "V100"
+	c.NumSMs = 80
+	c.L2Bytes = 6 << 20
+	c.DRAMBandwidth = 900e9
+	c.L2Bandwidth = 3.0e12
+	c.SharedBandwidth = 12e12
+	c.PeakFlops = 14e12
+	return c
+}
+
+// l2RowCapacity returns how many K-column dense rows fit in the L2.
+func (c Config) l2RowCapacity(k int) int {
+	rowBytes := k * c.ElemBytes
+	if rowBytes <= 0 {
+		return 1
+	}
+	n := c.L2Bytes / rowBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// sharedRowCapacity returns how many dense rows (at the tile K-slice
+// width) fit in one block's shared memory — the tile chunk size.
+func (c Config) sharedRowCapacity(k int) int {
+	slice := c.TileKSlice
+	if k < slice {
+		slice = k
+	}
+	if slice <= 0 {
+		return 1
+	}
+	n := c.SharedMemPerBlock / (slice * c.ElemBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// concurrentBlocks is the wave width: how many thread blocks execute
+// concurrently, interleaving their L2 accesses.
+func (c Config) concurrentBlocks() int {
+	n := c.NumSMs * c.BlocksPerSM
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

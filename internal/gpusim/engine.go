@@ -1,0 +1,129 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// engine accumulates traffic for one simulated kernel invocation.
+type engine struct {
+	dev   Config
+	cache *Cache
+	st    *Stats
+	k     int
+}
+
+func newEngine(dev Config, k int, kernel string) (*engine, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("gpusim: K must be positive, got %d", k)
+	}
+	return &engine{
+		dev:   dev,
+		cache: NewCache(dev.l2RowCapacity(k), dev.L2Ways),
+		st:    &Stats{Kernel: kernel},
+		k:     k,
+	}, nil
+}
+
+// rowBytes is the footprint of one dense row: K elements.
+func (e *engine) rowBytes() float64 { return float64(e.k * e.dev.ElemBytes) }
+
+// accessX models one dense-operand row read through the L2: all traffic
+// passes the L2; misses additionally pay DRAM.
+func (e *engine) accessX(row int32) {
+	e.st.XAccesses++
+	b := e.rowBytes()
+	e.st.L2Bytes += b
+	if e.cache.Access(int64(row)) {
+		e.st.L2Hits++
+	} else {
+		e.st.L2Misses++
+		e.st.DRAMBytes += b
+		e.st.XBytes += b
+	}
+}
+
+// stream models straight-line streaming traffic (CSR arrays, dense output
+// rows): compulsory, served by DRAM through the L2 with no reuse. It does
+// not occupy row slots in the simulated cache — the GPU's streaming loads
+// evict quickly and the row cache models only the reusable X working set.
+func (e *engine) stream(bytes float64) {
+	e.st.DRAMBytes += bytes
+	e.st.L2Bytes += bytes
+}
+
+// streamStruct / streamY / streamOut are stream with per-source
+// accounting (Stats breakdown).
+func (e *engine) streamStruct(bytes float64) { e.stream(bytes); e.st.StructBytes += bytes }
+func (e *engine) streamY(bytes float64)      { e.stream(bytes); e.st.YBytes += bytes }
+func (e *engine) streamOut(bytes float64)    { e.stream(bytes); e.st.OutBytes += bytes }
+
+// shared models a read served from shared memory.
+func (e *engine) shared(bytes float64) { e.st.SharedBytes += bytes }
+
+// runBlocksInterleaved plays the blocks' X-row access lists through the
+// L2, interleaving co-resident blocks: blocks issue in waves of
+// concurrentBlocks(), and within a wave each live block issues one access
+// per round — the round-robin scheduling approximation of DESIGN.md §5.
+func (e *engine) runBlocksInterleaved(blocks [][]int32) {
+	w := e.dev.concurrentBlocks()
+	for start := 0; start < len(blocks); start += w {
+		end := start + w
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		wave := blocks[start:end]
+		idx := make([]int, len(wave))
+		for live := len(wave); live > 0; {
+			live = 0
+			for b := range wave {
+				if idx[b] < len(wave[b]) {
+					e.accessX(wave[b][idx[b]])
+					idx[b]++
+					if idx[b] < len(wave[b]) {
+						live++
+					}
+				}
+			}
+		}
+	}
+	e.st.Blocks += int64(len(blocks))
+}
+
+// rowWiseBlocks groups the rows of s — visited in the given processing
+// order — into thread blocks of RowsPerBlock rows each and returns each
+// block's X-row access list (one access per nonzero, rows traversed
+// left-to-right as in Alg 1/2). Rows with no nonzeros still occupy a warp
+// slot but issue no accesses.
+func (e *engine) rowWiseBlocks(s *sparse.CSR, order []int32) [][]int32 {
+	rpb := e.dev.RowsPerBlock
+	if rpb < 1 {
+		rpb = 1
+	}
+	nblocks := (len(order) + rpb - 1) / rpb
+	blocks := make([][]int32, 0, nblocks)
+	for start := 0; start < len(order); start += rpb {
+		end := start + rpb
+		if end > len(order) {
+			end = len(order)
+		}
+		var acc []int32
+		for _, row := range order[start:end] {
+			acc = append(acc, s.RowCols(int(row))...)
+		}
+		blocks = append(blocks, acc)
+	}
+	return blocks
+}
+
+// resolveOrder validates a processing order or substitutes the identity.
+func resolveOrder(order []int32, rows int) ([]int32, error) {
+	if order == nil {
+		return sparse.IdentityPermutation(rows), nil
+	}
+	if !sparse.IsPermutation(order, rows) {
+		return nil, fmt.Errorf("gpusim: processing order is not a permutation of %d rows", rows)
+	}
+	return order, nil
+}

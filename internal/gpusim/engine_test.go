@@ -1,0 +1,132 @@
+package gpusim
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func tinyCSR(t *testing.T, sets [][]int32, cols int) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.FromRows(len(sets), cols, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tinyEngine(t *testing.T, dev Config, k int) *engine {
+	t.Helper()
+	e, err := newEngine(dev, k, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRowWiseBlocksGrouping(t *testing.T) {
+	dev := P100()
+	dev.RowsPerBlock = 2
+	m := tinyCSR(t, [][]int32{{0, 1}, {2}, {}, {3}, {0}}, 8)
+	e := tinyEngine(t, dev, 32)
+	blocks := e.rowWiseBlocks(m, sparse.IdentityPermutation(5))
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	// Block 0 covers rows 0,1: accesses 0,1,2. Block 1 covers the empty
+	// row 2 and row 3. Block 2 covers row 4.
+	if len(blocks[0]) != 3 || blocks[0][0] != 0 || blocks[0][2] != 2 {
+		t.Fatalf("block 0 = %v", blocks[0])
+	}
+	if len(blocks[1]) != 1 || blocks[1][0] != 3 {
+		t.Fatalf("block 1 = %v", blocks[1])
+	}
+	if len(blocks[2]) != 1 || blocks[2][0] != 0 {
+		t.Fatalf("block 2 = %v", blocks[2])
+	}
+}
+
+func TestRowWiseBlocksHonoursOrder(t *testing.T) {
+	dev := P100()
+	dev.RowsPerBlock = 2
+	m := tinyCSR(t, [][]int32{{0}, {1}, {2}, {3}}, 8)
+	e := tinyEngine(t, dev, 32)
+	blocks := e.rowWiseBlocks(m, []int32{3, 1, 2, 0})
+	if blocks[0][0] != 3 || blocks[0][1] != 1 {
+		t.Fatalf("order not honoured: %v", blocks[0])
+	}
+}
+
+func TestInterleavingRoundRobin(t *testing.T) {
+	// Two co-resident blocks with interleaved accesses: a cache with one
+	// line sees strictly alternating rows and never hits; processed
+	// sequentially both blocks would hit on their second access.
+	dev := P100()
+	dev.NumSMs = 1
+	dev.BlocksPerSM = 2
+	e := tinyEngine(t, dev, 32)
+	e.cache = NewCache(1, 1)
+	blocks := [][]int32{{7, 7}, {9, 9}}
+	e.runBlocksInterleaved(blocks)
+	if e.st.L2Hits != 0 {
+		t.Fatalf("interleaved accesses hit %d times in a 1-line cache", e.st.L2Hits)
+	}
+	if e.st.XAccesses != 4 || e.st.Blocks != 2 {
+		t.Fatalf("accounting wrong: %+v", e.st)
+	}
+	// Same blocks with only one co-resident slot run back to back and
+	// each second access hits.
+	dev.BlocksPerSM = 1
+	e2 := tinyEngine(t, dev, 32)
+	e2.cache = NewCache(1, 1)
+	e2.runBlocksInterleaved(blocks)
+	if e2.st.L2Hits != 2 {
+		t.Fatalf("sequential blocks hit %d times, want 2", e2.st.L2Hits)
+	}
+}
+
+func TestWaveBoundary(t *testing.T) {
+	// Three blocks with a 2-wide wave: the third block runs in a second
+	// wave after the first two drain.
+	dev := P100()
+	dev.NumSMs = 1
+	dev.BlocksPerSM = 2
+	e := tinyEngine(t, dev, 32)
+	e.cache = NewCache(4, 1)
+	blocks := [][]int32{{1}, {2}, {1}}
+	e.runBlocksInterleaved(blocks)
+	// Row 1 stays resident across the waves -> the third block hits.
+	if e.st.L2Hits != 1 {
+		t.Fatalf("cross-wave residency: hits = %d, want 1", e.st.L2Hits)
+	}
+}
+
+func TestResolveOrder(t *testing.T) {
+	ord, err := resolveOrder(nil, 3)
+	if err != nil || len(ord) != 3 || ord[2] != 2 {
+		t.Fatalf("nil order: %v %v", ord, err)
+	}
+	if _, err := resolveOrder([]int32{0, 0, 1}, 3); err == nil {
+		t.Fatalf("non-permutation accepted")
+	}
+	if _, err := resolveOrder([]int32{0, 1}, 3); err == nil {
+		t.Fatalf("short order accepted")
+	}
+}
+
+func TestNewEngineRejectsBadK(t *testing.T) {
+	if _, err := newEngine(P100(), 0, "x"); err == nil {
+		t.Fatalf("K=0 accepted")
+	}
+}
+
+func TestRowsPerBlockFloor(t *testing.T) {
+	dev := P100()
+	dev.RowsPerBlock = 0 // degenerate config: treated as 1
+	m := tinyCSR(t, [][]int32{{0}, {1}}, 4)
+	e := tinyEngine(t, dev, 8)
+	blocks := e.rowWiseBlocks(m, sparse.IdentityPermutation(2))
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+}

@@ -1,0 +1,29 @@
+package gpusim_test
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+)
+
+// ExampleSpMMRowWise simulates the worked-example matrix on a miniature
+// device where every byte is countable: three rows touching X rows
+// a, b, a with a two-row L2 give exactly one hit.
+func ExampleSpMMRowWise() {
+	m, err := sparse.FromRows(3, 2, [][]int32{{0}, {1}, {0}}, nil)
+	if err != nil {
+		panic(err)
+	}
+	dev := gpusim.P100()
+	dev.NumSMs = 1
+	dev.BlocksPerSM = 1
+	dev.RowsPerBlock = 1
+	dev.L2Bytes = 2 * 16 * 4 // exactly two K=16 rows
+	st, err := gpusim.SpMMRowWise(dev, m, 16, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hits:", st.L2Hits, "misses:", st.L2Misses)
+	// Output: hits: 1 misses: 2
+}

@@ -1,0 +1,96 @@
+package gpusim
+
+import (
+	"repro/internal/aspt"
+	"repro/internal/sparse"
+)
+
+// SDDMMRowWise simulates the row-wise SDDMM kernel (Alg 2): for each
+// sparse row i, the warp streams Y's row i once and reads one X row
+// through the L2 per nonzero, writing one output value per nonzero.
+func SDDMMRowWise(dev Config, s *sparse.CSR, k int, order []int32) (*Stats, error) {
+	e, err := newEngine(dev, k, "sddmm-rowwise")
+	if err != nil {
+		return nil, err
+	}
+	ord, err := resolveOrder(order, s.Rows)
+	if err != nil {
+		return nil, err
+	}
+	// Sparse structure in, output values out.
+	e.streamStruct(float64(s.Rows) * 2 * float64(dev.IndexBytes))
+	e.streamStruct(float64(s.NNZ()) * float64(dev.IndexBytes+dev.ElemBytes))
+	e.streamOut(float64(s.NNZ()) * float64(dev.ElemBytes))
+	// Y rows: streamed once per non-empty row.
+	for i := 0; i < s.Rows; i++ {
+		if s.RowLen(i) > 0 {
+			e.streamY(e.rowBytes())
+		}
+	}
+	e.runBlocksInterleaved(e.rowWiseBlocks(s, ord))
+
+	e.st.Flops = 2 * float64(s.NNZ()) * float64(k)
+	e.st.finalize(dev)
+	return e.st, nil
+}
+
+// SDDMMASpT simulates the two-kernel ASpT SDDMM: the dense-tile kernel
+// stages each panel's dense-column X rows into shared memory and computes
+// the dot products of tile nonzeros from there (re-streaming Y rows of
+// tile-owning rows); the leftover part runs row-wise in restOrder.
+func SDDMMASpT(dev Config, t *aspt.Matrix, restOrder []int32, k int) (*Stats, error) {
+	e, err := newEngine(dev, k, "sddmm-aspt")
+	if err != nil {
+		return nil, err
+	}
+	ord, err := resolveOrder(restOrder, t.Rest.Rows)
+	if err != nil {
+		return nil, err
+	}
+	s := t.Src
+
+	// ---- Phase 1: dense tiles ----
+	e.streamStruct(float64(s.Rows) * 2 * float64(dev.IndexBytes))
+	e.streamStruct(float64(t.NNZDense()) * float64(dev.IndexBytes+dev.ElemBytes))
+	e.streamOut(float64(t.NNZDense()) * float64(dev.ElemBytes)) // output values
+
+	sharedCap := dev.sharedRowCapacity(k)
+	kslices := (k + dev.TileKSlice - 1) / dev.TileKSlice
+	tileBlocks := make([][]int32, 0, len(t.Panels))
+	for pi := range t.Panels {
+		p := &t.Panels[pi]
+		if len(p.DenseCols) == 0 {
+			continue
+		}
+		acc := make([]int32, len(p.DenseCols))
+		copy(acc, p.DenseCols)
+		tileBlocks = append(tileBlocks, acc)
+		chunks := (len(p.DenseCols) + sharedCap - 1) / sharedCap
+		e.st.TileChunks += int64(chunks * kslices)
+	}
+	e.runBlocksInterleaved(tileBlocks)
+	e.st.Blocks += e.st.TileChunks
+	// Tile nonzeros read X from shared memory; their rows' Y rows are
+	// streamed once each in this phase.
+	e.shared(float64(t.NNZDense()) * e.rowBytes())
+	for i := 0; i < s.Rows; i++ {
+		if t.TileRowPtr[i+1] > t.TileRowPtr[i] {
+			e.streamY(e.rowBytes())
+		}
+	}
+
+	// ---- Phase 2: leftover sparse part ----
+	e.streamStruct(float64(s.Rows) * 2 * float64(dev.IndexBytes))
+	e.streamStruct(float64(t.Rest.NNZ()) * float64(dev.IndexBytes+dev.ElemBytes))
+	e.streamOut(float64(t.Rest.NNZ()) * float64(dev.ElemBytes))
+	for i := 0; i < t.Rest.Rows; i++ {
+		if t.Rest.RowLen(i) > 0 {
+			e.streamY(e.rowBytes()) // Y row streamed again for this phase
+		}
+	}
+	e.runBlocksInterleaved(e.rowWiseBlocks(t.Rest, ord))
+
+	e.st.Flops = 2 * float64(s.NNZ()) * float64(k)
+	e.st.finalize(dev)
+	return e.st, nil
+}

@@ -1,0 +1,354 @@
+package gpusim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aspt"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func testDevice() Config { return P100() }
+
+func mustTile(t *testing.T, m *sparse.CSR) *aspt.Matrix {
+	t.Helper()
+	tl, err := aspt.Build(m, aspt.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestSimRejectsBadK(t *testing.T) {
+	m, _ := synth.Uniform(64, 64, 4, 1)
+	for _, k := range []int{0, -5} {
+		if _, err := SpMMRowWise(testDevice(), m, k, nil); err == nil {
+			t.Errorf("SpMMRowWise accepted K=%d", k)
+		}
+		if _, err := SDDMMRowWise(testDevice(), m, k, nil); err == nil {
+			t.Errorf("SDDMMRowWise accepted K=%d", k)
+		}
+	}
+}
+
+func TestSimRejectsBadOrder(t *testing.T) {
+	m, _ := synth.Uniform(64, 64, 4, 1)
+	bad := make([]int32, 64) // all zeros: not a permutation
+	if _, err := SpMMRowWise(testDevice(), m, 32, bad); err == nil {
+		t.Errorf("accepted non-permutation order")
+	}
+	tl := mustTile(t, m)
+	if _, err := SpMMASpT(testDevice(), tl, bad, 32); err == nil {
+		t.Errorf("ASpT accepted non-permutation order")
+	}
+}
+
+func TestSimTrafficConservation(t *testing.T) {
+	m, _ := synth.Uniform(512, 512, 8, 2)
+	st, err := SpMMRowWise(testDevice(), m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.XAccesses != int64(m.NNZ()) {
+		t.Fatalf("XAccesses = %d, want nnz = %d", st.XAccesses, m.NNZ())
+	}
+	if st.L2Hits+st.L2Misses != st.XAccesses {
+		t.Fatalf("hits+misses = %d, accesses = %d", st.L2Hits+st.L2Misses, st.XAccesses)
+	}
+	if st.DRAMBytes <= 0 || st.L2Bytes < st.DRAMBytes {
+		t.Fatalf("traffic inconsistent: dram=%v l2=%v", st.DRAMBytes, st.L2Bytes)
+	}
+	if st.Time <= 0 || st.Throughput <= 0 {
+		t.Fatalf("no time computed")
+	}
+	if st.Flops != 2*float64(m.NNZ())*512 {
+		t.Fatalf("flops = %v", st.Flops)
+	}
+}
+
+func TestTrafficBreakdownSums(t *testing.T) {
+	m, _ := synth.Uniform(512, 512, 8, 3)
+	tl := mustTile(t, m)
+	checks := []func() (*Stats, error){
+		func() (*Stats, error) { return SpMMRowWise(testDevice(), m, 256, nil) },
+		func() (*Stats, error) { return SpMMASpT(testDevice(), tl, nil, 256) },
+		func() (*Stats, error) { return SDDMMRowWise(testDevice(), m, 256, nil) },
+		func() (*Stats, error) { return SDDMMASpT(testDevice(), tl, nil, 256) },
+	}
+	for i, fn := range checks {
+		st, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := st.XBytes + st.StructBytes + st.YBytes + st.OutBytes
+		if diff := st.DRAMBytes - sum; diff > 1 || diff < -1 {
+			t.Fatalf("kernel %d (%s): DRAM %v != breakdown sum %v", i, st.Kernel, st.DRAMBytes, sum)
+		}
+		if st.StructBytes <= 0 || st.YBytes <= 0 {
+			t.Fatalf("kernel %d (%s): missing breakdown components %+v", i, st.Kernel, st)
+		}
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	m, _ := synth.RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	a, err := SpMMRowWise(testDevice(), m, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpMMRowWise(testDevice(), m, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DRAMBytes != b.DRAMBytes || a.L2Hits != b.L2Hits || a.Time != b.Time {
+		t.Fatalf("simulation not deterministic")
+	}
+}
+
+func TestASpTTileTrafficSaving(t *testing.T) {
+	// Well-clustered matrix: runs of identical rows. ASpT should move
+	// almost all X traffic into shared memory and beat row-wise.
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 4096, Cols: 4096, Clusters: 512, PrototypeNNZ: 16,
+		Keep: 1.0, Noise: 0, Seed: 4, Scrambled: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := mustTile(t, m)
+	if tl.DenseRatio() < 0.9 {
+		t.Fatalf("fixture not well tiled: ratio %.2f", tl.DenseRatio())
+	}
+	row, err := SpMMRowWise(testDevice(), m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := SpMMASpT(testDevice(), tl, nil, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile.SharedBytes <= 0 {
+		t.Fatalf("no shared-memory traffic recorded")
+	}
+	if tile.DRAMBytes >= row.DRAMBytes {
+		t.Fatalf("ASpT did not reduce DRAM traffic: %v >= %v", tile.DRAMBytes, row.DRAMBytes)
+	}
+	if tile.Time >= row.Time {
+		t.Fatalf("ASpT not faster on clustered input: %v >= %v", tile.Time, row.Time)
+	}
+}
+
+func TestRowReorderingImprovesScrambled(t *testing.T) {
+	// The paper's headline effect, end to end on the simulator.
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 8192, Cols: 8192, Clusters: 1024, PrototypeNNZ: 20,
+		Keep: 0.8, Noise: 2, Seed: 6, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := reorder.DefaultConfig()
+	nr, err := reorder.PreprocessNR(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := reorder.Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.NeedsReordering() {
+		t.Fatalf("scrambled matrix not selected for reordering")
+	}
+	for _, k := range []int{512, 1024} {
+		snr, err := SpMMASpT(testDevice(), nr.Tiled, nr.RestOrder, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srr, err := SpMMASpT(testDevice(), rr.Tiled, rr.RestOrder, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srr.Time >= snr.Time {
+			t.Fatalf("K=%d: reordering did not help: RR %v >= NR %v", k, srr.Time, snr.Time)
+		}
+		dnr, err := SDDMMASpT(testDevice(), nr.Tiled, nr.RestOrder, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drr, err := SDDMMASpT(testDevice(), rr.Tiled, rr.RestOrder, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drr.Time >= dnr.Time {
+			t.Fatalf("K=%d: SDDMM reordering did not help: RR %v >= NR %v", k, drr.Time, dnr.Time)
+		}
+	}
+}
+
+func TestDiagonalNoReuseNoGain(t *testing.T) {
+	// Fig 7b: a diagonal matrix has no reuse; reordering the processing
+	// order cannot reduce DRAM traffic below compulsory.
+	m, err := synth.Diagonal(4096, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SpMMRowWise(testDevice(), m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L2Hits != 0 {
+		t.Fatalf("diagonal matrix produced %d L2 hits", st.L2Hits)
+	}
+	// Any permutation gives identical traffic.
+	perm := sparse.IdentityPermutation(m.Rows)
+	for i, j := 0, m.Rows-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	st2, err := SpMMRowWise(testDevice(), m, 512, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.DRAMBytes != st.DRAMBytes {
+		t.Fatalf("permutation changed compulsory traffic on diagonal matrix")
+	}
+}
+
+func TestSDDMMTraffic(t *testing.T) {
+	m, _ := synth.Uniform(512, 512, 8, 7)
+	st, err := SDDMMRowWise(testDevice(), m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.XAccesses != int64(m.NNZ()) {
+		t.Fatalf("XAccesses = %d, want %d", st.XAccesses, m.NNZ())
+	}
+	if st.Flops != 2*float64(m.NNZ())*512 {
+		t.Fatalf("flops = %v", st.Flops)
+	}
+	tl := mustTile(t, m)
+	st2, err := SDDMMASpT(testDevice(), tl, nil, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.XAccesses+int64(tl.NNZDense()) < int64(m.NNZ()) {
+		t.Fatalf("ASpT SDDMM dropped accesses")
+	}
+}
+
+func TestStatsBreakdown(t *testing.T) {
+	m, _ := synth.Uniform(256, 256, 6, 9)
+	st, err := SpMMRowWise(testDevice(), m, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := st.Breakdown()
+	for _, want := range []string{"DRAM", "sparse structure", "dense operand X", "shared memory"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Breakdown missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-traffic stats must not divide by zero.
+	empty := &Stats{Kernel: "noop"}
+	if empty.Breakdown() == "" {
+		t.Fatalf("empty breakdown")
+	}
+}
+
+func TestStatsSpeedupAndString(t *testing.T) {
+	a := &Stats{Kernel: "a", Flops: 100}
+	a.Time = 100
+	b := &Stats{Kernel: "b"}
+	b.Time = 200
+	if sp := a.Speedup(b); sp != 2 {
+		t.Fatalf("Speedup = %v, want 2", sp)
+	}
+	if a.String() == "" || a.HitRate() != 0 {
+		t.Fatalf("Stats formatting broken")
+	}
+}
+
+func TestConfigCapacities(t *testing.T) {
+	dev := P100()
+	if got := dev.l2RowCapacity(512); got != (4<<20)/(512*4) {
+		t.Fatalf("l2RowCapacity(512) = %d", got)
+	}
+	if got := dev.l2RowCapacity(1 << 30); got != 1 {
+		t.Fatalf("huge K capacity = %d, want 1", got)
+	}
+	if got := dev.sharedRowCapacity(512); got != (64<<10)/(128*4) {
+		t.Fatalf("sharedRowCapacity(512) = %d", got)
+	}
+	if got := dev.sharedRowCapacity(16); got != (64<<10)/(16*4) {
+		t.Fatalf("sharedRowCapacity(16) = %d", got)
+	}
+	if dev.concurrentBlocks() != 56*4 {
+		t.Fatalf("concurrentBlocks = %d", dev.concurrentBlocks())
+	}
+}
+
+// Property: ASpT tile+rest X accesses account for every nonzero exactly
+// once: XAccesses (rest, through L2) + staged tile reads from shared
+// (NNZDense rows of X read from shared) and tile staging accesses equal
+// dense column count per panel.
+func TestPropertyASpTAccessAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 32 + rng.Intn(200)
+		m, err := synth.Uniform(rows, rows, 1+rng.Intn(8), seed)
+		if err != nil {
+			return false
+		}
+		tl, err := aspt.Build(m, aspt.Params{PanelSize: 8 + rng.Intn(32), DenseThreshold: 2})
+		if err != nil {
+			return false
+		}
+		k := 32 + rng.Intn(256)
+		st, err := SpMMASpT(testDevice(), tl, nil, k)
+		if err != nil {
+			return false
+		}
+		staging := int64(0)
+		for _, p := range tl.Panels {
+			staging += int64(len(p.DenseCols))
+		}
+		if st.XAccesses != int64(tl.Rest.NNZ())+staging {
+			return false
+		}
+		// Shared traffic is exactly NNZDense rows of K floats.
+		return st.SharedBytes == float64(tl.NNZDense())*float64(k*4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simulated time is monotone in K for row-wise SpMM (more
+// columns = more traffic).
+func TestPropertyTimeMonotoneInK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := synth.Uniform(128+rng.Intn(128), 256, 4, seed)
+		if err != nil {
+			return false
+		}
+		prev := int64(0)
+		for _, k := range []int{64, 128, 256, 512} {
+			st, err := SpMMRowWise(testDevice(), m, k, nil)
+			if err != nil {
+				return false
+			}
+			if int64(st.Time) < prev {
+				return false
+			}
+			prev = int64(st.Time)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

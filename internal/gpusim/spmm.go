@@ -1,0 +1,114 @@
+package gpusim
+
+import (
+	"repro/internal/aspt"
+	"repro/internal/sparse"
+)
+
+// SpMMRowWise simulates the row-wise SpMM kernel (Alg 1 — the
+// cuSPARSE-like baseline): one warp per sparse row, RowsPerBlock rows per
+// thread block, every nonzero reading its X row through the L2. order is
+// the row processing order (nil = natural order); passing a round-2
+// permutation here is how the paper's "row-reordering as aggressive
+// tiling" improves the sparse part.
+func SpMMRowWise(dev Config, s *sparse.CSR, k int, order []int32) (*Stats, error) {
+	e, err := newEngine(dev, k, "spmm-rowwise")
+	if err != nil {
+		return nil, err
+	}
+	ord, err := resolveOrder(order, s.Rows)
+	if err != nil {
+		return nil, err
+	}
+	// Sparse structure streaming: rowptr once per row, colidx+val once
+	// per nonzero.
+	e.streamStruct(float64(s.Rows) * 2 * float64(dev.IndexBytes))
+	e.streamStruct(float64(s.NNZ()) * float64(dev.IndexBytes+dev.ElemBytes))
+	// Output: every Y row written once.
+	e.streamY(float64(s.Rows) * e.rowBytes())
+
+	e.runBlocksInterleaved(e.rowWiseBlocks(s, ord))
+
+	e.st.Flops = 2 * float64(s.NNZ()) * float64(k)
+	e.st.finalize(dev)
+	return e.st, nil
+}
+
+// SpMMASpT simulates the two-kernel ASpT SpMM execution (§2.3): first the
+// dense-tile kernel — each panel's dense-column X rows are staged through
+// the L2 into shared memory once and every tile nonzero then reads shared
+// memory — then the row-wise kernel over the leftover sparse part,
+// processed in restOrder (nil = natural; the round-2 reordering of the
+// paper). The L2 persists across the two phases.
+func SpMMASpT(dev Config, t *aspt.Matrix, restOrder []int32, k int) (*Stats, error) {
+	e, err := newEngine(dev, k, "spmm-aspt")
+	if err != nil {
+		return nil, err
+	}
+	ord, err := resolveOrder(restOrder, t.Rest.Rows)
+	if err != nil {
+		return nil, err
+	}
+	s := t.Src
+
+	// ---- Phase 1: dense tiles ----
+	// Tile structure streaming: per tile nonzero a (local col, value)
+	// pair plus per-row tile pointers.
+	e.streamStruct(float64(s.Rows) * 2 * float64(dev.IndexBytes))
+	e.streamStruct(float64(t.NNZDense()) * float64(dev.IndexBytes+dev.ElemBytes))
+
+	sharedCap := dev.sharedRowCapacity(k)
+	kslices := (k + dev.TileKSlice - 1) / dev.TileKSlice
+	tileBlocks := make([][]int32, 0, len(t.Panels))
+	rowsWithTile := 0
+	for pi := range t.Panels {
+		p := &t.Panels[pi]
+		if len(p.DenseCols) == 0 {
+			continue
+		}
+		// One logical block per panel covering all K (per-K-slice blocks
+		// fetch disjoint slices of the same rows, so whole-row accounting
+		// is exact; see DESIGN.md §5). Staging = one X-row access per
+		// dense column.
+		acc := make([]int32, len(p.DenseCols))
+		copy(acc, p.DenseCols)
+		tileBlocks = append(tileBlocks, acc)
+		chunks := (len(p.DenseCols) + sharedCap - 1) / sharedCap
+		e.st.TileChunks += int64(chunks * kslices)
+	}
+	e.runBlocksInterleaved(tileBlocks)
+	// Chunk staging/synchronisation overhead is charged like extra block
+	// dispatches.
+	e.st.Blocks += e.st.TileChunks
+	// Every tile nonzero reads its X row from shared memory.
+	e.shared(float64(t.NNZDense()) * e.rowBytes())
+	// Tile phase writes partial Y rows for rows that own tile nonzeros.
+	for i := 0; i < s.Rows; i++ {
+		if t.TileRowPtr[i+1] > t.TileRowPtr[i] {
+			rowsWithTile++
+		}
+	}
+	e.streamY(float64(rowsWithTile) * e.rowBytes())
+
+	// ---- Phase 2: leftover sparse part, row-wise ----
+	e.streamStruct(float64(s.Rows) * 2 * float64(dev.IndexBytes))
+	e.streamStruct(float64(t.Rest.NNZ()) * float64(dev.IndexBytes+dev.ElemBytes))
+	e.runBlocksInterleaved(e.rowWiseBlocks(t.Rest, ord))
+	// Y accumulation: rows with rest nonzeros write their row; rows that
+	// also had tile partials must first read them back. Rows with
+	// neither phase still get zero-filled once.
+	for i := 0; i < s.Rows; i++ {
+		hasTile := t.TileRowPtr[i+1] > t.TileRowPtr[i]
+		hasRest := t.Rest.RowPtr[i+1] > t.Rest.RowPtr[i]
+		switch {
+		case hasRest && hasTile:
+			e.streamY(2 * e.rowBytes()) // read partial + write
+		case hasRest || !hasTile:
+			e.streamY(e.rowBytes()) // write (or zero-fill)
+		}
+	}
+
+	e.st.Flops = 2 * float64(s.NNZ()) * float64(k)
+	e.st.finalize(dev)
+	return e.st, nil
+}

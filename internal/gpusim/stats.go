@@ -1,0 +1,144 @@
+package gpusim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats is the outcome of one simulated kernel: the traffic observed at
+// each level of the memory hierarchy and the roofline-derived time.
+type Stats struct {
+	Kernel string
+
+	// XAccesses is the number of dense-operand row reads issued by the
+	// row-wise/leftover path (each checks the L2).
+	XAccesses int64
+	// L2Hits / L2Misses partition XAccesses plus tile staging reads.
+	L2Hits   int64
+	L2Misses int64
+
+	// DRAMBytes is total global-memory traffic: L2 misses on X, sparse
+	// structure streaming, dense output/input streaming, tile staging
+	// misses.
+	DRAMBytes float64
+	// Breakdown of DRAMBytes by source (XBytes counts only the L2-miss
+	// portion of dense-operand reads; StructBytes the CSR/tile arrays;
+	// YBytes the dense input/output row streaming; OutBytes the SDDMM
+	// value writes).
+	XBytes, StructBytes, YBytes, OutBytes float64
+	// L2Bytes is total traffic served at L2 speed (hits and misses both
+	// pass through the L2).
+	L2Bytes float64
+	// SharedBytes is traffic served from shared memory (dense-tile
+	// operand reads).
+	SharedBytes float64
+
+	// TileChunks counts (panel × shared-capacity chunk) staging rounds.
+	TileChunks int64
+	// Blocks counts simulated thread blocks.
+	Blocks int64
+
+	// Flops is the arithmetic work, 2·nnz·K.
+	Flops float64
+
+	// Time is the roofline kernel time; Throughput is Flops/Time in
+	// GFLOP/s.
+	Time       time.Duration
+	Throughput float64
+
+	// Bound names the roofline term that determined Time ("dram", "l2",
+	// "shared", "compute", "overhead").
+	Bound string
+}
+
+// finalize computes Time, Throughput, and Bound from the accumulated
+// traffic under the device's roofline.
+func (s *Stats) finalize(dev Config) {
+	terms := []struct {
+		name    string
+		seconds float64
+	}{
+		{"dram", s.DRAMBytes / dev.DRAMBandwidth},
+		{"l2", s.L2Bytes / dev.L2Bandwidth},
+		{"shared", s.SharedBytes / dev.SharedBandwidth},
+		{"compute", s.Flops / dev.PeakFlops},
+	}
+	bound, max := "compute", 0.0
+	for _, t := range terms {
+		if t.seconds > max {
+			bound, max = t.name, t.seconds
+		}
+	}
+	overhead := dev.LaunchOverhead.Seconds() +
+		float64(s.Blocks)/float64(dev.concurrentBlocks())*dev.BlockOverhead.Seconds()
+	if overhead > max {
+		bound, max = "overhead", overhead
+	} else {
+		max += overhead
+	}
+	s.Bound = bound
+	s.Time = time.Duration(max * float64(time.Second))
+	if s.Time > 0 {
+		s.Throughput = s.Flops / max / 1e9
+	}
+}
+
+// Refinalize recomputes Time, Throughput, and Bound after a caller has
+// adjusted the traffic totals — used by format baselines (e.g. ELLPACK)
+// that post-process a simulated kernel's traffic.
+func (s *Stats) Refinalize(dev Config) {
+	s.Time = 0
+	s.Throughput = 0
+	s.finalize(dev)
+}
+
+// HitRate returns the L2 hit fraction, 0 when no accesses occurred.
+func (s *Stats) HitRate() float64 {
+	total := s.L2Hits + s.L2Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L2Hits) / float64(total)
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("%s: time=%v gflops=%.1f dram=%.1fMB l2hit=%.1f%% shared=%.1fMB bound=%s",
+		s.Kernel, s.Time, s.Throughput, s.DRAMBytes/1e6, 100*s.HitRate(), s.SharedBytes/1e6, s.Bound)
+}
+
+// Breakdown renders the DRAM traffic by source as a multi-line report —
+// where the bytes go, which is the level at which the paper's
+// transformation acts.
+func (s *Stats) Breakdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s DRAM %.2f MB:\n", s.Kernel, s.DRAMBytes/1e6)
+	total := s.DRAMBytes
+	if total <= 0 {
+		total = 1
+	}
+	rows := []struct {
+		name  string
+		bytes float64
+	}{
+		{"dense operand X (L2 misses)", s.XBytes},
+		{"sparse structure", s.StructBytes},
+		{"dense rows in/out (Y)", s.YBytes},
+		{"output values", s.OutBytes},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-28s %8.2f MB  %5.1f%%\n", r.name, r.bytes/1e6, 100*r.bytes/total)
+	}
+	fmt.Fprintf(&sb, "  %-28s %8.2f MB  (served from shared memory)\n",
+		"dense operand X (tiles)", s.SharedBytes/1e6)
+	return sb.String()
+}
+
+// Speedup returns how much faster s is than base (base.Time / s.Time).
+func (s *Stats) Speedup(base *Stats) float64 {
+	if s.Time <= 0 {
+		return 0
+	}
+	return float64(base.Time) / float64(s.Time)
+}

@@ -1,0 +1,96 @@
+package kernels
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/aspt"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func benchSetup(b *testing.B, k int) (*sparse.CSR, *aspt.Matrix, *dense.Matrix, *dense.Matrix) {
+	b.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 8192, Cols: 8192, Clusters: 1024, PrototypeNNZ: 20,
+		Keep: 0.8, Noise: 2, Seed: 4, Scrambled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tl, err := aspt.Build(m, aspt.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := dense.NewRandom(m.Cols, k, 1)
+	y := dense.NewRandom(m.Rows, k, 2)
+	return m, tl, x, y
+}
+
+// Native (CPU, goroutine-parallel) kernel throughput. These are the
+// correctness-substrate numbers, not the paper's GPU numbers.
+func BenchmarkNativeSpMMRowWiseK64(b *testing.B) {
+	m, _, x, _ := benchSetup(b, 64)
+	b.SetBytes(int64(Flops(m.NNZ(), 64) / 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpMMRowWise(m, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeSpMMASpTK64(b *testing.B) {
+	m, tl, x, _ := benchSetup(b, 64)
+	b.SetBytes(int64(Flops(m.NNZ(), 64) / 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpMMASpT(tl, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeSDDMMRowWiseK64(b *testing.B) {
+	m, _, x, y := benchSetup(b, 64)
+	b.SetBytes(int64(Flops(m.NNZ(), 64) / 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SDDMMRowWise(m, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeSDDMMASpTK64(b *testing.B) {
+	m, tl, x, y := benchSetup(b, 64)
+	b.SetBytes(int64(Flops(m.NNZ(), 64) / 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SDDMMASpT(tl, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeSpMMScaling measures the native kernel across worker
+// counts (GOMAXPROCS), showing the shared-memory scaling of the
+// correctness substrate.
+func BenchmarkNativeSpMMScaling(b *testing.B) {
+	m, _, x, _ := benchSetup(b, 64)
+	for _, procs := range []int{1, 2, 4, 8} {
+		name := map[int]string{1: "p1", 2: "p2", 4: "p4", 8: "p8"}[procs]
+		b.Run(name, func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.SetBytes(int64(Flops(m.NNZ(), 64) / 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SpMMRowWise(m, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Package kernels provides the native (CPU, goroutine-parallel) SpMM and
+// SDDMM implementations. They are the correctness ground truth for the GPU
+// simulator and the executable backend of the examples: the row-wise
+// variants implement Alg 1 and Alg 2 of the paper verbatim; the ASpT
+// variants execute the tiled representation (dense tiles, then the
+// leftover sparse part) and must produce bit-identical structure and
+// numerically equal values.
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/aspt"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// parallelRows runs fn over [0, rows) split into contiguous chunks across
+// GOMAXPROCS workers.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func checkSpMMShapes(s *sparse.CSR, x *dense.Matrix) error {
+	if s.Cols != x.Rows {
+		return fmt.Errorf("kernels: SpMM shape mismatch: S is %dx%d, X is %dx%d",
+			s.Rows, s.Cols, x.Rows, x.Cols)
+	}
+	return nil
+}
+
+// SpMMRowWise computes Y = S·X with the row-wise algorithm (Alg 1),
+// parallelised over rows. It allocates and returns Y (S.Rows × X.Cols).
+func SpMMRowWise(s *sparse.CSR, x *dense.Matrix) (*dense.Matrix, error) {
+	if err := checkSpMMShapes(s, x); err != nil {
+		return nil, err
+	}
+	y := dense.New(s.Rows, x.Cols)
+	parallelRows(s.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yi := y.Row(i)
+			cols, vals := s.RowCols(i), s.RowVals(i)
+			for j := range cols {
+				v := vals[j]
+				xr := x.Row(int(cols[j]))
+				for k := range yi {
+					yi[k] += v * xr[k]
+				}
+			}
+		}
+	})
+	return y, nil
+}
+
+// SpMMASpT computes Y = S·X from the ASpT representation: dense-tile
+// nonzeros and leftover nonzeros are accumulated separately per row (the
+// two GPU kernels of §2.3), then summed — both traversals write the same
+// output row, so a single pass per row suffices on the CPU.
+func SpMMASpT(t *aspt.Matrix, x *dense.Matrix) (*dense.Matrix, error) {
+	if err := checkSpMMShapes(t.Src, x); err != nil {
+		return nil, err
+	}
+	y := dense.New(t.Src.Rows, x.Cols)
+	parallelRows(t.Src.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yi := y.Row(i)
+			// Dense-tile part.
+			tcols, tvals := t.TileRowCols(i), t.TileRowVals(i)
+			for j := range tcols {
+				v := tvals[j]
+				xr := x.Row(int(tcols[j]))
+				for k := range yi {
+					yi[k] += v * xr[k]
+				}
+			}
+			// Leftover sparse part.
+			rcols, rvals := t.Rest.RowCols(i), t.Rest.RowVals(i)
+			for j := range rcols {
+				v := rvals[j]
+				xr := x.Row(int(rcols[j]))
+				for k := range yi {
+					yi[k] += v * xr[k]
+				}
+			}
+		}
+	})
+	return y, nil
+}
+
+func checkSDDMMShapes(s *sparse.CSR, x, y *dense.Matrix) error {
+	if x.Cols != y.Cols {
+		return fmt.Errorf("kernels: SDDMM K mismatch: X has %d cols, Y has %d", x.Cols, y.Cols)
+	}
+	if y.Rows != s.Rows {
+		return fmt.Errorf("kernels: SDDMM shape mismatch: Y has %d rows, S has %d", y.Rows, s.Rows)
+	}
+	if x.Rows != s.Cols {
+		return fmt.Errorf("kernels: SDDMM shape mismatch: X has %d rows, S has %d cols", x.Rows, s.Cols)
+	}
+	return nil
+}
+
+// SDDMMRowWise computes O = S ⊙ (Y·Xᵀ) with the row-wise algorithm
+// (Alg 2): O has the sparsity pattern of S, and O[i][c] =
+// S[i][c] · Σ_k Y[i][k]·X[c][k]. The result reuses S's structure with
+// fresh values.
+func SDDMMRowWise(s *sparse.CSR, x, y *dense.Matrix) (*sparse.CSR, error) {
+	if err := checkSDDMMShapes(s, x, y); err != nil {
+		return nil, err
+	}
+	out := s.Clone()
+	parallelRows(s.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yi := y.Row(i)
+			cols := s.RowCols(i)
+			svals := s.RowVals(i)
+			ovals := out.Val[s.RowPtr[i]:s.RowPtr[i+1]]
+			for j := range cols {
+				xr := x.Row(int(cols[j]))
+				dot := float32(0)
+				for k := range yi {
+					dot += yi[k] * xr[k]
+				}
+				ovals[j] = dot * svals[j]
+			}
+		}
+	})
+	return out, nil
+}
+
+// SDDMMASpT computes SDDMM from the ASpT representation. The output keeps
+// the *source* matrix's CSR structure (ASpT preserves CSR compatibility,
+// one of its selling points); tile and rest nonzeros are scattered back to
+// their source positions.
+func SDDMMASpT(t *aspt.Matrix, x, y *dense.Matrix) (*sparse.CSR, error) {
+	if err := checkSDDMMShapes(t.Src, x, y); err != nil {
+		return nil, err
+	}
+	s := t.Src
+	out := s.Clone()
+	// The tile/rest partition changes *where* each nonzero's X row is
+	// read from on the GPU (shared memory vs global), not the arithmetic:
+	// every nonzero is scaled by its own source value regardless of
+	// partition. The partition-aware traffic accounting lives in gpusim;
+	// here the two partitions are walked to mirror the execution order.
+	parallelRows(s.Rows, func(lo, hi int) {
+		dot := func(yi, xr []float32) float32 {
+			d := float32(0)
+			for k := range yi {
+				d += yi[k] * xr[k]
+			}
+			return d
+		}
+		for i := lo; i < hi; i++ {
+			yi := y.Row(i)
+			base := s.RowPtr[i]
+			ovals := out.Val[base:s.RowPtr[i+1]]
+			svals := s.RowVals(i)
+			cols := s.RowCols(i)
+			// Tile nonzeros first (the dense-tile kernel), then the rest
+			// (the row-wise kernel); position within the source row is
+			// recovered by column index, which is unique per row.
+			for pass := 0; pass < 2; pass++ {
+				var pcols []int32
+				if pass == 0 {
+					pcols = t.TileRowCols(i)
+				} else {
+					pcols = t.Rest.RowCols(i)
+				}
+				for _, c := range pcols {
+					j := searchInt32(cols, c)
+					ovals[j] = dot(yi, x.Row(int(c))) * svals[j]
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// searchInt32 returns the index of c in the sorted slice cols. The caller
+// guarantees presence (CSR rows have unique, sorted columns).
+func searchInt32(cols []int32, c int32) int {
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cols[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Flops returns the floating-point operation count of an SpMM or SDDMM on
+// a matrix with nnz nonzeros and K dense columns: 2·nnz·K (one multiply
+// and one add per nonzero per column), the normalisation used for the
+// paper's GFLOP/s plots.
+func Flops(nnz, k int) float64 { return 2 * float64(nnz) * float64(k) }

@@ -1,0 +1,64 @@
+package lsh
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func benchMatrix(b *testing.B) *sparse.CSR {
+	b.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 8192, Cols: 8192, Clusters: 1024, PrototypeNNZ: 20,
+		Keep: 0.8, Noise: 2, Seed: 1, Scrambled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkComputeSignatures measures the siglen·nnz MinHash stage (the
+// embarrassingly parallel part of the paper's preprocessing).
+func BenchmarkComputeSignatures(b *testing.B) {
+	m := benchMatrix(b)
+	p := DefaultParams()
+	b.SetBytes(int64(m.NNZ() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeSignatures(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCandidatePairs measures the full LSH stage: signatures,
+// banding, and exact-Jaccard scoring of candidates.
+func BenchmarkCandidatePairs(b *testing.B) {
+	m := benchMatrix(b)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CandidatePairs(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBandingOnly isolates banding+scoring on precomputed
+// signatures.
+func BenchmarkBandingOnly(b *testing.B) {
+	m := benchMatrix(b)
+	p := DefaultParams()
+	sigs, err := ComputeSignatures(m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PairsFromSignatures(m, sigs, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package lsh implements the locality-sensitive hashing stage of the
+// paper's preprocessing (§3.2): MinHash signatures over the column-index
+// set of each sparse row, banded bucketing, and candidate-pair generation.
+//
+// The paper uses LSH as a black box with two parameters: siglen (signature
+// length; longer = more accurate) and bsize (band size; smaller = more
+// candidate pairs), citing ch. 3 of Mining of Massive Datasets. The total
+// cost is siglen·nnz for signatures, (siglen/bsize)·N for banding, and
+// d_max·E for scoring the E candidate pairs — matching the complexity
+// stated in the paper. Signature computation is embarrassingly parallel
+// (the paper uses OpenMP; we use goroutines).
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/pairheap"
+	"repro/internal/sparse"
+)
+
+// Params configures the LSH stage.
+type Params struct {
+	// SigLen is the MinHash signature length (paper default: 128).
+	SigLen int
+	// BandSize is the number of signature entries per band (paper
+	// default: 2). SigLen must be divisible by BandSize.
+	BandSize int
+	// Seed makes the hash family deterministic.
+	Seed uint64
+	// MaxBucket caps the number of rows in one band bucket that are
+	// expanded into pairs; buckets larger than this contribute only
+	// MaxBucket consecutive-pair links instead of all O(B²) pairs. This
+	// bounds E on pathological inputs (e.g. many identical rows).
+	// 0 means DefaultMaxBucket.
+	MaxBucket int
+	// MinSim drops candidate pairs whose exact Jaccard similarity is
+	// below this threshold (0 keeps all pairs found).
+	MinSim float64
+	// Workers bounds signature-computation parallelism; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// OPH switches signature computation to one-permutation hashing
+	// (cost nnz instead of SigLen·nnz; see ComputeSignaturesOPH) — an
+	// extension over the paper's plain MinHash.
+	OPH bool
+}
+
+// DefaultMaxBucket bounds per-bucket pair expansion.
+const DefaultMaxBucket = 64
+
+// DefaultParams returns the configuration the paper uses in all its
+// experiments: siglen=128, bsize=2.
+func DefaultParams() Params {
+	return Params{SigLen: 128, BandSize: 2, Seed: 0x5eed1e55, MaxBucket: DefaultMaxBucket}
+}
+
+func (p Params) validate() error {
+	if p.SigLen <= 0 {
+		return fmt.Errorf("lsh: SigLen must be positive, got %d", p.SigLen)
+	}
+	if p.BandSize <= 0 || p.SigLen%p.BandSize != 0 {
+		return fmt.Errorf("lsh: BandSize %d must be positive and divide SigLen %d", p.BandSize, p.SigLen)
+	}
+	return nil
+}
+
+// Signatures holds the MinHash signature matrix: row i's signature is
+// Sig[i*SigLen : (i+1)*SigLen]. Rows with no nonzeros have all-max
+// signatures and never collide with non-empty rows.
+type Signatures struct {
+	SigLen int
+	Rows   int
+	Sig    []uint32
+}
+
+// Row returns row i's signature.
+func (s *Signatures) Row(i int) []uint32 { return s.Sig[i*s.SigLen : (i+1)*s.SigLen] }
+
+// EstimateJaccard returns the fraction of matching signature positions
+// between rows i and j — an unbiased estimator of their Jaccard
+// similarity.
+func (s *Signatures) EstimateJaccard(i, j int) float64 {
+	a, b := s.Row(i), s.Row(j)
+	n := 0
+	for k := range a {
+		if a[k] == b[k] {
+			n++
+		}
+	}
+	return float64(n) / float64(s.SigLen)
+}
+
+// splitmix64 advances and hashes a 64-bit state; used to derive the hash
+// family deterministically from the seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashFamily holds per-function multiply-shift constants. h_k(c) =
+// (a_k*c + b_k) mixed to 32 bits; distinct odd multipliers give a family
+// of near-universal hashes over column indices.
+type hashFamily struct {
+	a, b []uint64
+}
+
+func newHashFamily(n int, seed uint64) hashFamily {
+	f := hashFamily{a: make([]uint64, n), b: make([]uint64, n)}
+	s := seed
+	for k := 0; k < n; k++ {
+		s = splitmix64(s)
+		f.a[k] = s | 1 // odd multiplier
+		s = splitmix64(s)
+		f.b[k] = s
+	}
+	return f
+}
+
+func (f hashFamily) hash(k int, c uint32) uint32 {
+	x := f.a[k]*uint64(c) + f.b[k]
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return uint32(x)
+}
+
+// ComputeSignatures builds MinHash signatures for every row of m in
+// parallel.
+func ComputeSignatures(m *sparse.CSR, p Params) (*Signatures, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	fam := newHashFamily(p.SigLen, p.Seed)
+	sigs := &Signatures{
+		SigLen: p.SigLen,
+		Rows:   m.Rows,
+		Sig:    make([]uint32, m.Rows*p.SigLen),
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if workers == 0 {
+		return sigs, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := sigs.Row(i)
+				cols := m.RowCols(i)
+				for k := 0; k < p.SigLen; k++ {
+					min := uint32(math.MaxUint32)
+					for _, c := range cols {
+						if h := fam.hash(k, uint32(c)); h < min {
+							min = h
+						}
+					}
+					row[k] = min
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return sigs, nil
+}
+
+// CandidatePairs runs the full LSH stage on m: signatures (MinHash, or
+// OPH when p.OPH is set), banded bucketing, per-bucket pair expansion,
+// exact Jaccard scoring, and MinSim filtering. The result is
+// deduplicated and deterministic for a fixed Params.
+func CandidatePairs(m *sparse.CSR, p Params) ([]pairheap.Pair, error) {
+	var sigs *Signatures
+	var err error
+	if p.OPH {
+		sigs, err = ComputeSignaturesOPH(m, p)
+	} else {
+		sigs, err = ComputeSignatures(m, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return PairsFromSignatures(m, sigs, p)
+}
+
+// PairsFromSignatures performs banding and scoring on precomputed
+// signatures. Exposed separately so parameter sweeps can reuse
+// signatures. Like signature computation, banding and scoring are
+// embarrassingly parallel (per band / per pair) and run across Workers
+// goroutines; the result is deduplicated and deterministic for a fixed
+// Params regardless of worker count.
+func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.Pair, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	maxBucket := p.MaxBucket
+	if maxBucket <= 0 {
+		maxBucket = DefaultMaxBucket
+	}
+	nbands := p.SigLen / p.BandSize
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nbands {
+		workers = nbands
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Phase 1 (parallel over bands): each worker buckets its bands and
+	// emits locally-deduplicated candidate keys.
+	keyCh := make(chan map[uint64]struct{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[uint64]struct{})
+			buckets := make(map[uint64][]int32)
+			addKey := func(i, j int32) {
+				if i == j {
+					return
+				}
+				if i > j {
+					i, j = j, i
+				}
+				local[uint64(uint32(i))<<32|uint64(uint32(j))] = struct{}{}
+			}
+			for b := w; b < nbands; b += workers {
+				for k := range buckets {
+					delete(buckets, k)
+				}
+				for i := 0; i < m.Rows; i++ {
+					// Empty rows are skipped: their all-max signatures
+					// would otherwise all collide.
+					if m.RowLen(i) == 0 {
+						continue
+					}
+					sig := sigs.Row(i)[b*p.BandSize : (b+1)*p.BandSize]
+					h := uint64(0xcbf29ce484222325)
+					for _, v := range sig {
+						h ^= uint64(v)
+						h *= 0x100000001b3
+					}
+					buckets[h] = append(buckets[h], int32(i))
+				}
+				for _, rows := range buckets {
+					if len(rows) < 2 {
+						continue
+					}
+					if len(rows) > maxBucket {
+						// Chain consecutive members only: similar rows
+						// stay connected transitively through the
+						// clustering while avoiding O(B²) pair blowup.
+						for k := 0; k+1 < len(rows); k++ {
+							addKey(rows[k], rows[k+1])
+						}
+						continue
+					}
+					for a := 0; a < len(rows); a++ {
+						for b2 := a + 1; b2 < len(rows); b2++ {
+							addKey(rows[a], rows[b2])
+						}
+					}
+				}
+			}
+			keyCh <- local
+		}(w)
+	}
+	wg.Wait()
+	close(keyCh)
+	seen := make(map[uint64]struct{})
+	for local := range keyCh {
+		for k := range local {
+			seen[k] = struct{}{}
+		}
+	}
+
+	// Phase 2 (parallel over candidates): exact Jaccard scoring — the
+	// d_max·E term of the paper's cost model.
+	keys := make([]uint64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	pairs := make([]pairheap.Pair, len(keys))
+	keep := make([]bool, len(keys))
+	var swg sync.WaitGroup
+	chunk := (len(keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if lo >= hi {
+			break
+		}
+		swg.Add(1)
+		go func(lo, hi int) {
+			defer swg.Done()
+			for idx := lo; idx < hi; idx++ {
+				i := int32(keys[idx] >> 32)
+				j := int32(keys[idx] & 0xffffffff)
+				sim := sparse.RowJaccard(m, int(i), int(j))
+				if sim >= p.MinSim && sim > 0 {
+					pairs[idx] = pairheap.Pair{Sim: sim, I: i, J: j}
+					keep[idx] = true
+				}
+			}
+		}(lo, hi)
+	}
+	swg.Wait()
+	out := pairs[:0]
+	for idx := range pairs {
+		if keep[idx] {
+			out = append(out, pairs[idx])
+		}
+	}
+
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Sim != out[b].Sim {
+			return out[a].Sim > out[b].Sim
+		}
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out, nil
+}

@@ -1,0 +1,398 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pairheap"
+	"repro/internal/sparse"
+)
+
+func mustMatrix(t *testing.T, rows, cols int, sets [][]int32) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.FromRows(rows, cols, sets, nil)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestParamsValidation(t *testing.T) {
+	m := mustMatrix(t, 2, 4, [][]int32{{0}, {1}})
+	bad := []Params{
+		{SigLen: 0, BandSize: 2},
+		{SigLen: -4, BandSize: 2},
+		{SigLen: 8, BandSize: 0},
+		{SigLen: 8, BandSize: 3}, // does not divide
+	}
+	for _, p := range bad {
+		if _, err := ComputeSignatures(m, p); err == nil {
+			t.Errorf("accepted invalid params %+v", p)
+		}
+		if _, err := CandidatePairs(m, p); err == nil {
+			t.Errorf("CandidatePairs accepted invalid params %+v", p)
+		}
+	}
+}
+
+func TestSignaturesDeterministic(t *testing.T) {
+	m := mustMatrix(t, 4, 16, [][]int32{{0, 3, 5}, {0, 3, 5}, {7, 9}, {1}})
+	p := DefaultParams()
+	a, err := ComputeSignatures(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeSignatures(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sig {
+		if a.Sig[i] != b.Sig[i] {
+			t.Fatalf("signatures differ at %d", i)
+		}
+	}
+	// Different seed should give different signatures.
+	p2 := p
+	p2.Seed++
+	c, _ := ComputeSignatures(m, p2)
+	same := true
+	for i := range a.Sig {
+		if a.Sig[i] != c.Sig[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical signatures")
+	}
+}
+
+func TestIdenticalRowsIdenticalSignatures(t *testing.T) {
+	m := mustMatrix(t, 3, 32, [][]int32{{1, 8, 20}, {1, 8, 20}, {2, 9}})
+	sigs, err := ComputeSignatures(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sigs.EstimateJaccard(0, 1); got != 1 {
+		t.Fatalf("identical rows estimate %v, want 1", got)
+	}
+	if got := sigs.EstimateJaccard(0, 2); got == 1 {
+		t.Fatalf("disjoint rows estimated as identical")
+	}
+}
+
+func TestEstimateConcentratesOnJaccard(t *testing.T) {
+	// Two rows with known Jaccard 0.5 (|∩|=8 of |∪|=16); with siglen 512
+	// the MinHash estimate should be within ±0.15 of truth.
+	a := make([]int32, 0, 12)
+	b := make([]int32, 0, 12)
+	for i := int32(0); i < 8; i++ {
+		a = append(a, i)
+		b = append(b, i)
+	}
+	for i := int32(100); i < 104; i++ {
+		a = append(a, i)
+	}
+	for i := int32(200); i < 204; i++ {
+		b = append(b, i)
+	}
+	m := mustMatrix(t, 2, 256, [][]int32{a, b})
+	truth := sparse.RowJaccard(m, 0, 1)
+	if math.Abs(truth-8.0/16.0) > 1e-9 {
+		t.Fatalf("fixture Jaccard = %v", truth)
+	}
+	p := Params{SigLen: 512, BandSize: 2, Seed: 1}
+	sigs, err := ComputeSignatures(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := sigs.EstimateJaccard(0, 1); math.Abs(est-truth) > 0.15 {
+		t.Fatalf("estimate %v too far from %v", est, truth)
+	}
+}
+
+func TestCandidatePairsFindSimilarRows(t *testing.T) {
+	// Rows 0 and 1 identical, row 2 disjoint: LSH must propose (0,1)
+	// with sim 1 and nothing pairing row 2.
+	m := mustMatrix(t, 3, 64, [][]int32{{3, 17, 40}, {3, 17, 40}, {5, 22}})
+	pairs, err := CandidatePairs(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found01 := false
+	for _, p := range pairs {
+		if p.I == 0 && p.J == 1 {
+			found01 = true
+			if p.Sim != 1 {
+				t.Fatalf("pair (0,1) sim = %v, want 1", p.Sim)
+			}
+		}
+		if p.I == 2 || p.J == 2 {
+			t.Fatalf("row 2 paired: %+v", p)
+		}
+	}
+	if !found01 {
+		t.Fatalf("identical rows not proposed")
+	}
+}
+
+func TestCandidatePairsEmptyRowsIgnored(t *testing.T) {
+	m := mustMatrix(t, 4, 8, [][]int32{{}, {}, {1, 2}, {}})
+	pairs, err := CandidatePairs(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if m.RowLen(int(p.I)) == 0 || m.RowLen(int(p.J)) == 0 {
+			t.Fatalf("empty row in pair %+v", p)
+		}
+	}
+}
+
+func TestCandidatePairsScatteredMatrixFew(t *testing.T) {
+	// A diagonal matrix has no similar rows; LSH must propose zero
+	// pairs (the paper's §4 automatic detection of the scattered case).
+	sets := make([][]int32, 64)
+	for i := range sets {
+		sets[i] = []int32{int32(i)}
+	}
+	m := mustMatrix(t, 64, 64, sets)
+	pairs, err := CandidatePairs(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("diagonal matrix produced %d candidate pairs", len(pairs))
+	}
+}
+
+func TestMinSimFilters(t *testing.T) {
+	m := mustMatrix(t, 2, 16, [][]int32{{0, 1, 2, 9}, {0, 1, 2, 12}})
+	p := DefaultParams()
+	pairs, err := CandidatePairs(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("expected 1 pair, got %d", len(pairs))
+	}
+	p.MinSim = 0.9 // J = 3/5 = 0.6 < 0.9 -> filtered
+	pairs, err = CandidatePairs(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("MinSim filter kept %d pairs", len(pairs))
+	}
+}
+
+func TestMaxBucketCapsPairBlowup(t *testing.T) {
+	// 100 identical rows: all collide in every band. With MaxBucket
+	// below 100, only consecutive chains are emitted, so pair count is
+	// linear, not quadratic.
+	sets := make([][]int32, 100)
+	for i := range sets {
+		sets[i] = []int32{1, 5, 9}
+	}
+	m := mustMatrix(t, 100, 16, sets)
+	p := DefaultParams()
+	p.MaxBucket = 8
+	pairs, err := CandidatePairs(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 || len(pairs) > 200 {
+		t.Fatalf("chained bucket produced %d pairs, want linear count", len(pairs))
+	}
+}
+
+func TestWorkersParameter(t *testing.T) {
+	m := mustMatrix(t, 10, 32, [][]int32{
+		{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10},
+	})
+	p := DefaultParams()
+	for _, w := range []int{1, 2, 100} {
+		p.Workers = w
+		sigs, err := ComputeSignatures(m, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		p1 := p
+		p1.Workers = 1
+		ref, _ := ComputeSignatures(m, p1)
+		for i := range sigs.Sig {
+			if sigs.Sig[i] != ref.Sig[i] {
+				t.Fatalf("workers=%d changes signatures", w)
+			}
+		}
+	}
+}
+
+func TestPairsFromSignaturesReuse(t *testing.T) {
+	// A signature matrix computed once can be banded at different band
+	// sizes; results must match fresh end-to-end runs.
+	m := mustMatrix(t, 8, 64, [][]int32{
+		{1, 2, 3}, {1, 2, 3}, {9, 10}, {9, 10, 11},
+		{20, 30, 40}, {20, 30, 41}, {50}, {51},
+	})
+	base := DefaultParams()
+	sigs, err := ComputeSignatures(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bsize := range []int{1, 2, 4} {
+		p := base
+		p.BandSize = bsize
+		reused, err := PairsFromSignatures(m, sigs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := CandidatePairs(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reused) != len(fresh) {
+			t.Fatalf("bsize=%d: reuse %d pairs vs fresh %d", bsize, len(reused), len(fresh))
+		}
+		for i := range fresh {
+			if reused[i] != fresh[i] {
+				t.Fatalf("bsize=%d: pair %d differs", bsize, i)
+			}
+		}
+	}
+}
+
+func TestParallelBandingDeterministic(t *testing.T) {
+	m := mustMatrix(t, 40, 128, func() [][]int32 {
+		sets := make([][]int32, 40)
+		for i := range sets {
+			sets[i] = []int32{int32(i % 8 * 10), int32(i%8*10 + 1), int32(80 + i)}
+		}
+		return sets
+	}())
+	p := DefaultParams()
+	var ref []pairheap.Pair
+	for _, workers := range []int{1, 2, 7, 32} {
+		p.Workers = workers
+		got, err := CandidatePairs(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d changed pair count: %d vs %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d changed pair %d", workers, i)
+			}
+		}
+	}
+}
+
+// Property: candidate pairs are canonical (I<J), deduplicated, reference
+// valid rows, and carry exact Jaccard sims in (0, 1].
+func TestPropertyCandidatePairsWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(40)
+		cols := 4 + rng.Intn(40)
+		sets := make([][]int32, rows)
+		for i := range sets {
+			n := rng.Intn(5)
+			seen := map[int32]bool{}
+			for len(seen) < n {
+				seen[int32(rng.Intn(cols))] = true
+			}
+			for c := range seen {
+				sets[i] = append(sets[i], c)
+			}
+		}
+		m, err := sparse.FromRows(rows, cols, sets, nil)
+		if err != nil {
+			return false
+		}
+		p := Params{SigLen: 32, BandSize: 2, Seed: uint64(seed)}
+		pairs, err := CandidatePairs(m, p)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int32]bool{}
+		for _, pr := range pairs {
+			if pr.I >= pr.J || pr.I < 0 || int(pr.J) >= rows {
+				return false
+			}
+			k := [2]int32{pr.I, pr.J}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			if pr.Sim <= 0 || pr.Sim > 1 {
+				return false
+			}
+			if math.Abs(pr.Sim-sparse.RowJaccard(m, int(pr.I), int(pr.J))) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LSH recall — rows with Jaccard >= 0.8 are found with the
+// paper's parameters (siglen=128, bsize=2 makes missing an 0.8-similar
+// pair astronomically unlikely: (1-0.64)^64 ≈ 4e-29).
+func TestPropertyLSHRecallHighSim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := []int32{}
+		for len(base) < 10 {
+			c := int32(rng.Intn(64))
+			dup := false
+			for _, b := range base {
+				if b == c {
+					dup = true
+				}
+			}
+			if !dup {
+				base = append(base, c)
+			}
+		}
+		// Row 1 = row 0 with one column replaced: J = 9/11 ≈ 0.82.
+		other := append([]int32(nil), base...)
+		for {
+			c := int32(rng.Intn(64))
+			conflict := false
+			for _, b := range base {
+				if b == c {
+					conflict = true
+				}
+			}
+			if !conflict {
+				other[0] = c
+				break
+			}
+		}
+		m, err := sparse.FromRows(2, 64, [][]int32{base, other}, nil)
+		if err != nil {
+			return false
+		}
+		p := DefaultParams()
+		p.Seed = uint64(seed)
+		pairs, err := CandidatePairs(m, p)
+		if err != nil {
+			return false
+		}
+		return len(pairs) == 1 && pairs[0].I == 0 && pairs[0].J == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

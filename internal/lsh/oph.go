@@ -1,0 +1,127 @@
+package lsh
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// One-permutation hashing (Li, Owen & Zhang, NIPS'12): instead of
+// evaluating SigLen independent hash functions per element (cost
+// SigLen·nnz), hash each element once, partition the hash space into
+// SigLen bins, and take the minimum per bin — cost nnz, a SigLen× cheaper
+// signature stage with comparable banding behaviour. Empty bins are
+// filled by "densification" (borrowing the nearest non-empty bin's value,
+// rotating right), which keeps the collision probability unbiased for
+// sparse rows.
+//
+// This is an extension to the paper's preprocessing (which uses plain
+// MinHash); BenchmarkAblationScheme quantifies the trade.
+
+// ComputeSignaturesOPH builds a signature matrix compatible with
+// Signatures (same banding code) using one-permutation hashing.
+func ComputeSignaturesOPH(m *sparse.CSR, p Params) (*Signatures, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	fam := newHashFamily(1, p.Seed)
+	sigs := &Signatures{
+		SigLen: p.SigLen,
+		Rows:   m.Rows,
+		Sig:    make([]uint32, m.Rows*p.SigLen),
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if workers < 1 {
+		return sigs, nil
+	}
+	binWidth := uint64(math.MaxUint32)/uint64(p.SigLen) + 1
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := sigs.Row(i)
+				for k := range row {
+					row[k] = math.MaxUint32
+				}
+				for _, c := range m.RowCols(i) {
+					h := fam.hash(0, uint32(c))
+					bin := int(uint64(h) / binWidth)
+					// Store the within-bin offset so bins are comparable.
+					v := h - uint32(uint64(bin)*binWidth)
+					if v < row[bin] {
+						row[bin] = v
+					}
+				}
+				densify(row)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return sigs, nil
+}
+
+// densify fills each empty bin (MaxUint32) from the nearest non-empty
+// bin to its right (circularly), mixing in the borrow distance — the
+// densified one-permutation hashing scheme: two rows that agree on the
+// donor bin then also agree on every bin borrowed from it at equal
+// distance, keeping the per-bin collision probability close to the
+// Jaccard similarity. A row with no nonzeros keeps all-max signatures
+// (it never collides, matching ComputeSignatures). Bins are few
+// (SigLen), so the circular scan is cheap.
+func densify(row []uint32) {
+	n := len(row)
+	anyFilled := false
+	for _, v := range row {
+		if v != math.MaxUint32 {
+			anyFilled = true
+			break
+		}
+	}
+	if !anyFilled {
+		return
+	}
+	src := make([]uint32, n)
+	copy(src, row)
+	for k := 0; k < n; k++ {
+		if src[k] != math.MaxUint32 {
+			continue
+		}
+		for d := 1; d <= n; d++ {
+			donor := src[(k+d)%n]
+			if donor != math.MaxUint32 {
+				row[k] = borrowTag(donor, uint32(d))
+				break
+			}
+		}
+	}
+}
+
+// borrowTag mixes the borrow distance into a donated value so distinct
+// borrow chains do not spuriously collide.
+func borrowTag(v, dist uint32) uint32 {
+	x := uint64(v)*0x9e3779b1 + uint64(dist)*0x85ebca77
+	x ^= x >> 16
+	t := uint32(x)
+	if t == math.MaxUint32 {
+		t--
+	}
+	return t
+}

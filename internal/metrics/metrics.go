@@ -1,0 +1,285 @@
+// Package metrics provides the summary statistics and bucketing schemes
+// the paper's tables and figures are built from: geometric means, medians,
+// the Table 1/2 speedup buckets, and the Table 3/4 preprocessing-ratio
+// buckets.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values
+// (which have no geometric mean); it returns 0 for an empty input.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the middle value (average of the two middles for even
+// lengths), 0 for empty input.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Min and Max return the extrema, 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Bucket is one row of a bucketed summary table.
+type Bucket struct {
+	Label string
+	Count int
+	// Pct is Count as a percentage of the population.
+	Pct float64
+}
+
+// SpeedupBuckets classifies speedup values into the paper's Table 1
+// scheme: slowdown 0%~10% (speedup in [0.9, 1)), slowdown >10%
+// (below 0.9 — the paper reports none, we keep the row for honesty),
+// speedup 0%~10% ([1, 1.1)), 10%~50% ([1.1, 1.5)), 50%~100% ([1.5, 2)),
+// and >100% ([2, ∞)).
+func SpeedupBuckets(speedups []float64) []Bucket {
+	bounds := []struct {
+		label    string
+		lo, hi   float64
+		inclusiv bool
+	}{
+		{"slowdown >10%", 0, 0.9, false},
+		{"slowdown 0%~10%", 0.9, 1.0, false},
+		{"speedup 0%~10%", 1.0, 1.1, false},
+		{"speedup 10%~50%", 1.1, 1.5, false},
+		{"speedup 50%~100%", 1.5, 2.0, false},
+		{"speedup >100%", 2.0, math.Inf(1), true},
+	}
+	out := make([]Bucket, len(bounds))
+	for i, b := range bounds {
+		out[i].Label = b.label
+	}
+	for _, s := range speedups {
+		for i, b := range bounds {
+			if s >= b.lo && (s < b.hi || (b.inclusiv && s >= b.lo)) {
+				out[i].Count++
+				break
+			}
+		}
+	}
+	fillPct(out, len(speedups))
+	return out
+}
+
+// RatioBuckets classifies preprocessing/compute-time ratios into the
+// Table 3/4 scheme: 0x~5x, 5x~10x, 10x~100x, >100x.
+func RatioBuckets(ratios []float64) []Bucket {
+	out := []Bucket{
+		{Label: "0x~5x"},
+		{Label: "5x~10x"},
+		{Label: "10x~100x"},
+		{Label: ">100x"},
+	}
+	for _, r := range ratios {
+		switch {
+		case r < 5:
+			out[0].Count++
+		case r < 10:
+			out[1].Count++
+		case r < 100:
+			out[2].Count++
+		default:
+			out[3].Count++
+		}
+	}
+	fillPct(out, len(ratios))
+	return out
+}
+
+// Fig8Buckets classifies speedups-over-cuSPARSE into the histogram bins
+// of Fig 8: <0.9, 0.9–1.0, 1.0–1.1, 1.1–1.5, 1.5–2.0, >2.0.
+func Fig8Buckets(speedups []float64) []Bucket {
+	out := []Bucket{
+		{Label: "<0.9x"},
+		{Label: "0.9x~1.0x"},
+		{Label: "1.0x~1.1x"},
+		{Label: "1.1x~1.5x"},
+		{Label: "1.5x~2.0x"},
+		{Label: ">2.0x"},
+	}
+	for _, s := range speedups {
+		switch {
+		case s < 0.9:
+			out[0].Count++
+		case s < 1.0:
+			out[1].Count++
+		case s < 1.1:
+			out[2].Count++
+		case s < 1.5:
+			out[3].Count++
+		case s < 2.0:
+			out[4].Count++
+		default:
+			out[5].Count++
+		}
+	}
+	fillPct(out, len(speedups))
+	return out
+}
+
+func fillPct(bs []Bucket, n int) {
+	if n == 0 {
+		return
+	}
+	for i := range bs {
+		bs[i].Pct = 100 * float64(bs[i].Count) / float64(n)
+	}
+}
+
+// FormatBuckets renders buckets as an aligned two-column ASCII table.
+func FormatBuckets(title string, bs []Bucket) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	width := 0
+	for _, b := range bs {
+		if len(b.Label) > width {
+			width = len(b.Label)
+		}
+	}
+	for _, b := range bs {
+		fmt.Fprintf(&sb, "  %-*s  %5.1f%%  (%d)\n", width, b.Label, b.Pct, b.Count)
+	}
+	return sb.String()
+}
+
+// Histogram bins xs into `bins` equal-width buckets over [min, max] and
+// renders a compact ASCII bar chart — used for Fig 12-style
+// distributions. Empty input yields an empty string.
+func Histogram(title string, xs []float64, bins int) string {
+	if len(xs) == 0 || bins <= 0 {
+		return ""
+	}
+	lo, hi := Min(xs), Max(xs)
+	width := (hi - lo) / float64(bins)
+	if width <= 0 {
+		width = 1
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for b, c := range counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*40/maxCount)
+		}
+		fmt.Fprintf(&sb, "  [%8.3g, %8.3g) %4d %s\n", lo+float64(b)*width, lo+float64(b+1)*width, c, bar)
+	}
+	return sb.String()
+}
+
+// Summary holds the headline aggregates the paper quotes per experiment.
+type Summary struct {
+	N       int
+	Max     float64
+	Median  float64
+	GeoMean float64
+	Mean    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:       len(xs),
+		Max:     Max(xs),
+		Median:  Median(xs),
+		GeoMean: GeoMean(xs),
+		Mean:    Mean(xs),
+	}
+}
+
+// String renders the summary in the paper's phrasing.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d max=%.2fx median=%.2fx geomean=%.2fx mean=%.2fx",
+		s.N, s.Max, s.Median, s.GeoMean, s.Mean)
+}

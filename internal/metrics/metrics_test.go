@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	// Non-positive entries are ignored.
+	if got := GeoMean([]float64{0, -1, 4}); got != 4 {
+		t.Errorf("GeoMean with non-positives = %v, want 4", got)
+	}
+}
+
+func TestMeanMedianPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 2 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Errorf("even Median = %v", Median([]float64{1, 2, 3, 4}))
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 3 {
+		t.Errorf("percentile extremes wrong")
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Errorf("empty inputs not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{5, -2, 9}
+	if Min(xs) != -2 || Max(xs) != 9 {
+		t.Errorf("Min/Max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Errorf("empty Min/Max not zero")
+	}
+}
+
+func TestSpeedupBuckets(t *testing.T) {
+	sp := []float64{0.5, 0.95, 1.05, 1.2, 1.7, 3.0}
+	bs := SpeedupBuckets(sp)
+	wantCounts := []int{1, 1, 1, 1, 1, 1}
+	for i, b := range bs {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %q = %d, want %d", b.Label, b.Count, wantCounts[i])
+		}
+	}
+	total := 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != len(sp) {
+		t.Errorf("buckets lose entries: %d != %d", total, len(sp))
+	}
+}
+
+func TestRatioBuckets(t *testing.T) {
+	bs := RatioBuckets([]float64{1, 7, 50, 500})
+	for i, want := range []int{1, 1, 1, 1} {
+		if bs[i].Count != want {
+			t.Errorf("ratio bucket %d = %d", i, bs[i].Count)
+		}
+	}
+}
+
+func TestFig8Buckets(t *testing.T) {
+	bs := Fig8Buckets([]float64{0.8, 0.95, 1.05, 1.3, 1.7, 2.5})
+	for i := range bs {
+		if bs[i].Count != 1 {
+			t.Errorf("fig8 bucket %d = %d, want 1", i, bs[i].Count)
+		}
+	}
+}
+
+func TestFormatBuckets(t *testing.T) {
+	out := FormatBuckets("title", SpeedupBuckets([]float64{1.2}))
+	if !strings.Contains(out, "title") || !strings.Contains(out, "10%~50%") {
+		t.Errorf("FormatBuckets output: %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 4})
+	if s.N != 3 || s.Max != 4 || s.Median != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.GeoMean-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", s.GeoMean)
+	}
+	if s.String() == "" {
+		t.Errorf("empty String")
+	}
+}
+
+// Property: bucket counts always sum to the population and percentages to
+// ~100.
+func TestPropertyBucketsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 4
+		}
+		for _, bs := range [][]Bucket{SpeedupBuckets(xs), RatioBuckets(xs), Fig8Buckets(xs)} {
+			total := 0
+			pct := 0.0
+			for _, b := range bs {
+				total += b.Count
+				pct += b.Pct
+			}
+			if total != n {
+				return false
+			}
+			if n > 0 && math.Abs(pct-100) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GeoMean(xs) lies between Min and Max for positive inputs, and
+// Percentile is monotone in p.
+func TestPropertyStatsOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*5
+		}
+		g := GeoMean(xs)
+		if g < Min(xs)-1e-9 || g > Max(xs)+1e-9 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("dist:", []float64{1, 1, 2, 9}, 4)
+	if !strings.Contains(out, "dist:") || !strings.Contains(out, "#") {
+		t.Fatalf("histogram output: %q", out)
+	}
+	if Histogram("x", nil, 4) != "" {
+		t.Fatalf("empty input should yield empty histogram")
+	}
+	if Histogram("x", []float64{1}, 0) != "" {
+		t.Fatalf("zero bins should yield empty histogram")
+	}
+	// Constant input: all mass in one bucket, no panic.
+	out = Histogram("c:", []float64{5, 5, 5}, 3)
+	if !strings.Contains(out, "3") {
+		t.Fatalf("constant histogram: %q", out)
+	}
+}

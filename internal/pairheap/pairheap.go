@@ -1,0 +1,102 @@
+// Package pairheap provides the max-heap of candidate row pairs keyed by
+// Jaccard similarity (Alg 3's sim_queue) together with the candidate-pair
+// membership set used to avoid re-inserting a pair (Alg 3 line 27).
+package pairheap
+
+import "container/heap"
+
+// Pair is a candidate row pair with its similarity score.
+type Pair struct {
+	Sim  float64
+	I, J int32
+}
+
+// Key returns a canonical (ordered) identity for the pair, used for
+// membership testing: the pair (i, j) and (j, i) share a key.
+func (p Pair) Key() uint64 {
+	a, b := uint64(uint32(p.I)), uint64(uint32(p.J))
+	if a > b {
+		a, b = b, a
+	}
+	return a<<32 | b
+}
+
+// Queue is a max-heap of Pairs by Sim with a membership set over pair
+// identities. Ties on Sim are broken by (I, J) ascending so the clustering
+// trace is deterministic, which the paper's worked example (Fig 6)
+// implicitly relies on.
+type Queue struct {
+	h       pairSlice
+	present map[uint64]struct{}
+}
+
+// New builds a queue from an initial set of candidate pairs in O(E).
+func New(pairs []Pair) *Queue {
+	q := &Queue{
+		h:       make(pairSlice, 0, len(pairs)),
+		present: make(map[uint64]struct{}, len(pairs)),
+	}
+	for _, p := range pairs {
+		if _, dup := q.present[p.Key()]; dup {
+			continue
+		}
+		q.present[p.Key()] = struct{}{}
+		q.h = append(q.h, p)
+	}
+	heap.Init(&q.h)
+	return q
+}
+
+// Len returns the number of pairs currently queued.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Empty reports whether no pairs remain.
+func (q *Queue) Empty() bool { return len(q.h) == 0 }
+
+// Pop removes and returns the pair with the largest similarity.
+// It panics on an empty queue (programming error).
+func (q *Queue) Pop() Pair {
+	return heap.Pop(&q.h).(Pair)
+}
+
+// Push inserts a pair if an identical pair (in either orientation) has not
+// been seen before; it reports whether the pair was inserted. Note that
+// membership is remembered across Pops, matching Alg 3's candidate_pairs
+// set, which only ever grows.
+func (q *Queue) Push(p Pair) bool {
+	if _, dup := q.present[p.Key()]; dup {
+		return false
+	}
+	q.present[p.Key()] = struct{}{}
+	heap.Push(&q.h, p)
+	return true
+}
+
+// Contains reports whether the pair (in either orientation) has ever been
+// queued.
+func (q *Queue) Contains(i, j int32) bool {
+	_, ok := q.present[Pair{I: i, J: j}.Key()]
+	return ok
+}
+
+type pairSlice []Pair
+
+func (s pairSlice) Len() int { return len(s) }
+func (s pairSlice) Less(a, b int) bool {
+	if s[a].Sim != s[b].Sim {
+		return s[a].Sim > s[b].Sim // max-heap
+	}
+	if s[a].I != s[b].I {
+		return s[a].I < s[b].I
+	}
+	return s[a].J < s[b].J
+}
+func (s pairSlice) Swap(a, b int) { s[a], s[b] = s[b], s[a] }
+func (s *pairSlice) Push(x any)   { *s = append(*s, x.(Pair)) }
+func (s *pairSlice) Pop() any {
+	old := *s
+	n := len(old)
+	p := old[n-1]
+	*s = old[:n-1]
+	return p
+}

@@ -1,0 +1,131 @@
+package pairheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairKeyCanonical(t *testing.T) {
+	a := Pair{I: 3, J: 7}
+	b := Pair{I: 7, J: 3}
+	if a.Key() != b.Key() {
+		t.Fatalf("key not orientation-independent")
+	}
+	c := Pair{I: 3, J: 8}
+	if a.Key() == c.Key() {
+		t.Fatalf("distinct pairs share a key")
+	}
+}
+
+func TestQueuePopsByDescendingSim(t *testing.T) {
+	q := New([]Pair{
+		{Sim: 0.25, I: 2, J: 4},
+		{Sim: 0.9, I: 0, J: 4},
+		{Sim: 0.5, I: 1, J: 3},
+	})
+	want := []float64{0.9, 0.5, 0.25}
+	for _, w := range want {
+		if q.Empty() {
+			t.Fatalf("queue empty early")
+		}
+		if p := q.Pop(); p.Sim != w {
+			t.Fatalf("popped %v, want sim %v", p, w)
+		}
+	}
+	if !q.Empty() {
+		t.Fatalf("queue should be empty")
+	}
+}
+
+func TestQueueTieBreakDeterministic(t *testing.T) {
+	q := New([]Pair{
+		{Sim: 0.5, I: 5, J: 6},
+		{Sim: 0.5, I: 1, J: 2},
+		{Sim: 0.5, I: 1, J: 9},
+	})
+	p1 := q.Pop()
+	p2 := q.Pop()
+	p3 := q.Pop()
+	if p1.I != 1 || p1.J != 2 || p2.I != 1 || p2.J != 9 || p3.I != 5 {
+		t.Fatalf("tie-break order wrong: %v %v %v", p1, p2, p3)
+	}
+}
+
+func TestQueueDedup(t *testing.T) {
+	q := New([]Pair{{Sim: 0.5, I: 1, J: 2}, {Sim: 0.7, I: 2, J: 1}})
+	if q.Len() != 1 {
+		t.Fatalf("constructor kept duplicate, len=%d", q.Len())
+	}
+	if ok := q.Push(Pair{Sim: 0.3, I: 1, J: 2}); ok {
+		t.Fatalf("Push accepted duplicate")
+	}
+	if !q.Contains(2, 1) {
+		t.Fatalf("Contains missed pair")
+	}
+	q.Pop()
+	// Membership persists across pops (Alg 3's candidate_pairs set).
+	if ok := q.Push(Pair{Sim: 0.3, I: 1, J: 2}); ok {
+		t.Fatalf("Push re-accepted popped pair")
+	}
+	if ok := q.Push(Pair{Sim: 0.3, I: 4, J: 5}); !ok {
+		t.Fatalf("Push rejected new pair")
+	}
+}
+
+func TestPopPanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Pop on empty did not panic")
+		}
+	}()
+	New(nil).Pop()
+}
+
+// Property: popping everything yields sims in non-increasing order and
+// exactly the deduplicated input multiset.
+func TestPropertyHeapOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100)
+		pairs := make([]Pair, n)
+		uniq := map[uint64]float64{}
+		for i := range pairs {
+			p := Pair{
+				Sim: float64(rng.Intn(10)) / 10,
+				I:   int32(rng.Intn(20)),
+				J:   int32(rng.Intn(20)),
+			}
+			pairs[i] = p
+			if _, dup := uniq[p.Key()]; !dup {
+				uniq[p.Key()] = p.Sim
+			}
+		}
+		q := New(pairs)
+		if q.Len() != len(uniq) {
+			return false
+		}
+		var popped []float64
+		for !q.Empty() {
+			popped = append(popped, q.Pop().Sim)
+		}
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(popped))) {
+			return false
+		}
+		var want []float64
+		for _, s := range uniq {
+			want = append(want, s)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		for i := range want {
+			if popped[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+// Package paperex holds the worked example that runs through the paper's
+// §2-§3 (Figs 1, 3, 4, 6): a 6×6 sparse matrix whose stated properties —
+// Jaccard similarities, ASpT tiling before and after reordering, and the
+// clustering trace — are asserted by the test suite and demonstrated by
+// examples.
+//
+// The figure images are not part of the text, so the matrix below is
+// reconstructed from every numeric claim the prose makes:
+//
+//   - S0 = {0, 4}, S4 = {0, 3, 4}, J(S0, S4) = 2/3  (§3.2)
+//   - J(S2, S4) = 1/4                                (Fig 6 caption)
+//   - row 1 shares exactly one column with row 5     (§3.1)
+//   - with panel size 3 and dense threshold 2, the original matrix has
+//     exactly one dense column (column 4 of panel 0) holding 2 nonzeros
+//     (§2.3), and panel 1 has none
+//   - after exchanging rows 1 and 4, the dense tiles hold 9 nonzeros and
+//     the first dense column of panel 0 has 3 nonzeros (§3.1)
+//   - LSH candidates {(0,4), (2,4)} cluster to the row order
+//     [0, 2, 4, 1, 3, 5] (Fig 6)
+package paperex
+
+import "repro/internal/sparse"
+
+// PanelSize and DenseThreshold are the worked example's ASpT parameters.
+const (
+	PanelSize      = 3
+	DenseThreshold = 2
+)
+
+// Rows are the column sets of the example matrix.
+var Rows = [][]int32{
+	{0, 4},    // row 0
+	{1, 5},    // row 1
+	{2, 4},    // row 2
+	{1},       // row 3
+	{0, 3, 4}, // row 4
+	{2, 5},    // row 5
+}
+
+// Matrix builds the example as a CSR matrix with value 1 at every
+// nonzero.
+func Matrix() *sparse.CSR {
+	m, err := sparse.FromRows(6, 6, Rows, nil)
+	if err != nil {
+		panic("paperex: invalid fixture: " + err.Error())
+	}
+	return m
+}
+
+// ReorderedRows is the clustering output of Fig 6.
+var ReorderedRows = []int32{0, 2, 4, 1, 3, 5}
+
+// SwappedRows is the §3.1 illustration order (rows 1 and 4 exchanged).
+var SwappedRows = []int32{0, 4, 2, 3, 1, 5}
+
+// CandidatePairs are the LSH candidates the paper's Fig 6 walk-through
+// assumes: (0,4) with similarity 2/3 and (2,4) with similarity 1/4.
+func CandidatePairs() (pairs [][2]int32, sims []float64) {
+	return [][2]int32{{0, 4}, {2, 4}}, []float64{2.0 / 3.0, 0.25}
+}

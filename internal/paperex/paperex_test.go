@@ -1,0 +1,61 @@
+package paperex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// TestFixtureClaims pins every numeric claim the paper's prose makes
+// about the worked example to the reconstructed matrix (see the package
+// comment for the sources).
+func TestFixtureClaims(t *testing.T) {
+	m := Matrix()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 6 || m.Cols != 6 {
+		t.Fatalf("shape %s", m)
+	}
+	// §3.2: S0 = {0,4}, S4 = {0,3,4}, J = 2/3.
+	if got := sparse.RowJaccard(m, 0, 4); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("J(S0,S4) = %v, want 2/3", got)
+	}
+	// Fig 6: J(S2,S4) = 1/4.
+	if got := sparse.RowJaccard(m, 2, 4); got != 0.25 {
+		t.Fatalf("J(S2,S4) = %v, want 1/4", got)
+	}
+	// §3.1: row 1 shares exactly one column with row 5.
+	if got := sparse.IntersectionSize(m.RowCols(1), m.RowCols(5)); got != 1 {
+		t.Fatalf("|S1 ∩ S5| = %d, want 1", got)
+	}
+	// §3.1: row 0 has two identical columns with row 4.
+	if got := sparse.IntersectionSize(m.RowCols(0), m.RowCols(4)); got != 2 {
+		t.Fatalf("|S0 ∩ S4| = %d, want 2", got)
+	}
+}
+
+func TestSwappedRowsIsSwap(t *testing.T) {
+	// SwappedRows must be exactly "exchange rows 1 and 4".
+	want := []int32{0, 4, 2, 3, 1, 5}
+	for i := range want {
+		if SwappedRows[i] != want[i] {
+			t.Fatalf("SwappedRows = %v", SwappedRows)
+		}
+	}
+	if !sparse.IsPermutation(SwappedRows, 6) || !sparse.IsPermutation(ReorderedRows, 6) {
+		t.Fatalf("fixture orders are not permutations")
+	}
+}
+
+func TestCandidatePairSims(t *testing.T) {
+	m := Matrix()
+	pairs, sims := CandidatePairs()
+	for i, p := range pairs {
+		got := sparse.RowJaccard(m, int(p[0]), int(p[1]))
+		if math.Abs(got-sims[i]) > 1e-12 {
+			t.Fatalf("pair %v sim %v, want %v", p, got, sims[i])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package partition implements a multilevel graph partitioner in the
+// style of METIS (Karypis & Kumar): heavy-edge-matching coarsening, greedy
+// region-growing initial bisection, and boundary Fiduccia–Mattheyses
+// refinement. The paper uses METIS only as the vertex-reordering baseline
+// that its §5.2 experiment shows does *not* help SpMM; this package plays
+// that role (DESIGN.md §2).
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Graph is an undirected weighted graph in adjacency (CSR) form.
+type Graph struct {
+	N      int
+	XAdj   []int32 // len N+1
+	Adj    []int32 // neighbour vertex ids
+	EWgt   []int32 // edge weights, parallel to Adj
+	VWgt   []int32 // vertex weights, len N
+	TotalW int64   // sum of vertex weights
+}
+
+// Degree returns vertex v's neighbour count.
+func (g *Graph) Degree(v int32) int { return int(g.XAdj[v+1] - g.XAdj[v]) }
+
+// Neighbors returns vertex v's adjacency slice.
+func (g *Graph) Neighbors(v int32) []int32 { return g.Adj[g.XAdj[v]:g.XAdj[v+1]] }
+
+// Weights returns vertex v's edge-weight slice.
+func (g *Graph) Weights(v int32) []int32 { return g.EWgt[g.XAdj[v]:g.XAdj[v+1]] }
+
+// FromMatrix builds the undirected graph of the symmetrised sparsity
+// pattern A ∪ Aᵀ of a square sparse matrix, dropping self-loops and
+// collapsing duplicate edges (edge weight = multiplicity). This is the
+// standard graph model METIS is applied to for matrix reordering.
+func FromMatrix(m *sparse.CSR) (*Graph, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("partition: vertex reordering needs a square matrix, got %dx%d",
+			m.Rows, m.Cols)
+	}
+	n := m.Rows
+	deg := make([]int32, n)
+	t := sparse.Transpose(m)
+	// First pass: count merged neighbours per vertex (union of row i of
+	// m and row i of t, excluding i itself).
+	countRow := func(i int) int32 {
+		a, b := m.RowCols(i), t.RowCols(i)
+		var c int32
+		x, y := 0, 0
+		for x < len(a) || y < len(b) {
+			var v int32
+			switch {
+			case x >= len(a):
+				v = b[y]
+				y++
+			case y >= len(b):
+				v = a[x]
+				x++
+			case a[x] < b[y]:
+				v = a[x]
+				x++
+			case a[x] > b[y]:
+				v = b[y]
+				y++
+			default:
+				v = a[x]
+				x++
+				y++
+			}
+			if int(v) != i {
+				c++
+			}
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		deg[i] = countRow(i)
+	}
+	g := &Graph{N: n, XAdj: make([]int32, n+1), VWgt: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		g.XAdj[i+1] = g.XAdj[i] + deg[i]
+		g.VWgt[i] = 1
+	}
+	g.TotalW = int64(n)
+	g.Adj = make([]int32, g.XAdj[n])
+	g.EWgt = make([]int32, g.XAdj[n])
+	for i := 0; i < n; i++ {
+		a, b := m.RowCols(i), t.RowCols(i)
+		pos := g.XAdj[i]
+		x, y := 0, 0
+		emit := func(v int32, w int32) {
+			if int(v) == i {
+				return
+			}
+			g.Adj[pos] = v
+			g.EWgt[pos] = w
+			pos++
+		}
+		for x < len(a) || y < len(b) {
+			switch {
+			case x >= len(a):
+				emit(b[y], 1)
+				y++
+			case y >= len(b):
+				emit(a[x], 1)
+				x++
+			case a[x] < b[y]:
+				emit(a[x], 1)
+				x++
+			case a[x] > b[y]:
+				emit(b[y], 1)
+				y++
+			default:
+				emit(a[x], 2)
+				x++
+				y++
+			}
+		}
+	}
+	return g, nil
+}
+
+// EdgeCut returns the weight of edges crossing the given 2-way partition
+// assignment (each edge counted once).
+func (g *Graph) EdgeCut(part []int8) int64 {
+	var cut int64
+	for v := int32(0); int(v) < g.N; v++ {
+		adj, w := g.Neighbors(v), g.Weights(v)
+		for e := range adj {
+			if adj[e] > v && part[v] != part[adj[e]] {
+				cut += int64(w[e])
+			}
+		}
+	}
+	return cut
+}
+
+// shuffledVertices returns a deterministic pseudo-random vertex order.
+func shuffledVertices(n int, rng *rand.Rand) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+	return order
+}

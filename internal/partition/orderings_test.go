@@ -1,0 +1,143 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func TestDegreeOrderSortsByDegree(t *testing.T) {
+	m, err := synth.RMAT(9, 8, 0.57, 0.19, 0.19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := DegreeOrder(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(perm, m.Rows) {
+		t.Fatalf("not a permutation")
+	}
+	g, err := FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(perm); i++ {
+		if g.Degree(perm[i]) > g.Degree(perm[i-1]) {
+			t.Fatalf("degree order violated at %d", i)
+		}
+	}
+}
+
+func TestBFSOrderVisitsComponents(t *testing.T) {
+	// Two disjoint triangles.
+	sets := [][]int32{{1, 2}, {0, 2}, {0, 1}, {4, 5}, {3, 5}, {3, 4}}
+	m, err := sparse.FromRows(6, 6, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := BFSOrder(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(perm, 6) {
+		t.Fatalf("not a permutation: %v", perm)
+	}
+	// First component (vertices 0-2) is fully visited before the second.
+	for i := 0; i < 3; i++ {
+		if perm[i] > 2 {
+			t.Fatalf("BFS interleaved components: %v", perm)
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A banded matrix scrambled by a random symmetric permutation: RCM
+	// should recover a bandwidth far below the scrambled one.
+	m, err := synth.Banded(256, 256, 8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	scramble := sparse.IdentityPermutation(256)
+	rng.Shuffle(len(scramble), func(a, b int) { scramble[a], scramble[b] = scramble[b], scramble[a] })
+	sm, err := sparse.PermuteSymmetric(m, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := RCMOrder(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := sparse.PermuteSymmetric(sm, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := Bandwidth(sm), Bandwidth(rm)
+	if after >= before/2 {
+		t.Fatalf("RCM did not reduce bandwidth: %d -> %d", before, after)
+	}
+}
+
+func TestOrderingsRejectNonSquare(t *testing.T) {
+	m, err := sparse.FromRows(2, 3, [][]int32{{0}, {1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DegreeOrder(m); err == nil {
+		t.Errorf("DegreeOrder accepted non-square")
+	}
+	if _, err := BFSOrder(m); err == nil {
+		t.Errorf("BFSOrder accepted non-square")
+	}
+	if _, err := RCMOrder(m); err == nil {
+		t.Errorf("RCMOrder accepted non-square")
+	}
+}
+
+func TestBandwidthSmall(t *testing.T) {
+	m, err := sparse.FromRows(3, 3, [][]int32{{0, 2}, {1}, {2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Bandwidth(m); got != 2 {
+		t.Fatalf("Bandwidth = %d, want 2", got)
+	}
+}
+
+// Property: every ordering is a permutation for arbitrary random square
+// matrices (including disconnected graphs and isolated vertices).
+func TestPropertyOrderingsArePermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(120)
+		sets := make([][]int32, n)
+		for i := range sets {
+			d := rng.Intn(4)
+			seen := map[int32]bool{}
+			for len(seen) < d {
+				seen[int32(rng.Intn(n))] = true
+			}
+			for c := range seen {
+				sets[i] = append(sets[i], c)
+			}
+		}
+		m, err := sparse.FromRows(n, n, sets, nil)
+		if err != nil {
+			return false
+		}
+		for _, fn := range []func(*sparse.CSR) ([]int32, error){DegreeOrder, BFSOrder, RCMOrder} {
+			perm, err := fn(m)
+			if err != nil || !sparse.IsPermutation(perm, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func TestFromMatrixRequiresSquare(t *testing.T) {
+	m, err := sparse.FromRows(2, 3, [][]int32{{0}, {1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromMatrix(m); err == nil {
+		t.Fatalf("accepted non-square matrix")
+	}
+}
+
+func TestFromMatrixSymmetrises(t *testing.T) {
+	// Directed edge 0->1 plus self-loop 2->2: the graph gets the
+	// undirected edge {0,1} and drops the loop.
+	m, err := sparse.FromRows(3, 3, [][]int32{{1}, {}, {2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees = %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	if g.Neighbors(0)[0] != 1 || g.Neighbors(1)[0] != 0 {
+		t.Fatalf("adjacency wrong")
+	}
+}
+
+func TestFromMatrixMergedEdgeWeight(t *testing.T) {
+	// Mutual edge 0<->1 collapses to one edge of weight 2.
+	m, err := sparse.FromRows(2, 2, [][]int32{{1}, {0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 1 || g.Weights(0)[0] != 2 {
+		t.Fatalf("mutual edge weight = %v", g.Weights(0))
+	}
+}
+
+func TestBisectBalance(t *testing.T) {
+	m, err := synth.RMAT(9, 8, 0.57, 0.19, 0.19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := Bisect(g, 1)
+	n0 := 0
+	for _, p := range part {
+		if p == 0 {
+			n0++
+		}
+	}
+	lo, hi := g.N*35/100, g.N*65/100
+	if n0 < lo || n0 > hi {
+		t.Fatalf("unbalanced bisection: %d of %d on side 0", n0, g.N)
+	}
+}
+
+func TestBisectCutsLessThanRandom(t *testing.T) {
+	// On a block-diagonal community graph, the multilevel bisection must
+	// find a far better cut than a random split.
+	m, err := synth.BlockDiagonal(512, 512, 64, 0.2, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := Bisect(g, 1)
+	cut := g.EdgeCut(part)
+	rng := rand.New(rand.NewSource(9))
+	randPart := make([]int8, g.N)
+	for i := range randPart {
+		randPart[i] = int8(rng.Intn(2))
+	}
+	randCut := g.EdgeCut(randPart)
+	if cut*4 > randCut {
+		t.Fatalf("multilevel cut %d not clearly better than random %d", cut, randCut)
+	}
+}
+
+func TestVertexOrderIsPermutation(t *testing.T) {
+	m, err := synth.RMAT(9, 4, 0.57, 0.19, 0.19, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := VertexOrder(m, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(perm, m.Rows) {
+		t.Fatalf("VertexOrder not a permutation")
+	}
+	// Default leaf size path.
+	perm2, err := VertexOrder(m, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(perm2, m.Rows) {
+		t.Fatalf("default leaf size not a permutation")
+	}
+}
+
+func TestVertexOrderGroupsCommunities(t *testing.T) {
+	// Scrambled block-diagonal graph: after symmetric permutation by the
+	// partitioner's order, vertices of the same block should be (much)
+	// closer together, i.e. bandwidth-like locality improves.
+	m, err := synth.BlockDiagonal(256, 256, 32, 0.4, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble first so the blocks are hidden.
+	rng := rand.New(rand.NewSource(13))
+	scramble := sparse.IdentityPermutation(256)
+	rng.Shuffle(len(scramble), func(a, b int) { scramble[a], scramble[b] = scramble[b], scramble[a] })
+	sm, err := sparse.PermuteSymmetric(m, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := VertexOrder(sm, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := sparse.PermuteSymmetric(sm, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before, after := avgColDistance(sm), avgColDistance(rm); after > before*0.6 {
+		t.Fatalf("partition order did not improve locality: %v -> %v", before, after)
+	}
+}
+
+// avgColDistance measures mean |col - row| over nonzeros: a crude
+// bandwidth/locality proxy.
+func avgColDistance(m *sparse.CSR) float64 {
+	var sum, n float64
+	for i := 0; i < m.Rows; i++ {
+		for _, c := range m.RowCols(i) {
+			d := float64(int(c) - i)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Property: VertexOrder always emits a permutation; EdgeCut is symmetric
+// under side relabelling.
+func TestPropertyPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(200)
+		sets := make([][]int32, n)
+		for i := range sets {
+			d := rng.Intn(4)
+			seen := map[int32]bool{}
+			for len(seen) < d {
+				seen[int32(rng.Intn(n))] = true
+			}
+			for c := range seen {
+				sets[i] = append(sets[i], c)
+			}
+		}
+		m, err := sparse.FromRows(n, n, sets, nil)
+		if err != nil {
+			return false
+		}
+		perm, err := VertexOrder(m, 16, seed)
+		if err != nil {
+			return false
+		}
+		if !sparse.IsPermutation(perm, n) {
+			return false
+		}
+		g, err := FromMatrix(m)
+		if err != nil {
+			return false
+		}
+		part := Bisect(g, seed)
+		flipped := make([]int8, len(part))
+		for i, p := range part {
+			flipped[i] = 1 - p
+		}
+		return g.EdgeCut(part) == g.EdgeCut(flipped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package reorder
+
+import (
+	"fmt"
+
+	"repro/internal/pairheap"
+	"repro/internal/sparse"
+)
+
+// Alternative row-ordering strategies used as ablation baselines for the
+// LSH-accelerated clustering (DESIGN.md §4):
+//
+//   - ExactCluster is the quality ceiling the paper's §3.2 rejects as
+//     infeasible at scale: hierarchical clustering over *all* row pairs
+//     (O(N²·d) similarity computations). Feasible only for small N; the
+//     ablation compares how much tiling quality LSH candidate generation
+//     sacrifices.
+//   - GreedyOrder is a GOrder/ReCALL-flavoured alternative applied to
+//     rows instead of vertices: starting from row 0, repeatedly append
+//     the unplaced row most similar to the last placed one, restricted
+//     to LSH candidates so it stays near-linear. It shows what the
+//     clustering's merge-by-global-max policy buys over a local chain.
+
+// ExactClusterLimit bounds the matrix size ExactCluster accepts; beyond
+// this the quadratic pair generation is exactly the blow-up the paper's
+// LSH avoids.
+const ExactClusterLimit = 4096
+
+// ExactCluster runs Alg 3 on every nonzero-similarity row pair.
+func ExactCluster(m *sparse.CSR, thresholdSize int) ([]int32, ClusterStats, error) {
+	if m.Rows > ExactClusterLimit {
+		return nil, ClusterStats{}, fmt.Errorf(
+			"reorder: ExactCluster limited to %d rows (got %d); use ReorderRows",
+			ExactClusterLimit, m.Rows)
+	}
+	var pairs []pairheap.Pair
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Rows; j++ {
+			if sim := sparse.RowJaccard(m, i, j); sim > 0 {
+				pairs = append(pairs, pairheap.Pair{Sim: sim, I: int32(i), J: int32(j)})
+			}
+		}
+	}
+	return Cluster(m, pairs, thresholdSize)
+}
+
+// GreedyOrder chains rows by local similarity: maintain, per row, its
+// LSH candidate neighbours sorted by similarity; walk from the first
+// unplaced row, always hopping to the most similar unplaced neighbour,
+// starting a new chain when none remains.
+func GreedyOrder(m *sparse.CSR, pairs []pairheap.Pair) ([]int32, error) {
+	type nb struct {
+		row int32
+		sim float64
+	}
+	neighbours := make([][]nb, m.Rows)
+	for _, p := range pairs {
+		neighbours[p.I] = append(neighbours[p.I], nb{p.J, p.Sim})
+		neighbours[p.J] = append(neighbours[p.J], nb{p.I, p.Sim})
+	}
+	placed := make([]bool, m.Rows)
+	order := make([]int32, 0, m.Rows)
+	for start := 0; start < m.Rows; start++ {
+		if placed[start] {
+			continue
+		}
+		cur := int32(start)
+		placed[cur] = true
+		order = append(order, cur)
+		for {
+			best, bestSim := int32(-1), 0.0
+			for _, n := range neighbours[cur] {
+				if !placed[n.row] && n.sim > bestSim {
+					best, bestSim = n.row, n.sim
+				}
+			}
+			if best < 0 {
+				break
+			}
+			placed[best] = true
+			order = append(order, best)
+			cur = best
+		}
+	}
+	if !sparse.IsPermutation(order, m.Rows) {
+		return nil, fmt.Errorf("reorder: greedy ordering produced a non-permutation (internal error)")
+	}
+	return order, nil
+}

@@ -1,0 +1,175 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/aspt"
+	"repro/internal/lsh"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func scrambledFixture(t *testing.T, rows, clusters int) *sparse.CSR {
+	t.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: rows, Cols: rows, Clusters: clusters, PrototypeNNZ: 16,
+		Keep: 0.8, Noise: 1, Seed: 21, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func denseRatioOf(t *testing.T, m *sparse.CSR, order []int32) float64 {
+	t.Helper()
+	pm, err := sparse.PermuteRows(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := aspt.Build(pm, aspt.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl.DenseRatio()
+}
+
+func TestExactClusterLimit(t *testing.T) {
+	m, err := synth.Uniform(ExactClusterLimit+1, 16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExactCluster(m, 0); err == nil {
+		t.Fatalf("oversized matrix accepted")
+	}
+}
+
+// TestLSHNearExactQuality quantifies the paper's central efficiency
+// claim: clustering restricted to LSH candidates achieves (nearly) the
+// tiling quality of clustering over all pairs, at a fraction of the
+// pairs.
+func TestLSHNearExactQuality(t *testing.T) {
+	m := scrambledFixture(t, 1024, 128)
+	exactOrder, exactStats, err := ExactCluster(m, DefaultThresholdSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lshOrder, lshStats, err := ReorderRows(m, lsh.DefaultParams(), DefaultThresholdSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lshStats.CandidatePairs >= exactStats.CandidatePairs {
+		t.Fatalf("LSH generated %d pairs, exact %d — no saving",
+			lshStats.CandidatePairs, exactStats.CandidatePairs)
+	}
+	base := denseRatioOf(t, m, sparse.IdentityPermutation(m.Rows))
+	exact := denseRatioOf(t, m, exactOrder)
+	lshR := denseRatioOf(t, m, lshOrder)
+	if exact <= base {
+		t.Fatalf("exact clustering did not improve tiling: %v <= %v", exact, base)
+	}
+	// LSH must capture at least 80% of the exact gain.
+	if (lshR - base) < 0.8*(exact-base) {
+		t.Fatalf("LSH quality too far below exact: base %.3f, lsh %.3f, exact %.3f",
+			base, lshR, exact)
+	}
+}
+
+func TestGreedyOrder(t *testing.T) {
+	m := scrambledFixture(t, 512, 64)
+	pairs, err := lsh.CandidatePairs(m, lsh.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := GreedyOrder(m, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(order, m.Rows) {
+		t.Fatalf("greedy order invalid")
+	}
+	// Greedy chaining should also beat the identity on scrambled input.
+	base := denseRatioOf(t, m, sparse.IdentityPermutation(m.Rows))
+	greedy := denseRatioOf(t, m, order)
+	if greedy <= base {
+		t.Fatalf("greedy ordering did not improve tiling: %v <= %v", greedy, base)
+	}
+}
+
+func TestGreedyOrderNoPairs(t *testing.T) {
+	m, err := synth.Uniform(64, 64, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := GreedyOrder(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != int32(i) {
+			t.Fatalf("no-pair greedy should be identity")
+		}
+	}
+}
+
+func TestPackGroupsIsPermutation(t *testing.T) {
+	groups := [][]int32{{0, 1, 2}, {3}, {4, 5}, {6, 7, 8, 9, 10}, {11}}
+	out := PackGroups(groups, 4)
+	if !sparse.IsPermutation(out, 12) {
+		t.Fatalf("packed order not a permutation: %v", out)
+	}
+	// Large group (>= panel) is emitted before the bin-packed smalls.
+	if out[0] != 6 {
+		t.Fatalf("large cluster not first: %v", out)
+	}
+	// panelSize <= 1 degrades to plain concatenation.
+	flat := PackGroups(groups, 1)
+	want := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat packing = %v", flat)
+		}
+	}
+}
+
+func TestPackGroupsKeepsClustersContiguous(t *testing.T) {
+	// Small clusters must stay contiguous inside their bins.
+	groups := [][]int32{{0, 1}, {2, 3}, {4, 5, 6}, {7}}
+	out := PackGroups(groups, 4)
+	pos := make(map[int32]int, len(out))
+	for p, v := range out {
+		pos[v] = p
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			if pos[g[i]] != pos[g[i-1]]+1 {
+				t.Fatalf("cluster %v split in %v", g, out)
+			}
+		}
+	}
+}
+
+func TestPanelAlignPipeline(t *testing.T) {
+	m := scrambledFixture(t, 1024, 128)
+	cfg := DefaultConfig()
+	cfg.Force = true
+	cfg.PanelAlign = true
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(plan.RowPerm, m.Rows) || !sparse.IsPermutation(plan.RestOrder, m.Rows) {
+		t.Fatalf("panel-aligned plan permutations invalid")
+	}
+	// Panel-aligned packing must not reduce the dense ratio versus the
+	// plain concatenation on this clusterable fixture.
+	cfg.PanelAlign = false
+	base, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DenseRatioAfter < base.DenseRatioAfter*0.95 {
+		t.Fatalf("panel alignment hurt the dense ratio: %.3f vs %.3f",
+			plan.DenseRatioAfter, base.DenseRatioAfter)
+	}
+}

@@ -1,0 +1,62 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/lsh"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func benchMatrix(b *testing.B) *sparse.CSR {
+	b.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 8192, Cols: 8192, Clusters: 1024, PrototypeNNZ: 20,
+		Keep: 0.8, Noise: 2, Seed: 2, Scrambled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkCluster isolates Alg 3 (the "inherently sequential but fast"
+// part, §5.4) on precomputed candidate pairs.
+func BenchmarkCluster(b *testing.B) {
+	m := benchMatrix(b)
+	pairs, err := lsh.CandidatePairs(m, lsh.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Cluster(m, pairs, DefaultThresholdSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreprocess measures the full Fig 5 workflow (both rounds +
+// tiling), i.e. one Fig 12 data point.
+func BenchmarkPreprocess(b *testing.B) {
+	m := benchMatrix(b)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Preprocess(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreprocessNR is the tiling-only baseline cost.
+func BenchmarkPreprocessNR(b *testing.B) {
+	m := benchMatrix(b)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PreprocessNR(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

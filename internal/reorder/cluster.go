@@ -1,0 +1,249 @@
+// Package reorder implements the paper's primary contribution: the
+// LSH-accelerated hierarchical-clustering row reordering (Alg 3) and the
+// two-round reordering workflow of Fig 5, including the §4 skip
+// heuristics and the trial-and-error selector.
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lsh"
+	"repro/internal/pairheap"
+	"repro/internal/sparse"
+	"repro/internal/unionfind"
+)
+
+// DefaultThresholdSize is the cluster size at which a cluster is emitted
+// and retired from further merging (the paper uses 256 everywhere).
+const DefaultThresholdSize = 256
+
+// ClusterStats records what the clustering loop did, for tests,
+// diagnostics, and the preprocessing-cost experiments.
+type ClusterStats struct {
+	// CandidatePairs is the number of pairs LSH proposed (E in the
+	// paper's complexity analysis).
+	CandidatePairs int
+	// Merges counts successful cluster merges ("then" branch of Alg 3).
+	Merges int
+	// Requeues counts re-inserted root pairs ("else" branch).
+	Requeues int
+	// Retired counts clusters that reached ThresholdSize and were
+	// removed from consideration.
+	Retired int
+	// Clusters is the number of clusters at output time (including
+	// singletons).
+	Clusters int
+}
+
+// Cluster runs Alg 3 on the candidate pairs and returns the reordered row
+// permutation: perm[newPos] = original row index, rows grouped cluster by
+// cluster (clusters in order of their smallest member, members ascending —
+// the paper's realisation of "output the row indices cluster by cluster",
+// matching the Fig 6 trace, which emits {0,2,4} in index order).
+//
+// thresholdSize <= 0 selects DefaultThresholdSize.
+func Cluster(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int) ([]int32, ClusterStats, error) {
+	return ClusterOrdered(m, pairs, thresholdSize, false)
+}
+
+// ClusterOrdered is Cluster with a choice of within-cluster emission
+// order. mergeOrder=false reproduces the paper exactly (Alg 3 lines
+// 30-34: members ascending by row index). mergeOrder=true is this
+// reproduction's extension: members are emitted in the order they joined
+// the cluster, so rows merged through high-similarity pairs stay
+// adjacent even inside a large cluster — which matters when weak
+// candidate pairs chain several latent clusters into one
+// threshold-sized blob (see BenchmarkAblationEmitOrder).
+func ClusterOrdered(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mergeOrder bool) ([]int32, ClusterStats, error) {
+	groups, stats, err := ClusterGroups(m, pairs, thresholdSize, mergeOrder)
+	if err != nil {
+		return nil, stats, err
+	}
+	order := make([]int32, 0, m.Rows)
+	for _, g := range groups {
+		order = append(order, g...)
+	}
+	if !sparse.IsPermutation(order, m.Rows) {
+		return nil, stats, fmt.Errorf("reorder: clustering produced a non-permutation (internal error)")
+	}
+	return order, stats, nil
+}
+
+// ClusterGroups is ClusterOrdered exposing the cluster boundaries: it
+// returns one slice of row indices per emitted cluster, in emission
+// order. Useful for panel-aligned packing (PackGroups).
+func ClusterGroups(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mergeOrder bool) ([][]int32, ClusterStats, error) {
+	if thresholdSize <= 0 {
+		thresholdSize = DefaultThresholdSize
+	}
+	var stats ClusterStats
+	stats.CandidatePairs = len(pairs)
+
+	queue := pairheap.New(pairs)
+	uf := unionfind.New(m.Rows)
+	deleted := make([]bool, m.Rows)
+	nclusters := m.Rows
+
+	// In merge-order mode, members[root] tracks the join order of each
+	// live cluster; merged lists concatenate winner-then-loser, which is
+	// O(N log N) total because the loser is always the smaller cluster.
+	var members map[int32][]int32
+	if mergeOrder {
+		members = make(map[int32][]int32, m.Rows)
+	}
+	merge := func(i, j int32) int32 {
+		root := uf.Union(i, j)
+		if mergeOrder {
+			lose := i
+			if root == i {
+				lose = j
+			}
+			mw, ok := members[root]
+			if !ok {
+				mw = []int32{root}
+			}
+			ml, ok := members[lose]
+			if !ok {
+				ml = []int32{lose}
+			}
+			members[root] = append(mw, ml...)
+			delete(members, lose)
+		}
+		return root
+	}
+
+	for !queue.Empty() && nclusters > 0 {
+		p := queue.Pop()
+		i, j := p.I, p.J
+		if uf.IsRoot(i) && uf.IsRoot(j) && i != j {
+			// Both are representing rows: merge smaller into larger
+			// (ties keep the smaller index, Alg 3 lines 16-23).
+			if deleted[i] || deleted[j] {
+				continue
+			}
+			root := merge(i, j)
+			nclusters--
+			stats.Merges++
+			if int(uf.Size(root)) >= thresholdSize {
+				deleted[root] = true
+				nclusters--
+				stats.Retired++
+			}
+			continue
+		}
+		// At least one of i, j has been absorbed: retarget to the
+		// representing rows (Alg 3 lines 24-29).
+		ri, rj := uf.Find(i), uf.Find(j)
+		if deleted[ri] || deleted[rj] {
+			continue
+		}
+		if ri != rj && !queue.Contains(ri, rj) {
+			sim := sparse.RowJaccard(m, int(ri), int(rj))
+			if queue.Push(pairheap.Pair{Sim: sim, I: ri, J: rj}) {
+				stats.Requeues++
+			}
+		}
+	}
+
+	// Emit rows cluster by cluster: clusters ordered by smallest member;
+	// members ascending (paper) or in join order (extension).
+	buckets := make(map[int32][]int32)
+	var rootOrder []int32
+	for i := 0; i < m.Rows; i++ {
+		r := uf.Find(int32(i))
+		if _, seen := buckets[r]; !seen {
+			rootOrder = append(rootOrder, r)
+		}
+		buckets[r] = append(buckets[r], int32(i))
+	}
+	groups := make([][]int32, 0, len(rootOrder))
+	for _, r := range rootOrder {
+		if mergeOrder {
+			if mo, ok := members[r]; ok {
+				groups = append(groups, mo)
+				continue
+			}
+		}
+		groups = append(groups, buckets[r])
+	}
+	stats.Clusters = len(rootOrder)
+	return groups, stats, nil
+}
+
+// PackGroups arranges emitted clusters so that cluster boundaries align
+// with ASpT panel boundaries where possible (an extension beyond the
+// paper, which concatenates clusters in emission order and lets panels
+// straddle them): clusters at least one panel long are emitted first and
+// padded conceptually by following smaller clusters; the remaining
+// clusters are bin-packed first-fit-decreasing into panel-sized bins so
+// that few panels mix unrelated clusters. The result is a permutation of
+// all rows.
+func PackGroups(groups [][]int32, panelSize int) []int32 {
+	if panelSize <= 1 {
+		out := make([]int32, 0)
+		for _, g := range groups {
+			out = append(out, g...)
+		}
+		return out
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	out := make([]int32, 0, total)
+	// Large clusters first (their tails fill whole panels anyway).
+	var small [][]int32
+	for _, g := range groups {
+		if len(g) >= panelSize {
+			out = append(out, g...)
+		} else {
+			small = append(small, g)
+		}
+	}
+	// First-fit-decreasing packing of small clusters into panel bins.
+	sort.SliceStable(small, func(a, b int) bool { return len(small[a]) > len(small[b]) })
+	type bin struct {
+		rows []int32
+		free int
+	}
+	var bins []*bin
+	for _, g := range small {
+		placed := false
+		for _, b := range bins {
+			if b.free >= len(g) {
+				b.rows = append(b.rows, g...)
+				b.free -= len(g)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, &bin{rows: append([]int32(nil), g...), free: panelSize - len(g)})
+		}
+	}
+	// Align the bin region to a panel boundary: the large-cluster prefix
+	// may end mid-panel; pad it with the fullest bin contents first so
+	// the boundary effect stays small.
+	for _, b := range bins {
+		out = append(out, b.rows...)
+	}
+	return out
+}
+
+// ReorderRows runs the complete single-round reordering: LSH candidate
+// generation followed by Alg 3 clustering. It returns the row permutation
+// (perm[newPos] = original row).
+func ReorderRows(m *sparse.CSR, lp lsh.Params, thresholdSize int) ([]int32, ClusterStats, error) {
+	return ReorderRowsOrdered(m, lp, thresholdSize, false)
+}
+
+// ReorderRowsOrdered is ReorderRows with a choice of within-cluster
+// emission order (see ClusterOrdered).
+func ReorderRowsOrdered(m *sparse.CSR, lp lsh.Params, thresholdSize int, mergeOrder bool) ([]int32, ClusterStats, error) {
+	pairs, err := lsh.CandidatePairs(m, lp)
+	if err != nil {
+		return nil, ClusterStats{}, err
+	}
+	return ClusterOrdered(m, pairs, thresholdSize, mergeOrder)
+}

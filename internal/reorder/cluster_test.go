@@ -1,0 +1,288 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lsh"
+	"repro/internal/pairheap"
+	"repro/internal/paperex"
+	"repro/internal/sparse"
+)
+
+// TestPaperWorkedExampleClustering reproduces the Fig 6 trace: candidate
+// pairs (0,4) sim 2/3 and (2,4) sim 1/4 cluster the Fig 1a matrix into
+// [0 2 4], leaving rows 1, 3, 5 as singletons — output order
+// [0 2 4 1 3 5].
+func TestPaperWorkedExampleClustering(t *testing.T) {
+	m := paperex.Matrix()
+	idx, sims := paperex.CandidatePairs()
+	pairs := make([]pairheap.Pair, len(idx))
+	for i := range idx {
+		pairs[i] = pairheap.Pair{Sim: sims[i], I: idx[i][0], J: idx[i][1]}
+	}
+	order, stats, err := Cluster(m, pairs, DefaultThresholdSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range paperex.ReorderedRows {
+		if order[i] != want {
+			t.Fatalf("order = %v, want %v", order, paperex.ReorderedRows)
+		}
+	}
+	// Fig 6 trace: two merges ({0,4} then {0,2,4}) and one requeue
+	// ((2,4) retargeted to (2,0)).
+	if stats.Merges != 2 {
+		t.Errorf("merges = %d, want 2", stats.Merges)
+	}
+	if stats.Requeues != 1 {
+		t.Errorf("requeues = %d, want 1", stats.Requeues)
+	}
+	if stats.Clusters != 4 {
+		t.Errorf("clusters = %d, want 4", stats.Clusters)
+	}
+}
+
+// TestClusterOrderedMergeOrder checks the extension emission mode: when
+// weak pairs chain two latent clusters into one, merge-order emission
+// keeps each latent cluster's rows adjacent while index-order emission
+// interleaves them.
+func TestClusterOrderedMergeOrder(t *testing.T) {
+	// Two latent groups {0,2,4} (cols 0-2) and {1,3,5} (cols 10-12)
+	// interleaved by index, plus one weak bridge pair.
+	sets := [][]int32{
+		{0, 1, 2}, {10, 11, 12}, {0, 1, 2}, {10, 11, 12}, {0, 1, 2}, {10, 11, 12, 2},
+	}
+	m, err := sparse.FromRows(6, 16, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []pairheap.Pair{
+		{Sim: 1, I: 0, J: 2},
+		{Sim: 1, I: 0, J: 4},
+		{Sim: 1, I: 1, J: 3},
+		{Sim: 0.75, I: 1, J: 5},
+		{Sim: 0.1, I: 0, J: 5}, // weak bridge merges the groups
+	}
+	ascending, _, err := ClusterOrdered(m, pairs, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeOrd, _, err := ClusterOrdered(m, pairs, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending: one cluster of all six rows -> identity-ish interleave.
+	for i, v := range []int32{0, 1, 2, 3, 4, 5} {
+		if ascending[i] != v {
+			t.Fatalf("ascending emission = %v", ascending)
+		}
+	}
+	// Merge order keeps the two groups contiguous.
+	rm, err := sparse.PermuteRows(m, mergeOrd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascM, err := sparse.PermuteRows(m, ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.AvgConsecutiveSimilarity(rm) <= sparse.AvgConsecutiveSimilarity(ascM) {
+		t.Fatalf("merge-order emission did not improve adjacency: %v vs %v (order %v)",
+			sparse.AvgConsecutiveSimilarity(rm), sparse.AvgConsecutiveSimilarity(ascM), mergeOrd)
+	}
+}
+
+func TestClusterOrderedBothModesPermutations(t *testing.T) {
+	m := paperex.Matrix()
+	idx, sims := paperex.CandidatePairs()
+	pairs := make([]pairheap.Pair, len(idx))
+	for i := range idx {
+		pairs[i] = pairheap.Pair{Sim: sims[i], I: idx[i][0], J: idx[i][1]}
+	}
+	for _, mo := range []bool{false, true} {
+		order, _, err := ClusterOrdered(m, pairs, 0, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.IsPermutation(order, m.Rows) {
+			t.Fatalf("mergeOrder=%v produced non-permutation %v", mo, order)
+		}
+	}
+}
+
+func TestClusterNoPairsIsIdentity(t *testing.T) {
+	m := paperex.Matrix()
+	order, stats, err := Cluster(m, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != int32(i) {
+			t.Fatalf("no-pair clustering should be identity, got %v", order)
+		}
+	}
+	if stats.Merges != 0 || stats.Clusters != m.Rows {
+		t.Fatalf("stats wrong: %+v", stats)
+	}
+}
+
+func TestClusterThresholdRetires(t *testing.T) {
+	// Four identical rows, all pairs proposed, threshold 2: after one
+	// merge each cluster is retired, so we get two pairs of rows, not
+	// one cluster of four.
+	sets := [][]int32{{0, 1}, {0, 1}, {0, 1}, {0, 1}}
+	m, err := sparse.FromRows(4, 4, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []pairheap.Pair{
+		{Sim: 1, I: 0, J: 1},
+		{Sim: 1, I: 0, J: 2},
+		{Sim: 1, I: 0, J: 3},
+		{Sim: 1, I: 1, J: 2},
+		{Sim: 1, I: 1, J: 3},
+		{Sim: 1, I: 2, J: 3},
+	}
+	order, stats, err := Cluster(m, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retired == 0 {
+		t.Fatalf("no cluster retired at threshold 2: %+v", stats)
+	}
+	if !sparse.IsPermutation(order, 4) {
+		t.Fatalf("order not a permutation: %v", order)
+	}
+	// Merges stop at size 2, so exactly 2 merges happen.
+	if stats.Merges != 2 {
+		t.Fatalf("merges = %d, want 2", stats.Merges)
+	}
+}
+
+func TestClusterDefaultThreshold(t *testing.T) {
+	m := paperex.Matrix()
+	if _, _, err := Cluster(m, nil, -5); err != nil {
+		t.Fatalf("negative threshold should fall back to default: %v", err)
+	}
+}
+
+func TestReorderRowsEndToEnd(t *testing.T) {
+	// Two latent groups of identical rows, interleaved; the full
+	// LSH+clustering stack must group them.
+	sets := [][]int32{
+		{0, 1, 2}, {7, 8, 9}, {0, 1, 2}, {7, 8, 9}, {0, 1, 2}, {7, 8, 9},
+	}
+	m, err := sparse.FromRows(6, 12, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, _, err := ReorderRows(m, lsh.DefaultParams(), DefaultThresholdSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(order, 6) {
+		t.Fatalf("not a permutation: %v", order)
+	}
+	rm, err := sparse.PermuteRows(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After reordering, consecutive-row similarity should be (near)
+	// maximal: 5 gaps, at least 4 with similarity 1.
+	if sim := sparse.AvgConsecutiveSimilarity(rm); sim < 0.79 {
+		t.Fatalf("grouping failed: avg consecutive sim %v", sim)
+	}
+}
+
+// Property: clustering always emits a permutation, never merges beyond
+// 2*threshold, and is deterministic.
+func TestPropertyClusterPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(60)
+		cols := 4 + rng.Intn(30)
+		sets := make([][]int32, rows)
+		for i := range sets {
+			n := rng.Intn(5)
+			seen := map[int32]bool{}
+			for len(seen) < n && len(seen) < cols {
+				seen[int32(rng.Intn(cols))] = true
+			}
+			for c := range seen {
+				sets[i] = append(sets[i], c)
+			}
+		}
+		m, err := sparse.FromRows(rows, cols, sets, nil)
+		if err != nil {
+			return false
+		}
+		var pairs []pairheap.Pair
+		for k := 0; k < rows; k++ {
+			i, j := int32(rng.Intn(rows)), int32(rng.Intn(rows))
+			if i == j {
+				continue
+			}
+			pairs = append(pairs, pairheap.Pair{
+				Sim: sparse.RowJaccard(m, int(i), int(j)), I: i, J: j,
+			})
+		}
+		threshold := 2 + rng.Intn(8)
+		o1, _, err1 := Cluster(m, pairs, threshold)
+		o2, _, err2 := Cluster(m, pairs, threshold)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !sparse.IsPermutation(o1, rows) {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false // non-deterministic
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cluster sizes in the emitted order respect the threshold —
+// once a cluster reaches threshold_size it stops growing, so no cluster
+// exceeds 2*threshold-1 (worst case: two just-under-threshold clusters
+// merge).
+func TestPropertyClusterSizeBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 8 + rng.Intn(60)
+		// All rows identical => everything wants to merge.
+		sets := make([][]int32, rows)
+		for i := range sets {
+			sets[i] = []int32{0, 1, 2}
+		}
+		m, err := sparse.FromRows(rows, 4, sets, nil)
+		if err != nil {
+			return false
+		}
+		var pairs []pairheap.Pair
+		for i := int32(0); int(i) < rows; i++ {
+			for j := i + 1; int(j) < rows; j++ {
+				pairs = append(pairs, pairheap.Pair{Sim: 1, I: i, J: j})
+			}
+		}
+		threshold := 2 + rng.Intn(6)
+		_, stats, err := Cluster(m, pairs, threshold)
+		if err != nil {
+			return false
+		}
+		// With every pair proposed at sim 1 and rows > threshold, the
+		// first cluster must grow to threshold and be retired; merges
+		// can never exceed rows-1.
+		return stats.Merges <= rows-1 && stats.Retired >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

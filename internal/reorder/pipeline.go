@@ -1,0 +1,247 @@
+package reorder
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aspt"
+	"repro/internal/lsh"
+	"repro/internal/sparse"
+)
+
+// Config drives the two-round workflow of Fig 5.
+type Config struct {
+	// LSH parameterises candidate-pair generation (paper: siglen=128,
+	// bsize=2).
+	LSH lsh.Params
+	// ThresholdSize is the cluster emission size (paper: 256).
+	ThresholdSize int
+	// ASpT parameterises the tiling applied after round 1.
+	ASpT aspt.Params
+	// DenseRatioSkip: if the dense-tile nonzero ratio of the *original*
+	// matrix is above this, round 1 is skipped (paper: 0.10 — "for all
+	// matrices that show slowdown after row-reordering, the origin
+	// ratios of nonzeros in the dense tiles are greater than 10%").
+	DenseRatioSkip float64
+	// AvgSimSkip: if the average consecutive-row Jaccard similarity of
+	// the leftover sparse part is above this, round 2 is skipped
+	// (paper: 0.1).
+	AvgSimSkip float64
+	// SimSamplePairs caps the number of consecutive pairs sampled when
+	// evaluating AvgSimSkip (0 = exact).
+	SimSamplePairs int
+	// MinRestRatio skips round 2 when the leftover sparse part holds
+	// less than this fraction of the nonzeros — with (almost) everything
+	// in dense tiles there is nothing for the second round to improve.
+	MinRestRatio float64
+	// PanelAlign bin-packs emitted clusters into ASpT panel-sized bins
+	// so cluster boundaries coincide with panel boundaries where
+	// possible (extension; see PackGroups and
+	// BenchmarkAblationPanelAlign). Default false = paper-faithful
+	// concatenation.
+	PanelAlign bool
+	// EmitMergeOrder emits rows of each cluster in join order instead of
+	// the paper's ascending-index order — an extension that preserves
+	// intra-cluster adjacency when weak candidate pairs chain latent
+	// clusters into threshold-sized blobs (see ClusterOrdered and
+	// BenchmarkAblationEmitOrder). Default false = paper-faithful.
+	EmitMergeOrder bool
+	// Force disables both skip heuristics, always applying both rounds
+	// (used by the Fig 9 "what happens if you always reorder" sweep).
+	Force bool
+	// Disable turns the pipeline into plain ASpT-NR: no reordering at
+	// all, only tiling.
+	Disable bool
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	return Config{
+		LSH:            lsh.DefaultParams(),
+		ThresholdSize:  DefaultThresholdSize,
+		ASpT:           aspt.DefaultParams(),
+		DenseRatioSkip: 0.10,
+		AvgSimSkip:     0.1,
+		SimSamplePairs: 1 << 16,
+		MinRestRatio:   0.05,
+	}
+}
+
+// Plan is the output of preprocessing: everything a kernel (native or
+// simulated) needs to execute SpMM/SDDMM on the transformed matrix, plus
+// the metrics the paper's figures are built from.
+type Plan struct {
+	Cfg Config
+
+	// RowPerm maps new row position -> original row (identity when round
+	// 1 was skipped). The tiled matrix's row i is original row
+	// RowPerm[i].
+	RowPerm []int32
+	// InvRowPerm maps original row -> new position.
+	InvRowPerm []int32
+	// Reordered is the row-reordered matrix (== the input when round 1
+	// was skipped; always a distinct value, never aliasing the input).
+	Reordered *sparse.CSR
+	// Tiled is the ASpT representation of Reordered.
+	Tiled *aspt.Matrix
+	// RestOrder is the order in which leftover-part rows are processed
+	// by the row-wise kernel (a permutation of [0, Rows) in *reordered*
+	// row space; identity when round 2 was skipped).
+	RestOrder []int32
+
+	Round1Applied bool
+	Round2Applied bool
+
+	// Fig 9 metrics. "Before" values describe plain ASpT-NR on the
+	// original matrix; "After" the final plan.
+	DenseRatioBefore float64
+	DenseRatioAfter  float64
+	AvgSimBefore     float64
+	AvgSimAfter      float64
+
+	// Preprocess is the wall-clock preprocessing time (LSH + clustering
+	// + tiling, both rounds), the quantity of Fig 12 and Tables 3-4.
+	Preprocess time.Duration
+
+	Round1Stats ClusterStats
+	Round2Stats ClusterStats
+}
+
+// DeltaDenseRatio is Fig 9's x-axis: the change in dense-tile nonzero
+// ratio caused by reordering.
+func (p *Plan) DeltaDenseRatio() float64 { return p.DenseRatioAfter - p.DenseRatioBefore }
+
+// DeltaAvgSim is Fig 9's y-axis: the change in average consecutive-row
+// similarity of the sparse leftover part.
+func (p *Plan) DeltaAvgSim() float64 { return p.AvgSimAfter - p.AvgSimBefore }
+
+// NeedsReordering reports whether the §4 heuristics would apply at least
+// one round to this matrix — the criterion that selects the paper's 416
+// evaluation matrices.
+func (p *Plan) NeedsReordering() bool { return p.Round1Applied || p.Round2Applied }
+
+// Describe renders a human-readable plan summary (used by the CLIs).
+func (p *Plan) Describe() string {
+	return fmt.Sprintf(
+		"round1=%v round2=%v preprocess=%v\n"+
+			"  dense-tile ratio %.3f -> %.3f (Δ%+.3f)\n"+
+			"  rest avg similarity %.3f -> %.3f (Δ%+.3f)\n"+
+			"  round1: %d candidate pairs, %d merges; round2: %d pairs, %d merges",
+		p.Round1Applied, p.Round2Applied, p.Preprocess.Round(time.Millisecond),
+		p.DenseRatioBefore, p.DenseRatioAfter, p.DeltaDenseRatio(),
+		p.AvgSimBefore, p.AvgSimAfter, p.DeltaAvgSim(),
+		p.Round1Stats.CandidatePairs, p.Round1Stats.Merges,
+		p.Round2Stats.CandidatePairs, p.Round2Stats.Merges)
+}
+
+// reorderWithConfig runs one reordering round under the full Config:
+// LSH, clustering with the configured emission order, and (optionally)
+// panel-aligned packing of the emitted clusters.
+func reorderWithConfig(m *sparse.CSR, cfg Config) ([]int32, ClusterStats, error) {
+	if !cfg.PanelAlign {
+		return ReorderRowsOrdered(m, cfg.LSH, cfg.ThresholdSize, cfg.EmitMergeOrder)
+	}
+	pairs, err := lsh.CandidatePairs(m, cfg.LSH)
+	if err != nil {
+		return nil, ClusterStats{}, err
+	}
+	groups, stats, err := ClusterGroups(m, pairs, cfg.ThresholdSize, cfg.EmitMergeOrder)
+	if err != nil {
+		return nil, stats, err
+	}
+	order := PackGroups(groups, cfg.ASpT.PanelSize)
+	if !sparse.IsPermutation(order, m.Rows) {
+		return nil, stats, fmt.Errorf("reorder: panel packing produced a non-permutation (internal error)")
+	}
+	return order, stats, nil
+}
+
+// buildTiled tiles a matrix with the plan's ASpT parameters.
+func buildTiled(m *sparse.CSR, cfg Config) (*aspt.Matrix, error) {
+	return aspt.Build(m, cfg.ASpT)
+}
+
+// Preprocess runs the full Fig 5 workflow on m and returns the Plan.
+// The input matrix is never mutated.
+func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("reorder: input: %w", err)
+	}
+	start := time.Now()
+	p := &Plan{Cfg: cfg}
+
+	// Baseline tiling of the original matrix: needed both for the
+	// round-1 heuristic and for the Before metrics.
+	baseTiled, err := aspt.Build(m, cfg.ASpT)
+	if err != nil {
+		return nil, err
+	}
+	p.DenseRatioBefore = baseTiled.DenseRatio()
+	p.AvgSimBefore = sparse.AvgConsecutiveSimilaritySampled(baseTiled.Rest, cfg.SimSamplePairs)
+
+	// Round 1: reorder the whole matrix to enlarge the dense tiles.
+	doRound1 := !cfg.Disable && (cfg.Force || p.DenseRatioBefore <= cfg.DenseRatioSkip)
+	if doRound1 {
+		perm, stats, err := reorderWithConfig(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.RowPerm = perm
+		p.Round1Stats = stats
+		p.Round1Applied = true
+		p.Reordered, err = sparse.PermuteRows(m, perm)
+		if err != nil {
+			return nil, err
+		}
+		p.Tiled, err = aspt.Build(p.Reordered, cfg.ASpT)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p.RowPerm = sparse.IdentityPermutation(m.Rows)
+		p.Reordered = m.Clone()
+		p.Tiled = baseTiled
+		// Retarget the tiling at the clone so the Plan never aliases the
+		// caller's matrix.
+		p.Tiled.Src = p.Reordered
+		p.Tiled.Rest.Rows = p.Reordered.Rows
+	}
+	p.InvRowPerm = sparse.InversePermutation(p.RowPerm)
+	p.DenseRatioAfter = p.Tiled.DenseRatio()
+
+	// Round 2: reorder the processing order of the leftover sparse part.
+	restSim := sparse.AvgConsecutiveSimilaritySampled(p.Tiled.Rest, cfg.SimSamplePairs)
+	restRatio := 1.0
+	if m.NNZ() > 0 {
+		restRatio = float64(p.Tiled.Rest.NNZ()) / float64(m.NNZ())
+	}
+	doRound2 := !cfg.Disable &&
+		(cfg.Force || (restSim <= cfg.AvgSimSkip && restRatio >= cfg.MinRestRatio))
+	if doRound2 {
+		perm, stats, err := reorderWithConfig(p.Tiled.Rest, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.RestOrder = perm
+		p.Round2Stats = stats
+		p.Round2Applied = true
+		restPerm, err := sparse.PermuteRows(p.Tiled.Rest, perm)
+		if err != nil {
+			return nil, err
+		}
+		p.AvgSimAfter = sparse.AvgConsecutiveSimilaritySampled(restPerm, cfg.SimSamplePairs)
+	} else {
+		p.RestOrder = sparse.IdentityPermutation(m.Rows)
+		p.AvgSimAfter = restSim
+	}
+
+	p.Preprocess = time.Since(start)
+	return p, nil
+}
+
+// PreprocessNR returns the no-reordering plan (plain ASpT-NR), the
+// baseline the paper compares against.
+func PreprocessNR(m *sparse.CSR, cfg Config) (*Plan, error) {
+	cfg.Disable = true
+	return Preprocess(m, cfg)
+}

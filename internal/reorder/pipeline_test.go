@@ -1,0 +1,249 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ASpT.PanelSize = paperex.PanelSize
+	cfg.ASpT.DenseThreshold = paperex.DenseThreshold
+	return cfg
+}
+
+func TestPreprocessValidatesInput(t *testing.T) {
+	bad := &sparse.CSR{Rows: 2, Cols: 2, RowPtr: []int32{0, 1}} // wrong lengths
+	if _, err := Preprocess(bad, DefaultConfig()); err == nil {
+		t.Fatalf("accepted invalid matrix")
+	}
+}
+
+func TestPreprocessDoesNotMutateInput(t *testing.T) {
+	m := paperex.Matrix()
+	orig := m.Clone()
+	plan, err := Preprocess(m, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(orig) {
+		t.Fatalf("input mutated")
+	}
+	// Plan never aliases the input.
+	if plan.Reordered == m || plan.Tiled.Src == m {
+		t.Fatalf("plan aliases input matrix")
+	}
+	plan.Reordered.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Fatalf("plan shares storage with input")
+	}
+}
+
+func TestPreprocessPaperExample(t *testing.T) {
+	m := paperex.Matrix()
+	cfg := smallConfig()
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense ratio of the original is 2/12 = 16.7% > 10%: round 1 is
+	// skipped by the heuristic.
+	if plan.Round1Applied {
+		t.Fatalf("round 1 should be skipped at dense ratio %.3f", plan.DenseRatioBefore)
+	}
+	// Forcing applies both rounds. With threshold_size 3 the clusters
+	// retire at {0,2,4} and {1,3,5}, recovering exactly the Fig 6 order
+	// (with the paper's default threshold of 256 all six rows of this
+	// toy merge into one cluster and the order is unchanged).
+	cfg.Force = true
+	cfg.ThresholdSize = 3
+	plan, err = Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Round1Applied || !plan.Round2Applied {
+		t.Fatalf("force did not apply both rounds")
+	}
+	if plan.DenseRatioAfter <= plan.DenseRatioBefore {
+		t.Fatalf("forced reordering did not improve dense ratio: %.3f -> %.3f",
+			plan.DenseRatioBefore, plan.DenseRatioAfter)
+	}
+	if !sparse.IsPermutation(plan.RowPerm, m.Rows) || !sparse.IsPermutation(plan.RestOrder, m.Rows) {
+		t.Fatalf("plan permutations invalid")
+	}
+}
+
+func TestPreprocessNRIsPlainASpT(t *testing.T) {
+	m := paperex.Matrix()
+	plan, err := PreprocessNR(m, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Round1Applied || plan.Round2Applied || plan.NeedsReordering() {
+		t.Fatalf("NR plan applied reordering")
+	}
+	for i, p := range plan.RowPerm {
+		if p != int32(i) {
+			t.Fatalf("NR RowPerm not identity")
+		}
+	}
+	if plan.DeltaDenseRatio() != 0 {
+		t.Fatalf("NR changed dense ratio")
+	}
+}
+
+// runsMatrix builds a matrix of consecutive runs of identical rows, each
+// run with its own random column set — the Fig 7a "already well
+// clustered" regime.
+func runsMatrix(t *testing.T, rows, cols, runLen, rowNNZ int, seed int64) *sparse.CSR {
+	t.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: rows, Cols: cols, Clusters: rows / runLen,
+		PrototypeNNZ: rowNNZ, Keep: 1.0, Noise: 0, Seed: seed, Scrambled: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHeuristicSkipsWellClustered(t *testing.T) {
+	// Runs of 8 identical rows: every touched column has 8 nonzeros in
+	// its panel (>= dense threshold 4), so the dense ratio is ~1 and
+	// round 1 is skipped; the leftover is (near) empty, so round 2 is
+	// skipped by the MinRestRatio guard.
+	m := runsMatrix(t, 512, 512, 8, 12, 7)
+	cfg := DefaultConfig()
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Round1Applied {
+		t.Fatalf("round 1 applied to well-clustered matrix (dense ratio %.3f)", plan.DenseRatioBefore)
+	}
+	if plan.Round2Applied {
+		t.Fatalf("round 2 applied with empty rest (rest nnz %d)", plan.Tiled.Rest.NNZ())
+	}
+	if plan.NeedsReordering() {
+		t.Fatalf("well-clustered matrix selected for reordering")
+	}
+}
+
+func TestHeuristicSkipsRound2SimilarRest(t *testing.T) {
+	// Runs of 3 identical rows stay below the dense threshold of 4, so
+	// the whole matrix lands in the leftover part; round 1 fires (dense
+	// ratio 0) and groups the runs, after which the rest's consecutive
+	// similarity is ~2/3 > 0.1 and round 2 is skipped.
+	// Columns are spread over a wide space so distinct runs rarely share
+	// a column within a panel (which would create dense tiles).
+	m := runsMatrix(t, 513, 8192, 3, 12, 9)
+	cfg := DefaultConfig()
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Round1Applied {
+		t.Fatalf("round 1 skipped (dense ratio %.3f)", plan.DenseRatioBefore)
+	}
+	if plan.Round2Applied {
+		t.Fatalf("round 2 applied to similar rest (avg sim after round 1: %.3f)",
+			sparse.AvgConsecutiveSimilaritySampled(plan.Tiled.Rest, 0))
+	}
+}
+
+func TestHeuristicAppliesToScrambled(t *testing.T) {
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 1024, Cols: 1024, Clusters: 128, PrototypeNNZ: 16,
+		Keep: 0.8, Noise: 1, Seed: 5, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Preprocess(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.NeedsReordering() {
+		t.Fatalf("scrambled clusters not selected for reordering (dense %.3f, sim %.3f)",
+			plan.DenseRatioBefore, plan.AvgSimBefore)
+	}
+	if plan.Preprocess <= 0 {
+		t.Fatalf("preprocessing time not recorded")
+	}
+}
+
+func TestDisableOverridesForce(t *testing.T) {
+	m := paperex.Matrix()
+	cfg := smallConfig()
+	cfg.Force = true
+	cfg.Disable = true
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NeedsReordering() {
+		t.Fatalf("Disable did not win over Force")
+	}
+}
+
+func TestRound2ReordersRestOnly(t *testing.T) {
+	// A matrix whose tiles capture nothing (diagonal-ish, scattered):
+	// round 2's RestOrder must be a permutation while RowPerm stays
+	// identity when round 1 is skipped by Force=false + high ratio...
+	// Use force to guarantee both rounds run, then check RestOrder is
+	// applied to the Rest matrix's row space.
+	m, err := synth.Uniform(256, 256, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Force = true
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsPermutation(plan.RestOrder, plan.Tiled.Rest.Rows) {
+		t.Fatalf("RestOrder invalid")
+	}
+	// AvgSimAfter is measured on the rest matrix in RestOrder.
+	rp, err := sparse.PermuteRows(plan.Tiled.Rest, plan.RestOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sparse.AvgConsecutiveSimilaritySampled(rp, cfg.SimSamplePairs)
+	if got != plan.AvgSimAfter {
+		t.Fatalf("AvgSimAfter %v does not match recomputation %v", plan.AvgSimAfter, got)
+	}
+}
+
+func TestInvRowPermInvertsRowPerm(t *testing.T) {
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 512, Cols: 512, Clusters: 64, PrototypeNNZ: 12,
+		Keep: 0.9, Noise: 1, Seed: 11, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Force = true
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plan.RowPerm {
+		if plan.InvRowPerm[p] != int32(i) {
+			t.Fatalf("InvRowPerm broken at %d", i)
+		}
+	}
+	// Reordered really is the permuted input.
+	pm, err := sparse.PermuteRows(m, plan.RowPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Equal(plan.Reordered) {
+		t.Fatalf("Reordered != PermuteRows(m, RowPerm)")
+	}
+}

@@ -1,0 +1,139 @@
+package reorder
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/sparse"
+)
+
+// Plan serialization for the paper's offline scenario (§5.4: "reordering
+// a graph for graph neural network inference ... incurs little overhead
+// at compile-time"): the permutations and decision bits of a Plan are
+// written to a compact binary file at preprocessing time and re-applied
+// at deployment time without re-running LSH or clustering.
+//
+// Format (little-endian):
+//
+//	magic  uint32 = 0x52525031 ("RRP1")
+//	rows   uint32
+//	flags  uint32 (bit0 round1, bit1 round2)
+//	rowPerm   [rows]uint32
+//	restOrder [rows]uint32
+
+const planMagic = 0x52525031
+
+// ErrPlanFormat is wrapped by all plan-deserialization failures.
+var ErrPlanFormat = errors.New("reorder: bad plan file")
+
+// WritePlan serialises the plan's permutations to w.
+func WritePlan(w io.Writer, p *Plan) error {
+	bw := bufio.NewWriter(w)
+	head := []uint32{planMagic, uint32(len(p.RowPerm)), 0}
+	if p.Round1Applied {
+		head[2] |= 1
+	}
+	if p.Round2Applied {
+		head[2] |= 2
+	}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, perm := range [][]int32{p.RowPerm, p.RestOrder} {
+		if len(perm) != len(p.RowPerm) {
+			return fmt.Errorf("reorder: plan permutations of unequal length")
+		}
+		for _, v := range perm {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SavedPlan is the deserialised form of a plan file: just the decisions
+// and permutations, without the matrices.
+type SavedPlan struct {
+	Rows          int
+	Round1Applied bool
+	Round2Applied bool
+	RowPerm       []int32
+	RestOrder     []int32
+}
+
+// ReadPlan parses a plan file.
+func ReadPlan(r io.Reader) (*SavedPlan, error) {
+	br := bufio.NewReader(r)
+	var head [3]uint32
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
+		}
+	}
+	if head[0] != planMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrPlanFormat, head[0])
+	}
+	rows := int(head[1])
+	if rows < 0 || rows > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible row count %d", ErrPlanFormat, rows)
+	}
+	sp := &SavedPlan{
+		Rows:          rows,
+		Round1Applied: head[2]&1 != 0,
+		Round2Applied: head[2]&2 != 0,
+		RowPerm:       make([]int32, rows),
+		RestOrder:     make([]int32, rows),
+	}
+	for _, perm := range [][]int32{sp.RowPerm, sp.RestOrder} {
+		for i := range perm {
+			var v uint32
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, fmt.Errorf("%w: truncated permutation: %v", ErrPlanFormat, err)
+			}
+			perm[i] = int32(v)
+		}
+		if !sparse.IsPermutation(perm, rows) {
+			return nil, fmt.Errorf("%w: stored order is not a permutation", ErrPlanFormat)
+		}
+	}
+	return sp, nil
+}
+
+// Apply rebuilds a full executable Plan for matrix m from the saved
+// permutations: the matrix is permuted and re-tiled (cheap, O(nnz)), but
+// LSH and clustering are skipped. It fails if m's row count does not
+// match the saved plan.
+func (sp *SavedPlan) Apply(m *sparse.CSR, cfg Config) (*Plan, error) {
+	if m.Rows != sp.Rows {
+		return nil, fmt.Errorf("reorder: saved plan is for %d rows, matrix has %d", sp.Rows, m.Rows)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	reordered, err := sparse.PermuteRows(m, sp.RowPerm)
+	if err != nil {
+		return nil, err
+	}
+	tiled, err := buildTiled(reordered, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Cfg:           cfg,
+		RowPerm:       append([]int32(nil), sp.RowPerm...),
+		InvRowPerm:    sparse.InversePermutation(sp.RowPerm),
+		Reordered:     reordered,
+		Tiled:         tiled,
+		RestOrder:     append([]int32(nil), sp.RestOrder...),
+		Round1Applied: sp.Round1Applied,
+		Round2Applied: sp.Round2Applied,
+	}
+	p.DenseRatioAfter = tiled.DenseRatio()
+	return p, nil
+}

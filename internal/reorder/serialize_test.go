@@ -1,0 +1,128 @@
+package reorder
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/synth"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 512, Cols: 512, Clusters: 64, PrototypeNNZ: 12,
+		Keep: 0.8, Noise: 1, Seed: 3, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Force = true
+	plan, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Rows != m.Rows || sp.Round1Applied != plan.Round1Applied || sp.Round2Applied != plan.Round2Applied {
+		t.Fatalf("metadata mismatch: %+v", sp)
+	}
+	for i := range plan.RowPerm {
+		if sp.RowPerm[i] != plan.RowPerm[i] || sp.RestOrder[i] != plan.RestOrder[i] {
+			t.Fatalf("permutation mismatch at %d", i)
+		}
+	}
+
+	// Applying the saved plan reproduces the tiled execution exactly.
+	rebuilt, err := sp.Apply(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.Reordered.Equal(plan.Reordered) {
+		t.Fatalf("rebuilt reordered matrix differs")
+	}
+	if rebuilt.Tiled.NNZDense() != plan.Tiled.NNZDense() {
+		t.Fatalf("rebuilt tiling differs: %d vs %d", rebuilt.Tiled.NNZDense(), plan.Tiled.NNZDense())
+	}
+	x := dense.NewRandom(m.Cols, 8, 1)
+	a, err := kernels.SpMMASpT(plan.Tiled, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kernels.SpMMASpT(rebuilt.Tiled, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.MaxAbsDiff(a, b) != 0 {
+		t.Fatalf("rebuilt plan computes different results")
+	}
+}
+
+func TestReadPlanRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     {1, 2, 3},
+		"bad magic": append([]byte{0, 0, 0, 0}, make([]byte, 8)...),
+	}
+	for name, in := range cases {
+		if _, err := ReadPlan(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Valid header, truncated permutation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x31, 0x50, 0x52, 0x52}) // magic LE
+	buf.Write([]byte{4, 0, 0, 0})             // rows = 4
+	buf.Write([]byte{3, 0, 0, 0})             // flags
+	buf.Write([]byte{0, 0, 0, 0})             // only one perm entry
+	if _, err := ReadPlan(&buf); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated file accepted: %v", err)
+	}
+}
+
+func TestReadPlanRejectsNonPermutation(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x31, 0x50, 0x52, 0x52})
+	buf.Write([]byte{2, 0, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0})
+	// RowPerm = [0, 0] (invalid), RestOrder = [0, 1].
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0, 1, 0, 0, 0})
+	if _, err := ReadPlan(&buf); err == nil {
+		t.Fatalf("non-permutation accepted")
+	}
+}
+
+func TestApplyRowCountMismatch(t *testing.T) {
+	m, err := synth.Uniform(64, 64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PreprocessNR(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := synth.Uniform(32, 64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Apply(other, DefaultConfig()); err == nil {
+		t.Fatalf("row-count mismatch accepted")
+	}
+}

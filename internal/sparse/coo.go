@@ -1,0 +1,146 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one nonzero in coordinate (triplet) form.
+type Entry struct {
+	Row, Col int32
+	Val      float32
+}
+
+// COO is a sparse matrix in coordinate format: an unordered bag of
+// (row, col, val) triplets. It is the natural intermediate form for
+// matrix construction and Matrix Market input.
+type COO struct {
+	Rows, Cols int
+	Entries    []Entry
+}
+
+// NewCOO returns an empty COO matrix with the given dimensions.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add appends a triplet. Bounds are checked at ToCSR time, not here, so
+// bulk loading stays cheap.
+func (c *COO) Add(row, col int, val float32) {
+	c.Entries = append(c.Entries, Entry{Row: int32(row), Col: int32(col), Val: val})
+}
+
+// NNZ returns the number of stored triplets (before coalescing, duplicates
+// count separately).
+func (c *COO) NNZ() int { return len(c.Entries) }
+
+// Coalesce sorts the triplets into row-major order and merges duplicates
+// by summing their values (the conventional semantics for assembled
+// finite-element style input). Explicit zeros produced by cancellation are
+// kept, matching Matrix Market semantics.
+func (c *COO) Coalesce() {
+	sort.Slice(c.Entries, func(i, j int) bool {
+		a, b := c.Entries[i], c.Entries[j]
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	out := c.Entries[:0]
+	for _, e := range c.Entries {
+		if n := len(out); n > 0 && out[n-1].Row == e.Row && out[n-1].Col == e.Col {
+			out[n-1].Val += e.Val
+		} else {
+			out = append(out, e)
+		}
+	}
+	c.Entries = out
+}
+
+// ToCSR coalesces the triplets and converts to CSR. It returns an error if
+// any index is out of range.
+func (c *COO) ToCSR() (*CSR, error) {
+	for _, e := range c.Entries {
+		if e.Row < 0 || int(e.Row) >= c.Rows || e.Col < 0 || int(e.Col) >= c.Cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) out of range %dx%d",
+				ErrInvalid, e.Row, e.Col, c.Rows, c.Cols)
+		}
+	}
+	c.Coalesce()
+	m := &CSR{
+		Rows:   c.Rows,
+		Cols:   c.Cols,
+		RowPtr: make([]int32, c.Rows+1),
+		ColIdx: make([]int32, len(c.Entries)),
+		Val:    make([]float32, len(c.Entries)),
+	}
+	for _, e := range c.Entries {
+		m.RowPtr[e.Row+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	for j, e := range c.Entries {
+		m.ColIdx[j] = e.Col
+		m.Val[j] = e.Val
+	}
+	return m, nil
+}
+
+// FromRows builds a CSR matrix from per-row column/value lists. Columns in
+// each row need not be sorted; they are sorted during construction.
+// Duplicate columns within a row are rejected.
+func FromRows(rows, cols int, colIdx [][]int32, vals [][]float32) (*CSR, error) {
+	if len(colIdx) != rows {
+		return nil, fmt.Errorf("%w: %d row lists for %d rows", ErrInvalid, len(colIdx), rows)
+	}
+	if vals != nil && len(vals) != rows {
+		return nil, fmt.Errorf("%w: %d value lists for %d rows", ErrInvalid, len(vals), rows)
+	}
+	nnz := 0
+	for _, r := range colIdx {
+		nnz += len(r)
+	}
+	m := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int32, rows+1),
+		ColIdx: make([]int32, 0, nnz),
+		Val:    make([]float32, 0, nnz),
+	}
+	for i, r := range colIdx {
+		m.ColIdx = append(m.ColIdx, r...)
+		if vals == nil {
+			for range r {
+				m.Val = append(m.Val, 1)
+			}
+		} else {
+			if len(vals[i]) != len(r) {
+				return nil, fmt.Errorf("%w: row %d has %d cols but %d vals",
+					ErrInvalid, i, len(r), len(vals[i]))
+			}
+			m.Val = append(m.Val, vals[i]...)
+		}
+		m.RowPtr[i+1] = int32(len(m.ColIdx))
+	}
+	if err := m.SortRows(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ToCOO converts a CSR matrix back to triplet form.
+func (m *CSR) ToCOO() *COO {
+	c := NewCOO(m.Rows, m.Cols)
+	c.Entries = make([]Entry, 0, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.RowCols(i), m.RowVals(i)
+		for j := range cols {
+			c.Entries = append(c.Entries, Entry{Row: int32(i), Col: cols[j], Val: vals[j]})
+		}
+	}
+	return c
+}

@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSR(t *testing.T) {
+	c := NewCOO(3, 4)
+	c.Add(2, 1, 5)
+	c.Add(0, 3, 1)
+	c.Add(0, 0, 2)
+	m, err := c.ToCSR()
+	if err != nil {
+		t.Fatalf("ToCSR: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("result invalid: %v", err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if cols := m.RowCols(0); len(cols) != 2 || cols[0] != 0 || cols[1] != 3 {
+		t.Fatalf("row 0 cols = %v", cols)
+	}
+	if m.RowVals(2)[0] != 5 {
+		t.Fatalf("row 2 value = %v, want 5", m.RowVals(2)[0])
+	}
+}
+
+func TestCOODuplicatesSum(t *testing.T) {
+	c := NewCOO(1, 2)
+	c.Add(0, 1, 1.5)
+	c.Add(0, 1, 2.5)
+	c.Add(0, 0, 1)
+	m, err := c.ToCSR()
+	if err != nil {
+		t.Fatalf("ToCSR: %v", err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("duplicates not merged, NNZ = %d", m.NNZ())
+	}
+	if v := m.RowVals(0)[1]; v != 4 {
+		t.Fatalf("duplicate sum = %v, want 4", v)
+	}
+}
+
+func TestCOOOutOfRange(t *testing.T) {
+	for _, e := range []Entry{{Row: 3, Col: 0}, {Row: -1, Col: 0}, {Row: 0, Col: 9}, {Row: 0, Col: -2}} {
+		c := NewCOO(3, 3)
+		c.Entries = append(c.Entries, e)
+		if _, err := c.ToCSR(); err == nil {
+			t.Errorf("ToCSR accepted out-of-range entry %+v", e)
+		}
+	}
+}
+
+func TestCOOCancellationKeepsExplicitZero(t *testing.T) {
+	c := NewCOO(1, 1)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, -1)
+	m, err := c.ToCSR()
+	if err != nil {
+		t.Fatalf("ToCSR: %v", err)
+	}
+	if m.NNZ() != 1 || m.Val[0] != 0 {
+		t.Fatalf("cancelled entry should stay as explicit zero, got nnz=%d", m.NNZ())
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(2, 3, [][]int32{{0}}, nil); err == nil {
+		t.Errorf("row-count mismatch accepted")
+	}
+	if _, err := FromRows(1, 3, [][]int32{{0, 5}}, nil); err == nil {
+		t.Errorf("column out of range accepted")
+	}
+	if _, err := FromRows(1, 3, [][]int32{{1, 1}}, nil); err == nil {
+		t.Errorf("duplicate column accepted")
+	}
+	if _, err := FromRows(1, 3, [][]int32{{0, 1}}, [][]float32{{1}}); err == nil {
+		t.Errorf("value-length mismatch accepted")
+	}
+}
+
+func TestFromRowsUnsortedInput(t *testing.T) {
+	m, err := FromRows(1, 5, [][]int32{{4, 0, 2}}, [][]float32{{40, 0, 20}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	cols, vals := m.RowCols(0), m.RowVals(0)
+	if cols[0] != 0 || cols[1] != 2 || cols[2] != 4 {
+		t.Fatalf("not sorted: %v", cols)
+	}
+	if vals[0] != 0 || vals[1] != 20 || vals[2] != 40 {
+		t.Fatalf("values did not move with cols: %v", vals)
+	}
+}
+
+// Property: CSR -> COO -> CSR is the identity.
+func TestPropertyCOORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 16, 16, 6)
+		back, err := m.ToCOO().ToCSR()
+		if err != nil {
+			return false
+		}
+		return m.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package sparse provides compressed sparse matrix representations and the
+// structural operations (permutation, transposition, similarity metrics,
+// Matrix Market I/O) that the row-reordering pipeline is built on.
+//
+// The central type is CSR, the compressed-sparse-row format described in
+// §2.1 of the paper: three arrays RowPtr, ColIdx, and Val, where row i's
+// nonzeros occupy positions RowPtr[i] .. RowPtr[i+1]-1 of ColIdx/Val.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row format.
+//
+// Invariants (checked by Validate):
+//   - len(RowPtr) == Rows+1, RowPtr[0] == 0, RowPtr is non-decreasing,
+//     RowPtr[Rows] == len(ColIdx) == len(Val)
+//   - 0 <= ColIdx[j] < Cols for all j
+//   - column indices within each row are strictly increasing (sorted,
+//     no duplicates)
+//
+// The zero value is an empty 0×0 matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float32
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// RowLen returns the number of nonzeros stored in row i.
+func (m *CSR) RowLen(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// RowCols returns the column indices of row i as a sub-slice of ColIdx.
+// The caller must not modify the result.
+func (m *CSR) RowCols(i int) []int32 { return m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]] }
+
+// RowVals returns the values of row i as a sub-slice of Val.
+// The caller must not modify the result.
+func (m *CSR) RowVals(i int) []float32 { return m.Val[m.RowPtr[i]:m.RowPtr[i+1]] }
+
+// MaxRowLen returns the number of nonzeros in the longest row
+// (the d_max of the paper's LSH complexity analysis). It is 0 for an
+// empty matrix.
+func (m *CSR) MaxRowLen() int {
+	max := 0
+	for i := 0; i < m.Rows; i++ {
+		if l := m.RowLen(i); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int32, len(m.RowPtr)),
+		ColIdx: make([]int32, len(m.ColIdx)),
+		Val:    make([]float32, len(m.Val)),
+	}
+	copy(c.RowPtr, m.RowPtr)
+	copy(c.ColIdx, m.ColIdx)
+	copy(c.Val, m.Val)
+	return c
+}
+
+// Equal reports whether two matrices have identical dimensions, structure,
+// and values.
+func (m *CSR) Equal(o *CSR) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for j := range m.ColIdx {
+		if m.ColIdx[j] != o.ColIdx[j] || m.Val[j] != o.Val[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameStructure reports whether two matrices have the same sparsity
+// pattern, ignoring values.
+func (m *CSR) SameStructure(o *CSR) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for j := range m.ColIdx {
+		if m.ColIdx[j] != o.ColIdx[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrInvalid is wrapped by all structural validation failures.
+var ErrInvalid = errors.New("invalid CSR matrix")
+
+// Validate checks all CSR structural invariants and returns a descriptive
+// error for the first violation found.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("%w: negative dimensions %dx%d", ErrInvalid, m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("%w: len(RowPtr)=%d, want %d", ErrInvalid, len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("%w: RowPtr[0]=%d, want 0", ErrInvalid, m.RowPtr[0])
+	}
+	if len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("%w: len(ColIdx)=%d != len(Val)=%d", ErrInvalid, len(m.ColIdx), len(m.Val))
+	}
+	if int(m.RowPtr[m.Rows]) != len(m.ColIdx) {
+		return fmt.Errorf("%w: RowPtr[%d]=%d != nnz=%d", ErrInvalid, m.Rows, m.RowPtr[m.Rows], len(m.ColIdx))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] < m.RowPtr[i] {
+			return fmt.Errorf("%w: RowPtr decreases at row %d (%d -> %d)", ErrInvalid, i, m.RowPtr[i], m.RowPtr[i+1])
+		}
+		prev := int32(-1)
+		for _, c := range m.RowCols(i) {
+			if c < 0 || int(c) >= m.Cols {
+				return fmt.Errorf("%w: row %d has column %d out of range [0,%d)", ErrInvalid, i, c, m.Cols)
+			}
+			if c <= prev {
+				return fmt.Errorf("%w: row %d columns not strictly increasing at col %d", ErrInvalid, i, c)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// SortRows sorts the column indices (and companion values) within every
+// row into increasing order. Duplicate column indices within a row are an
+// error (CSR requires a coalesced matrix; use COO.Coalesce for raw input).
+func (m *CSR) SortRows() error {
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		seg := rowSegment{cols: m.ColIdx[lo:hi], vals: m.Val[lo:hi]}
+		sort.Sort(seg)
+		for j := 1; j < len(seg.cols); j++ {
+			if seg.cols[j] == seg.cols[j-1] {
+				return fmt.Errorf("%w: duplicate column %d in row %d", ErrInvalid, seg.cols[j], i)
+			}
+		}
+	}
+	return nil
+}
+
+type rowSegment struct {
+	cols []int32
+	vals []float32
+}
+
+func (s rowSegment) Len() int           { return len(s.cols) }
+func (s rowSegment) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s rowSegment) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// Density returns nnz / (rows*cols), or 0 for a degenerate matrix.
+func (m *CSR) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// String summarises the matrix without dumping its contents.
+func (m *CSR) String() string {
+	return fmt.Sprintf("CSR(%dx%d, nnz=%d)", m.Rows, m.Cols, m.NNZ())
+}
+
+// ToDense expands the matrix into a row-major dense [][]float32. Intended
+// for tests and tiny examples only.
+func (m *CSR) ToDense() [][]float32 {
+	d := make([][]float32, m.Rows)
+	buf := make([]float32, m.Rows*m.Cols)
+	for i := range d {
+		d[i] = buf[i*m.Cols : (i+1)*m.Cols]
+		cols, vals := m.RowCols(i), m.RowVals(i)
+		for j, c := range cols {
+			d[i][c] = vals[j]
+		}
+	}
+	return d
+}

@@ -1,0 +1,207 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mustFromRows builds a CSR matrix or fails the test.
+func mustFromRows(t *testing.T, rows, cols int, colIdx [][]int32) *CSR {
+	t.Helper()
+	m, err := FromRows(rows, cols, colIdx, nil)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+// randomCSR generates a valid random matrix for property tests.
+func randomCSR(rng *rand.Rand, maxRows, maxCols, maxPerRow int) *CSR {
+	rows := 1 + rng.Intn(maxRows)
+	cols := 1 + rng.Intn(maxCols)
+	sets := make([][]int32, rows)
+	for i := range sets {
+		n := rng.Intn(maxPerRow + 1)
+		if n > cols {
+			n = cols
+		}
+		seen := map[int32]bool{}
+		for len(seen) < n {
+			seen[int32(rng.Intn(cols))] = true
+		}
+		for c := range seen {
+			sets[i] = append(sets[i], c)
+		}
+	}
+	m, err := FromRows(rows, cols, sets, nil)
+	if err != nil {
+		panic(err)
+	}
+	// Randomise values.
+	for j := range m.Val {
+		m.Val[j] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+func TestCSREmpty(t *testing.T) {
+	var m CSR
+	m.RowPtr = []int32{0}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("empty matrix should validate: %v", err)
+	}
+	if m.NNZ() != 0 || m.Density() != 0 || m.MaxRowLen() != 0 {
+		t.Fatalf("empty matrix has nonzero stats")
+	}
+}
+
+func TestCSRAccessors(t *testing.T) {
+	m := mustFromRows(t, 3, 5, [][]int32{{0, 4}, {}, {1, 2, 3}})
+	if m.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5", m.NNZ())
+	}
+	if got := m.RowLen(0); got != 2 {
+		t.Errorf("RowLen(0) = %d, want 2", got)
+	}
+	if got := m.RowLen(1); got != 0 {
+		t.Errorf("RowLen(1) = %d, want 0", got)
+	}
+	if got := m.MaxRowLen(); got != 3 {
+		t.Errorf("MaxRowLen = %d, want 3", got)
+	}
+	cols := m.RowCols(2)
+	if len(cols) != 3 || cols[0] != 1 || cols[2] != 3 {
+		t.Errorf("RowCols(2) = %v", cols)
+	}
+	if d := m.Density(); d != 5.0/15.0 {
+		t.Errorf("Density = %v", d)
+	}
+}
+
+func TestCSRRowPtrSemantics(t *testing.T) {
+	// The paper's Fig 1b walk-through: rowptr[1]=2 means row 1 starts at
+	// colidx[2].
+	m := mustFromRows(t, 2, 6, [][]int32{{0, 4}, {1, 3, 5}})
+	if m.RowPtr[1] != 2 {
+		t.Fatalf("RowPtr[1] = %d, want 2", m.RowPtr[1])
+	}
+	if m.ColIdx[m.RowPtr[1]] != 1 {
+		t.Fatalf("first col of row 1 = %d, want 1", m.ColIdx[m.RowPtr[1]])
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *CSR {
+		return mustFromRows(t, 2, 4, [][]int32{{0, 2}, {1, 3}})
+	}
+	cases := []struct {
+		name   string
+		mutate func(*CSR)
+	}{
+		{"negative rows", func(m *CSR) { m.Rows = -1 }},
+		{"rowptr length", func(m *CSR) { m.RowPtr = m.RowPtr[:2] }},
+		{"rowptr first", func(m *CSR) { m.RowPtr[0] = 1 }},
+		{"rowptr decreasing", func(m *CSR) { m.RowPtr[1] = 3; m.RowPtr[2] = 2 }},
+		{"rowptr total", func(m *CSR) { m.RowPtr[2] = 3 }},
+		{"col out of range", func(m *CSR) { m.ColIdx[0] = 99 }},
+		{"col negative", func(m *CSR) { m.ColIdx[0] = -1 }},
+		{"cols unsorted", func(m *CSR) { m.ColIdx[0], m.ColIdx[1] = m.ColIdx[1], m.ColIdx[0] }},
+		{"dup col", func(m *CSR) { m.ColIdx[1] = m.ColIdx[0] }},
+		{"val length", func(m *CSR) { m.Val = m.Val[:3] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := fresh()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatalf("Validate accepted corrupted matrix (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := mustFromRows(t, 2, 4, [][]int32{{0, 2}, {1}})
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatalf("clone not equal")
+	}
+	c.Val[0] = 42
+	c.ColIdx[0] = 3
+	if m.Val[0] == 42 || m.ColIdx[0] == 3 {
+		t.Fatalf("clone shares storage with original")
+	}
+	if m.Equal(c) {
+		t.Fatalf("Equal missed value difference")
+	}
+}
+
+func TestSameStructureIgnoresValues(t *testing.T) {
+	m := mustFromRows(t, 2, 4, [][]int32{{0, 2}, {1}})
+	c := m.Clone()
+	c.Val[0] = 42
+	if !m.SameStructure(c) {
+		t.Fatalf("SameStructure should ignore values")
+	}
+	c.ColIdx[0] = 1
+	if m.SameStructure(c) {
+		t.Fatalf("SameStructure missed column difference")
+	}
+}
+
+func TestSortRowsRejectsDuplicates(t *testing.T) {
+	m := &CSR{
+		Rows: 1, Cols: 4,
+		RowPtr: []int32{0, 2},
+		ColIdx: []int32{2, 2},
+		Val:    []float32{1, 2},
+	}
+	if err := m.SortRows(); err == nil {
+		t.Fatalf("SortRows accepted duplicate columns")
+	}
+}
+
+func TestSortRowsSorts(t *testing.T) {
+	m := &CSR{
+		Rows: 1, Cols: 4,
+		RowPtr: []int32{0, 3},
+		ColIdx: []int32{3, 0, 2},
+		Val:    []float32{30, 0, 20},
+	}
+	if err := m.SortRows(); err != nil {
+		t.Fatalf("SortRows: %v", err)
+	}
+	if m.ColIdx[0] != 0 || m.ColIdx[1] != 2 || m.ColIdx[2] != 3 {
+		t.Fatalf("columns not sorted: %v", m.ColIdx)
+	}
+	if m.Val[0] != 0 || m.Val[1] != 20 || m.Val[2] != 30 {
+		t.Fatalf("values did not follow columns: %v", m.Val)
+	}
+}
+
+func TestToDense(t *testing.T) {
+	m := mustFromRows(t, 2, 3, [][]int32{{0, 2}, {1}})
+	m.Val[0], m.Val[1], m.Val[2] = 1, 2, 3
+	d := m.ToDense()
+	want := [][]float32{{1, 0, 2}, {0, 3, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if d[i][j] != want[i][j] {
+				t.Fatalf("dense[%d][%d] = %v, want %v", i, j, d[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestPropertyCloneValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 20, 20, 8)
+		c := m.Clone()
+		return c.Validate() == nil && m.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

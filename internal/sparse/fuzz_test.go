@@ -1,0 +1,39 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMTX drives the Matrix Market parser with arbitrary input: it
+// must never panic, and anything it accepts must be a structurally valid
+// matrix that survives a write/read round trip.
+func FuzzReadMTX(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 -3\n")
+	f.Add("% comment only")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999999 1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMTX(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid matrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMTX(&buf, m); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadMTX(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !back.SameStructure(m) {
+			t.Fatalf("round trip changed structure")
+		}
+	})
+}

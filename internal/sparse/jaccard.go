@@ -1,0 +1,78 @@
+package sparse
+
+// Jaccard computes the Jaccard similarity |a ∩ b| / |a ∪ b| of two sorted
+// int32 sets. Two empty sets have similarity 0 (the paper never compares
+// empty rows; 0 keeps empty rows from being spuriously clustered).
+func Jaccard(a, b []int32) float64 {
+	inter := IntersectionSize(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// IntersectionSize returns |a ∩ b| for two sorted int32 sets via a linear
+// merge.
+func IntersectionSize(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// UnionSize returns |a ∪ b| for two sorted int32 sets.
+func UnionSize(a, b []int32) int {
+	return len(a) + len(b) - IntersectionSize(a, b)
+}
+
+// RowJaccard computes the Jaccard similarity between rows i and j of m,
+// treating each row as the set of its column indices (§3.2 of the paper).
+func RowJaccard(m *CSR, i, j int) float64 {
+	return Jaccard(m.RowCols(i), m.RowCols(j))
+}
+
+// AvgConsecutiveSimilarity computes the average Jaccard similarity between
+// every pair of contiguous rows, the §4 indicator used to decide whether
+// the second round of row-reordering should be skipped. A matrix with
+// fewer than two rows has average similarity 0.
+func AvgConsecutiveSimilarity(m *CSR) float64 {
+	if m.Rows < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i+1 < m.Rows; i++ {
+		sum += RowJaccard(m, i, i+1)
+	}
+	return sum / float64(m.Rows-1)
+}
+
+// AvgConsecutiveSimilaritySampled is AvgConsecutiveSimilarity computed on
+// at most maxPairs evenly spaced consecutive pairs, so the §4 heuristic
+// stays cheap on very large matrices. maxPairs <= 0 means exact.
+func AvgConsecutiveSimilaritySampled(m *CSR, maxPairs int) float64 {
+	pairs := m.Rows - 1
+	if pairs <= 0 {
+		return 0
+	}
+	if maxPairs <= 0 || pairs <= maxPairs {
+		return AvgConsecutiveSimilarity(m)
+	}
+	stride := float64(pairs) / float64(maxPairs)
+	sum := 0.0
+	for k := 0; k < maxPairs; k++ {
+		i := int(float64(k) * stride)
+		sum += RowJaccard(m, i, i+1)
+	}
+	return sum / float64(maxPairs)
+}

@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaccardBasics(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want float64
+	}{
+		{[]int32{0, 4}, []int32{0, 3, 4}, 2.0 / 3.0}, // the paper's §3.2 example
+		{[]int32{1, 2}, []int32{1, 2}, 1},
+		{[]int32{1}, []int32{2}, 0},
+		{nil, nil, 0},
+		{[]int32{1}, nil, 0},
+		{[]int32{0, 1, 2, 3}, []int32{2, 3, 4, 5}, 2.0 / 6.0},
+	}
+	for _, tc := range cases {
+		if got := Jaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestIntersectionUnion(t *testing.T) {
+	a := []int32{1, 3, 5, 7}
+	b := []int32{3, 4, 5, 8, 9}
+	if got := IntersectionSize(a, b); got != 2 {
+		t.Errorf("IntersectionSize = %d, want 2", got)
+	}
+	if got := UnionSize(a, b); got != 7 {
+		t.Errorf("UnionSize = %d, want 7", got)
+	}
+}
+
+func TestAvgConsecutiveSimilarity(t *testing.T) {
+	// The Fig 7a well-clustered matrix: identical rows in runs of three.
+	// J between rows inside a run is 1; across runs it is 0, giving the
+	// paper's average of (1+1+0+1+1)/5 = 0.8.
+	rows := [][]int32{{0, 1}, {0, 1}, {0, 1}, {4, 5}, {4, 5}, {4, 5}}
+	m := mustFromRows(t, 6, 6, rows)
+	if got := AvgConsecutiveSimilarity(m); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("AvgConsecutiveSimilarity = %v, want 0.8", got)
+	}
+}
+
+func TestAvgConsecutiveSimilarityDegenerate(t *testing.T) {
+	if got := AvgConsecutiveSimilarity(mustFromRows(t, 1, 3, [][]int32{{0}})); got != 0 {
+		t.Errorf("single row: got %v", got)
+	}
+	var m CSR
+	m.RowPtr = []int32{0}
+	if got := AvgConsecutiveSimilarity(&m); got != 0 {
+		t.Errorf("empty: got %v", got)
+	}
+}
+
+func TestAvgConsecutiveSimilaritySampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 200, 50, 8)
+	exact := AvgConsecutiveSimilarity(m)
+	if got := AvgConsecutiveSimilaritySampled(m, 0); got != exact {
+		t.Errorf("maxPairs=0 should be exact: %v vs %v", got, exact)
+	}
+	if got := AvgConsecutiveSimilaritySampled(m, m.Rows*2); got != exact {
+		t.Errorf("maxPairs>pairs should be exact: %v vs %v", got, exact)
+	}
+	// Sampled estimate should be in [0, 1] and in the vicinity of exact.
+	got := AvgConsecutiveSimilaritySampled(m, 50)
+	if got < 0 || got > 1 {
+		t.Fatalf("sampled similarity out of range: %v", got)
+	}
+	if math.Abs(got-exact) > 0.25 {
+		t.Errorf("sampled %v too far from exact %v", got, exact)
+	}
+}
+
+// Property: Jaccard is symmetric, bounded to [0,1], and 1 iff equal
+// non-empty sets.
+func TestPropertyJaccard(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 12, 12, 6)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Rows; j++ {
+				s := RowJaccard(m, i, j)
+				if s != RowJaccard(m, j, i) || s < 0 || s > 1 {
+					return false
+				}
+				if i == j && m.RowLen(i) > 0 && s != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package sparse
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market exchange format support (the format SuiteSparse and the
+// Network Repository distribute matrices in), so real collection matrices
+// can be dropped into the pipeline alongside the synthetic corpus.
+//
+// Supported header: "%%MatrixMarket matrix coordinate <field> <symmetry>"
+// with field in {real, integer, pattern} and symmetry in {general,
+// symmetric, skew-symmetric}. Array (dense) and complex matrices are
+// rejected with a descriptive error.
+
+// ErrMTX is wrapped by all Matrix Market parse failures.
+var ErrMTX = errors.New("matrix market")
+
+// ReadMTX parses a Matrix Market stream into a CSR matrix. Symmetric and
+// skew-symmetric inputs are expanded to general form. Pattern matrices get
+// value 1 for every stored entry.
+func ReadMTX(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+
+	header, err := readNonEmptyLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrMTX, err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return nil, fmt.Errorf("%w: bad header %q", ErrMTX, header)
+	}
+	format, field, symmetry := fields[2], fields[3], fields[4]
+	if format != "coordinate" {
+		return nil, fmt.Errorf("%w: unsupported format %q (only coordinate)", ErrMTX, format)
+	}
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("%w: unsupported field %q", ErrMTX, field)
+	}
+	switch symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("%w: unsupported symmetry %q", ErrMTX, symmetry)
+	}
+
+	// Skip comments, read size line.
+	line, err := readDataLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing size line: %v", ErrMTX, err)
+	}
+	var rows, cols, nnz int
+	if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("%w: bad size line %q: %v", ErrMTX, line, err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("%w: negative size in %q", ErrMTX, line)
+	}
+	// Guard allocation against hostile headers: a declared dimension
+	// needs RowPtr storage up front, so bound it well above any matrix
+	// this library targets (int32 column indices cap the usable range
+	// anyway).
+	const maxDim = 1 << 28
+	if rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("%w: dimensions %dx%d exceed the supported maximum %d",
+			ErrMTX, rows, cols, maxDim)
+	}
+
+	coo := NewCOO(rows, cols)
+	coo.Entries = make([]Entry, 0, nnz)
+	for k := 0; k < nnz; k++ {
+		line, err := readDataLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d/%d: %v", ErrMTX, k+1, nnz, err)
+		}
+		toks := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(toks) < want {
+			return nil, fmt.Errorf("%w: entry %d: short line %q", ErrMTX, k+1, line)
+		}
+		i, err := strconv.Atoi(toks[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: bad row %q", ErrMTX, k+1, toks[0])
+		}
+		j, err := strconv.Atoi(toks[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: bad col %q", ErrMTX, k+1, toks[1])
+		}
+		v := 1.0
+		if field != "pattern" {
+			v, err = strconv.ParseFloat(toks[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %d: bad value %q", ErrMTX, k+1, toks[2])
+			}
+		}
+		// Matrix Market is 1-based.
+		i--
+		j--
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, fmt.Errorf("%w: entry %d: index (%d,%d) out of range %dx%d",
+				ErrMTX, k+1, i+1, j+1, rows, cols)
+		}
+		coo.Add(i, j, float32(v))
+		if i != j {
+			switch symmetry {
+			case "symmetric":
+				coo.Add(j, i, float32(v))
+			case "skew-symmetric":
+				coo.Add(j, i, float32(-v))
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// ReadMTXFile reads a Matrix Market file from disk.
+func ReadMTXFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadMTX(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteMTX writes m as a general real coordinate Matrix Market stream.
+func WriteMTX(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.RowCols(i), m.RowVals(i)
+		for j := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", i+1, cols[j]+1, vals[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMTXFile writes m to a Matrix Market file on disk.
+func WriteMTXFile(path string, m *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteMTX(f, m); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func readNonEmptyLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, nil
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+// readDataLine returns the next line that is neither blank nor a comment.
+func readDataLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
+			return trimmed, nil
+		}
+		if err != nil {
+			if err == io.EOF && trimmed != "" && !strings.HasPrefix(trimmed, "%") {
+				return trimmed, nil
+			}
+			return "", err
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMTXGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+	m, err := ReadMTX(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMTX: %v", err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.NNZ() != 3 {
+		t.Fatalf("shape %s", m)
+	}
+	if v := m.RowVals(0)[0]; v != 2.5 {
+		t.Fatalf("(0,0) = %v, want 2.5", v)
+	}
+	if v := m.RowVals(2)[0]; v != -1 {
+		t.Fatalf("(2,3) = %v, want -1", v)
+	}
+}
+
+func TestReadMTXPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+	m, err := ReadMTX(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMTX: %v", err)
+	}
+	if m.NNZ() != 2 || m.RowVals(0)[0] != 1 {
+		t.Fatalf("pattern values wrong: %v", m.Val)
+	}
+}
+
+func TestReadMTXSymmetric(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1\n2 1 5\n3 2 7\n"
+	m, err := ReadMTX(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMTX: %v", err)
+	}
+	// Off-diagonals mirrored; diagonal not duplicated.
+	if m.NNZ() != 5 {
+		t.Fatalf("symmetric expansion nnz = %d, want 5", m.NNZ())
+	}
+	if v := m.RowVals(0); len(v) != 2 || v[1] != 5 {
+		t.Fatalf("row 0 = %v", v)
+	}
+}
+
+func TestReadMTXSkewSymmetric(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n"
+	m, err := ReadMTX(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMTX: %v", err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+	if v := m.RowVals(0)[0]; v != -3 {
+		t.Fatalf("mirrored value = %v, want -3", v)
+	}
+}
+
+func TestReadMTXErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "%%MatrixMarket tensor coordinate real general\n1 1 0\n",
+		"array format":    "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex field":   "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":    "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"bad size":        "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"negative size":   "%%MatrixMarket matrix coordinate real general\n-1 2 0\n",
+		"missing entries": "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"row overflow":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"col zero":        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+		"short line":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"hostile dims":    "%%MatrixMarket matrix coordinate real general\n999999999 1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMTX(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadMTXNoTrailingNewline(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 9"
+	m, err := ReadMTX(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMTX without trailing newline: %v", err)
+	}
+	if m.Val[0] != 9 {
+		t.Fatalf("value = %v, want 9", m.Val[0])
+	}
+}
+
+func TestMTXFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 20, 30, 5)
+	path := t.TempDir() + "/m.mtx"
+	if err := WriteMTXFile(path, m); err != nil {
+		t.Fatalf("WriteMTXFile: %v", err)
+	}
+	back, err := ReadMTXFile(path)
+	if err != nil {
+		t.Fatalf("ReadMTXFile: %v", err)
+	}
+	if !m.SameStructure(back) {
+		t.Fatalf("structure changed through file round-trip")
+	}
+}
+
+func TestReadMTXFileMissing(t *testing.T) {
+	if _, err := ReadMTXFile(t.TempDir() + "/nope.mtx"); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+// Property: write-then-read preserves structure and values to float32
+// formatting precision.
+func TestPropertyMTXRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 16, 16, 5)
+		var buf bytes.Buffer
+		if err := WriteMTX(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadMTX(&buf)
+		if err != nil {
+			return false
+		}
+		if !m.SameStructure(back) {
+			return false
+		}
+		for j := range m.Val {
+			if m.Val[j] != back.Val[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMTXTestdataFixtures(t *testing.T) {
+	m, err := ReadMTXFile("testdata/paperfig1a.mtx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 6 || m.NNZ() != 12 {
+		t.Fatalf("fig1a fixture: %v", m)
+	}
+	// Row 4 (0-based) is {0, 3, 4} — the S4 of the worked example.
+	cols := m.RowCols(4)
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 3 || cols[2] != 4 {
+		t.Fatalf("row 4 = %v", cols)
+	}
+	s, err := ReadMTXFile("testdata/symm4.mtx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric expansion: 2 diagonals + 2 mirrored off-diagonals.
+	if s.NNZ() != 6 {
+		t.Fatalf("symm fixture nnz = %d, want 6", s.NNZ())
+	}
+	if v := s.RowVals(0); len(v) != 2 || v[1] != -1 {
+		t.Fatalf("row 0 = %v", v)
+	}
+}

@@ -1,0 +1,181 @@
+package sparse
+
+import "fmt"
+
+// IsPermutation reports whether perm is a valid permutation of [0, n).
+func IsPermutation(perm []int32, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// InversePermutation returns inv such that inv[perm[i]] = i.
+// It panics if perm is not a permutation (programming error).
+func InversePermutation(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, p := range perm {
+		if p < 0 || int(p) >= len(perm) || inv[p] != -1 {
+			panic(fmt.Sprintf("sparse: not a permutation at position %d (value %d)", i, p))
+		}
+		inv[p] = int32(i)
+	}
+	return inv
+}
+
+// IdentityPermutation returns [0, 1, ..., n-1].
+func IdentityPermutation(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+// ComposePermutations returns the permutation that applies first then
+// second: out[i] = first[second[i]]. With the PermuteRows convention below
+// (perm[i] = source row of new row i), PermuteRows(PermuteRows(m, a), b)
+// equals PermuteRows(m, ComposePermutations(a, b)).
+func ComposePermutations(first, second []int32) []int32 {
+	if len(first) != len(second) {
+		panic("sparse: composing permutations of different lengths")
+	}
+	out := make([]int32, len(first))
+	for i, s := range second {
+		out[i] = first[s]
+	}
+	return out
+}
+
+// PermuteRows returns a new matrix whose row i is row perm[i] of m.
+// That is, perm maps destination position -> source row, which is the
+// natural output shape of the clustering algorithm ("emit rows in this
+// order"). It returns an error if perm is not a permutation of m's rows.
+func PermuteRows(m *CSR, perm []int32) (*CSR, error) {
+	if !IsPermutation(perm, m.Rows) {
+		return nil, fmt.Errorf("%w: row permutation invalid for %d rows", ErrInvalid, m.Rows)
+	}
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int32, m.Rows+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float32, m.NNZ()),
+	}
+	pos := int32(0)
+	for i, src := range perm {
+		cols, vals := m.RowCols(int(src)), m.RowVals(int(src))
+		copy(out.ColIdx[pos:], cols)
+		copy(out.Val[pos:], vals)
+		pos += int32(len(cols))
+		out.RowPtr[i+1] = pos
+	}
+	return out, nil
+}
+
+// PermuteCols returns a new matrix whose column perm^-1[c]... precisely:
+// new column j holds old column perm[j], mirroring PermuteRows. Column
+// indices within each row are re-sorted.
+func PermuteCols(m *CSR, perm []int32) (*CSR, error) {
+	if !IsPermutation(perm, m.Cols) {
+		return nil, fmt.Errorf("%w: column permutation invalid for %d cols", ErrInvalid, m.Cols)
+	}
+	inv := InversePermutation(perm)
+	out := m.Clone()
+	for j, c := range out.ColIdx {
+		out.ColIdx[j] = inv[c]
+	}
+	if err := out.SortRows(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PermuteSymmetric applies the same permutation to rows and columns,
+// which is what vertex reordering (e.g. the METIS baseline) does to an
+// adjacency matrix.
+func PermuteSymmetric(m *CSR, perm []int32) (*CSR, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: symmetric permutation needs a square matrix, got %dx%d",
+			ErrInvalid, m.Rows, m.Cols)
+	}
+	rp, err := PermuteRows(m, perm)
+	if err != nil {
+		return nil, err
+	}
+	return PermuteCols(rp, perm)
+}
+
+// SelectRows extracts the submatrix consisting of the given rows (in the
+// given order, duplicates allowed — useful for mini-batch sampling in
+// GNN-style training loops). Column space is unchanged.
+func SelectRows(m *CSR, rows []int32) (*CSR, error) {
+	nnz := 0
+	for _, r := range rows {
+		if r < 0 || int(r) >= m.Rows {
+			return nil, fmt.Errorf("%w: selected row %d out of range [0,%d)", ErrInvalid, r, m.Rows)
+		}
+		nnz += m.RowLen(int(r))
+	}
+	out := &CSR{
+		Rows:   len(rows),
+		Cols:   m.Cols,
+		RowPtr: make([]int32, len(rows)+1),
+		ColIdx: make([]int32, 0, nnz),
+		Val:    make([]float32, 0, nnz),
+	}
+	for i, r := range rows {
+		out.ColIdx = append(out.ColIdx, m.RowCols(int(r))...)
+		out.Val = append(out.Val, m.RowVals(int(r))...)
+		out.RowPtr[i+1] = int32(len(out.ColIdx))
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ in CSR form (equivalently, m in CSC form).
+func Transpose(m *CSR) *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int32, m.Cols+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float32, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	cursor := make([]int32, m.Cols)
+	copy(cursor, t.RowPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.RowCols(i), m.RowVals(i)
+		for j, c := range cols {
+			p := cursor[c]
+			t.ColIdx[p] = int32(i)
+			t.Val[p] = vals[j]
+			cursor[c] = p + 1
+		}
+	}
+	return t
+}
+
+// ColCounts returns, for each column, the number of nonzeros in it.
+func (m *CSR) ColCounts() []int32 {
+	counts := make([]int32, m.Cols)
+	for _, c := range m.ColIdx {
+		counts[c]++
+	}
+	return counts
+}

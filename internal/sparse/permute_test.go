@@ -1,0 +1,242 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPerm(rng *rand.Rand, n int) []int32 {
+	p := IdentityPermutation(n)
+	rng.Shuffle(n, func(a, b int) { p[a], p[b] = p[b], p[a] })
+	return p
+}
+
+func TestIsPermutation(t *testing.T) {
+	cases := []struct {
+		perm []int32
+		n    int
+		want bool
+	}{
+		{[]int32{0, 1, 2}, 3, true},
+		{[]int32{2, 0, 1}, 3, true},
+		{[]int32{0, 0, 2}, 3, false},
+		{[]int32{0, 1}, 3, false},
+		{[]int32{0, 1, 3}, 3, false},
+		{[]int32{-1, 1, 2}, 3, false},
+		{nil, 0, true},
+	}
+	for _, tc := range cases {
+		if got := IsPermutation(tc.perm, tc.n); got != tc.want {
+			t.Errorf("IsPermutation(%v, %d) = %v, want %v", tc.perm, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	p := []int32{2, 0, 3, 1}
+	inv := InversePermutation(p)
+	for i, v := range p {
+		if inv[v] != int32(i) {
+			t.Fatalf("inv[%d] = %d, want %d", v, inv[v], i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("InversePermutation accepted a non-permutation")
+		}
+	}()
+	InversePermutation([]int32{0, 0})
+}
+
+func TestPermuteRowsBasic(t *testing.T) {
+	m := mustFromRows(t, 3, 3, [][]int32{{0}, {1}, {2}})
+	p, err := PermuteRows(m, []int32{2, 0, 1})
+	if err != nil {
+		t.Fatalf("PermuteRows: %v", err)
+	}
+	// New row 0 is old row 2.
+	if cols := p.RowCols(0); len(cols) != 1 || cols[0] != 2 {
+		t.Fatalf("row 0 = %v, want [2]", cols)
+	}
+	if cols := p.RowCols(1); cols[0] != 0 {
+		t.Fatalf("row 1 = %v, want [0]", cols)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("permuted invalid: %v", err)
+	}
+}
+
+func TestPermuteRowsRejectsBadPerm(t *testing.T) {
+	m := mustFromRows(t, 2, 2, [][]int32{{0}, {1}})
+	if _, err := PermuteRows(m, []int32{0, 0}); err == nil {
+		t.Fatalf("accepted non-permutation")
+	}
+	if _, err := PermuteRows(m, []int32{0}); err == nil {
+		t.Fatalf("accepted short permutation")
+	}
+}
+
+func TestPermuteColsBasic(t *testing.T) {
+	m := mustFromRows(t, 1, 3, [][]int32{{0, 2}})
+	m.Val[0], m.Val[1] = 10, 30
+	// New column j holds old column perm[j]: perm [2,1,0] reverses.
+	p, err := PermuteCols(m, []int32{2, 1, 0})
+	if err != nil {
+		t.Fatalf("PermuteCols: %v", err)
+	}
+	cols, vals := p.RowCols(0), p.RowVals(0)
+	if cols[0] != 0 || cols[1] != 2 {
+		t.Fatalf("cols = %v", cols)
+	}
+	// Old col 2 (val 30) is now col 0; old col 0 (val 10) now col 2.
+	if vals[0] != 30 || vals[1] != 10 {
+		t.Fatalf("vals = %v, want [30 10]", vals)
+	}
+}
+
+func TestPermuteSymmetricRequiresSquare(t *testing.T) {
+	m := mustFromRows(t, 2, 3, [][]int32{{0}, {1}})
+	if _, err := PermuteSymmetric(m, []int32{1, 0}); err == nil {
+		t.Fatalf("accepted non-square matrix")
+	}
+}
+
+func TestTransposeSmall(t *testing.T) {
+	m := mustFromRows(t, 2, 3, [][]int32{{0, 2}, {1}})
+	m.Val[0], m.Val[1], m.Val[2] = 1, 2, 3
+	tr := Transpose(m)
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("transpose invalid: %v", err)
+	}
+	if cols := tr.RowCols(2); len(cols) != 1 || cols[0] != 0 || tr.RowVals(2)[0] != 2 {
+		t.Fatalf("transpose row 2 wrong: %v %v", cols, tr.RowVals(2))
+	}
+}
+
+func TestColCounts(t *testing.T) {
+	m := mustFromRows(t, 3, 3, [][]int32{{0, 1}, {1}, {1, 2}})
+	got := m.ColCounts()
+	want := []int32{1, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := mustFromRows(t, 4, 5, [][]int32{{0, 4}, {}, {1, 2}, {3}})
+	m.Val[0] = 7
+	sub, err := SelectRows(m, []int32{2, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Rows != 3 || sub.Cols != 5 || sub.NNZ() != 6 {
+		t.Fatalf("shape %s", sub)
+	}
+	if cols := sub.RowCols(0); len(cols) != 2 || cols[0] != 1 {
+		t.Fatalf("row 0 = %v", cols)
+	}
+	// Duplicated selection copies values.
+	if sub.RowVals(1)[0] != 7 || sub.RowVals(2)[0] != 7 {
+		t.Fatalf("duplicate rows not copied")
+	}
+	if _, err := SelectRows(m, []int32{4}); err == nil {
+		t.Fatalf("out-of-range selection accepted")
+	}
+	if _, err := SelectRows(m, []int32{-1}); err == nil {
+		t.Fatalf("negative selection accepted")
+	}
+	empty, err := SelectRows(m, nil)
+	if err != nil || empty.Rows != 0 {
+		t.Fatalf("empty selection: %v %v", empty, err)
+	}
+}
+
+// Property: permuting rows by p then by inverse(p) restores the matrix.
+func TestPropertyPermuteRowsInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 24, 16, 6)
+		p := randomPerm(rng, m.Rows)
+		pm, err := PermuteRows(m, p)
+		if err != nil {
+			return false
+		}
+		back, err := PermuteRows(pm, InversePermutation(p))
+		if err != nil {
+			return false
+		}
+		return back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: double transpose is the identity.
+func TestPropertyTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 16, 24, 6)
+		return Transpose(Transpose(m)).Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose preserves nnz and swaps row/col counts.
+func TestPropertyTransposeCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 16, 24, 6)
+		tr := Transpose(m)
+		if tr.NNZ() != m.NNZ() || tr.Rows != m.Cols || tr.Cols != m.Rows {
+			return false
+		}
+		tc := tr.ColCounts()
+		for i := 0; i < m.Rows; i++ {
+			if int(tc[i]) != m.RowLen(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ComposePermutations matches sequential PermuteRows.
+func TestPropertyComposePermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 20, 10, 5)
+		a := randomPerm(rng, m.Rows)
+		b := randomPerm(rng, m.Rows)
+		ma, err := PermuteRows(m, a)
+		if err != nil {
+			return false
+		}
+		mab, err := PermuteRows(ma, b)
+		if err != nil {
+			return false
+		}
+		mc, err := PermuteRows(m, ComposePermutations(a, b))
+		if err != nil {
+			return false
+		}
+		return mab.Equal(mc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

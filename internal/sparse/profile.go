@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Profile summarises the structural characteristics that determine how a
+// matrix responds to tiling and reordering: size, row-length
+// distribution, consecutive-row similarity (the §4 indicator), and a
+// bandedness measure (range locality that Jaccard similarity cannot
+// see — the known blind spot of the similarity heuristics).
+type Profile struct {
+	Rows, Cols, NNZ int
+	Density         float64
+
+	MinRowLen, MaxRowLen int
+	AvgRowLen            float64
+	// RowLenCV is the coefficient of variation of row lengths (0 =
+	// perfectly uniform; >1 = heavy-tailed, ELL-hostile).
+	RowLenCV float64
+	// RowLenP99 is the 99th-percentile row length.
+	RowLenP99 int
+
+	// AvgConsecutiveSim is the §4 well-clusteredness indicator
+	// (sampled).
+	AvgConsecutiveSim float64
+	// Bandedness is the fraction of nonzeros within a diagonal band of
+	// half-width 4·AvgRowLen (after scaling the diagonal to rectangular
+	// shapes): near 1 for stencil/FEM matrices.
+	Bandedness float64
+	// EmptyRows counts rows with no nonzeros.
+	EmptyRows int
+}
+
+// ProfileOf computes a Profile. Cost is O(nnz + sampled similarity).
+func ProfileOf(m *CSR) Profile {
+	p := Profile{
+		Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ(),
+		Density:   m.Density(),
+		MinRowLen: math.MaxInt,
+	}
+	if m.Rows == 0 {
+		p.MinRowLen = 0
+		return p
+	}
+	lens := make([]int, m.Rows)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < m.Rows; i++ {
+		l := m.RowLen(i)
+		lens[i] = l
+		sum += float64(l)
+		sumSq += float64(l) * float64(l)
+		if l < p.MinRowLen {
+			p.MinRowLen = l
+		}
+		if l > p.MaxRowLen {
+			p.MaxRowLen = l
+		}
+		if l == 0 {
+			p.EmptyRows++
+		}
+	}
+	p.AvgRowLen = sum / float64(m.Rows)
+	variance := sumSq/float64(m.Rows) - p.AvgRowLen*p.AvgRowLen
+	if variance > 0 && p.AvgRowLen > 0 {
+		p.RowLenCV = math.Sqrt(variance) / p.AvgRowLen
+	}
+	sort.Ints(lens)
+	p.RowLenP99 = lens[int(0.99*float64(m.Rows-1))]
+
+	p.AvgConsecutiveSim = AvgConsecutiveSimilaritySampled(m, 1<<16)
+
+	if p.NNZ > 0 {
+		halfWidth := 4 * p.AvgRowLen
+		if halfWidth < 1 {
+			halfWidth = 1
+		}
+		scale := float64(m.Cols) / float64(m.Rows)
+		inBand := 0
+		for i := 0; i < m.Rows; i++ {
+			center := float64(i) * scale
+			for _, c := range m.RowCols(i) {
+				if math.Abs(float64(c)-center) <= halfWidth {
+					inBand++
+				}
+			}
+		}
+		p.Bandedness = float64(inBand) / float64(p.NNZ)
+	}
+	return p
+}
+
+// String renders the profile as an aligned multi-line report.
+func (p Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d, nnz=%d, density=%.3g\n", p.Rows, p.Cols, p.NNZ, p.Density)
+	fmt.Fprintf(&sb, "  row lengths: min=%d avg=%.1f p99=%d max=%d cv=%.2f empty=%d\n",
+		p.MinRowLen, p.AvgRowLen, p.RowLenP99, p.MaxRowLen, p.RowLenCV, p.EmptyRows)
+	fmt.Fprintf(&sb, "  avg consecutive similarity=%.4f bandedness=%.3f\n",
+		p.AvgConsecutiveSim, p.Bandedness)
+	return sb.String()
+}

@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileBasics(t *testing.T) {
+	m := mustFromRows(t, 4, 4, [][]int32{{0, 1}, {}, {1, 2, 3}, {3}})
+	p := ProfileOf(m)
+	if p.Rows != 4 || p.Cols != 4 || p.NNZ != 6 {
+		t.Fatalf("shape: %+v", p)
+	}
+	if p.MinRowLen != 0 || p.MaxRowLen != 3 || p.EmptyRows != 1 {
+		t.Fatalf("row lengths: %+v", p)
+	}
+	if math.Abs(p.AvgRowLen-1.5) > 1e-12 {
+		t.Fatalf("AvgRowLen = %v", p.AvgRowLen)
+	}
+	if p.String() == "" || !strings.Contains(p.String(), "bandedness") {
+		t.Fatalf("String output broken")
+	}
+}
+
+func TestProfileEmptyMatrix(t *testing.T) {
+	m := &CSR{Rows: 0, Cols: 0, RowPtr: []int32{0}}
+	p := ProfileOf(m)
+	if p.NNZ != 0 || p.MinRowLen != 0 {
+		t.Fatalf("empty profile: %+v", p)
+	}
+}
+
+func TestProfileBandedness(t *testing.T) {
+	// A pure diagonal matrix: bandedness 1.
+	sets := make([][]int32, 64)
+	for i := range sets {
+		sets[i] = []int32{int32(i)}
+	}
+	diag := mustFromRows(t, 64, 64, sets)
+	if p := ProfileOf(diag); p.Bandedness != 1 {
+		t.Fatalf("diagonal bandedness = %v", p.Bandedness)
+	}
+	// An anti-diagonal-corner matrix: all mass far from the scaled
+	// diagonal.
+	sets2 := make([][]int32, 64)
+	for i := range sets2 {
+		if i < 32 {
+			sets2[i] = []int32{63}
+		} else {
+			sets2[i] = []int32{0}
+		}
+	}
+	corner := mustFromRows(t, 64, 64, sets2)
+	if p := ProfileOf(corner); p.Bandedness > 0.3 {
+		t.Fatalf("corner bandedness = %v", p.Bandedness)
+	}
+}
+
+func TestProfileRowLenCV(t *testing.T) {
+	// Uniform row lengths: CV = 0.
+	sets := make([][]int32, 16)
+	for i := range sets {
+		sets[i] = []int32{0, 1}
+	}
+	u := mustFromRows(t, 16, 4, sets)
+	if p := ProfileOf(u); p.RowLenCV != 0 {
+		t.Fatalf("uniform CV = %v", p.RowLenCV)
+	}
+	// One heavy row: CV >> 0.
+	sets[0] = []int32{0, 1, 2, 3}
+	h := mustFromRows(t, 16, 4, sets)
+	if p := ProfileOf(h); p.RowLenCV <= 0 {
+		t.Fatalf("skewed CV = %v", p.RowLenCV)
+	}
+}

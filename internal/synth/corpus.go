@@ -1,0 +1,217 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// Entry is one corpus matrix with its provenance.
+type Entry struct {
+	Name   string
+	Family string
+	M      *sparse.CSR
+}
+
+// Options scales and filters corpus generation.
+type Options struct {
+	// Scale multiplies matrix dimensions (1.0 = the default population
+	// used by the experiment drivers; tests use ~0.1).
+	Scale float64
+	// Families, when non-empty, keeps only entries whose family matches
+	// one of the given names.
+	Families []string
+	// SeedOffset shifts every generator seed, producing an independent
+	// corpus draw.
+	SeedOffset int64
+}
+
+// Families lists the family names in the corpus.
+var Families = []string{
+	"uniform", "diagonal", "banded", "rmat", "blockdiag",
+	"clustered", "scrambled", "bipartite", "geometric",
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 64 {
+		v = 64
+	}
+	return v
+}
+
+// scaledClusters shrinks a cluster count with the corpus scale so the
+// latent cluster size (rows/clusters) stays roughly constant.
+func scaledClusters(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// Corpus deterministically generates the evaluation population described
+// in DESIGN.md §2: a mix of structural regimes mirroring the SuiteSparse
+// and Network Repository collections. The scrambled-cluster family — the
+// paper's motivating case — is intentionally over-represented, as it is
+// in the paper's 416 "need reordering" subset.
+func Corpus(opts Options) ([]Entry, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	sc := opts.Scale
+	so := opts.SeedOffset
+	var entries []Entry
+
+	add := func(family, name string, m *sparse.CSR, err error) error {
+		if err != nil {
+			return fmt.Errorf("synth: corpus %s/%s: %w", family, name, err)
+		}
+		entries = append(entries, Entry{Name: name, Family: family, M: m})
+		return nil
+	}
+
+	// Scattered regimes: little latent similarity; reordering should be
+	// skipped or harmless.
+	for si, seed := range []int64{101, 102} {
+		for _, rows := range []int{8192, 16384} {
+			for _, npr := range []int{8, 32} {
+				m, err := Uniform(scaled(rows, sc), scaled(rows, sc), npr, seed+so)
+				if err2 := add("uniform", fmt.Sprintf("uniform-r%d-n%d-s%d", rows, npr, si), m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+	for _, n := range []int{10000, 20000} {
+		for _, w := range []int{1, 3} {
+			m, err := Diagonal(scaled(n, sc), w, 201+so)
+			if err2 := add("diagonal", fmt.Sprintf("diagonal-n%d-w%d", n, w), m, err); err2 != nil {
+				return nil, err2
+			}
+		}
+	}
+
+	// Well-clustered regimes: reordering should be skipped by the §4
+	// heuristics (or at least not help).
+	for si, seed := range []int64{301, 302} {
+		for _, rows := range []int{8192, 16384} {
+			for _, bw := range []int{64, 512} {
+				m, err := Banded(scaled(rows, sc), scaled(rows, sc), scaled(bw, sc), 16, seed+so)
+				if err2 := add("banded", fmt.Sprintf("banded-r%d-b%d-s%d", rows, bw, si), m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+	for si, seed := range []int64{401, 402} {
+		for _, bs := range []int{64, 256} {
+			for _, density := range []float64{0.1, 0.3} {
+				rows := scaled(16384, sc)
+				m, err := BlockDiagonal(rows, rows, bs, density, 0.1, seed+so)
+				name := fmt.Sprintf("blockdiag-b%d-d%02.0f-s%d", bs, density*100, si)
+				if err2 := add("blockdiag", name, m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+	for si, seed := range []int64{501, 502} {
+		for _, clusters := range []int{64, 256} {
+			for _, keep := range []float64{0.7, 0.9} {
+				rows := scaled(16384, sc)
+				m, err := Clustered(ClusterParams{
+					Rows: rows, Cols: rows, Clusters: scaledClusters(clusters, sc),
+					PrototypeNNZ: 24, Keep: keep, Noise: 2,
+					Seed: seed + so, Scrambled: false,
+				})
+				name := fmt.Sprintf("clustered-c%d-k%02.0f-s%d", clusters, keep*100, si)
+				if err2 := add("clustered", name, m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+
+	// Power-law graphs: mixed latent similarity.
+	for si, seed := range []int64{601, 602} {
+		for _, scale := range []int{13, 14} {
+			for _, ef := range []int{8, 16} {
+				rscale := scale
+				if sc < 0.5 {
+					rscale = scale - 3
+				}
+				m, err := RMAT(rscale, ef, 0.57, 0.19, 0.19, seed+so)
+				if err2 := add("rmat", fmt.Sprintf("rmat-s%d-e%d-i%d", scale, ef, si), m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+
+	// The paper's target regime: latent clusters hidden by row order.
+	// Over-represented (4 seeds) as in the paper's selected subset.
+	for si, seed := range []int64{701, 702, 703, 704} {
+		for _, clusters := range []int{256, 2048} {
+			for _, keep := range []float64{0.7, 0.9} {
+				rows := scaled(16384, sc)
+				m, err := Clustered(ClusterParams{
+					Rows: rows, Cols: rows, Clusters: scaledClusters(clusters, sc),
+					PrototypeNNZ: 24, Keep: keep, Noise: 2,
+					Seed: seed + so, Scrambled: true,
+				})
+				name := fmt.Sprintf("scrambled-c%d-k%02.0f-s%d", clusters, keep*100, si)
+				if err2 := add("scrambled", name, m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+	for si, seed := range []int64{801, 802} {
+		for _, groups := range []int{8, 32} {
+			for _, npr := range []int{16, 48} {
+				users := scaled(16384, sc)
+				m, err := Bipartite(users, scaled(8192, sc), npr, groups, seed+so)
+				name := fmt.Sprintf("bipartite-g%d-n%d-s%d", groups, npr, si)
+				if err2 := add("bipartite", name, m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+
+	// Mesh-like k-NN graphs: sorted = naturally clustered mesh
+	// numbering, unsorted = arrival order hiding the spatial locality.
+	for si, seed := range []int64{901, 902} {
+		for _, knn := range []int{6, 12} {
+			for _, ordered := range []bool{true, false} {
+				n := scaled(16384, sc)
+				m, err := Geometric(n, knn, ordered, seed+so)
+				tag := "rand"
+				if ordered {
+					tag = "sorted"
+				}
+				name := fmt.Sprintf("geometric-k%d-%s-s%d", knn, tag, si)
+				if err2 := add("geometric", name, m, err); err2 != nil {
+					return nil, err2
+				}
+			}
+		}
+	}
+
+	if len(opts.Families) > 0 {
+		keep := make(map[string]bool, len(opts.Families))
+		for _, f := range opts.Families {
+			keep[strings.ToLower(f)] = true
+		}
+		filtered := entries[:0]
+		for _, e := range entries {
+			if keep[e.Family] {
+				filtered = append(filtered, e)
+			}
+		}
+		entries = filtered
+	}
+	return entries, nil
+}

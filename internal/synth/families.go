@@ -1,0 +1,342 @@
+// Package synth generates the synthetic matrix corpus that substitutes
+// for the paper's 1084 SuiteSparse / Network Repository matrices
+// (DESIGN.md §2). Each family mirrors a structural regime found in the
+// collections; what varies across families — and what the paper's result
+// is about — is how much latent row similarity exists and whether the
+// natural row order already exposes it.
+//
+// All generators are deterministic functions of their parameters and
+// seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// rowSetsToCSR converts per-row column sets into a CSR matrix with
+// uniform(0.1, 1] values (values are irrelevant to locality; nonzero
+// values keep SDDMM outputs meaningful).
+func rowSetsToCSR(rows, cols int, sets [][]int32, rng *rand.Rand) (*sparse.CSR, error) {
+	vals := make([][]float32, rows)
+	for i := range sets {
+		sort.Slice(sets[i], func(a, b int) bool { return sets[i][a] < sets[i][b] })
+		// Drop duplicates defensively; generators normally avoid them.
+		sets[i] = dedupSorted(sets[i])
+		vals[i] = make([]float32, len(sets[i]))
+		for j := range vals[i] {
+			vals[i][j] = 0.1 + 0.9*rng.Float32()
+		}
+	}
+	return sparse.FromRows(rows, cols, sets, vals)
+}
+
+func dedupSorted(s []int32) []int32 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sampleDistinct draws n distinct values from [0, limit) into dst.
+func sampleDistinct(rng *rand.Rand, n, limit int, dst []int32) []int32 {
+	if n > limit {
+		n = limit
+	}
+	seen := make(map[int32]struct{}, n)
+	for len(dst) < n {
+		c := int32(rng.Intn(limit))
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// Uniform generates an Erdős–Rényi-style matrix: every row draws
+// nnzPerRow distinct uniform columns. Rows share almost no columns when
+// cols >> nnzPerRow — the "extremely scattered" regime of Fig 7b where
+// reordering cannot help and LSH finds few candidates.
+func Uniform(rows, cols, nnzPerRow int, seed int64) (*sparse.CSR, error) {
+	if err := checkDims(rows, cols, nnzPerRow); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]int32, rows)
+	for i := range sets {
+		sets[i] = sampleDistinct(rng, nnzPerRow, cols, nil)
+	}
+	return rowSetsToCSR(rows, cols, sets, rng)
+}
+
+// Diagonal generates a square matrix with ones on the main diagonal plus
+// width-1 extra bands — the degenerate no-reuse case of Fig 7b.
+func Diagonal(n, width int, seed int64) (*sparse.CSR, error) {
+	if err := checkDims(n, n, width); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]int32, n)
+	for i := range sets {
+		for w := 0; w < width; w++ {
+			c := i + w
+			if c < n {
+				sets[i] = append(sets[i], int32(c))
+			}
+		}
+	}
+	return rowSetsToCSR(n, n, sets, rng)
+}
+
+// Banded generates a stencil/FEM-style matrix: each row's nonzeros are
+// drawn from a band of the given bandwidth around the diagonal.
+// Consecutive rows overlap heavily — the "already well clustered" regime
+// of Fig 7a where the §4 heuristics skip reordering.
+func Banded(rows, cols, bandwidth, nnzPerRow int, seed int64) (*sparse.CSR, error) {
+	if err := checkDims(rows, cols, nnzPerRow); err != nil {
+		return nil, err
+	}
+	if bandwidth < nnzPerRow {
+		bandwidth = nnzPerRow
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]int32, rows)
+	for i := range sets {
+		center := int(float64(i) / float64(rows) * float64(cols))
+		lo := center - bandwidth/2
+		if lo < 0 {
+			lo = 0
+		}
+		if lo+bandwidth > cols {
+			lo = cols - bandwidth
+		}
+		picks := sampleDistinct(rng, nnzPerRow, bandwidth, nil)
+		for j := range picks {
+			picks[j] += int32(lo)
+		}
+		sets[i] = picks
+	}
+	return rowSetsToCSR(rows, cols, sets, rng)
+}
+
+// RMAT generates a scale-free directed graph adjacency matrix with the
+// recursive R-MAT procedure (a, b, c, d quadrant probabilities summing to
+// 1; the Graph500 values 0.57/0.19/0.19/0.05 by default via NewRMAT).
+// Power-law degree structure mirrors web/social graphs in the Network
+// Repository.
+func RMAT(scale, edgeFactor int, a, b, c float64, seed int64) (*sparse.CSR, error) {
+	n := 1 << scale
+	if scale <= 0 || scale > 26 {
+		return nil, fmt.Errorf("synth: RMAT scale %d out of range (1..26)", scale)
+	}
+	if edgeFactor <= 0 {
+		return nil, fmt.Errorf("synth: RMAT edgeFactor must be positive, got %d", edgeFactor)
+	}
+	d := 1 - a - b - c
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return nil, fmt.Errorf("synth: RMAT probabilities (%.2f,%.2f,%.2f) invalid", a, b, c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(n, n)
+	edges := n * edgeFactor
+	for e := 0; e < edges; e++ {
+		row, col := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant
+			case r < a+b:
+				col |= 1 << bit
+			case r < a+b+c:
+				row |= 1 << bit
+			default:
+				row |= 1 << bit
+				col |= 1 << bit
+			}
+		}
+		coo.Add(row, col, 0.1+0.9*rng.Float32())
+	}
+	return coo.ToCSR()
+}
+
+// BlockDiagonal generates a community-structured matrix: square blocks on
+// the diagonal, each filled at the given density, plus sparse
+// inter-block noise. Rows within a block are similar and adjacent —
+// well-clustered input.
+func BlockDiagonal(rows, cols, blockSize int, density, noise float64, seed int64) (*sparse.CSR, error) {
+	if err := checkDims(rows, cols, 1); err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 || density <= 0 || density > 1 {
+		return nil, fmt.Errorf("synth: bad block parameters size=%d density=%g", blockSize, density)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]int32, rows)
+	for i := range sets {
+		block := i / blockSize
+		lo := block * blockSize
+		if lo >= cols {
+			lo = cols - blockSize
+			if lo < 0 {
+				lo = 0
+			}
+		}
+		hi := lo + blockSize
+		if hi > cols {
+			hi = cols
+		}
+		want := int(density * float64(hi-lo))
+		if want < 1 {
+			want = 1
+		}
+		picks := sampleDistinct(rng, want, hi-lo, nil)
+		for j := range picks {
+			picks[j] += int32(lo)
+		}
+		if noise > 0 {
+			extra := int(noise * float64(want))
+			for e := 0; e < extra; e++ {
+				picks = append(picks, int32(rng.Intn(cols)))
+			}
+		}
+		sets[i] = picks
+	}
+	return rowSetsToCSR(rows, cols, sets, rng)
+}
+
+// ClusterParams configures the prototype-cluster families.
+type ClusterParams struct {
+	Rows, Cols int
+	// Clusters is the number of latent row prototypes.
+	Clusters int
+	// PrototypeNNZ is each prototype's column-set size.
+	PrototypeNNZ int
+	// Keep is the probability a row inherits each prototype column.
+	Keep float64
+	// Noise is the number of extra uniform columns added per row.
+	Noise int
+	Seed  int64
+	// Scrambled randomly permutes the rows after generation, hiding the
+	// clusters from position — the paper's target regime, where
+	// row-reordering recovers the structure.
+	Scrambled bool
+}
+
+// Clustered generates rows as noisy copies of latent prototypes. With
+// Scrambled=false rows of a cluster are contiguous (the Fig 7a
+// "already clustered" case); with Scrambled=true the same matrix is
+// row-permuted uniformly at random (high latent similarity, invisible to
+// plain ASpT — exactly the case row-reordering fixes).
+func Clustered(p ClusterParams) (*sparse.CSR, error) {
+	if err := checkDims(p.Rows, p.Cols, p.PrototypeNNZ); err != nil {
+		return nil, err
+	}
+	if p.Clusters <= 0 || p.Keep <= 0 || p.Keep > 1 {
+		return nil, fmt.Errorf("synth: bad cluster parameters %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	prototypes := make([][]int32, p.Clusters)
+	for c := range prototypes {
+		prototypes[c] = sampleDistinct(rng, p.PrototypeNNZ, p.Cols, nil)
+	}
+	sets := make([][]int32, p.Rows)
+	perCluster := (p.Rows + p.Clusters - 1) / p.Clusters
+	for i := range sets {
+		proto := prototypes[i/perCluster%p.Clusters]
+		var row []int32
+		for _, c := range proto {
+			if rng.Float64() < p.Keep {
+				row = append(row, c)
+			}
+		}
+		for e := 0; e < p.Noise; e++ {
+			row = append(row, int32(rng.Intn(p.Cols)))
+		}
+		if len(row) == 0 {
+			row = append(row, proto[rng.Intn(len(proto))])
+		}
+		sets[i] = row
+	}
+	m, err := rowSetsToCSR(p.Rows, p.Cols, sets, rng)
+	if err != nil {
+		return nil, err
+	}
+	if p.Scrambled {
+		perm := make([]int32, p.Rows)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		return sparse.PermuteRows(m, perm)
+	}
+	return m, nil
+}
+
+// Bipartite generates a recommender-style user×item matrix: item
+// popularity follows a Zipf distribution and users belong to latent taste
+// groups that bias which item range they draw from.
+func Bipartite(users, items, nnzPerUser, tasteGroups int, seed int64) (*sparse.CSR, error) {
+	if err := checkDims(users, items, nnzPerUser); err != nil {
+		return nil, err
+	}
+	if tasteGroups <= 0 {
+		tasteGroups = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(items-1))
+	sets := make([][]int32, users)
+	groupSpan := items / tasteGroups
+	if groupSpan < 1 {
+		groupSpan = 1
+	}
+	for u := range sets {
+		group := rng.Intn(tasteGroups)
+		base := group * groupSpan
+		seen := make(map[int32]struct{}, nnzPerUser)
+		for len(seen) < nnzPerUser {
+			var c int32
+			if rng.Float64() < 0.6 {
+				// in-group pick, Zipf-popular within the group span
+				c = int32(base + int(zipf.Uint64())%groupSpan)
+			} else {
+				c = int32(zipf.Uint64())
+			}
+			seen[c] = struct{}{}
+		}
+		row := make([]int32, 0, len(seen))
+		for c := range seen {
+			row = append(row, c)
+		}
+		sets[u] = row
+	}
+	m, err := rowSetsToCSR(users, items, sets, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Users arrive in arbitrary order in real logs: scramble.
+	perm := make([]int32, users)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+	return sparse.PermuteRows(m, perm)
+}
+
+func checkDims(rows, cols, nnzPerRow int) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("synth: non-positive dimensions %dx%d", rows, cols)
+	}
+	if nnzPerRow <= 0 {
+		return fmt.Errorf("synth: non-positive nnz per row %d", nnzPerRow)
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestGeneratorsValidateAndDeterministic(t *testing.T) {
+	type gen struct {
+		name string
+		fn   func(seed int64) (*sparse.CSR, error)
+	}
+	gens := []gen{
+		{"uniform", func(s int64) (*sparse.CSR, error) { return Uniform(200, 150, 5, s) }},
+		{"diagonal", func(s int64) (*sparse.CSR, error) { return Diagonal(100, 2, s) }},
+		{"banded", func(s int64) (*sparse.CSR, error) { return Banded(200, 200, 32, 8, s) }},
+		{"rmat", func(s int64) (*sparse.CSR, error) { return RMAT(8, 8, 0.57, 0.19, 0.19, s) }},
+		{"blockdiag", func(s int64) (*sparse.CSR, error) { return BlockDiagonal(128, 128, 16, 0.3, 0.1, s) }},
+		{"clustered", func(s int64) (*sparse.CSR, error) {
+			return Clustered(ClusterParams{Rows: 128, Cols: 128, Clusters: 16, PrototypeNNZ: 8, Keep: 0.8, Noise: 1, Seed: s})
+		}},
+		{"scrambled", func(s int64) (*sparse.CSR, error) {
+			return Clustered(ClusterParams{Rows: 128, Cols: 128, Clusters: 16, PrototypeNNZ: 8, Keep: 0.8, Noise: 1, Seed: s, Scrambled: true})
+		}},
+		{"bipartite", func(s int64) (*sparse.CSR, error) { return Bipartite(128, 96, 6, 4, s) }},
+	}
+	for _, g := range gens {
+		t.Run(g.name, func(t *testing.T) {
+			a, err := g.fn(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("invalid matrix: %v", err)
+			}
+			if a.NNZ() == 0 {
+				t.Fatalf("empty matrix")
+			}
+			b, err := g.fn(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("same seed differs")
+			}
+			c, err := g.fn(43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Equal(c) {
+				t.Fatalf("different seed identical")
+			}
+		})
+	}
+}
+
+func TestGeneratorParameterValidation(t *testing.T) {
+	if _, err := Uniform(0, 10, 2, 1); err == nil {
+		t.Errorf("Uniform accepted 0 rows")
+	}
+	if _, err := Uniform(10, 10, 0, 1); err == nil {
+		t.Errorf("Uniform accepted 0 nnz/row")
+	}
+	if _, err := RMAT(0, 8, 0.5, 0.2, 0.2, 1); err == nil {
+		t.Errorf("RMAT accepted scale 0")
+	}
+	if _, err := RMAT(8, 0, 0.5, 0.2, 0.2, 1); err == nil {
+		t.Errorf("RMAT accepted edgeFactor 0")
+	}
+	if _, err := RMAT(8, 8, 0.9, 0.2, 0.2, 1); err == nil {
+		t.Errorf("RMAT accepted probabilities > 1")
+	}
+	if _, err := BlockDiagonal(10, 10, 0, 0.5, 0, 1); err == nil {
+		t.Errorf("BlockDiagonal accepted block size 0")
+	}
+	if _, err := BlockDiagonal(10, 10, 4, 1.5, 0, 1); err == nil {
+		t.Errorf("BlockDiagonal accepted density > 1")
+	}
+	if _, err := Clustered(ClusterParams{Rows: 10, Cols: 10, Clusters: 0, PrototypeNNZ: 2, Keep: 0.5}); err == nil {
+		t.Errorf("Clustered accepted 0 clusters")
+	}
+	if _, err := Clustered(ClusterParams{Rows: 10, Cols: 10, Clusters: 2, PrototypeNNZ: 2, Keep: 1.5}); err == nil {
+		t.Errorf("Clustered accepted Keep > 1")
+	}
+}
+
+func TestBandedLocality(t *testing.T) {
+	m, err := Banded(500, 500, 24, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive rows draw from nearly identical windows: similarity
+	// must be clearly above the scattered regime.
+	if sim := sparse.AvgConsecutiveSimilarity(m); sim < 0.1 {
+		t.Fatalf("banded similarity too low: %v", sim)
+	}
+	// Every nonzero within the band.
+	for i := 0; i < m.Rows; i++ {
+		for _, c := range m.RowCols(i) {
+			if int(c) < i-40 || int(c) > i+40 {
+				t.Fatalf("row %d has out-of-band column %d", i, c)
+			}
+		}
+	}
+}
+
+func TestUniformScattered(t *testing.T) {
+	m, err := Uniform(500, 5000, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim := sparse.AvgConsecutiveSimilarity(m); sim > 0.02 {
+		t.Fatalf("uniform matrix too similar: %v", sim)
+	}
+}
+
+func TestClusteredVsScrambledSimilarity(t *testing.T) {
+	p := ClusterParams{Rows: 512, Cols: 2048, Clusters: 64, PrototypeNNZ: 12, Keep: 0.9, Noise: 1, Seed: 8}
+	grouped, err := Clustered(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Scrambled = true
+	scrambled, err := Clustered(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := sparse.AvgConsecutiveSimilarity(grouped)
+	ss := sparse.AvgConsecutiveSimilarity(scrambled)
+	if gs < 4*ss || gs < 0.3 {
+		t.Fatalf("scrambling did not hide similarity: grouped %v scrambled %v", gs, ss)
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	m, err := RMAT(10, 16, 0.57, 0.19, 0.19, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The max in-degree of an R-MAT graph is far above the mean (heavy
+	// tail).
+	counts := m.ColCounts()
+	max, sum := int32(0), int64(0)
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += int64(c)
+	}
+	mean := float64(sum) / float64(len(counts))
+	if float64(max) < 8*mean {
+		t.Fatalf("no heavy tail: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestDiagonalShape(t *testing.T) {
+	m, err := Diagonal(50, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 47; i++ {
+		cols := m.RowCols(i)
+		if len(cols) != 3 || cols[0] != int32(i) {
+			t.Fatalf("row %d = %v", i, cols)
+		}
+	}
+	// Tail rows truncate at the boundary.
+	if got := m.RowLen(49); got != 1 {
+		t.Fatalf("last row len = %d, want 1", got)
+	}
+}
+
+func TestBipartiteShape(t *testing.T) {
+	m, err := Bipartite(200, 100, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 200 || m.Cols != 100 {
+		t.Fatalf("shape %s", m)
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowLen(i) != 8 {
+			t.Fatalf("user %d has %d items, want 8", i, m.RowLen(i))
+		}
+	}
+}
+
+func TestCorpusGeneration(t *testing.T) {
+	entries, err := Corpus(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 40 {
+		t.Fatalf("corpus too small: %d", len(entries))
+	}
+	families := map[string]int{}
+	names := map[string]bool{}
+	for _, e := range entries {
+		if err := e.M.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", e.Name, err)
+		}
+		if names[e.Name] {
+			t.Fatalf("duplicate name %s", e.Name)
+		}
+		names[e.Name] = true
+		families[e.Family]++
+	}
+	for _, f := range Families {
+		if families[f] == 0 {
+			t.Errorf("family %s missing from corpus", f)
+		}
+	}
+}
+
+func TestCorpusFamilyFilter(t *testing.T) {
+	entries, err := Corpus(Options{Scale: 0.05, Families: []string{"uniform", "RMAT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("filter removed everything")
+	}
+	for _, e := range entries {
+		if e.Family != "uniform" && e.Family != "rmat" {
+			t.Fatalf("unexpected family %s", e.Family)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := Corpus(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Corpus(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("corpus sizes differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !a[i].M.Equal(b[i].M) {
+			t.Fatalf("corpus entry %d differs", i)
+		}
+	}
+	c, err := Corpus(Options{Scale: 0.05, SeedOffset: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].M.Equal(c[0].M) {
+		t.Fatalf("seed offset had no effect")
+	}
+}
+
+// Property: every generator produces matrices whose rows have unique,
+// in-range, sorted columns (Validate), for arbitrary seeds.
+func TestPropertyGeneratorsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := Uniform(10+rng.Intn(100), 10+rng.Intn(100), 1+rng.Intn(6), seed)
+		if err != nil || m.Validate() != nil {
+			return false
+		}
+		m, err = Clustered(ClusterParams{
+			Rows: 10 + rng.Intn(100), Cols: 10 + rng.Intn(100),
+			Clusters: 1 + rng.Intn(10), PrototypeNNZ: 1 + rng.Intn(8),
+			Keep: 0.1 + 0.9*rng.Float64(), Noise: rng.Intn(3),
+			Seed: seed, Scrambled: seed%2 == 0,
+		})
+		if err != nil || m.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Geometric generates a k-nearest-neighbour graph of n uniform random
+// points in the unit square — the mesh-like structure of FEM and point
+// cloud matrices in SuiteSparse. With sorted=true the points (and hence
+// the rows) are ordered by spatial grid cell, giving the naturally
+// clustered layout a mesh generator would emit; with sorted=false rows
+// arrive in generation order, hiding the spatial locality — the
+// scrambled regime row reordering recovers.
+//
+// Neighbour search uses a uniform grid: exact k-NN within an expanding
+// cell neighbourhood, O(n·k) expected time.
+func Geometric(n, k int, sorted bool, seed int64) (*sparse.CSR, error) {
+	if n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("synth: geometric needs positive n and k, got n=%d k=%d", n, k)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("synth: geometric k=%d must be below n=%d", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+
+	// Grid with ~1 point per cell on average.
+	side := 1
+	for side*side < n {
+		side++
+	}
+	cellOf := func(i int) (int, int) {
+		cx := int(xs[i] * float64(side))
+		cy := int(ys[i] * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cx, cy
+	}
+	grid := make([][]int32, side*side)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		grid[cy*side+cx] = append(grid[cy*side+cx], int32(i))
+	}
+
+	if sorted {
+		// Renumber points by grid cell (row-major over cells) so
+		// spatially close points get nearby indices. Build the
+		// permutation and relabel the coordinates.
+		perm := make([]int32, 0, n)
+		for _, cell := range grid {
+			perm = append(perm, cell...)
+		}
+		nx := make([]float64, n)
+		ny := make([]float64, n)
+		for newID, oldID := range perm {
+			nx[newID] = xs[oldID]
+			ny[newID] = ys[oldID]
+		}
+		xs, ys = nx, ny
+		for i := range grid {
+			grid[i] = grid[i][:0]
+		}
+		for i := 0; i < n; i++ {
+			cx, cy := cellOf(i)
+			grid[cy*side+cx] = append(grid[cy*side+cx], int32(i))
+		}
+	}
+
+	type cand struct {
+		id int32
+		d2 float64
+	}
+	sets := make([][]int32, n)
+	vals := make([][]float32, n)
+	var cands []cand
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		cands = cands[:0]
+		// Expand the search ring by ring; once k candidates are in
+		// hand, scan one extra ring so the k nearest cannot hide in an
+		// unvisited cell, then stop.
+		extraRings := -1
+		for r := 0; r <= side && extraRings != 0; r++ {
+			if extraRings > 0 {
+				extraRings--
+			}
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					if r > 0 && abs(dx) != r && abs(dy) != r {
+						continue // interior already visited
+					}
+					gx, gy := cx+dx, cy+dy
+					if gx < 0 || gy < 0 || gx >= side || gy >= side {
+						continue
+					}
+					for _, j := range grid[gy*side+gx] {
+						if int(j) == i {
+							continue
+						}
+						ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+						cands = append(cands, cand{j, ddx*ddx + ddy*ddy})
+					}
+				}
+			}
+			if extraRings < 0 && len(cands) >= k {
+				extraRings = 2
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d2 < cands[b].d2 })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		for _, c := range cands {
+			sets[i] = append(sets[i], c.id)
+			vals[i] = append(vals[i], 0.1+0.9*rng.Float32())
+		}
+	}
+	return sparse.FromRows(n, n, sets, vals)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

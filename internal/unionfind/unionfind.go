@@ -1,0 +1,112 @@
+// Package unionfind implements the disjoint-set forest used by the
+// clustering algorithm (Alg 3 of the paper). It follows the paper's
+// variant exactly: path halving during Find (Alg 3 line 9's "update of the
+// parents"), union by cluster size with "merge the smaller cluster into
+// the larger one", and tie-breaking toward the smaller representative
+// index so the representing-row rule of §3.2 holds ("if the clusters are
+// of the same size, choose the row with the smaller index").
+package unionfind
+
+import "fmt"
+
+// Forest is a disjoint-set forest over the integers [0, n).
+type Forest struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *Forest {
+	f := &Forest{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range f.parent {
+		f.parent[i] = int32(i)
+		f.size[i] = 1
+	}
+	return f
+}
+
+// Len returns the number of elements in the forest.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (f *Forest) Sets() int { return f.sets }
+
+// Find returns the representative of x's set, applying path halving:
+// every other node on the path is re-pointed at its grandparent, exactly
+// the cluster_id[i] = cluster_id[cluster_id[i]] update in Alg 3.
+func (f *Forest) Find(x int32) int32 {
+	for f.parent[x] != x {
+		f.parent[x] = f.parent[f.parent[x]]
+		x = f.parent[x]
+	}
+	return x
+}
+
+// IsRoot reports whether x is currently the representative of its set
+// (Alg 3's "i == cluster_id[i]" test) without mutating the forest.
+func (f *Forest) IsRoot(x int32) bool { return f.parent[x] == x }
+
+// Size returns the size of the set containing x.
+func (f *Forest) Size(x int32) int32 { return f.size[f.Find(x)] }
+
+// Union merges the sets containing a and b and returns the representative
+// of the merged set. The smaller set is merged into the larger; on a size
+// tie the smaller representative index wins (the paper's representing-row
+// rule). If a and b are already in the same set it returns their root
+// unchanged.
+func (f *Forest) Union(a, b int32) int32 {
+	ra, rb := f.Find(a), f.Find(b)
+	if ra == rb {
+		return ra
+	}
+	// Keep ra as the survivor: larger size, or smaller index on a tie.
+	if f.size[ra] < f.size[rb] || (f.size[ra] == f.size[rb] && ra > rb) {
+		ra, rb = rb, ra
+	}
+	f.parent[rb] = ra
+	f.size[ra] += f.size[rb]
+	f.sets--
+	return ra
+}
+
+// Members returns, for every current root, the sorted-by-insertion list of
+// elements in its set. Roots are keyed by representative index. Intended
+// for emitting clusters at the end of Alg 3 ("output the row indices
+// cluster by cluster").
+func (f *Forest) Members() map[int32][]int32 {
+	m := make(map[int32][]int32, f.sets)
+	for i := range f.parent {
+		r := f.Find(int32(i))
+		m[r] = append(m[r], int32(i))
+	}
+	return m
+}
+
+// Validate checks internal invariants (sizes sum to n at the roots, parent
+// pointers in range). It is used by property tests.
+func (f *Forest) Validate() error {
+	total := int32(0)
+	roots := 0
+	for i := range f.parent {
+		p := f.parent[i]
+		if p < 0 || int(p) >= len(f.parent) {
+			return fmt.Errorf("unionfind: parent[%d]=%d out of range", i, p)
+		}
+		if p == int32(i) {
+			roots++
+			total += f.size[i]
+		}
+	}
+	if roots != f.sets {
+		return fmt.Errorf("unionfind: %d roots but sets=%d", roots, f.sets)
+	}
+	if int(total) != len(f.parent) {
+		return fmt.Errorf("unionfind: root sizes sum to %d, want %d", total, len(f.parent))
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	f := New(5)
+	if f.Len() != 5 || f.Sets() != 5 {
+		t.Fatalf("Len=%d Sets=%d", f.Len(), f.Sets())
+	}
+	for i := int32(0); i < 5; i++ {
+		if !f.IsRoot(i) || f.Find(i) != i || f.Size(i) != 1 {
+			t.Fatalf("element %d not a singleton root", i)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionBySize(t *testing.T) {
+	f := New(6)
+	// Build {0,1,2} rooted at 0 (ties keep smaller index).
+	if r := f.Union(0, 1); r != 0 {
+		t.Fatalf("Union(0,1) root = %d, want 0 (tie -> smaller index)", r)
+	}
+	if r := f.Union(0, 2); r != 0 {
+		t.Fatalf("Union(0,2) root = %d, want 0 (larger set wins)", r)
+	}
+	// Merging singleton 5 into the size-3 cluster keeps root 0 even
+	// though 5 > 0 was the first argument.
+	if r := f.Union(5, 0); r != 0 {
+		t.Fatalf("Union(5,0) root = %d, want 0", r)
+	}
+	if f.Size(5) != 4 {
+		t.Fatalf("Size = %d, want 4", f.Size(5))
+	}
+	if f.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", f.Sets())
+	}
+}
+
+func TestUnionSmallerRootWinsTies(t *testing.T) {
+	f := New(4)
+	// Equal sizes: representative is the smaller index, matching the
+	// paper's representing-row rule.
+	if r := f.Union(3, 1); r != 1 {
+		t.Fatalf("Union(3,1) root = %d, want 1", r)
+	}
+	f2 := New(4)
+	f2.Union(0, 1) // root 0, size 2
+	f2.Union(2, 3) // root 2, size 2
+	if r := f2.Union(2, 0); r != 0 {
+		t.Fatalf("size-tie root = %d, want 0", r)
+	}
+}
+
+func TestUnionSameSetNoop(t *testing.T) {
+	f := New(3)
+	f.Union(0, 1)
+	sets := f.Sets()
+	if r := f.Union(1, 0); r != f.Find(0) {
+		t.Fatalf("same-set union returned %d", r)
+	}
+	if f.Sets() != sets {
+		t.Fatalf("same-set union changed set count")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	f := New(5)
+	f.Union(0, 3)
+	f.Union(1, 4)
+	m := f.Members()
+	if len(m) != 3 {
+		t.Fatalf("Members returned %d sets, want 3", len(m))
+	}
+	r0 := f.Find(0)
+	if got := m[r0]; len(got) != 2 {
+		t.Fatalf("set of 0 = %v", got)
+	}
+}
+
+func TestPathHalvingFlattens(t *testing.T) {
+	f := New(8)
+	// Chain unions to build depth, then Find should flatten.
+	for i := int32(1); i < 8; i++ {
+		f.Union(0, i)
+	}
+	root := f.Find(7)
+	for i := int32(0); i < 8; i++ {
+		f.Find(i)
+	}
+	// After finds, every parent pointer is at most one hop from the root.
+	for i := int32(0); i < 8; i++ {
+		if p := f.parent[i]; p != root && f.parent[p] != root {
+			t.Fatalf("path not halved at %d", i)
+		}
+	}
+}
+
+// Property: after arbitrary unions, Validate holds, set count matches the
+// number of distinct roots, and Find is idempotent.
+func TestPropertyUnionFind(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		uf := New(n)
+		for k := 0; k < n*2; k++ {
+			uf.Union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		if uf.Validate() != nil {
+			return false
+		}
+		roots := map[int32]bool{}
+		for i := 0; i < n; i++ {
+			r := uf.Find(int32(i))
+			if uf.Find(r) != r {
+				return false
+			}
+			roots[r] = true
+		}
+		return len(roots) == uf.Sets()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative in its effect on membership.
+func TestPropertyUnionMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a, b := New(n), New(n)
+		type pair struct{ x, y int32 }
+		var ops []pair
+		for k := 0; k < n; k++ {
+			ops = append(ops, pair{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		for _, op := range ops {
+			a.Union(op.x, op.y)
+			b.Union(op.y, op.x)
+		}
+		// Same partition (possibly different representatives).
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (a.Find(int32(i)) == a.Find(int32(j))) != (b.Find(int32(i)) == b.Find(int32(j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"sync"
+	"time"
+)
+
+// OnlinePipeline implements the paper's §4 *online* trial-and-error
+// strategy literally: "perform row-reordering in the first iteration and
+// do SpMM on both the reordered matrix and the original matrix. If the
+// reordered matrix is faster, keep the row-reordering for the rest of
+// iterations; otherwise, discard [it]". The first SpMM (or SDDMM) call
+// executes both plans natively, measures wall time, and locks in the
+// winner for every subsequent call.
+//
+// OnlinePipeline is safe for sequential use; concurrent first calls are
+// serialised by the decision lock.
+type OnlinePipeline struct {
+	rr, nr *Pipeline
+
+	mu      sync.Mutex
+	decided bool
+	winner  *Pipeline
+	rrTime  time.Duration
+	nrTime  time.Duration
+}
+
+// NewOnlinePipeline preprocesses m both ways (with the §4 heuristics and
+// without any reordering) and returns a pipeline that will pick between
+// them on first use.
+func NewOnlinePipeline(m *Matrix, cfg Config) (*OnlinePipeline, error) {
+	rr, err := NewPipeline(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nr, err := NewPipelineNR(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlinePipeline{rr: rr, nr: nr}, nil
+}
+
+// Decided reports whether the first-iteration trial has happened, and if
+// so whether reordering won.
+func (o *OnlinePipeline) Decided() (done, reorderingWon bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.decided, o.decided && o.winner == o.rr
+}
+
+// TrialTimes returns the wall times measured in the deciding iteration
+// (zero until decided).
+func (o *OnlinePipeline) TrialTimes() (reordered, plain time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rrTime, o.nrTime
+}
+
+// SpMM computes Y = S·X. The first call runs both execution plans and
+// keeps the faster; later calls use the winner only.
+func (o *OnlinePipeline) SpMM(x *Dense) (*Dense, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.decided {
+		return o.winner.SpMM(x)
+	}
+	t0 := time.Now()
+	yRR, err := o.rr.SpMM(x)
+	if err != nil {
+		return nil, err
+	}
+	o.rrTime = time.Since(t0)
+	t0 = time.Now()
+	if _, err := o.nr.SpMM(x); err != nil {
+		return nil, err
+	}
+	o.nrTime = time.Since(t0)
+	o.decide()
+	return yRR, nil
+}
+
+// SDDMM computes O = S ⊙ (Y·Xᵀ) with the same first-call trial.
+func (o *OnlinePipeline) SDDMM(x, y *Dense) (*Matrix, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.decided {
+		return o.winner.SDDMM(x, y)
+	}
+	t0 := time.Now()
+	out, err := o.rr.SDDMM(x, y)
+	if err != nil {
+		return nil, err
+	}
+	o.rrTime = time.Since(t0)
+	t0 = time.Now()
+	if _, err := o.nr.SDDMM(x, y); err != nil {
+		return nil, err
+	}
+	o.nrTime = time.Since(t0)
+	o.decide()
+	return out, nil
+}
+
+// decide locks in the winner; ties keep the plain plan (no reordering to
+// maintain). Caller holds o.mu.
+func (o *OnlinePipeline) decide() {
+	if o.rrTime < o.nrTime {
+		o.winner = o.rr
+	} else {
+		o.winner = o.nr
+	}
+	o.decided = true
+}
+
+// Pipeline returns the winning pipeline once decided (nil before).
+func (o *OnlinePipeline) Pipeline() *Pipeline {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.decided {
+		return nil
+	}
+	return o.winner
+}

@@ -1,0 +1,86 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func TestOnlinePipelineDecides(t *testing.T) {
+	m := scrambled(t)
+	o, err := repro.NewOnlinePipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := o.Decided(); done {
+		t.Fatalf("decided before first call")
+	}
+	if o.Pipeline() != nil {
+		t.Fatalf("winner exposed before decision")
+	}
+	x := repro.NewRandomDense(m.Cols, 16, 1)
+	want, err := repro.SpMM(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1, err := o.SpMM(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := o.Decided()
+	if !done {
+		t.Fatalf("first call did not decide")
+	}
+	rrT, nrT := o.TrialTimes()
+	if rrT <= 0 || nrT <= 0 {
+		t.Fatalf("trial times not recorded: %v %v", rrT, nrT)
+	}
+	if o.Pipeline() == nil {
+		t.Fatalf("no winner exposed")
+	}
+	// Correctness in both the deciding and the decided calls.
+	y2, err := o.SpMM(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Abs(float64(want.Data[i]-y1.Data[i])) > 1e-4 ||
+			math.Abs(float64(want.Data[i]-y2.Data[i])) > 1e-4 {
+			t.Fatalf("online pipeline diverges at %d", i)
+		}
+	}
+}
+
+func TestOnlinePipelineSDDMM(t *testing.T) {
+	m := scrambled(t)
+	o, err := repro.NewOnlinePipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 8, 2)
+	y := repro.NewRandomDense(m.Rows, 8, 3)
+	want, err := repro.SDDMM(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.SDDMM(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameStructure(m) {
+		t.Fatalf("structure changed")
+	}
+	for j := range want.Val {
+		if math.Abs(float64(want.Val[j]-got.Val[j])) > 1e-4 {
+			t.Fatalf("online SDDMM diverges at %d", j)
+		}
+	}
+	if done, _ := o.Decided(); !done {
+		t.Fatalf("SDDMM first call did not decide")
+	}
+	// Second call goes through the winner path.
+	if _, err := o.SDDMM(x, y); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+)
+
+// Pipeline wraps a preprocessed matrix and executes SpMM/SDDMM on it.
+// Reordering is purely an execution strategy: results are returned in the
+// original row order and with the original sparsity structure, so a
+// Pipeline is a drop-in replacement for the plain kernels.
+type Pipeline struct {
+	orig *Matrix
+	plan *Plan
+}
+
+// NewPipeline preprocesses m (Fig 5 workflow: round-1 reordering, ASpT
+// tiling, round-2 reordering of the leftover part, with the §4 skip
+// heuristics) and returns an executable pipeline. m is not mutated and
+// may be used concurrently.
+func NewPipeline(m *Matrix, cfg Config) (*Pipeline, error) {
+	plan, err := reorder.Preprocess(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{orig: m, plan: plan}, nil
+}
+
+// NewPipelineNR builds a no-reordering (plain ASpT) pipeline — the
+// ASpT-NR baseline.
+func NewPipelineNR(m *Matrix, cfg Config) (*Pipeline, error) {
+	plan, err := reorder.PreprocessNR(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{orig: m, plan: plan}, nil
+}
+
+// Plan exposes the underlying preprocessing plan (metrics, permutations,
+// tiled representation).
+func (p *Pipeline) Plan() *Plan { return p.plan }
+
+// Matrix returns the original (unreordered) matrix.
+func (p *Pipeline) Matrix() *Matrix { return p.orig }
+
+// SpMM computes Y = S·X using the tiled, reordered execution and returns
+// Y in the original row order.
+func (p *Pipeline) SpMM(x *Dense) (*Dense, error) {
+	yre, err := kernels.SpMMASpT(p.plan.Tiled, x)
+	if err != nil {
+		return nil, err
+	}
+	// Row i of the reordered result is original row RowPerm[i]; gather
+	// with the inverse permutation to restore the caller's order.
+	return yre.PermuteRows(p.plan.InvRowPerm)
+}
+
+// SDDMM computes O = S ⊙ (Y·Xᵀ) using the tiled execution; O has the
+// original matrix's structure.
+func (p *Pipeline) SDDMM(x, y *Dense) (*Matrix, error) {
+	// The tiled matrix's rows are a permutation of the original's; feed
+	// the kernel the permuted Y and scatter values back.
+	yre, err := y.PermuteRows(p.plan.RowPerm)
+	if err != nil {
+		return nil, err
+	}
+	ore, err := kernels.SDDMMASpT(p.plan.Tiled, x, yre)
+	if err != nil {
+		return nil, err
+	}
+	out, err := sparse.PermuteRows(ore, p.plan.InvRowPerm)
+	if err != nil {
+		return nil, err
+	}
+	if !out.SameStructure(p.orig) {
+		return nil, fmt.Errorf("repro: SDDMM structure mismatch after permutation (internal error)")
+	}
+	return out, nil
+}
+
+// EstimateSpMM simulates this pipeline's SpMM on the given device for
+// dense width k and returns the traffic/time report.
+func (p *Pipeline) EstimateSpMM(dev Device, k int) (*SimStats, error) {
+	return gpusim.SpMMASpT(dev, p.plan.Tiled, p.plan.RestOrder, k)
+}
+
+// EstimateSDDMM simulates this pipeline's SDDMM.
+func (p *Pipeline) EstimateSDDMM(dev Device, k int) (*SimStats, error) {
+	return gpusim.SDDMMASpT(dev, p.plan.Tiled, p.plan.RestOrder, k)
+}
+
+// EstimateSpMMRowWise simulates the unpreprocessed row-wise baseline
+// (cuSPARSE-like) for comparison.
+func EstimateSpMMRowWise(dev Device, s *Matrix, k int) (*SimStats, error) {
+	return gpusim.SpMMRowWise(dev, s, k, nil)
+}
+
+// EstimateSDDMMRowWise simulates the unpreprocessed row-wise SDDMM.
+func EstimateSDDMMRowWise(dev Device, s *Matrix, k int) (*SimStats, error) {
+	return gpusim.SDDMMRowWise(dev, s, k, nil)
+}
+
+// SavePlan serialises the pipeline's preprocessing decisions (the
+// permutations of both rounds) so a later process can re-apply them
+// without re-running LSH and clustering — the paper's §5.4 offline
+// scenario.
+func (p *Pipeline) SavePlan(w io.Writer) error { return reorder.WritePlan(w, p.plan) }
+
+// NewPipelineFromSavedPlan rebuilds an executable pipeline for m from a
+// plan previously written by SavePlan. Tiling is recomputed (O(nnz));
+// LSH and clustering are skipped. The saved plan must have been computed
+// for a matrix with the same number of rows.
+func NewPipelineFromSavedPlan(m *Matrix, cfg Config, r io.Reader) (*Pipeline, error) {
+	sp, err := reorder.ReadPlan(r)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sp.Apply(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{orig: m, plan: plan}, nil
+}
+
+// EstimateSpMMASpTPlanNoRound2 simulates a plan's SpMM with the leftover
+// sparse part processed in natural order, ignoring the plan's round-2
+// RestOrder — isolating the contribution of round 1 for the rounds
+// ablation (DESIGN.md §4).
+func EstimateSpMMASpTPlanNoRound2(dev Device, plan *Plan, k int) (*SimStats, error) {
+	return gpusim.SpMMASpT(dev, plan.Tiled, nil, k)
+}
+
+// AutoTune implements the paper's §4 trial-and-error strategy: build both
+// the reordered and the no-reordering pipeline, estimate both on the
+// device at width k, and return the faster one (ties favour NR, which has
+// no preprocessing cost).
+func AutoTune(m *Matrix, cfg Config, dev Device, k int) (*Pipeline, error) {
+	rr, err := NewPipeline(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nr, err := NewPipelineNR(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	srr, err := rr.EstimateSpMM(dev, k)
+	if err != nil {
+		return nil, err
+	}
+	snr, err := nr.EstimateSpMM(dev, k)
+	if err != nil {
+		return nil, err
+	}
+	if srr.Time < snr.Time {
+		return rr, nil
+	}
+	return nr, nil
+}
