@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench fuzz experiments corpus clean
+.PHONY: all build test race vet bench fuzz experiments corpus clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector — exercises the concurrent
+# OnlinePipeline paths and the work-stealing executor.
+race:
+	$(GO) test -race ./...
 
 # One bench per paper table/figure plus the ablations (see DESIGN.md §4).
 bench:

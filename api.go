@@ -74,9 +74,35 @@ func WriteMatrixMarket(w io.Writer, m *Matrix) error { return sparse.WriteMTX(w,
 // of Alg 1).
 func SpMM(s *Matrix, x *Dense) (*Dense, error) { return kernels.SpMMRowWise(s, x) }
 
+// SpMMInto computes Y = S·X row-wise into the caller-provided y
+// (S.Rows × X.Cols), overwriting its contents. Steady-state calls
+// perform no heap allocations; combine with GetDense/PutDense to keep a
+// serving loop allocation-free end to end.
+func SpMMInto(y *Dense, s *Matrix, x *Dense) error { return kernels.SpMMRowWiseInto(y, s, x) }
+
 // SDDMM computes O = S ⊙ (Y·Xᵀ) row-wise without preprocessing (Alg 2):
 // O keeps S's sparsity pattern.
 func SDDMM(s *Matrix, x, y *Dense) (*Matrix, error) { return kernels.SDDMMRowWise(s, x, y) }
+
+// SDDMMInto computes O = S ⊙ (Y·Xᵀ) row-wise into the caller-provided
+// out, which must have S's sparsity structure (e.g. S.Clone(), a
+// previous result, or S itself for in-place value rewriting). Only
+// out.Val is written; steady-state calls perform no heap allocations.
+func SDDMMInto(out, s *Matrix, x, y *Dense) error {
+	return kernels.SDDMMRowWiseInto(out, s, x, y)
+}
+
+// GetDense returns a rows×cols scratch matrix from the process-wide
+// pool with unspecified contents (call Zero if needed); return it with
+// PutDense when done. Serving code that reuses outputs through this
+// pool together with the *Into entry points allocates nothing per call
+// at steady state.
+func GetDense(rows, cols int) *Dense { return dense.Get(rows, cols) }
+
+// PutDense returns a matrix obtained from GetDense (or any matrix the
+// caller no longer needs) to the scratch pool. The matrix must not be
+// used after PutDense.
+func PutDense(m *Dense) { dense.Put(m) }
 
 // Preprocess runs the paper's full preprocessing workflow (Fig 5) and
 // returns the plan. Use NewPipeline for an executable wrapper.

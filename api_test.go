@@ -43,6 +43,117 @@ func TestSpMMAgainstPipeline(t *testing.T) {
 	}
 }
 
+// TestIntoAgainstAllocating checks the public zero-allocation entry
+// points (top-level and Pipeline) against their allocating forms,
+// including scratch reuse through GetDense/PutDense.
+func TestIntoAgainstAllocating(t *testing.T) {
+	m := scrambled(t)
+	x := repro.NewRandomDense(m.Cols, 16, 7)
+	yin := repro.NewRandomDense(m.Rows, 16, 8)
+	want, err := repro.SpMM(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := repro.GetDense(m.Rows, 16)
+	defer repro.PutDense(y)
+	if err := repro.SpMMInto(y, m, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != y.Data[i] {
+			t.Fatalf("SpMMInto diverges at %d", i)
+		}
+	}
+	p, err := repro.NewPipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2 := repro.NewDense(m.Rows, 16)
+	if err := p.SpMMInto(y2, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if d := math.Abs(float64(want.Data[i] - y2.Data[i])); d > 1e-4 {
+			t.Fatalf("pipeline SpMMInto diverges at %d by %v", i, d)
+		}
+	}
+	if err := p.SpMMInto(repro.NewDense(m.Rows, 15), x); err == nil {
+		t.Fatalf("pipeline SpMMInto accepted wrong shape")
+	}
+	wantO, err := repro.SDDMM(m, x, yin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Clone()
+	if err := repro.SDDMMInto(out, m, x, yin); err != nil {
+		t.Fatal(err)
+	}
+	for j := range wantO.Val {
+		if wantO.Val[j] != out.Val[j] {
+			t.Fatalf("SDDMMInto diverges at %d", j)
+		}
+	}
+	out2 := m.Clone()
+	if err := p.SDDMMInto(out2, x, yin); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.SameStructure(m) {
+		t.Fatalf("pipeline SDDMMInto changed structure")
+	}
+	for j := range wantO.Val {
+		if d := math.Abs(float64(wantO.Val[j] - out2.Val[j])); d > 1e-4 {
+			t.Fatalf("pipeline SDDMMInto diverges at %d by %v", j, d)
+		}
+	}
+}
+
+// TestFromRowsUnsortedSDDMM is the end-to-end regression for the CSR
+// sorted-unique invariant: a caller handing FromRows unsorted rows must
+// get correct SDDMM values (the ASpT scatter path binary-searches row
+// columns and silently mis-scatters if construction ever stops
+// sorting).
+func TestFromRowsUnsortedSDDMM(t *testing.T) {
+	m, err := repro.FromRows(2, 4,
+		[][]int32{{3, 0, 2}, {1, 0}},
+		[][]float32{{30, 1, 20}, {11, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := repro.NewRandomDense(4, 3, 9)
+	yin := repro.NewRandomDense(2, 3, 10)
+	got, err := repro.SDDMM(m, x, yin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference computed straight from the (row, col, val) triples.
+	check := func(row int, col int32, sval float32) {
+		dot := float32(0)
+		for k := 0; k < 3; k++ {
+			dot += yin.At(row, k) * x.At(int(col), k)
+		}
+		cols := got.RowCols(row)
+		for j := range cols {
+			if cols[j] == col {
+				if d := math.Abs(float64(got.RowVals(row)[j] - dot*sval)); d > 1e-5 {
+					t.Fatalf("SDDMM wrong at (%d,%d): got %v want %v",
+						row, col, got.RowVals(row)[j], dot*sval)
+				}
+				return
+			}
+		}
+		t.Fatalf("nonzero (%d,%d) missing from SDDMM output", row, col)
+	}
+	check(0, 3, 30)
+	check(0, 0, 1)
+	check(0, 2, 20)
+	check(1, 1, 11)
+	check(1, 0, 2)
+	// Duplicate columns must be rejected, not silently mangled.
+	if _, err := repro.FromRows(1, 3, [][]int32{{2, 2}}, [][]float32{{1, 2}}); err == nil {
+		t.Fatalf("FromRows accepted duplicate columns")
+	}
+}
+
 func TestSDDMMAgainstPipeline(t *testing.T) {
 	m := scrambled(t)
 	x := repro.NewRandomDense(m.Cols, 16, 2)

@@ -229,6 +229,64 @@ func BenchmarkMetisBaseline(b *testing.B) {
 	b.ReportMetric(float64(total), "total")
 }
 
+// ---- Concurrent serving benches ----
+
+func onlineBenchSetup(b *testing.B) (*repro.OnlinePipeline, *repro.Dense) {
+	b.Helper()
+	m, err := repro.GenerateScrambledClusters(4096, 4096, 512, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := repro.NewOnlinePipeline(m, repro.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 64, 1)
+	if _, err := o.SpMM(x); err != nil { // run the trial; decide the winner
+		b.Fatal(err)
+	}
+	return o, x
+}
+
+// BenchmarkOnlineSpMMSerialized emulates the seed's OnlinePipeline,
+// which held one mutex across every call: concurrent callers are
+// serialized behind a lock.
+func BenchmarkOnlineSpMMSerialized(b *testing.B) {
+	o, x := onlineBenchSetup(b)
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		y := repro.NewDense(o.Pipeline().Matrix().Rows, x.Cols)
+		for pb.Next() {
+			mu.Lock()
+			err := o.SpMMInto(y, x)
+			mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOnlineSpMMConcurrent measures the decided lock-free fast
+// path: the same concurrent callers with no serialization. With
+// per-goroutine output buffers the steady state performs no heap
+// allocations.
+func BenchmarkOnlineSpMMConcurrent(b *testing.B) {
+	o, x := onlineBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		y := repro.NewDense(o.Pipeline().Matrix().Rows, x.Cols)
+		for pb.Next() {
+			if err := o.SpMMInto(y, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- Ablation benches (DESIGN.md §4) ----
 
 // BenchmarkAblationSigLen sweeps the LSH signature length: longer

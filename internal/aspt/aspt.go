@@ -103,6 +103,21 @@ func (t *Matrix) NumPanels() int { return len(t.Panels) }
 // PanelOf returns the index of the panel containing row i.
 func (t *Matrix) PanelOf(i int) int { return i / t.Params.PanelSize }
 
+// RowWork returns the number of nonzeros of row i across both
+// partitions (tile + rest) — the per-row work an SpMM/SDDMM kernel
+// performs, used for nnz-balanced execution partitioning.
+func (t *Matrix) RowWork(i int) int {
+	return int(t.TileRowPtr[i+1]-t.TileRowPtr[i]) + t.Rest.RowLen(i)
+}
+
+// CumWork returns the total number of nonzeros (tile + rest) in rows
+// [0, i): a prefix sum over RowWork, O(1) because both partitions are
+// stored behind CSR-style row pointers. CumWork(0) == 0 and
+// CumWork(Src.Rows) == Src.NNZ().
+func (t *Matrix) CumWork(i int) int64 {
+	return int64(t.TileRowPtr[i]) + int64(t.Rest.RowPtr[i])
+}
+
 // TileRowLocal returns row i's tile-local column positions.
 func (t *Matrix) TileRowLocal(i int) []int32 { return t.TileLocal[t.TileRowPtr[i]:t.TileRowPtr[i+1]] }
 

@@ -254,6 +254,55 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
+// Property: RowWork/CumWork agree with each other and with the source
+// matrix — RowWork(i) is row i's total nonzeros across both partitions,
+// CumWork is its prefix sum ending at NNZ.
+func TestPropertyWorkCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(30)
+		sets := make([][]int32, rows)
+		for i := range sets {
+			n := rng.Intn(8)
+			if n > cols {
+				n = cols
+			}
+			seen := map[int32]bool{}
+			for len(seen) < n {
+				seen[int32(rng.Intn(cols))] = true
+			}
+			for c := range seen {
+				sets[i] = append(sets[i], c)
+			}
+		}
+		m, err := sparse.FromRows(rows, cols, sets, nil)
+		if err != nil {
+			return false
+		}
+		p := Params{PanelSize: 1 + rng.Intn(6), DenseThreshold: 2 + rng.Intn(3)}
+		tl, err := Build(m, p)
+		if err != nil {
+			return false
+		}
+		if tl.CumWork(0) != 0 || tl.CumWork(rows) != int64(m.NNZ()) {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			if tl.RowWork(i) != m.RowLen(i) {
+				return false
+			}
+			if tl.CumWork(i+1)-tl.CumWork(i) != int64(tl.RowWork(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: Build partitions nonzeros exactly, Validate passes, and the
 // per-panel dense-column promise holds for random matrices and random
 // parameters.

@@ -76,6 +76,29 @@ func (m *Matrix) PermuteRows(perm []int32) (*Matrix, error) {
 	return out, nil
 }
 
+// PermuteRowsInto writes src's rows into dst with dst row i = src row
+// perm[i], the allocation-free form of PermuteRows. perm must be a
+// permutation of [0, src.Rows) (validate with sparse.IsPermutation if it
+// is untrusted); out-of-range entries error, but bijectivity is not
+// re-checked on this hot path, so a duplicated in-range entry silently
+// duplicates a row. dst and src must not alias.
+func PermuteRowsInto(dst, src *Matrix, perm []int32) error {
+	if len(perm) != src.Rows {
+		return fmt.Errorf("dense: permutation length %d for %d rows", len(perm), src.Rows)
+	}
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		return fmt.Errorf("dense: PermuteRowsInto shape mismatch %dx%d vs %dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols)
+	}
+	for i, p := range perm {
+		if p < 0 || int(p) >= src.Rows {
+			return fmt.Errorf("dense: invalid permutation at position %d (value %d)", i, p)
+		}
+		copy(dst.Row(i), src.Row(int(p)))
+	}
+	return nil
+}
+
 // MaxAbsDiff returns the largest absolute element-wise difference between
 // two same-shaped matrices. It panics on a shape mismatch (programming
 // error in tests).

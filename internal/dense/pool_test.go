@@ -1,0 +1,86 @@
+package dense
+
+import "testing"
+
+func TestPoolGetPutReuse(t *testing.T) {
+	m := Get(8, 4)
+	if m.Rows != 8 || m.Cols != 4 || len(m.Data) != 32 {
+		t.Fatalf("Get returned wrong shape: %v", m)
+	}
+	m.Fill(3)
+	Put(m)
+	// Same-or-smaller request should be able to reuse the pooled slice;
+	// either way the shape must be exact.
+	n := Get(4, 4)
+	if n.Rows != 4 || n.Cols != 4 || len(n.Data) != 16 {
+		t.Fatalf("reused matrix has wrong shape: %v", n)
+	}
+	Put(n)
+	// Larger than anything pooled: fresh allocation, still correct.
+	big := Get(100, 100)
+	if big.Rows != 100 || big.Cols != 100 || len(big.Data) != 100*100 {
+		t.Fatalf("oversized Get wrong shape: %v", big)
+	}
+	Put(big)
+	Put(nil) // must not panic
+}
+
+func TestPoolContentsAreOverwritable(t *testing.T) {
+	// Pool contents are unspecified; Zero must give a clean matrix.
+	m := Get(3, 3)
+	m.Fill(9)
+	Put(m)
+	n := Get(3, 3)
+	n.Zero()
+	for _, v := range n.Data {
+		if v != 0 {
+			t.Fatalf("Zero left %v", v)
+		}
+	}
+	Put(n)
+}
+
+func TestPermuteRowsInto(t *testing.T) {
+	src := New(3, 2)
+	for i := range src.Data {
+		src.Data[i] = float32(i)
+	}
+	perm := []int32{2, 0, 1}
+	want, err := src.PermuteRows(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(3, 2)
+	if err := PermuteRowsInto(dst, src, perm); err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(dst, want) != 0 {
+		t.Fatalf("PermuteRowsInto differs from PermuteRows")
+	}
+	if err := PermuteRowsInto(New(2, 2), src, perm); err == nil {
+		t.Fatalf("accepted shape mismatch")
+	}
+	if err := PermuteRowsInto(dst, src, []int32{0, 1}); err == nil {
+		t.Fatalf("accepted short permutation")
+	}
+	if err := PermuteRowsInto(dst, src, []int32{0, 1, 3}); err == nil {
+		t.Fatalf("accepted out-of-range entry")
+	}
+}
+
+func TestPermuteRowsIntoZeroAlloc(t *testing.T) {
+	src := NewRandom(64, 16, 1)
+	dst := New(64, 16)
+	perm := make([]int32, 64)
+	for i := range perm {
+		perm[i] = int32(63 - i)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := PermuteRowsInto(dst, src, perm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PermuteRowsInto allocates %v per call", allocs)
+	}
+}

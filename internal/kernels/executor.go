@@ -1,0 +1,214 @@
+package kernels
+
+// The execution engine: nnz-balanced chunking plus a persistent worker
+// pool, shared by every kernel in this package.
+//
+// The seed implementation split [0, rows) into equal-row contiguous
+// chunks, which breaks down on power-law matrices: one hub row with 10⁴
+// nonzeros stalls its whole chunk while other workers idle. Instead the
+// engine splits rows so each chunk carries roughly equal *work*
+// (nonzeros, from the CSR RowPtr prefix sums — for ASpT, tile+rest
+// nonzeros), the same idea as merge-based CSR partitioning
+// (Merrill & Garland) and row-swizzle load balancing (Gale et al.).
+// Chunks are oversubscribed (several per worker) and claimed with an
+// atomic counter, so a skewed tail dynamically rebalances across
+// workers instead of being pinned to a static assignment.
+//
+// Work is dispatched to a fixed pool of long-lived goroutines through a
+// buffered channel, and per-call state lives in pooled job structs, so
+// a steady-state kernel call performs no heap allocations — the
+// property the *Into entry points advertise.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aspt"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// chunksPerWorker is the oversubscription factor: more chunks per
+// worker means finer-grained stealing for skewed tails at slightly more
+// dispatch overhead.
+const chunksPerWorker = 4
+
+// rowChunk is a half-open row range [lo, hi).
+type rowChunk struct{ lo, hi int }
+
+// job carries one kernel invocation across the worker pool. All
+// operand fields a particular kernel does not use stay nil. Jobs are
+// pooled; reset clears operands but keeps the chunks slice capacity.
+type job struct {
+	run    func(j *job, lo, hi int) // a top-level function, never a closure
+	chunks []rowChunk
+	next   atomic.Int64
+	wg     sync.WaitGroup
+
+	// Operands, interpreted by run.
+	csr  *sparse.CSR
+	tile *aspt.Matrix
+	x    *dense.Matrix
+	y    *dense.Matrix
+	out  []float32 // SDDMM output values
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+func getJob() *job { return jobPool.Get().(*job) }
+
+func putJob(j *job) {
+	j.run = nil
+	j.csr = nil
+	j.tile = nil
+	j.x = nil
+	j.y = nil
+	j.out = nil
+	j.chunks = j.chunks[:0]
+	j.next.Store(0)
+	jobPool.Put(j)
+}
+
+// workerPool is the process-wide executor: NumCPU long-lived goroutines
+// draining a buffered job queue. Goroutines are parked in channel
+// receive when idle and are additionally throttled by GOMAXPROCS, so a
+// reduced GOMAXPROCS still serialises execution as expected.
+var (
+	workersOnce sync.Once
+	jobQueue    chan *job
+	poolSize    int
+)
+
+func startWorkers() {
+	workersOnce.Do(func() {
+		poolSize = runtime.NumCPU()
+		if poolSize < 1 {
+			poolSize = 1
+		}
+		jobQueue = make(chan *job, 8*poolSize)
+		for w := 0; w < poolSize; w++ {
+			go func() {
+				for j := range jobQueue {
+					j.steal()
+					j.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// steal claims chunks off the job's atomic cursor until none remain.
+func (j *job) steal() {
+	n := int64(len(j.chunks))
+	for {
+		i := j.next.Add(1) - 1
+		if i >= n {
+			return
+		}
+		c := j.chunks[i]
+		j.run(j, c.lo, c.hi)
+	}
+}
+
+// appendBalancedChunks splits [0, rows) into at most nchunks contiguous
+// chunks of roughly equal cumulative work, appending to dst. cum(i)
+// must be the non-decreasing total work of rows [0, i) with cum(0) == 0
+// (a CSR RowPtr is exactly this). Zero-work matrices fall back to
+// equal-row chunks so every row is still visited (outputs must be
+// zeroed). The returned chunks tile [0, rows) exactly.
+func appendBalancedChunks(dst []rowChunk, rows int, cum func(int) int64, nchunks int) []rowChunk {
+	if rows <= 0 {
+		return dst
+	}
+	if nchunks > rows {
+		nchunks = rows
+	}
+	if nchunks <= 1 {
+		return append(dst, rowChunk{0, rows})
+	}
+	total := cum(rows)
+	if total <= 0 {
+		// No work anywhere: equal-row split.
+		per := (rows + nchunks - 1) / nchunks
+		for lo := 0; lo < rows; lo += per {
+			hi := lo + per
+			if hi > rows {
+				hi = rows
+			}
+			dst = append(dst, rowChunk{lo, hi})
+		}
+		return dst
+	}
+	lo := 0
+	for c := 1; c <= nchunks && lo < rows; c++ {
+		var hi int
+		if c == nchunks {
+			hi = rows
+		} else {
+			// Smallest row index whose cumulative work reaches the c-th
+			// equal share; never behind lo+1 so every chunk advances.
+			target := total * int64(c) / int64(nchunks)
+			hi = lo + 1 + searchCum(cum, lo+1, rows, target)
+			if hi > rows {
+				hi = rows
+			}
+		}
+		dst = append(dst, rowChunk{lo, hi})
+		lo = hi
+	}
+	return dst
+}
+
+// searchCum binary-searches the smallest i in [lo, hi] with
+// cum(i) >= target, returned relative to lo.
+func searchCum(cum func(int) int64, lo, hi int, target int64) int {
+	base := lo
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum(mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - base
+}
+
+// dispatch partitions [0, rows) by cum and runs j.run over the chunks,
+// the caller participating alongside up to GOMAXPROCS-1 pool workers.
+// When the queue is saturated by concurrent callers the extra shares
+// are simply not enqueued — the caller (and any worker that did accept)
+// still drains every chunk, so saturation degrades to less parallelism,
+// never to blocking or deadlock.
+func (j *job) dispatch(rows int, cum func(int) int64) {
+	if rows <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		j.run(j, 0, rows)
+		return
+	}
+	j.chunks = appendBalancedChunks(j.chunks[:0], rows, cum, workers*chunksPerWorker)
+	if len(j.chunks) == 1 {
+		c := j.chunks[0]
+		j.run(j, c.lo, c.hi)
+		return
+	}
+	startWorkers()
+	for w := 0; w < workers-1; w++ {
+		j.wg.Add(1)
+		select {
+		case jobQueue <- j:
+		default:
+			j.wg.Done()
+			w = workers // queue full; run with whoever already joined
+		}
+	}
+	j.steal()
+	j.wg.Wait()
+}

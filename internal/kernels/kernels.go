@@ -5,6 +5,11 @@
 // variants execute the tiled representation (dense tiles, then the
 // leftover sparse part) and must produce bit-identical structure and
 // numerically equal values.
+//
+// Execution is load-balanced by nonzero count rather than row count (see
+// executor.go), and every kernel has an allocation-free *Into variant
+// that writes a caller-provided output — the building blocks of the
+// zero-allocation serving path exposed by the repro package.
 package kernels
 
 import (
@@ -17,8 +22,10 @@ import (
 	"repro/internal/sparse"
 )
 
-// parallelRows runs fn over [0, rows) split into contiguous chunks across
-// GOMAXPROCS workers.
+// parallelRows runs fn over [0, rows) split into contiguous equal-row
+// chunks across GOMAXPROCS workers — the seed engine, kept as the
+// baseline for the load-balance tests and benchmarks. New code should
+// go through job.dispatch, which balances by nonzeros.
 func parallelRows(rows int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
@@ -55,6 +62,14 @@ func checkSpMMShapes(s *sparse.CSR, x *dense.Matrix) error {
 	return nil
 }
 
+func checkSpMMOut(s *sparse.CSR, x, y *dense.Matrix) error {
+	if y.Rows != s.Rows || y.Cols != x.Cols {
+		return fmt.Errorf("kernels: SpMM output is %dx%d, want %dx%d",
+			y.Rows, y.Cols, s.Rows, x.Cols)
+	}
+	return nil
+}
+
 // SpMMRowWise computes Y = S·X with the row-wise algorithm (Alg 1),
 // parallelised over rows. It allocates and returns Y (S.Rows × X.Cols).
 func SpMMRowWise(s *sparse.CSR, x *dense.Matrix) (*dense.Matrix, error) {
@@ -62,20 +77,41 @@ func SpMMRowWise(s *sparse.CSR, x *dense.Matrix) (*dense.Matrix, error) {
 		return nil, err
 	}
 	y := dense.New(s.Rows, x.Cols)
-	parallelRows(s.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			yi := y.Row(i)
-			cols, vals := s.RowCols(i), s.RowVals(i)
-			for j := range cols {
-				v := vals[j]
-				xr := x.Row(int(cols[j]))
-				for k := range yi {
-					yi[k] += v * xr[k]
-				}
+	return y, SpMMRowWiseInto(y, s, x)
+}
+
+// SpMMRowWiseInto computes Y = S·X into the caller-provided y
+// (S.Rows × X.Cols), overwriting its contents. At steady state the call
+// performs no heap allocations.
+func SpMMRowWiseInto(y *dense.Matrix, s *sparse.CSR, x *dense.Matrix) error {
+	if err := checkSpMMShapes(s, x); err != nil {
+		return err
+	}
+	if err := checkSpMMOut(s, x, y); err != nil {
+		return err
+	}
+	j := getJob()
+	j.run = runSpMMRowWise
+	j.csr, j.x, j.y = s, x, y
+	j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
+	putJob(j)
+	return nil
+}
+
+func runSpMMRowWise(j *job, lo, hi int) {
+	s, x, y := j.csr, j.x, j.y
+	for i := lo; i < hi; i++ {
+		yi := y.Row(i)
+		clear(yi)
+		cols, vals := s.RowCols(i), s.RowVals(i)
+		for jj := range cols {
+			v := vals[jj]
+			xr := x.Row(int(cols[jj]))
+			for k := range yi {
+				yi[k] += v * xr[k]
 			}
 		}
-	})
-	return y, nil
+	}
 }
 
 // SpMMASpT computes Y = S·X from the ASpT representation: dense-tile
@@ -87,30 +123,52 @@ func SpMMASpT(t *aspt.Matrix, x *dense.Matrix) (*dense.Matrix, error) {
 		return nil, err
 	}
 	y := dense.New(t.Src.Rows, x.Cols)
-	parallelRows(t.Src.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			yi := y.Row(i)
-			// Dense-tile part.
-			tcols, tvals := t.TileRowCols(i), t.TileRowVals(i)
-			for j := range tcols {
-				v := tvals[j]
-				xr := x.Row(int(tcols[j]))
-				for k := range yi {
-					yi[k] += v * xr[k]
-				}
-			}
-			// Leftover sparse part.
-			rcols, rvals := t.Rest.RowCols(i), t.Rest.RowVals(i)
-			for j := range rcols {
-				v := rvals[j]
-				xr := x.Row(int(rcols[j]))
-				for k := range yi {
-					yi[k] += v * xr[k]
-				}
+	return y, SpMMASpTInto(y, t, x)
+}
+
+// SpMMASpTInto computes Y = S·X from the ASpT representation into the
+// caller-provided y, overwriting its contents. Work is balanced by each
+// row's combined tile+rest nonzero count. At steady state the call
+// performs no heap allocations.
+func SpMMASpTInto(y *dense.Matrix, t *aspt.Matrix, x *dense.Matrix) error {
+	if err := checkSpMMShapes(t.Src, x); err != nil {
+		return err
+	}
+	if err := checkSpMMOut(t.Src, x, y); err != nil {
+		return err
+	}
+	j := getJob()
+	j.run = runSpMMASpT
+	j.tile, j.x, j.y = t, x, y
+	j.dispatch(t.Src.Rows, t.CumWork)
+	putJob(j)
+	return nil
+}
+
+func runSpMMASpT(j *job, lo, hi int) {
+	t, x, y := j.tile, j.x, j.y
+	for i := lo; i < hi; i++ {
+		yi := y.Row(i)
+		clear(yi)
+		// Dense-tile part.
+		tcols, tvals := t.TileRowCols(i), t.TileRowVals(i)
+		for jj := range tcols {
+			v := tvals[jj]
+			xr := x.Row(int(tcols[jj]))
+			for k := range yi {
+				yi[k] += v * xr[k]
 			}
 		}
-	})
-	return y, nil
+		// Leftover sparse part.
+		rcols, rvals := t.Rest.RowCols(i), t.Rest.RowVals(i)
+		for jj := range rcols {
+			v := rvals[jj]
+			xr := x.Row(int(rcols[jj]))
+			for k := range yi {
+				yi[k] += v * xr[k]
+			}
+		}
+	}
 }
 
 func checkSDDMMShapes(s *sparse.CSR, x, y *dense.Matrix) error {
@@ -126,6 +184,19 @@ func checkSDDMMShapes(s *sparse.CSR, x, y *dense.Matrix) error {
 	return nil
 }
 
+// checkSDDMMOut verifies the output matrix mirrors s's structure. The
+// full pattern comparison is O(nnz) with no allocations — negligible
+// next to the O(nnz·K) kernel.
+func checkSDDMMOut(s, out *sparse.CSR) error {
+	if out == s {
+		return nil // writing values in place over the source is allowed
+	}
+	if !out.SameStructure(s) {
+		return fmt.Errorf("kernels: SDDMM output structure differs from S (%s vs %s)", out, s)
+	}
+	return nil
+}
+
 // SDDMMRowWise computes O = S ⊙ (Y·Xᵀ) with the row-wise algorithm
 // (Alg 2): O has the sparsity pattern of S, and O[i][c] =
 // S[i][c] · Σ_k Y[i][k]·X[c][k]. The result reuses S's structure with
@@ -135,23 +206,45 @@ func SDDMMRowWise(s *sparse.CSR, x, y *dense.Matrix) (*sparse.CSR, error) {
 		return nil, err
 	}
 	out := s.Clone()
-	parallelRows(s.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			yi := y.Row(i)
-			cols := s.RowCols(i)
-			svals := s.RowVals(i)
-			ovals := out.Val[s.RowPtr[i]:s.RowPtr[i+1]]
-			for j := range cols {
-				xr := x.Row(int(cols[j]))
-				dot := float32(0)
-				for k := range yi {
-					dot += yi[k] * xr[k]
-				}
-				ovals[j] = dot * svals[j]
+	return out, SDDMMRowWiseInto(out, s, x, y)
+}
+
+// SDDMMRowWiseInto computes O = S ⊙ (Y·Xᵀ) into the caller-provided
+// out, which must have S's sparsity structure (e.g. S.Clone(), a
+// previous result, or S itself for in-place value rewriting). Only
+// out.Val is written. At steady state the call performs no heap
+// allocations.
+func SDDMMRowWiseInto(out, s *sparse.CSR, x, y *dense.Matrix) error {
+	if err := checkSDDMMShapes(s, x, y); err != nil {
+		return err
+	}
+	if err := checkSDDMMOut(s, out); err != nil {
+		return err
+	}
+	j := getJob()
+	j.run = runSDDMMRowWise
+	j.csr, j.x, j.y, j.out = s, x, y, out.Val
+	j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
+	putJob(j)
+	return nil
+}
+
+func runSDDMMRowWise(j *job, lo, hi int) {
+	s, x, y := j.csr, j.x, j.y
+	for i := lo; i < hi; i++ {
+		yi := y.Row(i)
+		cols := s.RowCols(i)
+		svals := s.RowVals(i)
+		ovals := j.out[s.RowPtr[i]:s.RowPtr[i+1]]
+		for jj := range cols {
+			xr := x.Row(int(cols[jj]))
+			dot := float32(0)
+			for k := range yi {
+				dot += yi[k] * xr[k]
 			}
+			ovals[jj] = dot * svals[jj]
 		}
-	})
-	return out, nil
+	}
 }
 
 // SDDMMASpT computes SDDMM from the ASpT representation. The output keeps
@@ -162,45 +255,63 @@ func SDDMMASpT(t *aspt.Matrix, x, y *dense.Matrix) (*sparse.CSR, error) {
 	if err := checkSDDMMShapes(t.Src, x, y); err != nil {
 		return nil, err
 	}
+	out := t.Src.Clone()
+	return out, SDDMMASpTInto(out, t, x, y)
+}
+
+// SDDMMASpTInto computes SDDMM from the ASpT representation into the
+// caller-provided out, which must have the source matrix's structure.
+// Only out.Val is written. At steady state the call performs no heap
+// allocations.
+func SDDMMASpTInto(out *sparse.CSR, t *aspt.Matrix, x, y *dense.Matrix) error {
+	if err := checkSDDMMShapes(t.Src, x, y); err != nil {
+		return err
+	}
+	if err := checkSDDMMOut(t.Src, out); err != nil {
+		return err
+	}
+	j := getJob()
+	j.run = runSDDMMASpT
+	j.tile, j.x, j.y, j.out = t, x, y, out.Val
+	j.dispatch(t.Src.Rows, t.CumWork)
+	putJob(j)
+	return nil
+}
+
+func runSDDMMASpT(j *job, lo, hi int) {
+	t, x, y := j.tile, j.x, j.y
 	s := t.Src
-	out := s.Clone()
 	// The tile/rest partition changes *where* each nonzero's X row is
 	// read from on the GPU (shared memory vs global), not the arithmetic:
 	// every nonzero is scaled by its own source value regardless of
 	// partition. The partition-aware traffic accounting lives in gpusim;
 	// here the two partitions are walked to mirror the execution order.
-	parallelRows(s.Rows, func(lo, hi int) {
-		dot := func(yi, xr []float32) float32 {
-			d := float32(0)
-			for k := range yi {
-				d += yi[k] * xr[k]
+	for i := lo; i < hi; i++ {
+		yi := y.Row(i)
+		ovals := j.out[s.RowPtr[i]:s.RowPtr[i+1]]
+		svals := s.RowVals(i)
+		cols := s.RowCols(i)
+		// Tile nonzeros first (the dense-tile kernel), then the rest
+		// (the row-wise kernel); position within the source row is
+		// recovered by column index, which is unique per row.
+		for pass := 0; pass < 2; pass++ {
+			var pcols []int32
+			if pass == 0 {
+				pcols = t.TileRowCols(i)
+			} else {
+				pcols = t.Rest.RowCols(i)
 			}
-			return d
-		}
-		for i := lo; i < hi; i++ {
-			yi := y.Row(i)
-			base := s.RowPtr[i]
-			ovals := out.Val[base:s.RowPtr[i+1]]
-			svals := s.RowVals(i)
-			cols := s.RowCols(i)
-			// Tile nonzeros first (the dense-tile kernel), then the rest
-			// (the row-wise kernel); position within the source row is
-			// recovered by column index, which is unique per row.
-			for pass := 0; pass < 2; pass++ {
-				var pcols []int32
-				if pass == 0 {
-					pcols = t.TileRowCols(i)
-				} else {
-					pcols = t.Rest.RowCols(i)
+			for _, c := range pcols {
+				xr := x.Row(int(c))
+				dot := float32(0)
+				for k := range yi {
+					dot += yi[k] * xr[k]
 				}
-				for _, c := range pcols {
-					j := searchInt32(cols, c)
-					ovals[j] = dot(yi, x.Row(int(c))) * svals[j]
-				}
+				jj := searchInt32(cols, c)
+				ovals[jj] = dot * svals[jj]
 			}
 		}
-	})
-	return out, nil
+	}
 }
 
 // searchInt32 returns the index of c in the sorted slice cols. The caller

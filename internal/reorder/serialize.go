@@ -1,7 +1,6 @@
 package reorder
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,32 +28,35 @@ const planMagic = 0x52525031
 // ErrPlanFormat is wrapped by all plan-deserialization failures.
 var ErrPlanFormat = errors.New("reorder: bad plan file")
 
-// WritePlan serialises the plan's permutations to w.
+// WritePlan serialises the plan's permutations to w. The whole file is
+// encoded into one buffer and written with a single Write per
+// permutation block, instead of one reflective binary.Write per
+// element.
 func WritePlan(w io.Writer, p *Plan) error {
-	bw := bufio.NewWriter(w)
-	head := []uint32{planMagic, uint32(len(p.RowPerm)), 0}
+	rows := len(p.RowPerm)
+	if len(p.RestOrder) != rows {
+		return fmt.Errorf("reorder: plan permutations of unequal length")
+	}
+	var flags uint32
 	if p.Round1Applied {
-		head[2] |= 1
+		flags |= 1
 	}
 	if p.Round2Applied {
-		head[2] |= 2
+		flags |= 2
 	}
-	for _, v := range head {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
+	buf := make([]byte, 12+8*rows)
+	binary.LittleEndian.PutUint32(buf[0:], planMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(rows))
+	binary.LittleEndian.PutUint32(buf[8:], flags)
+	off := 12
 	for _, perm := range [][]int32{p.RowPerm, p.RestOrder} {
-		if len(perm) != len(p.RowPerm) {
-			return fmt.Errorf("reorder: plan permutations of unequal length")
-		}
 		for _, v := range perm {
-			if err := binary.Write(bw, binary.LittleEndian, uint32(v)); err != nil {
-				return err
-			}
+			binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+			off += 4
 		}
 	}
-	return bw.Flush()
+	_, err := w.Write(buf)
+	return err
 }
 
 // SavedPlan is the deserialised form of a plan file: just the decisions
@@ -67,51 +69,78 @@ type SavedPlan struct {
 	RestOrder     []int32
 }
 
-// ReadPlan parses a plan file.
+// ReadPlan parses a plan file. Each permutation is read with bulk
+// io.ReadFull calls over a bounded chunk buffer (no per-element
+// binary.Read, and no huge up-front byte allocation for a corrupt
+// header claiming billions of rows: the permutation slices grow only as
+// bytes actually arrive).
 func ReadPlan(r io.Reader) (*SavedPlan, error) {
-	br := bufio.NewReader(r)
-	var head [3]uint32
-	for i := range head {
-		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
-			return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
-		}
+	var head [12]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
 	}
-	if head[0] != planMagic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrPlanFormat, head[0])
+	if magic := binary.LittleEndian.Uint32(head[0:]); magic != planMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrPlanFormat, magic)
 	}
-	rows := int(head[1])
+	rows := int(binary.LittleEndian.Uint32(head[4:]))
 	if rows < 0 || rows > 1<<30 {
 		return nil, fmt.Errorf("%w: implausible row count %d", ErrPlanFormat, rows)
 	}
+	flags := binary.LittleEndian.Uint32(head[8:])
 	sp := &SavedPlan{
 		Rows:          rows,
-		Round1Applied: head[2]&1 != 0,
-		Round2Applied: head[2]&2 != 0,
-		RowPerm:       make([]int32, rows),
-		RestOrder:     make([]int32, rows),
+		Round1Applied: flags&1 != 0,
+		Round2Applied: flags&2 != 0,
 	}
-	for _, perm := range [][]int32{sp.RowPerm, sp.RestOrder} {
-		for i := range perm {
-			var v uint32
-			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-				return nil, fmt.Errorf("%w: truncated permutation: %v", ErrPlanFormat, err)
-			}
-			perm[i] = int32(v)
+	for _, dst := range []*[]int32{&sp.RowPerm, &sp.RestOrder} {
+		perm, err := readPermutation(r, rows)
+		if err != nil {
+			return nil, err
 		}
 		if !sparse.IsPermutation(perm, rows) {
 			return nil, fmt.Errorf("%w: stored order is not a permutation", ErrPlanFormat)
 		}
+		*dst = perm
 	}
 	return sp, nil
 }
 
+// readPermutation reads n little-endian uint32s in bounded chunks,
+// growing the result incrementally so a lying header cannot force a
+// gigantic allocation before the stream runs dry.
+func readPermutation(r io.Reader, n int) ([]int32, error) {
+	const chunkWords = 16 << 10
+	perm := make([]int32, 0, min(n, chunkWords))
+	var buf [4 * chunkWords]byte
+	for len(perm) < n {
+		words := min(n-len(perm), chunkWords)
+		if _, err := io.ReadFull(r, buf[:4*words]); err != nil {
+			return nil, fmt.Errorf("%w: truncated permutation: %v", ErrPlanFormat, err)
+		}
+		for i := 0; i < words; i++ {
+			perm = append(perm, int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return perm, nil
+}
+
 // Apply rebuilds a full executable Plan for matrix m from the saved
 // permutations: the matrix is permuted and re-tiled (cheap, O(nnz)), but
-// LSH and clustering are skipped. It fails if m's row count does not
-// match the saved plan.
+// LSH and clustering are skipped. It fails with a wrapped ErrPlanFormat
+// if m's row count does not match the saved plan or if either stored
+// order is not a valid permutation of [0, rows) — a hand-constructed or
+// tampered SavedPlan is rejected here instead of panicking later in
+// InversePermutation.
 func (sp *SavedPlan) Apply(m *sparse.CSR, cfg Config) (*Plan, error) {
 	if m.Rows != sp.Rows {
-		return nil, fmt.Errorf("reorder: saved plan is for %d rows, matrix has %d", sp.Rows, m.Rows)
+		return nil, fmt.Errorf("%w: saved plan is for %d rows, matrix has %d",
+			ErrPlanFormat, sp.Rows, m.Rows)
+	}
+	if !sparse.IsPermutation(sp.RowPerm, sp.Rows) {
+		return nil, fmt.Errorf("%w: RowPerm is not a permutation of [0,%d)", ErrPlanFormat, sp.Rows)
+	}
+	if !sparse.IsPermutation(sp.RestOrder, sp.Rows) {
+		return nil, fmt.Errorf("%w: RestOrder is not a permutation of [0,%d)", ErrPlanFormat, sp.Rows)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package reorder
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -98,6 +99,48 @@ func TestReadPlanRejectsNonPermutation(t *testing.T) {
 	buf.Write([]byte{0, 0, 0, 0, 1, 0, 0, 0})
 	if _, err := ReadPlan(&buf); err == nil {
 		t.Fatalf("non-permutation accepted")
+	}
+}
+
+// TestApplyRejectsTamperedPlan checks that a SavedPlan whose
+// permutations were corrupted after deserialisation (or constructed by
+// hand) fails Apply with a wrapped ErrPlanFormat instead of panicking
+// later in InversePermutation.
+func TestApplyRejectsTamperedPlan(t *testing.T) {
+	m, err := synth.Uniform(16, 16, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkPlan := func() *SavedPlan {
+		sp := &SavedPlan{Rows: 16}
+		for i := int32(0); i < 16; i++ {
+			sp.RowPerm = append(sp.RowPerm, i)
+			sp.RestOrder = append(sp.RestOrder, i)
+		}
+		return sp
+	}
+	cases := map[string]func(*SavedPlan){
+		"duplicate row":      func(sp *SavedPlan) { sp.RowPerm[3] = sp.RowPerm[4] },
+		"out of range row":   func(sp *SavedPlan) { sp.RowPerm[0] = 16 },
+		"negative row":       func(sp *SavedPlan) { sp.RowPerm[0] = -1 },
+		"short rest order":   func(sp *SavedPlan) { sp.RestOrder = sp.RestOrder[:8] },
+		"duplicate rest row": func(sp *SavedPlan) { sp.RestOrder[0] = 5; sp.RestOrder[1] = 5 },
+	}
+	for name, corrupt := range cases {
+		sp := mkPlan()
+		corrupt(sp)
+		_, err := sp.Apply(m, DefaultConfig())
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrPlanFormat) {
+			t.Errorf("%s: error not wrapped as ErrPlanFormat: %v", name, err)
+		}
+	}
+	// The untampered plan still applies.
+	if _, err := mkPlan().Apply(m, DefaultConfig()); err != nil {
+		t.Fatalf("valid identity plan rejected: %v", err)
 	}
 }
 

@@ -2,27 +2,34 @@ package repro
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // OnlinePipeline implements the paper's §4 *online* trial-and-error
-// strategy literally: "perform row-reordering in the first iteration and
-// do SpMM on both the reordered matrix and the original matrix. If the
+// strategy: "perform row-reordering in the first iteration and do SpMM
+// on both the reordered matrix and the original matrix. If the
 // reordered matrix is faster, keep the row-reordering for the rest of
 // iterations; otherwise, discard [it]". The first SpMM (or SDDMM) call
-// executes both plans natively, measures wall time, and locks in the
+// runs the trial — one untimed warm-up of each plan to strip the
+// cold-cache penalty, then one timed run of each — and locks in the
 // winner for every subsequent call.
 //
-// OnlinePipeline is safe for sequential use; concurrent first calls are
-// serialised by the decision lock.
+// OnlinePipeline is safe for concurrent use. Once the trial has
+// decided, calls load the winner through an atomic pointer and execute
+// without taking any lock, so N goroutines get N-way parallel
+// SpMM/SDDMM; only concurrent *undecided* calls serialise, and they
+// serialise only the trial itself.
 type OnlinePipeline struct {
 	rr, nr *Pipeline
 
-	mu      sync.Mutex
-	decided bool
-	winner  *Pipeline
-	rrTime  time.Duration
-	nrTime  time.Duration
+	// winner is nil until the trial decides; decided calls go straight
+	// through this pointer without touching mu.
+	winner atomic.Pointer[Pipeline]
+
+	mu     sync.Mutex // serialises the trial; guards the times below
+	rrTime time.Duration
+	nrTime time.Duration
 }
 
 // NewOnlinePipeline preprocesses m both ways (with the §4 heuristics and
@@ -43,9 +50,8 @@ func NewOnlinePipeline(m *Matrix, cfg Config) (*OnlinePipeline, error) {
 // Decided reports whether the first-iteration trial has happened, and if
 // so whether reordering won.
 func (o *OnlinePipeline) Decided() (done, reorderingWon bool) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.decided, o.decided && o.winner == o.rr
+	w := o.winner.Load()
+	return w != nil, w == o.rr
 }
 
 // TrialTimes returns the wall times measured in the deciding iteration
@@ -56,13 +62,55 @@ func (o *OnlinePipeline) TrialTimes() (reordered, plain time.Duration) {
 	return o.rrTime, o.nrTime
 }
 
-// SpMM computes Y = S·X. The first call runs both execution plans and
-// keeps the faster; later calls use the winner only.
+// Pipeline returns the winning pipeline once decided (nil before).
+func (o *OnlinePipeline) Pipeline() *Pipeline { return o.winner.Load() }
+
+// SpMM computes Y = S·X. The first call runs the trial and keeps the
+// faster plan; later calls use the winner lock-free.
 func (o *OnlinePipeline) SpMM(x *Dense) (*Dense, error) {
+	if w := o.winner.Load(); w != nil {
+		return w.SpMM(x)
+	}
+	return o.trialSpMM(x)
+}
+
+// SpMMInto is the allocation-free form of SpMM: once decided it
+// delegates to the winner's SpMMInto without locking or allocating.
+// (The deciding call itself still allocates for the trial runs.)
+func (o *OnlinePipeline) SpMMInto(y *Dense, x *Dense) error {
+	if w := o.winner.Load(); w != nil {
+		return w.SpMMInto(y, x)
+	}
+	res, err := o.trialSpMM(x)
+	if err != nil {
+		return err
+	}
+	if y.Rows != res.Rows || y.Cols != res.Cols {
+		return o.winner.Load().SpMMInto(y, x) // reuses the shape check
+	}
+	copy(y.Data, res.Data)
+	return nil
+}
+
+// trialSpMM runs the §4 trial under the decision lock: warm-up both
+// plans untimed (so neither eats the cold-cache penalty the other is
+// measured without), then time one run of each, and publish the winner.
+// The result returned to the caller is the winner's, so the loser's
+// discarded output is never what the caller observes.
+func (o *OnlinePipeline) trialSpMM(x *Dense) (*Dense, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.decided {
-		return o.winner.SpMM(x)
+	if w := o.winner.Load(); w != nil {
+		// Another goroutine decided while this one waited on the lock.
+		return w.SpMM(x)
+	}
+	// Untimed warm-up of each plan (touches the operands and primes the
+	// kernels' pooled state for both).
+	if _, err := o.rr.SpMM(x); err != nil {
+		return nil, err
+	}
+	if _, err := o.nr.SpMM(x); err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
 	yRR, err := o.rr.SpMM(x)
@@ -71,53 +119,80 @@ func (o *OnlinePipeline) SpMM(x *Dense) (*Dense, error) {
 	}
 	o.rrTime = time.Since(t0)
 	t0 = time.Now()
-	if _, err := o.nr.SpMM(x); err != nil {
+	yNR, err := o.nr.SpMM(x)
+	if err != nil {
 		return nil, err
 	}
 	o.nrTime = time.Since(t0)
-	o.decide()
-	return yRR, nil
+	if o.decide() == o.rr {
+		return yRR, nil
+	}
+	return yNR, nil
 }
 
-// SDDMM computes O = S ⊙ (Y·Xᵀ) with the same first-call trial.
+// SDDMM computes O = S ⊙ (Y·Xᵀ) with the same first-call trial and the
+// same lock-free decided path.
 func (o *OnlinePipeline) SDDMM(x, y *Dense) (*Matrix, error) {
+	if w := o.winner.Load(); w != nil {
+		return w.SDDMM(x, y)
+	}
+	return o.trialSDDMM(x, y)
+}
+
+// SDDMMInto is the allocation-free form of SDDMM; out must have the
+// matrix's sparsity structure.
+func (o *OnlinePipeline) SDDMMInto(out *Matrix, x, y *Dense) error {
+	if w := o.winner.Load(); w != nil {
+		return w.SDDMMInto(out, x, y)
+	}
+	res, err := o.trialSDDMM(x, y)
+	if err != nil {
+		return err
+	}
+	if !out.SameStructure(res) {
+		return o.winner.Load().SDDMMInto(out, x, y) // reuses the structure check
+	}
+	copy(out.Val, res.Val)
+	return nil
+}
+
+func (o *OnlinePipeline) trialSDDMM(x, y *Dense) (*Matrix, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.decided {
-		return o.winner.SDDMM(x, y)
+	if w := o.winner.Load(); w != nil {
+		return w.SDDMM(x, y)
+	}
+	if _, err := o.rr.SDDMM(x, y); err != nil {
+		return nil, err
+	}
+	if _, err := o.nr.SDDMM(x, y); err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
-	out, err := o.rr.SDDMM(x, y)
+	oRR, err := o.rr.SDDMM(x, y)
 	if err != nil {
 		return nil, err
 	}
 	o.rrTime = time.Since(t0)
 	t0 = time.Now()
-	if _, err := o.nr.SDDMM(x, y); err != nil {
+	oNR, err := o.nr.SDDMM(x, y)
+	if err != nil {
 		return nil, err
 	}
 	o.nrTime = time.Since(t0)
-	o.decide()
-	return out, nil
+	if o.decide() == o.rr {
+		return oRR, nil
+	}
+	return oNR, nil
 }
 
-// decide locks in the winner; ties keep the plain plan (no reordering to
-// maintain). Caller holds o.mu.
-func (o *OnlinePipeline) decide() {
+// decide publishes the winner; ties keep the plain plan (no reordering
+// to maintain). Caller holds o.mu and has recorded both times.
+func (o *OnlinePipeline) decide() *Pipeline {
+	w := o.nr
 	if o.rrTime < o.nrTime {
-		o.winner = o.rr
-	} else {
-		o.winner = o.nr
+		w = o.rr
 	}
-	o.decided = true
-}
-
-// Pipeline returns the winning pipeline once decided (nil before).
-func (o *OnlinePipeline) Pipeline() *Pipeline {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if !o.decided {
-		return nil
-	}
-	return o.winner
+	o.winner.Store(w)
+	return w
 }

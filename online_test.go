@@ -1,11 +1,15 @@
 package repro_test
 
 import (
+	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"repro"
 )
+
+var errDiverged = errors.New("concurrent result diverged from reference")
 
 func TestOnlinePipelineDecides(t *testing.T) {
 	m := scrambled(t)
@@ -49,6 +53,157 @@ func TestOnlinePipelineDecides(t *testing.T) {
 			math.Abs(float64(want.Data[i]-y2.Data[i])) > 1e-4 {
 			t.Fatalf("online pipeline diverges at %d", i)
 		}
+	}
+}
+
+// TestOnlinePipelineConcurrentUndecided hammers a fresh (undecided)
+// pipeline from many goroutines: exactly one runs the trial, the rest
+// either wait it out or take the decided fast path, and every result
+// must be correct. Run under -race (see `make race`).
+func TestOnlinePipelineConcurrentUndecided(t *testing.T) {
+	m := scrambled(t)
+	o, err := repro.NewOnlinePipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 16, 1)
+	want, err := repro.SpMM(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	results := make([]*repro.Dense, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = o.SpMM(x)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for i := range want.Data {
+			if math.Abs(float64(want.Data[i]-results[g].Data[i])) > 1e-4 {
+				t.Fatalf("goroutine %d diverges at %d", g, i)
+			}
+		}
+	}
+	if done, _ := o.Decided(); !done {
+		t.Fatalf("concurrent first calls did not decide")
+	}
+}
+
+// TestOnlinePipelineConcurrentDecided checks the lock-free fast path:
+// once decided, ≥8 goroutines call SpMM (and SpMMInto) concurrently and
+// repeatedly; all results must be correct and no state may race.
+func TestOnlinePipelineConcurrentDecided(t *testing.T) {
+	m := scrambled(t)
+	o, err := repro.NewOnlinePipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 16, 1)
+	if _, err := o.SpMM(x); err != nil { // decide
+		t.Fatal(err)
+	}
+	if done, _ := o.Decided(); !done {
+		t.Fatalf("not decided after first call")
+	}
+	want, err := repro.SpMM(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const callsEach = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y := repro.NewDense(m.Rows, x.Cols)
+			for c := 0; c < callsEach; c++ {
+				var got *repro.Dense
+				var err error
+				if c%2 == 0 {
+					got, err = o.SpMM(x)
+				} else {
+					err = o.SpMMInto(y, x)
+					got = y
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range want.Data {
+					if math.Abs(float64(want.Data[i]-got.Data[i])) > 1e-4 {
+						errCh <- errDiverged
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestOnlinePipelineIntoVariants checks the Into entry points on both
+// the undecided (trial) and decided paths, including output validation.
+func TestOnlinePipelineIntoVariants(t *testing.T) {
+	m := scrambled(t)
+	o, err := repro.NewOnlinePipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 8, 4)
+	yin := repro.NewRandomDense(m.Rows, 8, 5)
+	want, err := repro.SpMM(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := repro.NewDense(m.Rows, 8)
+	if err := o.SpMMInto(y, x); err != nil { // undecided path decides
+		t.Fatal(err)
+	}
+	if done, _ := o.Decided(); !done {
+		t.Fatalf("SpMMInto did not decide")
+	}
+	for i := range want.Data {
+		if math.Abs(float64(want.Data[i]-y.Data[i])) > 1e-4 {
+			t.Fatalf("trial SpMMInto diverges at %d", i)
+		}
+	}
+	if err := o.SpMMInto(y, x); err != nil { // decided path
+		t.Fatal(err)
+	}
+	if err := o.SpMMInto(repro.NewDense(m.Rows+1, 8), x); err == nil {
+		t.Fatalf("accepted wrong-shaped output")
+	}
+	wantO, err := repro.SDDMM(m, x, yin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Clone()
+	if err := o.SDDMMInto(out, x, yin); err != nil {
+		t.Fatal(err)
+	}
+	for j := range wantO.Val {
+		if math.Abs(float64(wantO.Val[j]-out.Val[j])) > 1e-4 {
+			t.Fatalf("SDDMMInto diverges at %d", j)
+		}
+	}
+	bad := repro.Matrix{Rows: 1, Cols: 1, RowPtr: []int32{0, 0}}
+	if err := o.SDDMMInto(&bad, x, yin); err == nil {
+		t.Fatalf("accepted structurally different SDDMM output")
 	}
 }
 

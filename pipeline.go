@@ -3,7 +3,9 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync"
 
+	"repro/internal/dense"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 	"repro/internal/reorder"
@@ -14,9 +16,18 @@ import (
 // Reordering is purely an execution strategy: results are returned in the
 // original row order and with the original sparsity structure, so a
 // Pipeline is a drop-in replacement for the plain kernels.
+//
+// A Pipeline is immutable after construction and safe for concurrent
+// use; the *Into variants additionally perform no heap allocations at
+// steady state.
 type Pipeline struct {
 	orig *Matrix
 	plan *Plan
+
+	// sddmmScratch pools reordered-row-space SDDMM value buffers. The
+	// pooled matrices share the reordered matrix's structure arrays
+	// (read-only) and own only their Val slice.
+	sddmmScratch sync.Pool
 }
 
 // NewPipeline preprocesses m (Fig 5 workflow: round-1 reordering, ASpT
@@ -51,36 +62,89 @@ func (p *Pipeline) Matrix() *Matrix { return p.orig }
 // SpMM computes Y = S·X using the tiled, reordered execution and returns
 // Y in the original row order.
 func (p *Pipeline) SpMM(x *Dense) (*Dense, error) {
-	yre, err := kernels.SpMMASpT(p.plan.Tiled, x)
-	if err != nil {
+	y := dense.New(p.orig.Rows, x.Cols)
+	if err := p.SpMMInto(y, x); err != nil {
 		return nil, err
+	}
+	return y, nil
+}
+
+// SpMMInto computes Y = S·X into the caller-provided y
+// (S.Rows × X.Cols), overwriting its contents; rows come back in the
+// original order. The reordered intermediate lives in pooled scratch,
+// so a steady-state call performs no heap allocations.
+func (p *Pipeline) SpMMInto(y *Dense, x *Dense) error {
+	if y.Rows != p.orig.Rows || y.Cols != x.Cols {
+		return fmt.Errorf("repro: SpMMInto output is %dx%d, want %dx%d",
+			y.Rows, y.Cols, p.orig.Rows, x.Cols)
+	}
+	yre := dense.Get(p.orig.Rows, x.Cols)
+	defer dense.Put(yre)
+	if err := kernels.SpMMASpTInto(yre, p.plan.Tiled, x); err != nil {
+		return err
 	}
 	// Row i of the reordered result is original row RowPerm[i]; gather
 	// with the inverse permutation to restore the caller's order.
-	return yre.PermuteRows(p.plan.InvRowPerm)
+	return dense.PermuteRowsInto(y, yre, p.plan.InvRowPerm)
 }
 
 // SDDMM computes O = S ⊙ (Y·Xᵀ) using the tiled execution; O has the
 // original matrix's structure.
 func (p *Pipeline) SDDMM(x, y *Dense) (*Matrix, error) {
-	// The tiled matrix's rows are a permutation of the original's; feed
-	// the kernel the permuted Y and scatter values back.
-	yre, err := y.PermuteRows(p.plan.RowPerm)
-	if err != nil {
+	out := p.orig.Clone()
+	if err := p.SDDMMInto(out, x, y); err != nil {
 		return nil, err
-	}
-	ore, err := kernels.SDDMMASpT(p.plan.Tiled, x, yre)
-	if err != nil {
-		return nil, err
-	}
-	out, err := sparse.PermuteRows(ore, p.plan.InvRowPerm)
-	if err != nil {
-		return nil, err
-	}
-	if !out.SameStructure(p.orig) {
-		return nil, fmt.Errorf("repro: SDDMM structure mismatch after permutation (internal error)")
 	}
 	return out, nil
+}
+
+// SDDMMInto computes O = S ⊙ (Y·Xᵀ) into the caller-provided out, which
+// must have the original matrix's sparsity structure (e.g. a Clone of
+// it, a previous SDDMM result, or the matrix itself for in-place value
+// rewriting). Only out.Val is written. Steady-state calls perform no
+// heap allocations.
+func (p *Pipeline) SDDMMInto(out *Matrix, x, y *Dense) error {
+	if out != p.orig && !out.SameStructure(p.orig) {
+		return fmt.Errorf("repro: SDDMMInto output structure differs from the matrix (%s vs %s)",
+			out, p.orig)
+	}
+	// The tiled matrix's rows are a permutation of the original's; feed
+	// the kernel the permuted Y and scatter values back.
+	yre := dense.Get(y.Rows, y.Cols)
+	defer dense.Put(yre)
+	if err := dense.PermuteRowsInto(yre, y, p.plan.RowPerm); err != nil {
+		return err
+	}
+	ore := p.getSDDMMScratch()
+	defer p.sddmmScratch.Put(ore)
+	if err := kernels.SDDMMASpTInto(ore, p.plan.Tiled, x, yre); err != nil {
+		return err
+	}
+	// Scatter reordered-row values back to their original rows. Row
+	// permutation leaves the within-row column order untouched, so each
+	// row's value segment copies verbatim.
+	re := p.plan.Tiled.Src
+	for i, orig := range p.plan.RowPerm {
+		copy(out.Val[p.orig.RowPtr[orig]:p.orig.RowPtr[orig+1]],
+			ore.Val[re.RowPtr[i]:re.RowPtr[i+1]])
+	}
+	return nil
+}
+
+// getSDDMMScratch returns a pooled CSR sharing the reordered matrix's
+// structure arrays with a private Val buffer.
+func (p *Pipeline) getSDDMMScratch() *sparse.CSR {
+	if v := p.sddmmScratch.Get(); v != nil {
+		return v.(*sparse.CSR)
+	}
+	re := p.plan.Tiled.Src
+	return &sparse.CSR{
+		Rows:   re.Rows,
+		Cols:   re.Cols,
+		RowPtr: re.RowPtr,
+		ColIdx: re.ColIdx,
+		Val:    make([]float32, re.NNZ()),
+	}
 }
 
 // EstimateSpMM simulates this pipeline's SpMM on the given device for
