@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench fuzz experiments corpus clean
+.PHONY: all build test race vet bench bench-preprocess fuzz experiments corpus clean
 
 all: build vet test
 
@@ -23,6 +23,17 @@ race:
 # One bench per paper table/figure plus the ablations (see DESIGN.md §4).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Preprocessing-engine scaling + plan-cache benches, emitted as
+# machine-readable JSON (BENCH_preprocess.json). Override the flags for
+# a quick smoke run, e.g.:
+#   make bench-preprocess BENCH_PREPROCESS_FLAGS="-short -benchtime 1x"
+BENCH_PREPROCESS_FLAGS ?= -benchtime 1s
+bench-preprocess:
+	$(GO) test -run '^$$' -bench 'PreprocessWorkers|TilingWorkers|Cache' -benchmem \
+		$(BENCH_PREPROCESS_FLAGS) ./internal/reorder/ ./internal/plancache/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_preprocess.json
+	@echo "wrote BENCH_preprocess.json"
 
 # Short fuzz session over the input parsers.
 fuzz:

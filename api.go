@@ -2,11 +2,13 @@ package repro
 
 import (
 	"io"
+	"sync/atomic"
 
 	"repro/internal/dense"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 	"repro/internal/lsh"
+	"repro/internal/plancache"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
 	"repro/internal/synth"
@@ -105,8 +107,46 @@ func GetDense(rows, cols int) *Dense { return dense.Get(rows, cols) }
 func PutDense(m *Dense) { dense.Put(m) }
 
 // Preprocess runs the paper's full preprocessing workflow (Fig 5) and
-// returns the plan. Use NewPipeline for an executable wrapper.
+// returns the plan. Use NewPipeline for an executable wrapper. This
+// entry point always computes from scratch; see PreprocessCached for
+// the content-addressed variant.
 func Preprocess(m *Matrix, cfg Config) (*Plan, error) { return reorder.Preprocess(m, cfg) }
+
+// DefaultPlanCacheCapacity is the number of plans the process-wide plan
+// cache retains by default.
+const DefaultPlanCacheCapacity = 8
+
+// planCache is the process-wide content-addressed plan cache used by
+// PreprocessCached, NewPipeline, and NewPipelineNR (and therefore
+// NewOnlinePipeline). Swapped atomically so SetPlanCacheCapacity is
+// safe against concurrent pipeline construction.
+var planCache atomic.Pointer[plancache.Cache]
+
+func init() { planCache.Store(plancache.New(DefaultPlanCacheCapacity)) }
+
+// CacheStats reports the plan cache's hit/miss/eviction counters.
+type CacheStats = plancache.Stats
+
+// PlanCacheStats returns a snapshot of the process-wide plan cache
+// counters.
+func PlanCacheStats() CacheStats { return planCache.Load().Stats() }
+
+// SetPlanCacheCapacity replaces the process-wide plan cache with an
+// empty one holding at most n plans; n <= 0 disables caching entirely.
+// Pipelines already built keep their plans; only future lookups are
+// affected.
+func SetPlanCacheCapacity(n int) { planCache.Store(plancache.New(n)) }
+
+// PreprocessCached is Preprocess backed by the process-wide
+// content-addressed plan cache. Matrices whose sparsity *structure*
+// (shape + RowPtr + ColIdx) and configuration were preprocessed before
+// skip LSH, clustering, and tiling entirely: the cached plan is reused,
+// with its value arrays regathered in O(nnz) if m's nonzero values
+// differ from the cached ones. Plans returned on a hit share their
+// (immutable) arrays with other holders of the same plan.
+func PreprocessCached(m *Matrix, cfg Config) (*Plan, error) {
+	return planCache.Load().Preprocess(m, cfg)
+}
 
 // GenerateScrambledClusters generates the paper's motivating input: rows
 // drawn from `clusters` latent prototypes, randomly permuted so plain

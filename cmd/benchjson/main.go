@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON array, one object per benchmark result:
+//
+//	[{"name": "BenchmarkPreprocessWorkers/w=4-8",
+//	  "iterations": 10,
+//	  "metrics": {"ns/op": 1.23e8, "B/op": 5242880, "allocs/op": 42,
+//	              "sig-ns/op": 4.5e7}}, ...]
+//
+// Non-benchmark lines (PASS, ok, goos/goarch headers, test logs) pass
+// through to stderr unchanged, so it can sit directly in a pipe:
+//
+//	go test -bench Preprocess ./internal/reorder/ | benchjson -out BENCH_preprocess.json
+//
+// With no -out flag the JSON goes to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("out", "", "write the JSON array to this file (default: stdout)")
+	flag.Parse()
+
+	results, err := Parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	if _, err := w.Write(enc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output from r, forwarding every
+// non-benchmark line to passthrough (nil discards them), and returns
+// the parsed benchmark results in input order. The result is never nil:
+// input with no benchmark lines yields an empty (not null) JSON array.
+func Parse(r io.Reader, passthrough io.Writer) ([]Result, error) {
+	results := []Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		res, ok := parseLine(line)
+		if !ok {
+			if passthrough != nil {
+				fmt.Fprintln(passthrough, line)
+			}
+			continue
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses a single benchmark result line:
+//
+//	BenchmarkName[/sub]-P <iterations> [<value> <unit>]...
+func parseLine(line string) (Result, bool) {
+	fields := splitFields(line)
+	// Shortest valid line: name + iterations + one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	if len(fields[0]) < len("Benchmark") || fields[0][:len("Benchmark")] != "Benchmark" {
+		return Result{}, false
+	}
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil || iters <= 0 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}
+
+func splitFields(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		if j > i {
+			out = append(out, s[i:j])
+		}
+		i = j
+	}
+	return out
+}

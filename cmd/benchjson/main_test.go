@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/reorder
+cpu: Some CPU @ 2.40GHz
+BenchmarkPreprocessWorkers/w=1-8         	      10	 123456789 ns/op	 45000000 sig-ns/op	 5242880 B/op	      42 allocs/op
+BenchmarkPreprocessWorkers/w=8-8         	      20	  61728394 ns/op	  5600000 sig-ns/op	 5242880 B/op	      42 allocs/op
+BenchmarkCacheHitNewValues-8             	     500	   2345678 ns/op
+--- BENCH: BenchmarkSomething
+    some log line
+PASS
+ok  	repro/internal/reorder	3.456s
+`
+
+func TestParse(t *testing.T) {
+	var passthrough bytes.Buffer
+	results, err := Parse(strings.NewReader(sample), &passthrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+
+	r := results[0]
+	if r.Name != "BenchmarkPreprocessWorkers/w=1-8" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Iterations != 10 {
+		t.Errorf("iterations = %d, want 10", r.Iterations)
+	}
+	if got := r.Metrics["ns/op"]; got != 123456789 {
+		t.Errorf("ns/op = %v", got)
+	}
+	if got := r.Metrics["sig-ns/op"]; got != 45000000 {
+		t.Errorf("sig-ns/op = %v", got)
+	}
+	if got := r.Metrics["allocs/op"]; got != 42 {
+		t.Errorf("allocs/op = %v", got)
+	}
+
+	if results[2].Name != "BenchmarkCacheHitNewValues-8" || len(results[2].Metrics) != 1 {
+		t.Errorf("third result = %+v", results[2])
+	}
+
+	// Every non-benchmark line must appear on the passthrough stream.
+	for _, want := range []string{"goos: linux", "PASS", "ok  \trepro/internal/reorder", "some log line"} {
+		if !strings.Contains(passthrough.String(), want) {
+			t.Errorf("passthrough missing %q", want)
+		}
+	}
+	// And no benchmark line should.
+	if strings.Contains(passthrough.String(), "BenchmarkPreprocessWorkers") {
+		t.Error("benchmark line leaked into passthrough")
+	}
+}
+
+func TestParseEmptyInputYieldsEmptyArray(t *testing.T) {
+	results, err := Parse(strings.NewReader("PASS\nok \tpkg\t0.1s\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Fatalf("results = %#v, want empty non-nil slice", results)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	malformed := []string{
+		"BenchmarkOdd-8 10 123",             // odd value/unit pairing
+		"BenchmarkNoPairs-8 10",             // no metrics at all
+		"NotABenchmark-8 10 123 ns/op",      // wrong prefix
+		"BenchmarkBadIters-8 zero 123 ns/op", // non-numeric iterations
+		"BenchmarkBadValue-8 10 abc ns/op",  // non-numeric value
+	}
+	for _, line := range malformed {
+		if res, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, res)
+		}
+	}
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	res, ok := parseLine("BenchmarkX-4 3 1.234e+08 ns/op 0.5 ratio")
+	if !ok {
+		t.Fatal("rejected valid line")
+	}
+	if res.Metrics["ns/op"] != 1.234e8 {
+		t.Errorf("ns/op = %v", res.Metrics["ns/op"])
+	}
+	if res.Metrics["ratio"] != 0.5 {
+		t.Errorf("ratio = %v", res.Metrics["ratio"])
+	}
+}

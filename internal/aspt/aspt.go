@@ -16,8 +16,9 @@ package aspt
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -34,6 +35,10 @@ type Params struct {
 	// GPU-scale default is 4, below which the shared-memory staging cost
 	// of a column is not amortised by its reuse.
 	DenseThreshold int
+	// Workers bounds the parallelism of Build; 0 means
+	// runtime.GOMAXPROCS(0). The built representation is bit-identical
+	// for every worker count (panels are independent work units).
+	Workers int
 }
 
 // DefaultParams returns GPU-scale tiling parameters.
@@ -127,89 +132,169 @@ func (t *Matrix) TileRowCols(i int) []int32 { return t.TileCol[t.TileRowPtr[i]:t
 // TileRowVals returns row i's tile nonzero values.
 func (t *Matrix) TileRowVals(i int) []float32 { return t.TileVal[t.TileRowPtr[i]:t.TileRowPtr[i+1]] }
 
+// buildScratch is the per-worker column-indexed scratch of Build: the
+// count/mark arrays are epoch-stamped so clearing between panels is
+// O(columns touched), keeping each pass O(nnz) overall.
+type buildScratch struct {
+	count []int32 // per-column nonzero count within the current panel
+	stamp []int32 // epoch stamp validating count
+	mark  []int32 // epoch stamp: column is dense in the current panel
+	local []int32 // tile-local position of a dense column (valid when marked)
+	epoch int32
+}
+
+func newBuildScratch(cols int) *buildScratch {
+	return &buildScratch{
+		count: make([]int32, cols),
+		stamp: make([]int32, cols),
+		mark:  make([]int32, cols),
+		local: make([]int32, cols),
+	}
+}
+
 // Build tiles m with the given parameters.
+//
+// The build runs in two parallel passes over independent panels — the
+// analysis pass computes every panel's dense-column list and per-row
+// tile width, a serial prefix sum turns the widths into TileRowPtr /
+// rest RowPtr offsets, and the fill pass writes each panel's nonzeros
+// into its precomputed slot of the preallocated arrays. The output is
+// bit-identical to a single-threaded build for every Workers value:
+// panels never share output ranges, and all per-panel choices (the
+// dense-column order in particular) are resolved by total orders.
 func Build(m *sparse.CSR, p Params) (*Matrix, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	npanels := (m.Rows + p.PanelSize - 1) / p.PanelSize
 	t := &Matrix{
 		Params:     p,
 		Src:        m,
+		Panels:     make([]Panel, npanels),
 		TileRowPtr: make([]int32, m.Rows+1),
 	}
-	npanels := (m.Rows + p.PanelSize - 1) / p.PanelSize
-	t.Panels = make([]Panel, 0, npanels)
-
 	rest := &sparse.CSR{
 		Rows:   m.Rows,
 		Cols:   m.Cols,
 		RowPtr: make([]int32, m.Rows+1),
 	}
+	t.Rest = rest
+	if m.Rows == 0 {
+		return t, nil
+	}
 
-	// Scratch per-column counters with an epoch stamp so clearing
-	// between panels is O(columns touched), keeping Build O(nnz).
-	count := make([]int32, m.Cols)
-	stamp := make([]int32, m.Cols)
-	localPos := make([]int32, m.Cols)
-	epoch := int32(0)
+	// Column-indexed scratch is per worker; cap workers so the scratch
+	// memory stays proportional to the matrix when panels are few or the
+	// matrix is small.
+	workers := par.Workers(p.Workers, npanels)
+	if small := 1 + m.NNZ()/(8<<10); workers > small {
+		workers = small
+	}
+	scratch := make([]*buildScratch, workers)
 
-	for ps := 0; ps < m.Rows; ps += p.PanelSize {
+	// Pass A (parallel): per-panel dense columns + per-row tile widths.
+	// Panels are dealt to workers in stride-w order; each panel's output
+	// is owned by that panel, so scheduling never shows in the result.
+	tileLen := make([]int32, m.Rows)
+	runPanels := func(fn func(s *buildScratch, pi int)) {
+		par.Do(workers, func(w int) {
+			if scratch[w] == nil {
+				scratch[w] = newBuildScratch(m.Cols)
+			}
+			s := scratch[w]
+			for pi := w; pi < npanels; pi += workers {
+				fn(s, pi)
+			}
+		})
+	}
+	runPanels(func(s *buildScratch, pi int) {
+		ps := pi * p.PanelSize
 		pe := ps + p.PanelSize
 		if pe > m.Rows {
 			pe = m.Rows
 		}
-		epoch++
+		s.epoch++
+		epoch := s.epoch
 		var touched []int32
 		for i := ps; i < pe; i++ {
 			for _, c := range m.RowCols(i) {
-				if stamp[c] != epoch {
-					stamp[c] = epoch
-					count[c] = 0
+				if s.stamp[c] != epoch {
+					s.stamp[c] = epoch
+					s.count[c] = 0
 					touched = append(touched, c)
 				}
-				count[c]++
+				s.count[c]++
 			}
 		}
 		panel := Panel{StartRow: ps, EndRow: pe}
 		for _, c := range touched {
-			if count[c] >= int32(p.DenseThreshold) {
+			if s.count[c] >= int32(p.DenseThreshold) {
 				panel.DenseCols = append(panel.DenseCols, c)
 			}
 		}
-		// ASpT's column sort: densest first, column index as tie-break.
-		sort.Slice(panel.DenseCols, func(a, b int) bool {
-			ca, cb := panel.DenseCols[a], panel.DenseCols[b]
-			if count[ca] != count[cb] {
-				return count[ca] > count[cb]
+		// ASpT's column sort: densest first, column index as tie-break —
+		// a total order (columns are unique), so the result does not
+		// depend on the pre-sort order.
+		slices.SortFunc(panel.DenseCols, func(ca, cb int32) int {
+			if s.count[ca] != s.count[cb] {
+				return int(s.count[cb] - s.count[ca])
 			}
-			return ca < cb
+			return int(ca - cb)
 		})
-		for pos, c := range panel.DenseCols {
-			localPos[c] = int32(pos)
-		}
-		dense := make(map[int32]bool, len(panel.DenseCols))
 		for _, c := range panel.DenseCols {
-			dense[c] = true
+			s.mark[c] = epoch
+			panel.TileNNZ += int(s.count[c])
 		}
 		for i := ps; i < pe; i++ {
-			cols, vals := m.RowCols(i), m.RowVals(i)
-			for j, c := range cols {
-				if dense[c] {
-					t.TileLocal = append(t.TileLocal, localPos[c])
-					t.TileCol = append(t.TileCol, c)
-					t.TileVal = append(t.TileVal, vals[j])
-					panel.TileNNZ++
-				} else {
-					rest.ColIdx = append(rest.ColIdx, c)
-					rest.Val = append(rest.Val, vals[j])
+			tl := int32(0)
+			for _, c := range m.RowCols(i) {
+				if s.mark[c] == epoch {
+					tl++
 				}
 			}
-			t.TileRowPtr[i+1] = int32(len(t.TileVal))
-			rest.RowPtr[i+1] = int32(len(rest.ColIdx))
+			tileLen[i] = tl
 		}
-		t.Panels = append(t.Panels, panel)
+		t.Panels[pi] = panel
+	})
+
+	// Serial prefix sums: O(rows), negligible next to the O(nnz) passes.
+	for i := 0; i < m.Rows; i++ {
+		t.TileRowPtr[i+1] = t.TileRowPtr[i] + tileLen[i]
+		rest.RowPtr[i+1] = rest.RowPtr[i] + (m.RowPtr[i+1] - m.RowPtr[i]) - tileLen[i]
 	}
-	t.Rest = rest
+	tileNNZ := int(t.TileRowPtr[m.Rows])
+	t.TileLocal = make([]int32, tileNNZ)
+	t.TileCol = make([]int32, tileNNZ)
+	t.TileVal = make([]float32, tileNNZ)
+	rest.ColIdx = make([]int32, m.NNZ()-tileNNZ)
+	rest.Val = make([]float32, m.NNZ()-tileNNZ)
+
+	// Pass B (parallel): fill each panel's slice of the output arrays.
+	runPanels(func(s *buildScratch, pi int) {
+		panel := &t.Panels[pi]
+		s.epoch++
+		epoch := s.epoch
+		for pos, c := range panel.DenseCols {
+			s.mark[c] = epoch
+			s.local[c] = int32(pos)
+		}
+		for i := panel.StartRow; i < panel.EndRow; i++ {
+			cols, vals := m.RowCols(i), m.RowVals(i)
+			tp, rp := t.TileRowPtr[i], rest.RowPtr[i]
+			for j, c := range cols {
+				if s.mark[c] == epoch {
+					t.TileLocal[tp] = s.local[c]
+					t.TileCol[tp] = c
+					t.TileVal[tp] = vals[j]
+					tp++
+				} else {
+					rest.ColIdx[rp] = c
+					rest.Val[rp] = vals[j]
+					rp++
+				}
+			}
+		}
+	})
 	return t, nil
 }
 

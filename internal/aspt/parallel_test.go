@@ -1,0 +1,111 @@
+package aspt
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+// TestBuildDeterministicAcrossWorkers pins the parallel tiler's core
+// contract: for any worker count (including the GOMAXPROCS default at
+// Workers=0), Build produces exactly the representation the serial
+// build produces — panels are independent work units and every array
+// is written at offsets fixed by the prefix sums alone.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	inputs := map[string]func() (*sparse.CSR, error){
+		"rmat": func() (*sparse.CSR, error) {
+			return synth.RMAT(11, 8, 0.57, 0.19, 0.19, 5)
+		},
+		"banded": func() (*sparse.CSR, error) {
+			return synth.Banded(3000, 3000, 32, 10, 11)
+		},
+		"clustered": func() (*sparse.CSR, error) {
+			return synth.Clustered(synth.ClusterParams{
+				Rows: 3000, Cols: 1500, Clusters: 12,
+				PrototypeNNZ: 24, Keep: 0.8, Noise: 2, Seed: 2, Scrambled: true,
+			})
+		},
+	}
+	counts := []int{0, 2, 3}
+	if p := runtime.GOMAXPROCS(0); p > 3 {
+		counts = append(counts, p)
+	}
+	for name, gen := range inputs {
+		t.Run(name, func(t *testing.T) {
+			m, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := DefaultParams()
+			p.Workers = 1
+			want, err := Build(m, p)
+			if err != nil {
+				t.Fatalf("serial Build: %v", err)
+			}
+			for _, w := range counts {
+				p.Workers = w
+				got, err := Build(m, p)
+				if err != nil {
+					t.Fatalf("Build(workers=%d): %v", w, err)
+				}
+				compareTiled(t, want, got, w)
+			}
+		})
+	}
+}
+
+func compareTiled(t *testing.T, want, got *Matrix, workers int) {
+	t.Helper()
+	fail := func(name string) { t.Errorf("workers=%d: %s differs from serial build", workers, name) }
+	if !eq(want.TileRowPtr, got.TileRowPtr) {
+		fail("TileRowPtr")
+	}
+	if !eq(want.TileLocal, got.TileLocal) {
+		fail("TileLocal")
+	}
+	if !eq(want.TileCol, got.TileCol) {
+		fail("TileCol")
+	}
+	if !eq(want.TileVal, got.TileVal) {
+		fail("TileVal")
+	}
+	if !eq(want.Rest.RowPtr, got.Rest.RowPtr) {
+		fail("Rest.RowPtr")
+	}
+	if !eq(want.Rest.ColIdx, got.Rest.ColIdx) {
+		fail("Rest.ColIdx")
+	}
+	if !eq(want.Rest.Val, got.Rest.Val) {
+		fail("Rest.Val")
+	}
+	if len(want.Panels) != len(got.Panels) {
+		fail("len(Panels)")
+		return
+	}
+	for i := range want.Panels {
+		if !eq(want.Panels[i].DenseCols, got.Panels[i].DenseCols) {
+			t.Errorf("workers=%d: panel %d DenseCols differs", workers, i)
+		}
+		if want.Panels[i].TileNNZ != got.Panels[i].TileNNZ {
+			t.Errorf("workers=%d: panel %d TileNNZ = %d, want %d",
+				workers, i, got.Panels[i].TileNNZ, want.Panels[i].TileNNZ)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("workers=%d: Validate: %v", workers, err)
+	}
+}
+
+func eq[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

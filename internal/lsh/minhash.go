@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/pairheap"
 	"repro/internal/sparse"
@@ -94,6 +96,29 @@ func (s *Signatures) EstimateJaccard(i, j int) float64 {
 	return float64(n) / float64(s.SigLen)
 }
 
+// StageTimings is the wall-clock breakdown of the LSH stage, matching
+// the three terms of the paper's preprocessing cost model: siglen·nnz
+// signature computation, (siglen/bsize)·N banding (including candidate
+// deduplication), and d_max·E exact scoring (including the final
+// deterministic pair ordering).
+type StageTimings struct {
+	Signatures time.Duration
+	Banding    time.Duration
+	Scoring    time.Duration
+}
+
+// Total sums the stage durations.
+func (t StageTimings) Total() time.Duration { return t.Signatures + t.Banding + t.Scoring }
+
+// signatureOps counts signature-matrix computations process-wide. The
+// plan cache's tests use it to prove a cache hit performs no signature
+// work; it has no other role.
+var signatureOps atomic.Int64
+
+// SignatureOps returns the number of signature-matrix computations
+// (MinHash or OPH) performed by this process so far.
+func SignatureOps() int64 { return signatureOps.Load() }
+
 // splitmix64 advances and hashes a 64-bit state; used to derive the hash
 // family deterministically from the seed.
 func splitmix64(x uint64) uint64 {
@@ -136,6 +161,7 @@ func ComputeSignatures(m *sparse.CSR, p Params) (*Signatures, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	signatureOps.Add(1)
 	fam := newHashFamily(p.SigLen, p.Seed)
 	sigs := &Signatures{
 		SigLen: p.SigLen,
@@ -189,6 +215,15 @@ func ComputeSignatures(m *sparse.CSR, p Params) (*Signatures, error) {
 // exact Jaccard scoring, and MinSim filtering. The result is
 // deduplicated and deterministic for a fixed Params.
 func CandidatePairs(m *sparse.CSR, p Params) ([]pairheap.Pair, error) {
+	pairs, _, err := CandidatePairsTimed(m, p)
+	return pairs, err
+}
+
+// CandidatePairsTimed is CandidatePairs reporting the per-stage
+// wall-clock breakdown (signatures / banding / scoring).
+func CandidatePairsTimed(m *sparse.CSR, p Params) ([]pairheap.Pair, StageTimings, error) {
+	var st StageTimings
+	t0 := time.Now()
 	var sigs *Signatures
 	var err error
 	if p.OPH {
@@ -197,9 +232,11 @@ func CandidatePairs(m *sparse.CSR, p Params) ([]pairheap.Pair, error) {
 		sigs, err = ComputeSignatures(m, p)
 	}
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	return PairsFromSignatures(m, sigs, p)
+	st.Signatures = time.Since(t0)
+	pairs, err := pairsFromSignatures(m, sigs, p, &st)
+	return pairs, st, err
 }
 
 // PairsFromSignatures performs banding and scoring on precomputed
@@ -209,6 +246,20 @@ func CandidatePairs(m *sparse.CSR, p Params) ([]pairheap.Pair, error) {
 // goroutines; the result is deduplicated and deterministic for a fixed
 // Params regardless of worker count.
 func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.Pair, error) {
+	return pairsFromSignatures(m, sigs, p, nil)
+}
+
+// pairsFromSignatures is the banding+scoring engine; st (optional)
+// receives the Banding/Scoring wall-clock split.
+//
+// The candidate set is deduplicated without any shared map: every
+// worker keeps its candidate keys as a sorted unique slice (per band it
+// appends into a reusable scratch slice, sorts, compacts, and merges
+// into its accumulator), and the workers' slices meet in a k-way merge.
+// The union of per-band key sets is independent of how bands were dealt
+// to workers, so the merged sequence — and everything downstream — is
+// identical for every worker count.
+func pairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params, st *StageTimings) ([]pairheap.Pair, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -227,16 +278,17 @@ func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.
 	if workers < 1 {
 		workers = 1
 	}
+	tBand := time.Now()
 
-	// Phase 1 (parallel over bands): each worker buckets its bands and
-	// emits locally-deduplicated candidate keys.
-	keyCh := make(chan map[uint64]struct{}, workers)
+	// Phase 1 (parallel over bands): bucket rows per band and emit each
+	// band's candidate keys; per-worker results stay sorted and unique.
+	workerKeys := make([][]uint64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := make(map[uint64]struct{})
+			var acc, band, mergeBuf []uint64
 			buckets := make(map[uint64][]int32)
 			addKey := func(i, j int32) {
 				if i == j {
@@ -245,12 +297,11 @@ func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.
 				if i > j {
 					i, j = j, i
 				}
-				local[uint64(uint32(i))<<32|uint64(uint32(j))] = struct{}{}
+				band = append(band, uint64(uint32(i))<<32|uint64(uint32(j)))
 			}
 			for b := w; b < nbands; b += workers {
-				for k := range buckets {
-					delete(buckets, k)
-				}
+				clear(buckets)
+				band = band[:0] // reuse the band scratch's backing storage
 				for i := 0; i < m.Rows; i++ {
 					// Empty rows are skipped: their all-max signatures
 					// would otherwise all collide.
@@ -284,25 +335,23 @@ func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.
 						}
 					}
 				}
+				slices.Sort(band)
+				band = slices.Compact(band)
+				acc, mergeBuf = mergeSortedUnique(mergeBuf[:0], acc, band), acc
 			}
-			keyCh <- local
+			workerKeys[w] = acc
 		}(w)
 	}
 	wg.Wait()
-	close(keyCh)
-	seen := make(map[uint64]struct{})
-	for local := range keyCh {
-		for k := range local {
-			seen[k] = struct{}{}
-		}
+	keys := mergeWorkerKeys(workerKeys)
+	if st != nil {
+		st.Banding = time.Since(tBand)
 	}
+	tScore := time.Now()
 
 	// Phase 2 (parallel over candidates): exact Jaccard scoring — the
-	// d_max·E term of the paper's cost model.
-	keys := make([]uint64, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
-	}
+	// d_max·E term of the paper's cost model. Results land at their
+	// key's index, so scoring order cannot reorder the output.
 	pairs := make([]pairheap.Pair, len(keys))
 	keep := make([]bool, len(keys))
 	var swg sync.WaitGroup
@@ -336,15 +385,147 @@ func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.
 			out = append(out, pairs[idx])
 		}
 	}
-
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Sim != out[b].Sim {
-			return out[a].Sim > out[b].Sim
-		}
-		if out[a].I != out[b].I {
-			return out[a].I < out[b].I
-		}
-		return out[a].J < out[b].J
-	})
+	sortPairs(out, workers)
+	if st != nil {
+		st.Scoring = time.Since(tScore)
+	}
 	return out, nil
+}
+
+// mergeSortedUnique merges two sorted unique slices into dst (reset by
+// the caller), dropping cross-slice duplicates.
+func mergeSortedUnique(dst, a, b []uint64) []uint64 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// mergeWorkerKeys k-way merges the workers' sorted unique key slices by
+// parallel pairwise rounds; the result is the sorted union.
+func mergeWorkerKeys(parts [][]uint64) []uint64 {
+	for len(parts) > 1 {
+		merged := make([][]uint64, (len(parts)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i+1 < len(parts); i += 2 {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				merged[i/2] = mergeSortedUnique(
+					make([]uint64, 0, len(parts[i])+len(parts[i+1])), parts[i], parts[i+1])
+			}(i)
+		}
+		if len(parts)%2 == 1 {
+			merged[len(merged)-1] = parts[len(parts)-1]
+		}
+		wg.Wait()
+		parts = merged
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return parts[0]
+}
+
+// cmpPair is the canonical candidate-pair order: similarity descending,
+// then (I, J) ascending — a total order because (I, J) keys are unique.
+func cmpPair(a, b pairheap.Pair) int {
+	switch {
+	case a.Sim > b.Sim:
+		return -1
+	case a.Sim < b.Sim:
+		return 1
+	case a.I != b.I:
+		return int(a.I - b.I)
+	default:
+		return int(a.J - b.J)
+	}
+}
+
+// sortPairs sorts ps by cmpPair with a parallel merge sort: equal chunks
+// are slices.SortFunc-ed concurrently, then merged in parallel pairwise
+// rounds. The comparator is a total order, so the result is identical
+// for every worker count (and to a plain serial sort).
+func sortPairs(ps []pairheap.Pair, workers int) {
+	const minParallelSort = 1 << 14
+	if workers > len(ps)/minParallelSort {
+		workers = len(ps) / minParallelSort
+	}
+	if workers <= 1 {
+		slices.SortFunc(ps, cmpPair)
+		return
+	}
+	chunk := (len(ps) + workers - 1) / workers
+	bounds := make([][2]int, 0, workers)
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(ps); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.SortFunc(ps[lo:hi], cmpPair)
+		}(lo, hi)
+	}
+	wg.Wait()
+	scratch := make([]pairheap.Pair, len(ps))
+	src, dst := ps, scratch
+	for len(bounds) > 1 {
+		next := make([][2]int, 0, (len(bounds)+1)/2)
+		var mwg sync.WaitGroup
+		for i := 0; i+1 < len(bounds); i += 2 {
+			a, b := bounds[i], bounds[i+1]
+			next = append(next, [2]int{a[0], b[1]})
+			mwg.Add(1)
+			go func(a, b [2]int) {
+				defer mwg.Done()
+				mergePairs(dst[a[0]:b[1]], src[a[0]:a[1]], src[b[0]:b[1]])
+			}(a, b)
+		}
+		if len(bounds)%2 == 1 {
+			last := bounds[len(bounds)-1]
+			copy(dst[last[0]:last[1]], src[last[0]:last[1]])
+			next = append(next, last)
+		}
+		mwg.Wait()
+		bounds = next
+		src, dst = dst, src
+	}
+	if &src[0] != &ps[0] {
+		copy(ps, src)
+	}
+}
+
+// mergePairs merges two cmpPair-sorted runs into dst (len(dst) ==
+// len(a)+len(b)).
+func mergePairs(dst, a, b []pairheap.Pair) {
+	k := 0
+	for len(a) > 0 && len(b) > 0 {
+		if cmpPair(a[0], b[0]) <= 0 {
+			dst[k] = a[0]
+			a = a[1:]
+		} else {
+			dst[k] = b[0]
+			b = b[1:]
+		}
+		k++
+	}
+	copy(dst[k:], a)
+	copy(dst[k+len(a):], b)
 }

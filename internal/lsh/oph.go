@@ -26,6 +26,7 @@ func ComputeSignaturesOPH(m *sparse.CSR, p Params) (*Signatures, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	signatureOps.Add(1)
 	fam := newHashFamily(1, p.Seed)
 	sigs := &Signatures{
 		SigLen: p.SigLen,

@@ -1,0 +1,100 @@
+// Package par holds the small shared scaffolding of the parallel
+// preprocessing engine: worker-count resolution and deterministic
+// fork-join loops. Every parallel stage built on it is required to be
+// *output-deterministic*: the bytes it produces must not depend on the
+// worker count or on scheduling. The helpers here make that easy by
+// fixing the unit of work (a chunk index range) independently of the
+// number of workers and letting workers race only for *which* unit they
+// execute, never for what a unit computes or where it writes.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0). The result is additionally capped at units (the
+// number of independent work units available) and floored at 1.
+func Workers(requested, units int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(w) for w in [0, workers), each on its own goroutine (the
+// caller's goroutine runs the last one), and waits for all of them.
+// workers <= 1 runs fn(0) inline with no goroutine overhead.
+func Do(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(workers - 1)
+	wg.Wait()
+}
+
+// ForUnits executes fn(u) for every unit u in [0, n), distributing units
+// dynamically over workers through an atomic ticket counter — skewed
+// units (e.g. sparse-matrix panels of very different nnz) self-balance.
+// fn must write only to unit-u-owned state so the output is identical
+// for every worker count.
+func ForUnits(n, workers int, fn func(u int)) {
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			fn(u)
+		}
+		return
+	}
+	var next atomic.Int64
+	Do(workers, func(int) {
+		for {
+			u := int(next.Add(1)) - 1
+			if u >= n {
+				return
+			}
+			fn(u)
+		}
+	})
+}
+
+// ForChunks splits [0, n) into runs of the given fixed size and executes
+// fn(lo, hi) for each run, dynamically balanced across workers. The
+// chunk boundaries depend only on n and size — never on the worker
+// count — so chunk-indexed accumulation (e.g. per-chunk float sums later
+// combined in chunk order) is bit-identical for any parallelism.
+func ForChunks(n, size, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	nchunks := (n + size - 1) / size
+	ForUnits(nchunks, workers, func(u int) {
+		lo := u * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

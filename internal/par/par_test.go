@@ -1,0 +1,82 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 1000); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers capped = %d, want 3", got)
+	}
+	if got := Workers(4, 0); got != 1 {
+		t.Fatalf("Workers floor = %d, want 1", got)
+	}
+	if got := Workers(-1, 16); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		var seen atomic.Int64
+		Do(workers, func(w int) { seen.Add(1 << uint(w)) })
+		if want := int64(1<<uint(workers)) - 1; seen.Load() != want {
+			t.Fatalf("Do(%d) ran mask %b, want %b", workers, seen.Load(), want)
+		}
+	}
+}
+
+func TestForUnitsCoversEveryUnitOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 1001
+		counts := make([]atomic.Int32, n)
+		ForUnits(n, workers, func(u int) { counts[u].Add(1) })
+		for u := range counts {
+			if counts[u].Load() != 1 {
+				t.Fatalf("workers=%d unit %d ran %d times", workers, u, counts[u].Load())
+			}
+		}
+	}
+}
+
+func TestForChunksBoundariesIndependentOfWorkers(t *testing.T) {
+	const n, size = 1000, 64
+	collect := func(workers int) map[int]int {
+		mu := make(chan struct{}, 1)
+		mu <- struct{}{}
+		got := map[int]int{}
+		ForChunks(n, size, workers, func(lo, hi int) {
+			<-mu
+			got[lo] = hi
+			mu <- struct{}{}
+		})
+		return got
+	}
+	a, b := collect(1), collect(5)
+	if len(a) != len(b) || len(a) != (n+size-1)/size {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	total := 0
+	for lo, hi := range a {
+		if b[lo] != hi {
+			t.Fatalf("chunk [%d,%d) vs [%d,%d)", lo, hi, lo, b[lo])
+		}
+		total += hi - lo
+	}
+	if total != n {
+		t.Fatalf("chunks cover %d elements, want %d", total, n)
+	}
+}
+
+func TestForChunksEmpty(t *testing.T) {
+	ran := false
+	ForChunks(0, 16, 4, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatalf("ForChunks ran on empty range")
+	}
+}

@@ -6,7 +6,7 @@ package reorder
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/lsh"
 	"repro/internal/pairheap"
@@ -202,7 +202,7 @@ func PackGroups(groups [][]int32, panelSize int) []int32 {
 		}
 	}
 	// First-fit-decreasing packing of small clusters into panel bins.
-	sort.SliceStable(small, func(a, b int) bool { return len(small[a]) > len(small[b]) })
+	slices.SortStableFunc(small, func(a, b []int32) int { return len(b) - len(a) })
 	type bin struct {
 		rows []int32
 		free int

@@ -1,0 +1,183 @@
+package reorder
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+// The parallel preprocessing engine promises bit-identical plans for
+// every worker count: work units (panels, row blocks, similarity
+// chunks, candidate keys) are fixed by the input alone, and
+// floating-point accumulation is combined in a fixed order. These tests
+// pin that contract on structurally different inputs.
+
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+func planEqual(t *testing.T, want, got *Plan, workers int) {
+	t.Helper()
+	check := func(name string, ok bool) {
+		if !ok {
+			t.Errorf("workers=%d: %s differs from serial plan", workers, name)
+		}
+	}
+	check("RowPerm", sliceEq(want.RowPerm, got.RowPerm))
+	check("InvRowPerm", sliceEq(want.InvRowPerm, got.InvRowPerm))
+	check("RestOrder", sliceEq(want.RestOrder, got.RestOrder))
+	check("Round1Applied", want.Round1Applied == got.Round1Applied)
+	check("Round2Applied", want.Round2Applied == got.Round2Applied)
+	check("Reordered.RowPtr", sliceEq(want.Reordered.RowPtr, got.Reordered.RowPtr))
+	check("Reordered.ColIdx", sliceEq(want.Reordered.ColIdx, got.Reordered.ColIdx))
+	check("Reordered.Val", sliceEq(want.Reordered.Val, got.Reordered.Val))
+	check("TileRowPtr", sliceEq(want.Tiled.TileRowPtr, got.Tiled.TileRowPtr))
+	check("TileLocal", sliceEq(want.Tiled.TileLocal, got.Tiled.TileLocal))
+	check("TileCol", sliceEq(want.Tiled.TileCol, got.Tiled.TileCol))
+	check("TileVal", sliceEq(want.Tiled.TileVal, got.Tiled.TileVal))
+	check("Rest.RowPtr", sliceEq(want.Tiled.Rest.RowPtr, got.Tiled.Rest.RowPtr))
+	check("Rest.ColIdx", sliceEq(want.Tiled.Rest.ColIdx, got.Tiled.Rest.ColIdx))
+	check("Rest.Val", sliceEq(want.Tiled.Rest.Val, got.Tiled.Rest.Val))
+	check("len(Panels)", len(want.Tiled.Panels) == len(got.Tiled.Panels))
+	for pi := range want.Tiled.Panels {
+		if !sliceEq(want.Tiled.Panels[pi].DenseCols, got.Tiled.Panels[pi].DenseCols) {
+			t.Errorf("workers=%d: panel %d DenseCols differs", workers, pi)
+		}
+	}
+	// Exact float equality is the point: heuristics and metrics must not
+	// depend on summation order.
+	check("DenseRatioBefore", want.DenseRatioBefore == got.DenseRatioBefore)
+	check("DenseRatioAfter", want.DenseRatioAfter == got.DenseRatioAfter)
+	check("AvgSimBefore", want.AvgSimBefore == got.AvgSimBefore)
+	check("AvgSimAfter", want.AvgSimAfter == got.AvgSimAfter)
+
+	// The serialized decision bytes must match too (the §5.4 offline
+	// artifact a deployment ships).
+	var wb, gb bytes.Buffer
+	if err := WritePlan(&wb, want); err != nil {
+		t.Fatalf("WritePlan(serial): %v", err)
+	}
+	if err := WritePlan(&gb, got); err != nil {
+		t.Fatalf("WritePlan(workers=%d): %v", workers, err)
+	}
+	check("WritePlan bytes", bytes.Equal(wb.Bytes(), gb.Bytes()))
+}
+
+func sliceEq[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func testDeterminism(t *testing.T, m *sparse.CSR) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	serial, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatalf("serial Preprocess: %v", err)
+	}
+	for _, w := range workerCounts()[1:] {
+		cfg.Workers = w
+		p, err := Preprocess(m, cfg)
+		if err != nil {
+			t.Fatalf("Preprocess(workers=%d): %v", w, err)
+		}
+		planEqual(t, serial, p, w)
+	}
+}
+
+func TestPreprocessDeterministicAcrossWorkersRMAT(t *testing.T) {
+	scale := 12
+	if testing.Short() {
+		scale = 10
+	}
+	m, err := synth.RMAT(scale, 8, 0.57, 0.19, 0.19, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDeterminism(t, m)
+}
+
+func TestPreprocessDeterministicAcrossWorkersBanded(t *testing.T) {
+	m, err := synth.Banded(4096, 4096, 48, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDeterminism(t, m)
+}
+
+func TestPreprocessDeterministicAcrossWorkersClustered(t *testing.T) {
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 4096, Cols: 2048, Clusters: 16,
+		PrototypeNNZ: 24, Keep: 0.8, Noise: 2, Seed: 3, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDeterminism(t, m)
+}
+
+// TestPreprocessWorkersDefaultMatchesSerial pins that leaving Workers
+// at 0 (GOMAXPROCS) also matches the explicit serial plan.
+func TestPreprocessWorkersDefaultMatchesSerial(t *testing.T) {
+	m, err := synth.RMAT(10, 8, 0.57, 0.19, 0.19, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	serial, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 0
+	auto, err := Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planEqual(t, serial, auto, 0)
+}
+
+// TestStageTimingsRecorded pins that the per-stage breakdown is
+// populated: preprocessing always tiles (baseline + final), so Tiling
+// must be nonzero, and Total must not exceed the wall-clock figure by
+// more than rounding.
+func TestStageTimingsRecorded(t *testing.T) {
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 2048, Cols: 1024, Clusters: 8,
+		PrototypeNNZ: 24, Keep: 0.8, Noise: 2, Seed: 1, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Preprocess(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages.Tiling <= 0 {
+		t.Errorf("Stages.Tiling = %v, want > 0", plan.Stages.Tiling)
+	}
+	if plan.Round1Applied && plan.Stages.Signatures <= 0 {
+		t.Errorf("round 1 ran but Stages.Signatures = %v", plan.Stages.Signatures)
+	}
+	if tot := plan.Stages.Total(); tot > plan.Preprocess {
+		t.Errorf("Stages.Total() = %v exceeds Preprocess = %v", tot, plan.Preprocess)
+	}
+	if plan.Stages.String() == "" {
+		t.Error("Stages.String() is empty")
+	}
+}

@@ -52,6 +52,24 @@ type Config struct {
 	// Disable turns the pipeline into plain ASpT-NR: no reordering at
 	// all, only tiling.
 	Disable bool
+	// Workers bounds the parallelism of the whole preprocessing engine
+	// (tiling, row permutation, similarity scans; LSH inherits it when
+	// LSH.Workers is 0, and tiling when ASpT.Workers is 0). 0 means
+	// runtime.GOMAXPROCS(0). The produced Plan is bit-identical for
+	// every value — Workers only changes how fast it is computed.
+	Workers int
+}
+
+// withWorkers propagates the pipeline-wide Workers bound into the
+// nested stage configurations that did not set their own.
+func (cfg Config) withWorkers() Config {
+	if cfg.LSH.Workers == 0 {
+		cfg.LSH.Workers = cfg.Workers
+	}
+	if cfg.ASpT.Workers == 0 {
+		cfg.ASpT.Workers = cfg.Workers
+	}
+	return cfg
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -103,8 +121,49 @@ type Plan struct {
 	// + tiling, both rounds), the quantity of Fig 12 and Tables 3-4.
 	Preprocess time.Duration
 
+	// Stages breaks Preprocess down by pipeline stage (accumulated over
+	// both rounds), the data behind the amortization analysis: it shows
+	// where preprocessing time goes and which stages a plan-cache hit
+	// avoids entirely.
+	Stages StageTimings
+
 	Round1Stats ClusterStats
 	Round2Stats ClusterStats
+}
+
+// StageTimings is the per-stage wall-clock breakdown of Preprocess.
+// Signatures/Banding/Scoring are the paper's three LSH cost-model terms;
+// Clustering is Alg 3 (plus panel packing when enabled); Tiling covers
+// every aspt.Build; Permute covers row-permutation application; and
+// Heuristics the §4 skip-decision similarity scans.
+type StageTimings struct {
+	Signatures time.Duration
+	Banding    time.Duration
+	Scoring    time.Duration
+	Clustering time.Duration
+	Tiling     time.Duration
+	Permute    time.Duration
+	Heuristics time.Duration
+}
+
+// Total sums all stage durations (Preprocess minus untracked glue).
+func (s StageTimings) Total() time.Duration {
+	return s.Signatures + s.Banding + s.Scoring + s.Clustering + s.Tiling + s.Permute + s.Heuristics
+}
+
+// String renders the breakdown in stage order.
+func (s StageTimings) String() string {
+	return fmt.Sprintf("sig=%v band=%v score=%v cluster=%v tile=%v permute=%v heur=%v",
+		s.Signatures.Round(time.Microsecond), s.Banding.Round(time.Microsecond),
+		s.Scoring.Round(time.Microsecond), s.Clustering.Round(time.Microsecond),
+		s.Tiling.Round(time.Microsecond), s.Permute.Round(time.Microsecond),
+		s.Heuristics.Round(time.Microsecond))
+}
+
+func (s *StageTimings) addLSH(t lsh.StageTimings) {
+	s.Signatures += t.Signatures
+	s.Banding += t.Banding
+	s.Scoring += t.Scoring
 }
 
 // DeltaDenseRatio is Fig 9's x-axis: the change in dense-tile nonzero
@@ -134,16 +193,20 @@ func (p *Plan) Describe() string {
 		p.Round2Stats.CandidatePairs, p.Round2Stats.Merges)
 }
 
-// reorderWithConfig runs one reordering round under the full Config:
+// reorderWithConfig runs one reordering round under the full Config —
 // LSH, clustering with the configured emission order, and (optionally)
-// panel-aligned packing of the emitted clusters.
-func reorderWithConfig(m *sparse.CSR, cfg Config) ([]int32, ClusterStats, error) {
-	if !cfg.PanelAlign {
-		return ReorderRowsOrdered(m, cfg.LSH, cfg.ThresholdSize, cfg.EmitMergeOrder)
-	}
-	pairs, err := lsh.CandidatePairs(m, cfg.LSH)
+// panel-aligned packing of the emitted clusters — accumulating the
+// stage breakdown into st.
+func reorderWithConfig(m *sparse.CSR, cfg Config, st *StageTimings) ([]int32, ClusterStats, error) {
+	pairs, lt, err := lsh.CandidatePairsTimed(m, cfg.LSH)
 	if err != nil {
 		return nil, ClusterStats{}, err
+	}
+	st.addLSH(lt)
+	t0 := time.Now()
+	defer func() { st.Clustering += time.Since(t0) }()
+	if !cfg.PanelAlign {
+		return ClusterOrdered(m, pairs, cfg.ThresholdSize, cfg.EmitMergeOrder)
 	}
 	groups, stats, err := ClusterGroups(m, pairs, cfg.ThresholdSize, cfg.EmitMergeOrder)
 	if err != nil {
@@ -162,41 +225,53 @@ func buildTiled(m *sparse.CSR, cfg Config) (*aspt.Matrix, error) {
 }
 
 // Preprocess runs the full Fig 5 workflow on m and returns the Plan.
-// The input matrix is never mutated.
+// The input matrix is never mutated. Every stage runs on up to
+// cfg.Workers goroutines; the Plan is bit-identical for every worker
+// count.
 func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("reorder: input: %w", err)
 	}
 	start := time.Now()
 	p := &Plan{Cfg: cfg}
+	cfg = cfg.withWorkers()
+	st := &p.Stages
 
 	// Baseline tiling of the original matrix: needed both for the
 	// round-1 heuristic and for the Before metrics.
+	t0 := time.Now()
 	baseTiled, err := aspt.Build(m, cfg.ASpT)
 	if err != nil {
 		return nil, err
 	}
+	st.Tiling += time.Since(t0)
 	p.DenseRatioBefore = baseTiled.DenseRatio()
-	p.AvgSimBefore = sparse.AvgConsecutiveSimilaritySampled(baseTiled.Rest, cfg.SimSamplePairs)
+	t0 = time.Now()
+	p.AvgSimBefore = sparse.AvgConsecutiveSimilarityWorkers(baseTiled.Rest, cfg.SimSamplePairs, cfg.Workers)
+	st.Heuristics += time.Since(t0)
 
 	// Round 1: reorder the whole matrix to enlarge the dense tiles.
 	doRound1 := !cfg.Disable && (cfg.Force || p.DenseRatioBefore <= cfg.DenseRatioSkip)
 	if doRound1 {
-		perm, stats, err := reorderWithConfig(m, cfg)
+		perm, stats, err := reorderWithConfig(m, cfg, st)
 		if err != nil {
 			return nil, err
 		}
 		p.RowPerm = perm
 		p.Round1Stats = stats
 		p.Round1Applied = true
-		p.Reordered, err = sparse.PermuteRows(m, perm)
+		t0 = time.Now()
+		p.Reordered, err = sparse.PermuteRowsWorkers(m, perm, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
+		st.Permute += time.Since(t0)
+		t0 = time.Now()
 		p.Tiled, err = aspt.Build(p.Reordered, cfg.ASpT)
 		if err != nil {
 			return nil, err
 		}
+		st.Tiling += time.Since(t0)
 	} else {
 		p.RowPerm = sparse.IdentityPermutation(m.Rows)
 		p.Reordered = m.Clone()
@@ -210,7 +285,9 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 	p.DenseRatioAfter = p.Tiled.DenseRatio()
 
 	// Round 2: reorder the processing order of the leftover sparse part.
-	restSim := sparse.AvgConsecutiveSimilaritySampled(p.Tiled.Rest, cfg.SimSamplePairs)
+	t0 = time.Now()
+	restSim := sparse.AvgConsecutiveSimilarityWorkers(p.Tiled.Rest, cfg.SimSamplePairs, cfg.Workers)
+	st.Heuristics += time.Since(t0)
 	restRatio := 1.0
 	if m.NNZ() > 0 {
 		restRatio = float64(p.Tiled.Rest.NNZ()) / float64(m.NNZ())
@@ -218,18 +295,22 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 	doRound2 := !cfg.Disable &&
 		(cfg.Force || (restSim <= cfg.AvgSimSkip && restRatio >= cfg.MinRestRatio))
 	if doRound2 {
-		perm, stats, err := reorderWithConfig(p.Tiled.Rest, cfg)
+		perm, stats, err := reorderWithConfig(p.Tiled.Rest, cfg, st)
 		if err != nil {
 			return nil, err
 		}
 		p.RestOrder = perm
 		p.Round2Stats = stats
 		p.Round2Applied = true
-		restPerm, err := sparse.PermuteRows(p.Tiled.Rest, perm)
+		t0 = time.Now()
+		restPerm, err := sparse.PermuteRowsWorkers(p.Tiled.Rest, perm, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		p.AvgSimAfter = sparse.AvgConsecutiveSimilaritySampled(restPerm, cfg.SimSamplePairs)
+		st.Permute += time.Since(t0)
+		t0 = time.Now()
+		p.AvgSimAfter = sparse.AvgConsecutiveSimilarityWorkers(restPerm, cfg.SimSamplePairs, cfg.Workers)
+		st.Heuristics += time.Since(t0)
 	} else {
 		p.RestOrder = sparse.IdentityPermutation(m.Rows)
 		p.AvgSimAfter = restSim

@@ -145,11 +145,12 @@ func (sp *SavedPlan) Apply(m *sparse.CSR, cfg Config) (*Plan, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	reordered, err := sparse.PermuteRows(m, sp.RowPerm)
+	ecfg := cfg.withWorkers()
+	reordered, err := sparse.PermuteRowsWorkers(m, sp.RowPerm, ecfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	tiled, err := buildTiled(reordered, cfg)
+	tiled, err := buildTiled(reordered, ecfg)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,7 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Entry is one nonzero in coordinate (triplet) form.
@@ -39,12 +39,11 @@ func (c *COO) NNZ() int { return len(c.Entries) }
 // finite-element style input). Explicit zeros produced by cancellation are
 // kept, matching Matrix Market semantics.
 func (c *COO) Coalesce() {
-	sort.Slice(c.Entries, func(i, j int) bool {
-		a, b := c.Entries[i], c.Entries[j]
+	slices.SortFunc(c.Entries, func(a, b Entry) int {
 		if a.Row != b.Row {
-			return a.Row < b.Row
+			return int(a.Row) - int(b.Row)
 		}
-		return a.Col < b.Col
+		return int(a.Col) - int(b.Col)
 	})
 	out := c.Entries[:0]
 	for _, e := range c.Entries {

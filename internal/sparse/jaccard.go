@@ -1,5 +1,7 @@
 package sparse
 
+import "repro/internal/par"
+
 // Jaccard computes the Jaccard similarity |a ∩ b| / |a ∪ b| of two sorted
 // int32 sets. Two empty sets have similarity 0 (the paper never compares
 // empty rows; 0 keeps empty rows from being spuriously clustered).
@@ -47,32 +49,54 @@ func RowJaccard(m *CSR, i, j int) float64 {
 // the second round of row-reordering should be skipped. A matrix with
 // fewer than two rows has average similarity 0.
 func AvgConsecutiveSimilarity(m *CSR) float64 {
-	if m.Rows < 2 {
-		return 0
-	}
-	sum := 0.0
-	for i := 0; i+1 < m.Rows; i++ {
-		sum += RowJaccard(m, i, i+1)
-	}
-	return sum / float64(m.Rows-1)
+	return AvgConsecutiveSimilarityWorkers(m, 0, 1)
 }
 
 // AvgConsecutiveSimilaritySampled is AvgConsecutiveSimilarity computed on
 // at most maxPairs evenly spaced consecutive pairs, so the §4 heuristic
 // stays cheap on very large matrices. maxPairs <= 0 means exact.
 func AvgConsecutiveSimilaritySampled(m *CSR, maxPairs int) float64 {
+	return AvgConsecutiveSimilarityWorkers(m, maxPairs, 1)
+}
+
+// simChunk fixes the accumulation-chunk size of the similarity scan.
+// Partial sums are produced per chunk and combined in chunk order, so
+// floating-point rounding — and therefore the result — is identical for
+// every worker count (including the serial wrappers above).
+const simChunk = 1 << 10
+
+// AvgConsecutiveSimilarityWorkers is AvgConsecutiveSimilaritySampled
+// with an explicit parallelism bound (workers 0 = GOMAXPROCS).
+func AvgConsecutiveSimilarityWorkers(m *CSR, maxPairs, workers int) float64 {
 	pairs := m.Rows - 1
 	if pairs <= 0 {
 		return 0
 	}
-	if maxPairs <= 0 || pairs <= maxPairs {
-		return AvgConsecutiveSimilarity(m)
+	sampled := pairs
+	stride := 1.0
+	if maxPairs > 0 && pairs > maxPairs {
+		sampled = maxPairs
+		stride = float64(pairs) / float64(maxPairs)
 	}
-	stride := float64(pairs) / float64(maxPairs)
-	sum := 0.0
-	for k := 0; k < maxPairs; k++ {
-		i := int(float64(k) * stride)
-		sum += RowJaccard(m, i, i+1)
+	if sampled <= simChunk {
+		workers = 1
 	}
-	return sum / float64(maxPairs)
+	nchunks := (sampled + simChunk - 1) / simChunk
+	sums := make([]float64, nchunks)
+	par.ForChunks(sampled, simChunk, workers, func(lo, hi int) {
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			i := k
+			if stride != 1.0 {
+				i = int(float64(k) * stride)
+			}
+			s += RowJaccard(m, i, i+1)
+		}
+		sums[lo/simChunk] = s
+	})
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total / float64(sampled)
 }

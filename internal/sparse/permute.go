@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
 
 // IsPermutation reports whether perm is a valid permutation of [0, n).
 func IsPermutation(perm []int32, n int) bool {
@@ -62,6 +66,15 @@ func ComposePermutations(first, second []int32) []int32 {
 // natural output shape of the clustering algorithm ("emit rows in this
 // order"). It returns an error if perm is not a permutation of m's rows.
 func PermuteRows(m *CSR, perm []int32) (*CSR, error) {
+	return PermuteRowsWorkers(m, perm, 0)
+}
+
+// PermuteRowsWorkers is PermuteRows with an explicit parallelism bound
+// (0 = GOMAXPROCS). The destination offset of every row is fixed by a
+// serial O(rows) prefix sum, after which workers gather disjoint
+// destination row blocks — the result is bit-identical for every worker
+// count.
+func PermuteRowsWorkers(m *CSR, perm []int32, workers int) (*CSR, error) {
 	if !IsPermutation(perm, m.Rows) {
 		return nil, fmt.Errorf("%w: row permutation invalid for %d rows", ErrInvalid, m.Rows)
 	}
@@ -74,12 +87,23 @@ func PermuteRows(m *CSR, perm []int32) (*CSR, error) {
 	}
 	pos := int32(0)
 	for i, src := range perm {
-		cols, vals := m.RowCols(int(src)), m.RowVals(int(src))
-		copy(out.ColIdx[pos:], cols)
-		copy(out.Val[pos:], vals)
-		pos += int32(len(cols))
+		pos += m.RowPtr[src+1] - m.RowPtr[src]
 		out.RowPtr[i+1] = pos
 	}
+	// Gather in fixed row blocks so tiny matrices stay on one goroutine
+	// and skewed rows load-balance dynamically on large ones.
+	const rowBlock = 4 << 10
+	if m.NNZ() < 32<<10 {
+		workers = 1
+	}
+	par.ForChunks(m.Rows, rowBlock, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := perm[i]
+			dst := out.RowPtr[i]
+			copy(out.ColIdx[dst:out.RowPtr[i+1]], m.RowCols(int(src)))
+			copy(out.Val[dst:out.RowPtr[i+1]], m.RowVals(int(src)))
+		}
+	})
 	return out, nil
 }
 

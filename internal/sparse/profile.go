@@ -3,7 +3,7 @@ package sparse
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -68,7 +68,7 @@ func ProfileOf(m *CSR) Profile {
 	if variance > 0 && p.AvgRowLen > 0 {
 		p.RowLenCV = math.Sqrt(variance) / p.AvgRowLen
 	}
-	sort.Ints(lens)
+	slices.Sort(lens)
 	p.RowLenP99 = lens[int(0.99*float64(m.Rows-1))]
 
 	p.AvgConsecutiveSim = AvgConsecutiveSimilaritySampled(m, 1<<16)

@@ -34,7 +34,10 @@ type OnlinePipeline struct {
 
 // NewOnlinePipeline preprocesses m both ways (with the §4 heuristics and
 // without any reordering) and returns a pipeline that will pick between
-// them on first use.
+// them on first use. Both builds go through the process-wide plan
+// cache, so an online pipeline over an already-seen sparsity structure
+// (e.g. the same graph re-served with new values) starts in O(nnz)
+// without any LSH, clustering, or tiling work.
 func NewOnlinePipeline(m *Matrix, cfg Config) (*OnlinePipeline, error) {
 	rr, err := NewPipeline(m, cfg)
 	if err != nil {

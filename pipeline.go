@@ -34,8 +34,13 @@ type Pipeline struct {
 // tiling, round-2 reordering of the leftover part, with the §4 skip
 // heuristics) and returns an executable pipeline. m is not mutated and
 // may be used concurrently.
+//
+// Construction goes through the process-wide plan cache: building a
+// pipeline for a sparsity structure + configuration seen before skips
+// LSH, clustering, and tiling and reuses the cached plan (values are
+// regathered in O(nnz) if they differ). See SetPlanCacheCapacity.
 func NewPipeline(m *Matrix, cfg Config) (*Pipeline, error) {
-	plan, err := reorder.Preprocess(m, cfg)
+	plan, err := planCache.Load().Preprocess(m, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -43,9 +48,9 @@ func NewPipeline(m *Matrix, cfg Config) (*Pipeline, error) {
 }
 
 // NewPipelineNR builds a no-reordering (plain ASpT) pipeline — the
-// ASpT-NR baseline.
+// ASpT-NR baseline. Cached like NewPipeline, under a distinct key.
 func NewPipelineNR(m *Matrix, cfg Config) (*Pipeline, error) {
-	plan, err := reorder.PreprocessNR(m, cfg)
+	plan, err := planCache.Load().PreprocessNR(m, cfg)
 	if err != nil {
 		return nil, err
 	}
