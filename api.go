@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"sync/atomic"
 
@@ -8,11 +9,26 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 	"repro/internal/lsh"
+	"repro/internal/par"
 	"repro/internal/plancache"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
 	"repro/internal/synth"
 )
+
+// ErrInvalidMatrix is wrapped by every input-validation failure of this
+// package's constructors and pipelines: broken CSR invariants
+// (non-monotone RowPtr, out-of-range or unsorted column indices),
+// dimensions or nonzero counts that overflow the int32 index space, and
+// non-finite (NaN/Inf) values. Test with errors.Is.
+var ErrInvalidMatrix = sparse.ErrInvalid
+
+// PanicError is the typed error a recovered worker panic surfaces as:
+// any parallel stage (preprocessing or kernel execution) that panics
+// reports a *PanicError — carrying the panic value and the panicking
+// goroutine's stack — instead of crashing the process. Test with
+// errors.As.
+type PanicError = par.PanicError
 
 // Matrix is a sparse matrix in CSR form (alias of the internal type so
 // all structural helpers are available on it).
@@ -82,6 +98,12 @@ func SpMM(s *Matrix, x *Dense) (*Dense, error) { return kernels.SpMMRowWise(s, x
 // serving loop allocation-free end to end.
 func SpMMInto(y *Dense, s *Matrix, x *Dense) error { return kernels.SpMMRowWiseInto(y, s, x) }
 
+// SpMMIntoCtx is SpMMInto with cooperative cancellation between kernel
+// chunks and panic isolation.
+func SpMMIntoCtx(ctx context.Context, y *Dense, s *Matrix, x *Dense) error {
+	return kernels.SpMMRowWiseIntoCtx(ctx, y, s, x)
+}
+
 // SDDMM computes O = S ⊙ (Y·Xᵀ) row-wise without preprocessing (Alg 2):
 // O keeps S's sparsity pattern.
 func SDDMM(s *Matrix, x, y *Dense) (*Matrix, error) { return kernels.SDDMMRowWise(s, x, y) }
@@ -92,6 +114,12 @@ func SDDMM(s *Matrix, x, y *Dense) (*Matrix, error) { return kernels.SDDMMRowWis
 // out.Val is written; steady-state calls perform no heap allocations.
 func SDDMMInto(out, s *Matrix, x, y *Dense) error {
 	return kernels.SDDMMRowWiseInto(out, s, x, y)
+}
+
+// SDDMMIntoCtx is SDDMMInto with cooperative cancellation between
+// kernel chunks and panic isolation.
+func SDDMMIntoCtx(ctx context.Context, out, s *Matrix, x, y *Dense) error {
+	return kernels.SDDMMRowWiseIntoCtx(ctx, out, s, x, y)
 }
 
 // GetDense returns a rows×cols scratch matrix from the process-wide
@@ -111,6 +139,15 @@ func PutDense(m *Dense) { dense.Put(m) }
 // entry point always computes from scratch; see PreprocessCached for
 // the content-addressed variant.
 func Preprocess(m *Matrix, cfg Config) (*Plan, error) { return reorder.Preprocess(m, cfg) }
+
+// PreprocessCtx is Preprocess with cooperative cancellation: every
+// parallel stage (LSH, clustering, tiling, permutation, similarity
+// scans) observes ctx between work units, so cancellation aborts the
+// build promptly with ctx's error, and any worker panic surfaces as a
+// *PanicError instead of crashing the process.
+func PreprocessCtx(ctx context.Context, m *Matrix, cfg Config) (*Plan, error) {
+	return reorder.PreprocessCtx(ctx, m, cfg)
+}
 
 // DefaultPlanCacheCapacity is the number of plans the process-wide plan
 // cache retains by default.
@@ -146,6 +183,13 @@ func SetPlanCacheCapacity(n int) { planCache.Store(plancache.New(n)) }
 // (immutable) arrays with other holders of the same plan.
 func PreprocessCached(m *Matrix, cfg Config) (*Plan, error) {
 	return planCache.Load().Preprocess(m, cfg)
+}
+
+// PreprocessCachedCtx is PreprocessCached with cooperative cancellation
+// (see PreprocessCtx). A cancelled or failed build is never cached, so
+// cancellation cannot poison the plan cache.
+func PreprocessCachedCtx(ctx context.Context, m *Matrix, cfg Config) (*Plan, error) {
+	return planCache.Load().PreprocessCtx(ctx, m, cfg)
 }
 
 // GenerateScrambledClusters generates the paper's motivating input: rows

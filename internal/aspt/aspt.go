@@ -15,9 +15,11 @@
 package aspt
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
+	"repro/internal/faultinject"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -163,6 +165,13 @@ func newBuildScratch(cols int) *buildScratch {
 // panels never share output ranges, and all per-panel choices (the
 // dense-column order in particular) are resolved by total orders.
 func Build(m *sparse.CSR, p Params) (*Matrix, error) {
+	return BuildCtx(context.Background(), m, p)
+}
+
+// BuildCtx is Build with cooperative cancellation between panels; a
+// worker panic in either pass surfaces as a *par.PanicError instead of
+// crashing the process.
+func BuildCtx(ctx context.Context, m *sparse.CSR, p Params) (*Matrix, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -196,18 +205,25 @@ func Build(m *sparse.CSR, p Params) (*Matrix, error) {
 	// Panels are dealt to workers in stride-w order; each panel's output
 	// is owned by that panel, so scheduling never shows in the result.
 	tileLen := make([]int32, m.Rows)
-	runPanels := func(fn func(s *buildScratch, pi int)) {
-		par.Do(workers, func(w int) {
+	runPanels := func(fn func(s *buildScratch, pi int)) error {
+		return par.DoCtx(ctx, workers, func(w int) error {
 			if scratch[w] == nil {
 				scratch[w] = newBuildScratch(m.Cols)
 			}
 			s := scratch[w]
 			for pi := w; pi < npanels; pi += workers {
+				if err := par.CtxErr(ctx); err != nil {
+					return err
+				}
+				if err := faultinject.Fire("aspt.build"); err != nil {
+					return err
+				}
 				fn(s, pi)
 			}
+			return nil
 		})
 	}
-	runPanels(func(s *buildScratch, pi int) {
+	err := runPanels(func(s *buildScratch, pi int) {
 		ps := pi * p.PanelSize
 		pe := ps + p.PanelSize
 		if pe > m.Rows {
@@ -256,6 +272,9 @@ func Build(m *sparse.CSR, p Params) (*Matrix, error) {
 		}
 		t.Panels[pi] = panel
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Serial prefix sums: O(rows), negligible next to the O(nnz) passes.
 	for i := 0; i < m.Rows; i++ {
@@ -270,7 +289,7 @@ func Build(m *sparse.CSR, p Params) (*Matrix, error) {
 	rest.Val = make([]float32, m.NNZ()-tileNNZ)
 
 	// Pass B (parallel): fill each panel's slice of the output arrays.
-	runPanels(func(s *buildScratch, pi int) {
+	err = runPanels(func(s *buildScratch, pi int) {
 		panel := &t.Panels[pi]
 		s.epoch++
 		epoch := s.epoch
@@ -295,6 +314,9 @@ func Build(m *sparse.CSR, p Params) (*Matrix, error) {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

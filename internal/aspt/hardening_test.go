@@ -1,0 +1,51 @@
+package aspt
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/par"
+	"repro/internal/synth"
+)
+
+func TestBuildCtxFaultInjection(t *testing.T) {
+	m, err := synth.Uniform(512, 512, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Workers = 4
+
+	defer faultinject.ErrorAt("aspt.build")()
+	if _, err := BuildCtx(context.Background(), m, p); !errors.Is(err, faultinject.Err) {
+		t.Fatalf("BuildCtx with fault = %v, want faultinject.Err", err)
+	}
+	faultinject.Reset()
+
+	defer faultinject.PanicAt("aspt.build")()
+	_, err = BuildCtx(context.Background(), m, p)
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking panel worker surfaced as %v, want *par.PanicError", err)
+	}
+	faultinject.Reset()
+
+	// Clean rebuild succeeds after the faults.
+	if _, err := BuildCtx(context.Background(), m, p); err != nil {
+		t.Fatalf("clean BuildCtx after faults: %v", err)
+	}
+}
+
+func TestBuildCtxCancelled(t *testing.T) {
+	m, err := synth.Uniform(256, 256, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildCtx(ctx, m, DefaultParams()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled BuildCtx = %v, want context.Canceled", err)
+	}
+}

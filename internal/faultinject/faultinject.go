@@ -1,0 +1,94 @@
+// Package faultinject provides deterministic fault-injection hooks for
+// tests. Production code calls Fire(site) at the top of each unit of
+// work in a parallel (or long-running serial) stage; with no hooks
+// registered — the default, and the only state production code ever
+// runs with — Fire is a single atomic pointer load returning nil.
+//
+// Tests register a hook for a named site to force that stage to fail in
+// a controlled way: returning an error exercises the error path, and
+// panicking from the hook exercises panic isolation (the hook panics on
+// whichever worker goroutine happens to execute the unit, exactly like
+// a real bug would). Hooks are process-global; tests that install them
+// must not run in parallel with each other and must restore on exit.
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Err is the canned error injected by ErrorAt hooks; tests match it
+// with errors.Is.
+var Err = errors.New("faultinject: injected fault")
+
+// hooks is a copy-on-write site -> hook map; nil when no hook is
+// installed anywhere (the production state).
+var (
+	mu    sync.Mutex
+	hooks atomic.Pointer[map[string]func() error]
+)
+
+// Fire invokes the hook registered for site, if any. Sites are
+// dot-separated "package.stage" names (e.g. "lsh.banding",
+// "kernels.exec"). With no hook registered it returns nil at the cost
+// of one atomic load.
+func Fire(site string) error {
+	m := hooks.Load()
+	if m == nil {
+		return nil
+	}
+	if fn, ok := (*m)[site]; ok {
+		return fn()
+	}
+	return nil
+}
+
+// Set installs fn as the hook for site and returns a function that
+// removes exactly that hook. Intended to be called from tests only:
+//
+//	defer faultinject.Set("aspt.build", func() error { return faultinject.Err })()
+func Set(site string, fn func() error) (restore func()) {
+	update(func(m map[string]func() error) { m[site] = fn })
+	return func() {
+		update(func(m map[string]func() error) { delete(m, site) })
+	}
+}
+
+// ErrorAt installs a hook at site that always returns Err.
+func ErrorAt(site string) (restore func()) {
+	return Set(site, func() error { return Err })
+}
+
+// PanicAt installs a hook at site that always panics, simulating a bug
+// in the stage's worker code.
+func PanicAt(site string) (restore func()) {
+	return Set(site, func() error { panic("faultinject: injected panic at " + site) })
+}
+
+// Reset removes every hook, returning the package to the production
+// state.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks.Store(nil)
+}
+
+// update applies edit to a copy of the hook map and publishes it (or
+// nil when the result is empty).
+func update(edit func(map[string]func() error)) {
+	mu.Lock()
+	defer mu.Unlock()
+	next := make(map[string]func() error)
+	if cur := hooks.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	edit(next)
+	if len(next) == 0 {
+		hooks.Store(nil)
+		return
+	}
+	hooks.Store(&next)
+}

@@ -1,0 +1,79 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFireDisabled(t *testing.T) {
+	Reset()
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("Fire with no hooks = %v", err)
+	}
+}
+
+func TestErrorAtAndRestore(t *testing.T) {
+	Reset()
+	restore := ErrorAt("site.a")
+	if err := Fire("site.a"); !errors.Is(err, Err) {
+		t.Fatalf("Fire(site.a) = %v, want Err", err)
+	}
+	if err := Fire("site.b"); err != nil {
+		t.Fatalf("Fire(site.b) = %v, want nil (unarmed site)", err)
+	}
+	restore()
+	if err := Fire("site.a"); err != nil {
+		t.Fatalf("after restore Fire(site.a) = %v, want nil", err)
+	}
+}
+
+func TestSetCustomHookNthCall(t *testing.T) {
+	Reset()
+	n := 0
+	restore := Set("site.n", func() error {
+		n++
+		if n == 3 {
+			return Err
+		}
+		return nil
+	})
+	defer restore()
+	if err := Fire("site.n"); err != nil {
+		t.Fatalf("call 1 = %v", err)
+	}
+	if err := Fire("site.n"); err != nil {
+		t.Fatalf("call 2 = %v", err)
+	}
+	if err := Fire("site.n"); !errors.Is(err, Err) {
+		t.Fatalf("call 3 = %v, want Err", err)
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	Reset()
+	restore := PanicAt("site.p")
+	defer restore()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatalf("Fire(site.p) did not panic")
+		}
+	}()
+	_ = Fire("site.p")
+}
+
+func TestNestedRestoreOrder(t *testing.T) {
+	Reset()
+	r1 := ErrorAt("x")
+	r2 := ErrorAt("y")
+	r2()
+	if err := Fire("x"); !errors.Is(err, Err) {
+		t.Fatalf("x disarmed by y's restore: %v", err)
+	}
+	if err := Fire("y"); err != nil {
+		t.Fatalf("y still armed after restore: %v", err)
+	}
+	r1()
+	if err := Fire("x"); err != nil {
+		t.Fatalf("x still armed after restore: %v", err)
+	}
+}

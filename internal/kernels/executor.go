@@ -20,12 +20,15 @@ package kernels
 // property the *Into entry points advertise.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/aspt"
 	"repro/internal/dense"
+	"repro/internal/faultinject"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -46,12 +49,45 @@ type job struct {
 	next   atomic.Int64
 	wg     sync.WaitGroup
 
+	// Failure state. ctx (nil = never cancelled) is observed between
+	// chunk claims; the first worker error — an injected fault, a
+	// recovered chunk panic, or the observed cancellation — parks in
+	// fail and flips stop so the remaining chunks are skipped, and
+	// dispatch returns it after the join. All of this costs two atomic
+	// loads per chunk claim on the happy path, so the steady-state
+	// zero-allocation property of the *Into kernels is preserved
+	// (failure boxes allocate only on the failure path).
+	ctx  context.Context
+	stop atomic.Bool
+	fail atomic.Pointer[failure]
+
 	// Operands, interpreted by run.
 	csr  *sparse.CSR
 	tile *aspt.Matrix
 	x    *dense.Matrix
 	y    *dense.Matrix
 	out  []float32 // SDDMM output values
+}
+
+// failure boxes the first error of a job (atomic.Pointer needs a
+// concrete type).
+type failure struct{ err error }
+
+// recordFail parks the job's first error and stops chunk claiming.
+func (j *job) recordFail(err error) {
+	if err == nil {
+		return
+	}
+	j.fail.CompareAndSwap(nil, &failure{err: err})
+	j.stop.Store(true)
+}
+
+// err returns the job's recorded failure, if any.
+func (j *job) err() error {
+	if f := j.fail.Load(); f != nil {
+		return f.err
+	}
+	return nil
 }
 
 var jobPool = sync.Pool{New: func() any { return new(job) }}
@@ -67,6 +103,9 @@ func putJob(j *job) {
 	j.out = nil
 	j.chunks = j.chunks[:0]
 	j.next.Store(0)
+	j.ctx = nil
+	j.stop.Store(false)
+	j.fail.Store(nil)
 	jobPool.Put(j)
 }
 
@@ -98,16 +137,43 @@ func startWorkers() {
 	})
 }
 
-// steal claims chunks off the job's atomic cursor until none remain.
+// steal claims chunks off the job's atomic cursor until none remain,
+// the job has failed, or its context is cancelled.
 func (j *job) steal() {
 	n := int64(len(j.chunks))
 	for {
+		if j.stop.Load() {
+			return
+		}
+		if err := par.CtxErr(j.ctx); err != nil {
+			j.recordFail(err)
+			return
+		}
 		i := j.next.Add(1) - 1
 		if i >= n {
 			return
 		}
 		c := j.chunks[i]
-		j.run(j, c.lo, c.hi)
+		j.runChunk(c.lo, c.hi)
+	}
+}
+
+// runChunk executes one chunk with panic isolation: a panic in the
+// kernel body is recovered into a *par.PanicError and recorded as the
+// job's failure instead of killing a pool goroutine (which would leak
+// the pool slot and crash the process).
+func (j *job) runChunk(lo, hi int) {
+	defer j.recoverChunk()
+	if err := faultinject.Fire("kernels.exec"); err != nil {
+		j.recordFail(err)
+		return
+	}
+	j.run(j, lo, hi)
+}
+
+func (j *job) recoverChunk() {
+	if r := recover(); r != nil {
+		j.recordFail(par.NewPanicError(r))
 	}
 }
 
@@ -181,23 +247,31 @@ func searchCum(cum func(int) int64, lo, hi int, target int64) int {
 // are simply not enqueued — the caller (and any worker that did accept)
 // still drains every chunk, so saturation degrades to less parallelism,
 // never to blocking or deadlock.
-func (j *job) dispatch(rows int, cum func(int) int64) {
+// An error return carries the job's first failure: the context's error,
+// an injected fault, or a recovered worker panic (*par.PanicError).
+func (j *job) dispatch(rows int, cum func(int) int64) error {
 	if rows <= 0 {
-		return
+		return par.CtxErr(j.ctx)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
 		workers = rows
 	}
 	if workers <= 1 {
-		j.run(j, 0, rows)
-		return
+		if err := par.CtxErr(j.ctx); err != nil {
+			return err
+		}
+		j.runChunk(0, rows)
+		return j.err()
 	}
 	j.chunks = appendBalancedChunks(j.chunks[:0], rows, cum, workers*chunksPerWorker)
 	if len(j.chunks) == 1 {
 		c := j.chunks[0]
-		j.run(j, c.lo, c.hi)
-		return
+		if err := par.CtxErr(j.ctx); err != nil {
+			return err
+		}
+		j.runChunk(c.lo, c.hi)
+		return j.err()
 	}
 	startWorkers()
 	for w := 0; w < workers-1; w++ {
@@ -211,4 +285,5 @@ func (j *job) dispatch(rows int, cum func(int) int64) {
 	}
 	j.steal()
 	j.wg.Wait()
+	return j.err()
 }

@@ -1,0 +1,103 @@
+package kernels
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/aspt"
+	"repro/internal/dense"
+	"repro/internal/faultinject"
+	"repro/internal/par"
+	"repro/internal/synth"
+)
+
+func TestKernelFaultInjection(t *testing.T) {
+	s, err := synth.Uniform(2048, 512, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dense.NewRandom(512, 32, 1)
+	y := dense.New(2048, 32)
+
+	defer faultinject.ErrorAt("kernels.exec")()
+	if err := SpMMRowWiseIntoCtx(context.Background(), y, s, x); !errors.Is(err, faultinject.Err) {
+		t.Fatalf("SpMM with fault = %v, want faultinject.Err", err)
+	}
+	faultinject.Reset()
+
+	// A panicking kernel chunk must surface as *par.PanicError without
+	// crashing or wedging the shared worker pool.
+	defer faultinject.PanicAt("kernels.exec")()
+	err = SpMMRowWiseIntoCtx(context.Background(), y, s, x)
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("kernel panic surfaced as %v, want *par.PanicError", err)
+	}
+	faultinject.Reset()
+
+	// The pool must be fully reusable after both failure modes.
+	if err := SpMMRowWiseIntoCtx(context.Background(), y, s, x); err != nil {
+		t.Fatalf("clean SpMM after faults: %v", err)
+	}
+}
+
+func TestKernelCancellation(t *testing.T) {
+	s, err := synth.Uniform(2048, 512, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dense.NewRandom(512, 32, 1)
+	y := dense.New(2048, 32)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SpMMRowWiseIntoCtx(ctx, y, s, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled SpMM = %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-run from a kernel chunk; remaining chunk claims must
+	// observe ctx and the call must report its error. Force the
+	// multi-chunk dispatch path so there IS a "between chunks" even on a
+	// single-CPU machine.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	defer faultinject.Set("kernels.exec", func() error {
+		if calls.Add(1) == 1 {
+			cancel2()
+		}
+		return nil
+	})()
+	if err := SpMMRowWiseIntoCtx(ctx2, y, s, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancelled SpMM = %v, want context.Canceled", err)
+	}
+}
+
+func TestASpTKernelFaultInjection(t *testing.T) {
+	s, err := synth.Uniform(1024, 512, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := aspt.Build(s, aspt.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dense.NewRandom(512, 16, 2)
+	yk := dense.NewRandom(1024, 16, 3)
+	y := dense.New(1024, 16)
+	out := s.Clone()
+
+	defer faultinject.ErrorAt("kernels.exec")()
+	if err := SpMMASpTIntoCtx(context.Background(), y, tm, x); !errors.Is(err, faultinject.Err) {
+		t.Fatalf("ASpT SpMM with fault = %v, want faultinject.Err", err)
+	}
+	if err := SDDMMASpTIntoCtx(context.Background(), out, tm, x, yk); !errors.Is(err, faultinject.Err) {
+		t.Fatalf("ASpT SDDMM with fault = %v, want faultinject.Err", err)
+	}
+	if err := SDDMMRowWiseIntoCtx(context.Background(), out, s, x, yk); !errors.Is(err, faultinject.Err) {
+		t.Fatalf("row-wise SDDMM with fault = %v, want faultinject.Err", err)
+	}
+}

@@ -13,6 +13,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -84,6 +85,13 @@ func SpMMRowWise(s *sparse.CSR, x *dense.Matrix) (*dense.Matrix, error) {
 // (S.Rows × X.Cols), overwriting its contents. At steady state the call
 // performs no heap allocations.
 func SpMMRowWiseInto(y *dense.Matrix, s *sparse.CSR, x *dense.Matrix) error {
+	return SpMMRowWiseIntoCtx(context.Background(), y, s, x)
+}
+
+// SpMMRowWiseIntoCtx is SpMMRowWiseInto with cooperative cancellation
+// between chunks and panic isolation (a kernel panic returns as a
+// *par.PanicError). On error the output contents are unspecified.
+func SpMMRowWiseIntoCtx(ctx context.Context, y *dense.Matrix, s *sparse.CSR, x *dense.Matrix) error {
 	if err := checkSpMMShapes(s, x); err != nil {
 		return err
 	}
@@ -92,10 +100,11 @@ func SpMMRowWiseInto(y *dense.Matrix, s *sparse.CSR, x *dense.Matrix) error {
 	}
 	j := getJob()
 	j.run = runSpMMRowWise
+	j.ctx = ctx
 	j.csr, j.x, j.y = s, x, y
-	j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
+	err := j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
 	putJob(j)
-	return nil
+	return err
 }
 
 func runSpMMRowWise(j *job, lo, hi int) {
@@ -131,6 +140,13 @@ func SpMMASpT(t *aspt.Matrix, x *dense.Matrix) (*dense.Matrix, error) {
 // row's combined tile+rest nonzero count. At steady state the call
 // performs no heap allocations.
 func SpMMASpTInto(y *dense.Matrix, t *aspt.Matrix, x *dense.Matrix) error {
+	return SpMMASpTIntoCtx(context.Background(), y, t, x)
+}
+
+// SpMMASpTIntoCtx is SpMMASpTInto with cooperative cancellation between
+// chunks and panic isolation. On error the output contents are
+// unspecified.
+func SpMMASpTIntoCtx(ctx context.Context, y *dense.Matrix, t *aspt.Matrix, x *dense.Matrix) error {
 	if err := checkSpMMShapes(t.Src, x); err != nil {
 		return err
 	}
@@ -139,10 +155,11 @@ func SpMMASpTInto(y *dense.Matrix, t *aspt.Matrix, x *dense.Matrix) error {
 	}
 	j := getJob()
 	j.run = runSpMMASpT
+	j.ctx = ctx
 	j.tile, j.x, j.y = t, x, y
-	j.dispatch(t.Src.Rows, t.CumWork)
+	err := j.dispatch(t.Src.Rows, t.CumWork)
 	putJob(j)
-	return nil
+	return err
 }
 
 func runSpMMASpT(j *job, lo, hi int) {
@@ -215,6 +232,13 @@ func SDDMMRowWise(s *sparse.CSR, x, y *dense.Matrix) (*sparse.CSR, error) {
 // out.Val is written. At steady state the call performs no heap
 // allocations.
 func SDDMMRowWiseInto(out, s *sparse.CSR, x, y *dense.Matrix) error {
+	return SDDMMRowWiseIntoCtx(context.Background(), out, s, x, y)
+}
+
+// SDDMMRowWiseIntoCtx is SDDMMRowWiseInto with cooperative cancellation
+// between chunks and panic isolation. On error the output values are
+// unspecified.
+func SDDMMRowWiseIntoCtx(ctx context.Context, out, s *sparse.CSR, x, y *dense.Matrix) error {
 	if err := checkSDDMMShapes(s, x, y); err != nil {
 		return err
 	}
@@ -223,10 +247,11 @@ func SDDMMRowWiseInto(out, s *sparse.CSR, x, y *dense.Matrix) error {
 	}
 	j := getJob()
 	j.run = runSDDMMRowWise
+	j.ctx = ctx
 	j.csr, j.x, j.y, j.out = s, x, y, out.Val
-	j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
+	err := j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
 	putJob(j)
-	return nil
+	return err
 }
 
 func runSDDMMRowWise(j *job, lo, hi int) {
@@ -264,6 +289,13 @@ func SDDMMASpT(t *aspt.Matrix, x, y *dense.Matrix) (*sparse.CSR, error) {
 // Only out.Val is written. At steady state the call performs no heap
 // allocations.
 func SDDMMASpTInto(out *sparse.CSR, t *aspt.Matrix, x, y *dense.Matrix) error {
+	return SDDMMASpTIntoCtx(context.Background(), out, t, x, y)
+}
+
+// SDDMMASpTIntoCtx is SDDMMASpTInto with cooperative cancellation
+// between chunks and panic isolation. On error the output values are
+// unspecified.
+func SDDMMASpTIntoCtx(ctx context.Context, out *sparse.CSR, t *aspt.Matrix, x, y *dense.Matrix) error {
 	if err := checkSDDMMShapes(t.Src, x, y); err != nil {
 		return err
 	}
@@ -272,10 +304,11 @@ func SDDMMASpTInto(out *sparse.CSR, t *aspt.Matrix, x, y *dense.Matrix) error {
 	}
 	j := getJob()
 	j.run = runSDDMMASpT
+	j.ctx = ctx
 	j.tile, j.x, j.y, j.out = t, x, y, out.Val
-	j.dispatch(t.Src.Rows, t.CumWork)
+	err := j.dispatch(t.Src.Rows, t.CumWork)
 	putJob(j)
-	return nil
+	return err
 }
 
 func runSDDMMASpT(j *job, lo, hi int) {

@@ -1,0 +1,100 @@
+package lsh
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func hardeningMatrix(t testing.TB) *sparse.CSR {
+	t.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 512, Cols: 512, Clusters: 64, PrototypeNNZ: 16,
+		Keep: 0.8, Noise: 2, Seed: 7, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Every parallel stage of the LSH pipeline must surface an injected
+// error as a returned error (never a crash) regardless of which worker
+// hits it.
+func TestFaultInjectionAllLSHSites(t *testing.T) {
+	m := hardeningMatrix(t)
+	p := DefaultParams()
+	p.Workers = 4
+	for _, site := range []string{"lsh.signatures", "lsh.banding", "lsh.pairmerge", "lsh.scoring"} {
+		t.Run(site, func(t *testing.T) {
+			defer faultinject.ErrorAt(site)()
+			_, err := CandidatePairsCtx(context.Background(), m, p)
+			if !errors.Is(err, faultinject.Err) {
+				t.Fatalf("CandidatePairsCtx with fault at %s = %v, want faultinject.Err", site, err)
+			}
+		})
+	}
+}
+
+// A panic in any stage worker must come back as a *par.PanicError, not
+// crash the process or deadlock the join.
+func TestPanicIsolationLSH(t *testing.T) {
+	m := hardeningMatrix(t)
+	p := DefaultParams()
+	p.Workers = 4
+	for _, site := range []string{"lsh.signatures", "lsh.banding", "lsh.scoring"} {
+		t.Run(site, func(t *testing.T) {
+			defer faultinject.PanicAt(site)()
+			_, err := CandidatePairsCtx(context.Background(), m, p)
+			var pe *par.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("panic at %s surfaced as %v, want *par.PanicError", site, err)
+			}
+		})
+	}
+}
+
+func TestCandidatePairsCtxCancelled(t *testing.T) {
+	m := hardeningMatrix(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CandidatePairsCtx(ctx, m, DefaultParams()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CandidatePairsCtx = %v, want context.Canceled", err)
+	}
+}
+
+func TestOPHSignatureFault(t *testing.T) {
+	m := hardeningMatrix(t)
+	p := DefaultParams()
+	p.OPH = true
+	p.Workers = 4
+	defer faultinject.ErrorAt("lsh.signatures")()
+	if _, err := ComputeSignaturesOPHCtx(context.Background(), m, p); !errors.Is(err, faultinject.Err) {
+		t.Fatalf("OPH signatures with fault = %v, want faultinject.Err", err)
+	}
+}
+
+// After a faulted run, the same inputs must succeed once the hook is
+// removed: failures leave no sticky state behind.
+func TestLSHRecoversAfterFault(t *testing.T) {
+	m := hardeningMatrix(t)
+	p := DefaultParams()
+	p.Workers = 4
+	restore := faultinject.ErrorAt("lsh.banding")
+	if _, err := CandidatePairsCtx(context.Background(), m, p); err == nil {
+		t.Fatalf("armed fault did not fire")
+	}
+	restore()
+	pairs, err := CandidatePairsCtx(context.Background(), m, p)
+	if err != nil {
+		t.Fatalf("clean run after fault: %v", err)
+	}
+	if len(pairs) == 0 {
+		t.Fatalf("clean run found no pairs on a clustered matrix")
+	}
+}

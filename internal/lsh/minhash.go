@@ -12,6 +12,7 @@
 package lsh
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -20,7 +21,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/pairheap"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -155,9 +158,21 @@ func (f hashFamily) hash(k int, c uint32) uint32 {
 	return uint32(x)
 }
 
+// sigRowBlock is the signature stage's unit of work (rows per claim):
+// coarse enough that the per-unit cancellation checkpoint and fault
+// hook are free, fine enough that cancellation lands promptly.
+const sigRowBlock = 512
+
 // ComputeSignatures builds MinHash signatures for every row of m in
 // parallel.
 func ComputeSignatures(m *sparse.CSR, p Params) (*Signatures, error) {
+	return ComputeSignaturesCtx(context.Background(), m, p)
+}
+
+// ComputeSignaturesCtx is ComputeSignatures with cooperative
+// cancellation between row blocks; a worker panic surfaces as a
+// *par.PanicError instead of crashing the process.
+func ComputeSignaturesCtx(ctx context.Context, m *sparse.CSR, p Params) (*Signatures, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -168,45 +183,28 @@ func ComputeSignatures(m *sparse.CSR, p Params) (*Signatures, error) {
 		Rows:   m.Rows,
 		Sig:    make([]uint32, m.Rows*p.SigLen),
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > m.Rows {
-		workers = m.Rows
-	}
-	if workers == 0 {
-		return sigs, nil
-	}
-	var wg sync.WaitGroup
-	chunk := (m.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > m.Rows {
-			hi = m.Rows
+	err := par.ForChunksCtx(ctx, m.Rows, sigRowBlock, p.Workers, func(lo, hi int) error {
+		if err := faultinject.Fire("lsh.signatures"); err != nil {
+			return err
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				row := sigs.Row(i)
-				cols := m.RowCols(i)
-				for k := 0; k < p.SigLen; k++ {
-					min := uint32(math.MaxUint32)
-					for _, c := range cols {
-						if h := fam.hash(k, uint32(c)); h < min {
-							min = h
-						}
+		for i := lo; i < hi; i++ {
+			row := sigs.Row(i)
+			cols := m.RowCols(i)
+			for k := 0; k < p.SigLen; k++ {
+				min := uint32(math.MaxUint32)
+				for _, c := range cols {
+					if h := fam.hash(k, uint32(c)); h < min {
+						min = h
 					}
-					row[k] = min
 				}
+				row[k] = min
 			}
-		}(lo, hi)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return sigs, nil
 }
 
@@ -219,23 +217,39 @@ func CandidatePairs(m *sparse.CSR, p Params) ([]pairheap.Pair, error) {
 	return pairs, err
 }
 
+// CandidatePairsCtx is CandidatePairs with cooperative cancellation and
+// panic isolation across every internal stage.
+func CandidatePairsCtx(ctx context.Context, m *sparse.CSR, p Params) ([]pairheap.Pair, error) {
+	pairs, _, err := CandidatePairsTimedCtx(ctx, m, p)
+	return pairs, err
+}
+
 // CandidatePairsTimed is CandidatePairs reporting the per-stage
 // wall-clock breakdown (signatures / banding / scoring).
 func CandidatePairsTimed(m *sparse.CSR, p Params) ([]pairheap.Pair, StageTimings, error) {
+	return CandidatePairsTimedCtx(context.Background(), m, p)
+}
+
+// CandidatePairsTimedCtx is CandidatePairsTimed with cooperative
+// cancellation: signature computation, banding, pair merging, and
+// scoring all observe ctx between work units, and a worker panic in any
+// of them surfaces as a *par.PanicError from this call instead of
+// crashing the process.
+func CandidatePairsTimedCtx(ctx context.Context, m *sparse.CSR, p Params) ([]pairheap.Pair, StageTimings, error) {
 	var st StageTimings
 	t0 := time.Now()
 	var sigs *Signatures
 	var err error
 	if p.OPH {
-		sigs, err = ComputeSignaturesOPH(m, p)
+		sigs, err = ComputeSignaturesOPHCtx(ctx, m, p)
 	} else {
-		sigs, err = ComputeSignatures(m, p)
+		sigs, err = ComputeSignaturesCtx(ctx, m, p)
 	}
 	if err != nil {
 		return nil, st, err
 	}
 	st.Signatures = time.Since(t0)
-	pairs, err := pairsFromSignatures(m, sigs, p, &st)
+	pairs, err := pairsFromSignatures(ctx, m, sigs, p, &st)
 	return pairs, st, err
 }
 
@@ -246,7 +260,13 @@ func CandidatePairsTimed(m *sparse.CSR, p Params) ([]pairheap.Pair, StageTimings
 // goroutines; the result is deduplicated and deterministic for a fixed
 // Params regardless of worker count.
 func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.Pair, error) {
-	return pairsFromSignatures(m, sigs, p, nil)
+	return pairsFromSignatures(context.Background(), m, sigs, p, nil)
+}
+
+// PairsFromSignaturesCtx is PairsFromSignatures with cooperative
+// cancellation and panic isolation.
+func PairsFromSignaturesCtx(ctx context.Context, m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.Pair, error) {
+	return pairsFromSignatures(ctx, m, sigs, p, nil)
 }
 
 // pairsFromSignatures is the banding+scoring engine; st (optional)
@@ -259,7 +279,7 @@ func PairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params) ([]pairheap.
 // The union of per-band key sets is independent of how bands were dealt
 // to workers, so the merged sequence — and everything downstream — is
 // identical for every worker count.
-func pairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params, st *StageTimings) ([]pairheap.Pair, error) {
+func pairsFromSignatures(ctx context.Context, m *sparse.CSR, sigs *Signatures, p Params, st *StageTimings) ([]pairheap.Pair, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -282,68 +302,78 @@ func pairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params, st *StageTim
 
 	// Phase 1 (parallel over bands): bucket rows per band and emit each
 	// band's candidate keys; per-worker results stay sorted and unique.
+	// Bands are dealt to workers in stride-w order (deterministic, so
+	// the per-worker key sets — and their union — never depend on
+	// scheduling); each worker checks ctx between bands.
 	workerKeys := make([][]uint64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var acc, band, mergeBuf []uint64
-			buckets := make(map[uint64][]int32)
-			addKey := func(i, j int32) {
-				if i == j {
-					return
-				}
-				if i > j {
-					i, j = j, i
-				}
-				band = append(band, uint64(uint32(i))<<32|uint64(uint32(j)))
+	err := par.DoCtx(ctx, workers, func(w int) error {
+		var acc, band, mergeBuf []uint64
+		buckets := make(map[uint64][]int32)
+		addKey := func(i, j int32) {
+			if i == j {
+				return
 			}
-			for b := w; b < nbands; b += workers {
-				clear(buckets)
-				band = band[:0] // reuse the band scratch's backing storage
-				for i := 0; i < m.Rows; i++ {
-					// Empty rows are skipped: their all-max signatures
-					// would otherwise all collide.
-					if m.RowLen(i) == 0 {
-						continue
-					}
-					sig := sigs.Row(i)[b*p.BandSize : (b+1)*p.BandSize]
-					h := uint64(0xcbf29ce484222325)
-					for _, v := range sig {
-						h ^= uint64(v)
-						h *= 0x100000001b3
-					}
-					buckets[h] = append(buckets[h], int32(i))
-				}
-				for _, rows := range buckets {
-					if len(rows) < 2 {
-						continue
-					}
-					if len(rows) > maxBucket {
-						// Chain consecutive members only: similar rows
-						// stay connected transitively through the
-						// clustering while avoiding O(B²) pair blowup.
-						for k := 0; k+1 < len(rows); k++ {
-							addKey(rows[k], rows[k+1])
-						}
-						continue
-					}
-					for a := 0; a < len(rows); a++ {
-						for b2 := a + 1; b2 < len(rows); b2++ {
-							addKey(rows[a], rows[b2])
-						}
-					}
-				}
-				slices.Sort(band)
-				band = slices.Compact(band)
-				acc, mergeBuf = mergeSortedUnique(mergeBuf[:0], acc, band), acc
+			if i > j {
+				i, j = j, i
 			}
-			workerKeys[w] = acc
-		}(w)
+			band = append(band, uint64(uint32(i))<<32|uint64(uint32(j)))
+		}
+		for b := w; b < nbands; b += workers {
+			if err := par.CtxErr(ctx); err != nil {
+				return err
+			}
+			if err := faultinject.Fire("lsh.banding"); err != nil {
+				return err
+			}
+			clear(buckets)
+			band = band[:0] // reuse the band scratch's backing storage
+			for i := 0; i < m.Rows; i++ {
+				// Empty rows are skipped: their all-max signatures
+				// would otherwise all collide.
+				if m.RowLen(i) == 0 {
+					continue
+				}
+				sig := sigs.Row(i)[b*p.BandSize : (b+1)*p.BandSize]
+				h := uint64(0xcbf29ce484222325)
+				for _, v := range sig {
+					h ^= uint64(v)
+					h *= 0x100000001b3
+				}
+				buckets[h] = append(buckets[h], int32(i))
+			}
+			for _, rows := range buckets {
+				if len(rows) < 2 {
+					continue
+				}
+				if len(rows) > maxBucket {
+					// Chain consecutive members only: similar rows
+					// stay connected transitively through the
+					// clustering while avoiding O(B²) pair blowup.
+					for k := 0; k+1 < len(rows); k++ {
+						addKey(rows[k], rows[k+1])
+					}
+					continue
+				}
+				for a := 0; a < len(rows); a++ {
+					for b2 := a + 1; b2 < len(rows); b2++ {
+						addKey(rows[a], rows[b2])
+					}
+				}
+			}
+			slices.Sort(band)
+			band = slices.Compact(band)
+			acc, mergeBuf = mergeSortedUnique(mergeBuf[:0], acc, band), acc
+		}
+		workerKeys[w] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	keys := mergeWorkerKeys(workerKeys)
+	keys, err := mergeWorkerKeys(ctx, workerKeys)
+	if err != nil {
+		return nil, err
+	}
 	if st != nil {
 		st.Banding = time.Since(tBand)
 	}
@@ -352,33 +382,27 @@ func pairsFromSignatures(m *sparse.CSR, sigs *Signatures, p Params, st *StageTim
 	// Phase 2 (parallel over candidates): exact Jaccard scoring — the
 	// d_max·E term of the paper's cost model. Results land at their
 	// key's index, so scoring order cannot reorder the output.
+	const scoreChunk = 4 << 10
 	pairs := make([]pairheap.Pair, len(keys))
 	keep := make([]bool, len(keys))
-	var swg sync.WaitGroup
-	chunk := (len(keys) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(keys) {
-			hi = len(keys)
+	err = par.ForChunksCtx(ctx, len(keys), scoreChunk, workers, func(lo, hi int) error {
+		if err := faultinject.Fire("lsh.scoring"); err != nil {
+			return err
 		}
-		if lo >= hi {
-			break
-		}
-		swg.Add(1)
-		go func(lo, hi int) {
-			defer swg.Done()
-			for idx := lo; idx < hi; idx++ {
-				i := int32(keys[idx] >> 32)
-				j := int32(keys[idx] & 0xffffffff)
-				sim := sparse.RowJaccard(m, int(i), int(j))
-				if sim >= p.MinSim && sim > 0 {
-					pairs[idx] = pairheap.Pair{Sim: sim, I: i, J: j}
-					keep[idx] = true
-				}
+		for idx := lo; idx < hi; idx++ {
+			i := int32(keys[idx] >> 32)
+			j := int32(keys[idx] & 0xffffffff)
+			sim := sparse.RowJaccard(m, int(i), int(j))
+			if sim >= p.MinSim && sim > 0 {
+				pairs[idx] = pairheap.Pair{Sim: sim, I: i, J: j}
+				keep[idx] = true
 			}
-		}(lo, hi)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	swg.Wait()
 	out := pairs[:0]
 	for idx := range pairs {
 		if keep[idx] {
@@ -415,29 +439,33 @@ func mergeSortedUnique(dst, a, b []uint64) []uint64 {
 }
 
 // mergeWorkerKeys k-way merges the workers' sorted unique key slices by
-// parallel pairwise rounds; the result is the sorted union.
-func mergeWorkerKeys(parts [][]uint64) []uint64 {
+// parallel pairwise rounds; the result is the sorted union. Each round
+// observes ctx and the merge fault site before doing work.
+func mergeWorkerKeys(ctx context.Context, parts [][]uint64) ([]uint64, error) {
 	for len(parts) > 1 {
+		npairs := len(parts) / 2
 		merged := make([][]uint64, (len(parts)+1)/2)
-		var wg sync.WaitGroup
-		for i := 0; i+1 < len(parts); i += 2 {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				merged[i/2] = mergeSortedUnique(
-					make([]uint64, 0, len(parts[i])+len(parts[i+1])), parts[i], parts[i+1])
-			}(i)
+		err := par.ForUnitsCtx(ctx, npairs, npairs, func(u int) error {
+			if err := faultinject.Fire("lsh.pairmerge"); err != nil {
+				return err
+			}
+			i := 2 * u
+			merged[u] = mergeSortedUnique(
+				make([]uint64, 0, len(parts[i])+len(parts[i+1])), parts[i], parts[i+1])
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		if len(parts)%2 == 1 {
 			merged[len(merged)-1] = parts[len(parts)-1]
 		}
-		wg.Wait()
 		parts = merged
 	}
 	if len(parts) == 0 {
-		return nil
+		return nil, nil
 	}
-	return parts[0]
+	return parts[0], nil
 }
 
 // cmpPair is the canonical candidate-pair order: similarity descending,

@@ -1,10 +1,11 @@
 package lsh
 
 import (
+	"context"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/faultinject"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -23,6 +24,13 @@ import (
 // ComputeSignaturesOPH builds a signature matrix compatible with
 // Signatures (same banding code) using one-permutation hashing.
 func ComputeSignaturesOPH(m *sparse.CSR, p Params) (*Signatures, error) {
+	return ComputeSignaturesOPHCtx(context.Background(), m, p)
+}
+
+// ComputeSignaturesOPHCtx is ComputeSignaturesOPH with cooperative
+// cancellation between row blocks; a worker panic surfaces as a
+// *par.PanicError instead of crashing the process.
+func ComputeSignaturesOPHCtx(ctx context.Context, m *sparse.CSR, p Params) (*Signatures, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -33,49 +41,32 @@ func ComputeSignaturesOPH(m *sparse.CSR, p Params) (*Signatures, error) {
 		Rows:   m.Rows,
 		Sig:    make([]uint32, m.Rows*p.SigLen),
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > m.Rows {
-		workers = m.Rows
-	}
-	if workers < 1 {
-		return sigs, nil
-	}
 	binWidth := uint64(math.MaxUint32)/uint64(p.SigLen) + 1
-	var wg sync.WaitGroup
-	chunk := (m.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > m.Rows {
-			hi = m.Rows
+	err := par.ForChunksCtx(ctx, m.Rows, sigRowBlock, p.Workers, func(lo, hi int) error {
+		if err := faultinject.Fire("lsh.signatures"); err != nil {
+			return err
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				row := sigs.Row(i)
-				for k := range row {
-					row[k] = math.MaxUint32
-				}
-				for _, c := range m.RowCols(i) {
-					h := fam.hash(0, uint32(c))
-					bin := int(uint64(h) / binWidth)
-					// Store the within-bin offset so bins are comparable.
-					v := h - uint32(uint64(bin)*binWidth)
-					if v < row[bin] {
-						row[bin] = v
-					}
-				}
-				densify(row)
+		for i := lo; i < hi; i++ {
+			row := sigs.Row(i)
+			for k := range row {
+				row[k] = math.MaxUint32
 			}
-		}(lo, hi)
+			for _, c := range m.RowCols(i) {
+				h := fam.hash(0, uint32(c))
+				bin := int(uint64(h) / binWidth)
+				// Store the within-bin offset so bins are comparable.
+				v := h - uint32(uint64(bin)*binWidth)
+				if v < row[bin] {
+					row[bin] = v
+				}
+			}
+			densify(row)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return sigs, nil
 }
 

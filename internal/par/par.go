@@ -6,13 +6,71 @@
 // fixing the unit of work (a chunk index range) independently of the
 // number of workers and letting workers race only for *which* unit they
 // execute, never for what a unit computes or where it writes.
+//
+// The *Ctx variants additionally make every stage cancellable and
+// panic-isolated: workers observe ctx between units and abort promptly,
+// and a panicking unit is recovered into a typed *PanicError that is
+// returned as an ordinary error after every worker has stopped — a
+// worker failure can therefore never crash the process, leak a
+// goroutine, or leave the fork-join caller blocked in wg.Wait.
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error: the recovered
+// value plus the stack of the panicking goroutine, captured at the
+// panic site. It satisfies errors.As-style matching via the usual
+// `var pe *par.PanicError; errors.As(err, &pe)` pattern.
+type PanicError struct {
+	// Value is the value the worker panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace, captured before
+	// unwinding.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// NewPanicError wraps a recovered panic value (as returned by
+// recover()) with the current goroutine's stack. Call it from inside
+// the deferred recover handler so the stack still shows the panic site.
+// A value that already is a *PanicError passes through unchanged.
+func NewPanicError(recovered any) *PanicError {
+	if pe, ok := recovered.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: recovered, Stack: debug.Stack()}
+}
+
+// Guard runs fn on the calling goroutine and converts a panic into a
+// *PanicError, so serial stages get the same failure contract as the
+// fork-join loops below.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPanicError(r)
+		}
+	}()
+	return fn()
+}
+
+// CtxErr returns ctx.Err(), treating a nil context as never-cancelled.
+// Stage loops use it as their cooperative cancellation checkpoint.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Workers resolves a requested worker count: values <= 0 mean
 // runtime.GOMAXPROCS(0). The result is additionally capped at units (the
@@ -31,48 +89,151 @@ func Workers(requested, units int) int {
 	return w
 }
 
-// Do runs fn(w) for w in [0, workers), each on its own goroutine (the
-// caller's goroutine runs the last one), and waits for all of them.
-// workers <= 1 runs fn(0) inline with no goroutine overhead.
-func Do(workers int, fn func(w int)) {
-	if workers <= 1 {
-		fn(0)
+// group collects the first failure across a fork-join and signals the
+// remaining workers to wind down.
+type group struct {
+	stop atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (g *group) record(err error) {
+	if err == nil {
 		return
+	}
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+	g.stop.Store(true)
+}
+
+// DoCtx runs fn(w) for w in [0, workers), each on its own goroutine
+// (the caller's goroutine runs the last one), and waits for all of
+// them. It returns the first non-nil error any worker produced; a
+// panicking worker is recovered into a *PanicError and reported the
+// same way, after every other worker has finished — the join can never
+// be left hanging. ctx is checked once before the fork; long-running fn
+// bodies are expected to poll CtxErr(ctx) themselves (ForUnitsCtx and
+// ForChunksCtx do this between units). workers <= 1 runs fn(0) inline
+// with no goroutine overhead.
+func DoCtx(ctx context.Context, workers int, fn func(w int) error) error {
+	if err := CtxErr(ctx); err != nil {
+		return err
+	}
+	var g group
+	run := func(w int) { g.record(Guard(func() error { return fn(w) })) }
+	if workers <= 1 {
+		run(0)
+		return g.err
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 0; w < workers-1; w++ {
 		go func(w int) {
 			defer wg.Done()
-			fn(w)
+			run(w)
 		}(w)
 	}
-	fn(workers - 1)
+	run(workers - 1)
 	wg.Wait()
+	return g.err
+}
+
+// Do runs fn(w) for w in [0, workers), each on its own goroutine (the
+// caller's goroutine runs the last one), and waits for all of them.
+// workers <= 1 runs fn(0) inline with no goroutine overhead.
+//
+// A panicking worker no longer crashes the process from inside its
+// goroutine: the panic is recovered, every worker is joined, and the
+// panic is then re-raised on the *caller's* goroutine as a *PanicError
+// carrying the original stack. Callers can recover it; the join itself
+// can never deadlock on a lost wg.Done.
+func Do(workers int, fn func(w int)) {
+	if err := DoCtx(nil, workers, func(w int) error { fn(w); return nil }); err != nil {
+		panic(err)
+	}
+}
+
+// ForUnitsCtx executes fn(u) for every unit u in [0, n), distributing
+// units dynamically over workers through an atomic ticket counter.
+// Workers re-check ctx before claiming each unit, so cancellation
+// aborts within one unit's latency; the first error (or recovered
+// *PanicError) stops further claims and is returned after all workers
+// have parked. fn must write only to unit-u-owned state so the output
+// of a completed call is identical for every worker count.
+func ForUnitsCtx(ctx context.Context, n, workers int, fn func(u int) error) error {
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		return Guard(func() error {
+			for u := 0; u < n; u++ {
+				if err := CtxErr(ctx); err != nil {
+					return err
+				}
+				if err := fn(u); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	return DoCtx(ctx, workers, func(int) error {
+		for {
+			if stop.Load() {
+				return nil
+			}
+			if err := CtxErr(ctx); err != nil {
+				stop.Store(true)
+				return err
+			}
+			u := int(next.Add(1)) - 1
+			if u >= n {
+				return nil
+			}
+			if err := Guard(func() error { return fn(u) }); err != nil {
+				stop.Store(true)
+				return err
+			}
+		}
+	})
 }
 
 // ForUnits executes fn(u) for every unit u in [0, n), distributing units
 // dynamically over workers through an atomic ticket counter — skewed
 // units (e.g. sparse-matrix panels of very different nnz) self-balance.
 // fn must write only to unit-u-owned state so the output is identical
-// for every worker count.
+// for every worker count. A panicking unit is re-raised on the caller's
+// goroutine as a *PanicError after all workers have stopped (see Do).
 func ForUnits(n, workers int, fn func(u int)) {
-	workers = Workers(workers, n)
-	if workers <= 1 {
-		for u := 0; u < n; u++ {
-			fn(u)
-		}
-		return
+	if err := ForUnitsCtx(nil, n, workers, func(u int) error { fn(u); return nil }); err != nil {
+		panic(err)
 	}
-	var next atomic.Int64
-	Do(workers, func(int) {
-		for {
-			u := int(next.Add(1)) - 1
-			if u >= n {
-				return
-			}
-			fn(u)
+}
+
+// ForChunksCtx splits [0, n) into runs of the given fixed size and
+// executes fn(lo, hi) for each run, dynamically balanced across
+// workers, with the same cancellation and panic-isolation contract as
+// ForUnitsCtx. The chunk boundaries depend only on n and size — never
+// on the worker count — so chunk-indexed accumulation is bit-identical
+// for any parallelism.
+func ForChunksCtx(ctx context.Context, n, size, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return CtxErr(ctx)
+	}
+	if size < 1 {
+		size = 1
+	}
+	nchunks := (n + size - 1) / size
+	return ForUnitsCtx(ctx, nchunks, workers, func(u int) error {
+		lo := u * size
+		hi := lo + size
+		if hi > n {
+			hi = n
 		}
+		return fn(lo, hi)
 	})
 }
 
@@ -82,19 +243,7 @@ func ForUnits(n, workers int, fn func(u int)) {
 // count — so chunk-indexed accumulation (e.g. per-chunk float sums later
 // combined in chunk order) is bit-identical for any parallelism.
 func ForChunks(n, size, workers int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
+	if err := ForChunksCtx(nil, n, size, workers, func(lo, hi int) error { fn(lo, hi); return nil }); err != nil {
+		panic(err)
 	}
-	if size < 1 {
-		size = 1
-	}
-	nchunks := (n + size - 1) / size
-	ForUnits(nchunks, workers, func(u int) {
-		lo := u * size
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		fn(lo, hi)
-	})
 }

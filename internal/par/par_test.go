@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -78,5 +81,146 @@ func TestForChunksEmpty(t *testing.T) {
 	ForChunks(0, 16, 4, func(lo, hi int) { ran = true })
 	if ran {
 		t.Fatalf("ForChunks ran on empty range")
+	}
+}
+
+func TestDoPanicDoesNotDeadlock(t *testing.T) {
+	// Regression: a panicking worker used to unwind past wg.Done only by
+	// luck of defer ordering; a panic escaping the goroutine crashed the
+	// process outright. Now the panic must join all workers and re-raise
+	// on the caller's goroutine as a *PanicError.
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Do(4, func(w int) {
+			if w == 1 {
+				panic("boom")
+			}
+		})
+	}()
+	select {
+	case r := <-done:
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("PanicError.Value = %v, want boom", pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("PanicError.Stack is empty")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("Do deadlocked after worker panic")
+	}
+}
+
+func TestDoCtxReturnsFirstError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := DoCtx(context.Background(), 4, func(w int) error {
+		if w == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("DoCtx error = %v, want sentinel", err)
+	}
+}
+
+func TestDoCtxPanicSurfacesAsError(t *testing.T) {
+	err := DoCtx(context.Background(), 3, func(w int) error {
+		if w == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Fatalf("DoCtx error = %v, want *PanicError{kaboom}", err)
+	}
+}
+
+func TestForUnitsCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForUnitsCtx(ctx, 1<<20, 4, func(u int) error {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForUnitsCtx error = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1<<20 {
+		t.Fatalf("cancellation did not stop the loop (ran all %d units)", n)
+	}
+}
+
+func TestForUnitsCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForUnitsCtx(ctx, 100, 4, func(u int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatalf("pre-cancelled context still ran units")
+	}
+}
+
+func TestForUnitsCtxSerialPanic(t *testing.T) {
+	err := ForUnitsCtx(nil, 10, 1, func(u int) error {
+		if u == 3 {
+			panic(42)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("serial ForUnitsCtx error = %v, want *PanicError{42}", err)
+	}
+}
+
+func TestForChunksCtxErrorStopsClaims(t *testing.T) {
+	sentinel := errors.New("stop")
+	var after atomic.Int64
+	err := ForChunksCtx(nil, 1<<16, 16, 4, func(lo, hi int) error {
+		if lo == 0 {
+			return sentinel
+		}
+		after.Add(1)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if n := after.Load(); n >= (1<<16)/16-1 {
+		t.Fatalf("error did not stop chunk claiming (%d chunks ran)", n)
+	}
+}
+
+func TestGuard(t *testing.T) {
+	if err := Guard(func() error { return nil }); err != nil {
+		t.Fatalf("Guard(nil fn) = %v", err)
+	}
+	err := Guard(func() error { panic("g") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "g" {
+		t.Fatalf("Guard panic = %v, want *PanicError{g}", err)
+	}
+	// A *PanicError panicked through Guard passes through unchanged.
+	orig := &PanicError{Value: "orig", Stack: []byte("s")}
+	err = Guard(func() error { panic(orig) })
+	if !errors.As(err, &pe) || pe != orig {
+		t.Fatalf("Guard re-wrapped an existing PanicError: %v", err)
+	}
+}
+
+func TestCtxErrNil(t *testing.T) {
+	if err := CtxErr(nil); err != nil {
+		t.Fatalf("CtxErr(nil) = %v", err)
 	}
 }

@@ -21,6 +21,7 @@ package plancache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -101,6 +102,11 @@ func configSignature(cfg reorder.Config) string {
 	cfg.Workers = 0
 	cfg.LSH.Workers = 0
 	cfg.ASpT.Workers = 0
+	// The preprocessing budget bounds how long a background build may
+	// run, never what a successful build produces, so it is normalised
+	// away too — otherwise two online pipelines differing only in
+	// budget would never share plans.
+	cfg.PreprocessBudget = 0
 	return fmt.Sprintf("%v", cfg)
 }
 
@@ -365,22 +371,36 @@ func (e *entry) buildGatherMaps(m *sparse.CSR) {
 // Concurrent misses on the same structure may compute the plan more
 // than once; all of them store equivalent plans, so the race is benign.
 func (c *Cache) Preprocess(m *sparse.CSR, cfg reorder.Config) (*reorder.Plan, error) {
-	return c.preprocess(m, cfg, Full, reorder.Preprocess)
+	return c.preprocess(context.Background(), m, cfg, Full, reorder.PreprocessCtx)
 }
 
 // PreprocessNR is Preprocess for the no-reordering ASpT baseline. It
 // shares the cache (under a distinct variant key) so an online pipeline
 // replayed on a known structure skips both builds.
 func (c *Cache) PreprocessNR(m *sparse.CSR, cfg reorder.Config) (*reorder.Plan, error) {
-	return c.preprocess(m, cfg, NR, reorder.PreprocessNR)
+	return c.preprocess(context.Background(), m, cfg, NR, reorder.PreprocessNRCtx)
 }
 
-func (c *Cache) preprocess(m *sparse.CSR, cfg reorder.Config, v Variant,
-	compute func(*sparse.CSR, reorder.Config) (*reorder.Plan, error)) (*reorder.Plan, error) {
+// PreprocessCtx is Preprocess with cooperative cancellation. A build
+// that fails — including one cancelled mid-flight — is never cached, so
+// a cancelled build cannot poison the cache with a partial plan; the
+// next caller recomputes from scratch.
+func (c *Cache) PreprocessCtx(ctx context.Context, m *sparse.CSR, cfg reorder.Config) (*reorder.Plan, error) {
+	return c.preprocess(ctx, m, cfg, Full, reorder.PreprocessCtx)
+}
+
+// PreprocessNRCtx is PreprocessNR with cooperative cancellation (see
+// PreprocessCtx).
+func (c *Cache) PreprocessNRCtx(ctx context.Context, m *sparse.CSR, cfg reorder.Config) (*reorder.Plan, error) {
+	return c.preprocess(ctx, m, cfg, NR, reorder.PreprocessNRCtx)
+}
+
+func (c *Cache) preprocess(ctx context.Context, m *sparse.CSR, cfg reorder.Config, v Variant,
+	compute func(context.Context, *sparse.CSR, reorder.Config) (*reorder.Plan, error)) (*reorder.Plan, error) {
 	if p, ok := c.Get(m, cfg, v); ok {
 		return p, nil
 	}
-	p, err := compute(m, cfg)
+	p, err := compute(ctx, m, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,74 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/reorder"
+)
+
+// A cancelled or faulted build must never be cached: the failed call
+// counts as a miss, leaves no entry behind, and the next (clean) call
+// recomputes and caches normally — so failure cannot poison the cache
+// and hit rates for successful builds are unaffected.
+func TestFailedBuildDoesNotPoisonCache(t *testing.T) {
+	m := clusteredMatrix(t, 256, 256, 9)
+	cfg := reorder.DefaultConfig()
+	c := New(4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.PreprocessCtx(ctx, m, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build = %v, want context.Canceled", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cancelled build was cached (%d entries)", c.Len())
+	}
+
+	restore := faultinject.ErrorAt("aspt.build")
+	if _, err := c.PreprocessCtx(context.Background(), m, cfg); !errors.Is(err, faultinject.Err) {
+		t.Fatalf("faulted build = %v, want faultinject.Err", err)
+	}
+	restore()
+	if c.Len() != 0 {
+		t.Fatalf("faulted build was cached (%d entries)", c.Len())
+	}
+
+	// Clean build succeeds, caches, and the next call is a pure hit.
+	p1, err := c.PreprocessCtx(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatalf("clean build: %v", err)
+	}
+	p2, err := c.PreprocessCtx(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatalf("hit after clean build: %v", err)
+	}
+	if &p1.Reordered.Val[0] != &p2.Reordered.Val[0] {
+		t.Fatalf("second call did not reuse the cached plan's arrays")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 3 misses / 1 entry", st)
+	}
+}
+
+// The budget knob is an execution hint: two configurations differing
+// only in PreprocessBudget must map to the same cache entry.
+func TestBudgetDoesNotChangeFingerprint(t *testing.T) {
+	m := clusteredMatrix(t, 256, 256, 10)
+	c := New(4)
+	cfg := reorder.DefaultConfig()
+	if _, err := c.Preprocess(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.PreprocessBudget = 1 << 30
+	if _, err := c.Preprocess(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want the budgeted config to hit the unbudgeted entry", st)
+	}
+}

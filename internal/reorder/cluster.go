@@ -5,11 +5,14 @@
 package reorder
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
+	"repro/internal/faultinject"
 	"repro/internal/lsh"
 	"repro/internal/pairheap"
+	"repro/internal/par"
 	"repro/internal/sparse"
 	"repro/internal/unionfind"
 )
@@ -56,7 +59,14 @@ func Cluster(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int) ([]int32, 
 // candidate pairs chain several latent clusters into one
 // threshold-sized blob (see BenchmarkAblationEmitOrder).
 func ClusterOrdered(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mergeOrder bool) ([]int32, ClusterStats, error) {
-	groups, stats, err := ClusterGroups(m, pairs, thresholdSize, mergeOrder)
+	return ClusterOrderedCtx(context.Background(), m, pairs, thresholdSize, mergeOrder)
+}
+
+// ClusterOrderedCtx is ClusterOrdered with cooperative cancellation:
+// the (serial) Alg 3 loop observes ctx periodically, and a panic inside
+// it surfaces as a *par.PanicError instead of crashing the process.
+func ClusterOrderedCtx(ctx context.Context, m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mergeOrder bool) ([]int32, ClusterStats, error) {
+	groups, stats, err := ClusterGroupsCtx(ctx, m, pairs, thresholdSize, mergeOrder)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -74,11 +84,37 @@ func ClusterOrdered(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mer
 // returns one slice of row indices per emitted cluster, in emission
 // order. Useful for panel-aligned packing (PackGroups).
 func ClusterGroups(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mergeOrder bool) ([][]int32, ClusterStats, error) {
+	return ClusterGroupsCtx(context.Background(), m, pairs, thresholdSize, mergeOrder)
+}
+
+// ClusterGroupsCtx is ClusterGroups with cooperative cancellation and
+// panic isolation. The clustering loop is serial, so ctx is checked
+// every clusterCtxStride queue pops — frequent enough for prompt
+// cancellation, rare enough to be free.
+func ClusterGroupsCtx(ctx context.Context, m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mergeOrder bool) (groups [][]int32, stats ClusterStats, err error) {
+	err = par.Guard(func() error {
+		groups, stats, err = clusterGroups(ctx, m, pairs, thresholdSize, mergeOrder)
+		return err
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return groups, stats, nil
+}
+
+// clusterCtxStride is the number of Alg 3 queue pops between
+// cancellation checkpoints.
+const clusterCtxStride = 4 << 10
+
+func clusterGroups(ctx context.Context, m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, mergeOrder bool) ([][]int32, ClusterStats, error) {
 	if thresholdSize <= 0 {
 		thresholdSize = DefaultThresholdSize
 	}
 	var stats ClusterStats
 	stats.CandidatePairs = len(pairs)
+	if err := faultinject.Fire("reorder.cluster"); err != nil {
+		return nil, stats, err
+	}
 
 	queue := pairheap.New(pairs)
 	uf := unionfind.New(m.Rows)
@@ -113,7 +149,13 @@ func ClusterGroups(m *sparse.CSR, pairs []pairheap.Pair, thresholdSize int, merg
 		return root
 	}
 
+	pops := 0
 	for !queue.Empty() && nclusters > 0 {
+		if pops++; pops%clusterCtxStride == 0 {
+			if err := par.CtxErr(ctx); err != nil {
+				return nil, stats, err
+			}
+		}
 		p := queue.Pop()
 		i, j := p.I, p.J
 		if uf.IsRoot(i) && uf.IsRoot(j) && i != j {

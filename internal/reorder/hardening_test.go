@@ -1,0 +1,98 @@
+package reorder
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+func scrambledMatrix(t testing.TB) *sparse.CSR {
+	t.Helper()
+	m, err := synth.Clustered(synth.ClusterParams{
+		Rows: 1024, Cols: 1024, Clusters: 128, PrototypeNNZ: 16,
+		Keep: 0.8, Noise: 1, Seed: 5, Scrambled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A fault injected into any parallel preprocessing stage must surface
+// from PreprocessCtx as an error, never a crash. The scrambled-cluster
+// matrix exercises every stage: LSH, clustering, permutation, tiling,
+// and the similarity scans.
+func TestPreprocessCtxFaultAtEveryStage(t *testing.T) {
+	m := scrambledMatrix(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	for _, site := range []string{
+		"lsh.signatures", "lsh.banding", "lsh.pairmerge", "lsh.scoring",
+		"reorder.cluster", "aspt.build", "sparse.permute",
+	} {
+		t.Run(site, func(t *testing.T) {
+			defer faultinject.ErrorAt(site)()
+			if _, err := PreprocessCtx(context.Background(), m, cfg); !errors.Is(err, faultinject.Err) {
+				t.Fatalf("PreprocessCtx with fault at %s = %v, want faultinject.Err", site, err)
+			}
+		})
+	}
+	// And each stage recovers: a clean run after all faults succeeds and
+	// still decides to reorder.
+	plan, err := PreprocessCtx(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatalf("clean PreprocessCtx after faults: %v", err)
+	}
+	if !plan.NeedsReordering() {
+		t.Fatalf("clean plan unexpectedly skipped reordering")
+	}
+}
+
+func TestPreprocessCtxPanicIsolation(t *testing.T) {
+	m := scrambledMatrix(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	for _, site := range []string{"reorder.cluster", "aspt.build", "sparse.permute"} {
+		t.Run(site, func(t *testing.T) {
+			defer faultinject.PanicAt(site)()
+			_, err := PreprocessCtx(context.Background(), m, cfg)
+			var pe *par.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("panic at %s surfaced as %v, want *par.PanicError", site, err)
+			}
+		})
+	}
+}
+
+func TestPreprocessCtxCancellation(t *testing.T) {
+	m := scrambledMatrix(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PreprocessCtx(ctx, m, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled PreprocessCtx = %v, want context.Canceled", err)
+	}
+	// Mid-flight: cancel from inside the clustering stage.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer faultinject.Set("reorder.cluster", func() error { cancel2(); return nil })()
+	if _, err := PreprocessCtx(ctx2, m, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancelled PreprocessCtx = %v, want context.Canceled", err)
+	}
+}
+
+func TestPreprocessRejectsNonFiniteValues(t *testing.T) {
+	m := scrambledMatrix(t)
+	bad := m.Clone()
+	bad.Val[len(bad.Val)/2] = float32(math.NaN())
+	if _, err := Preprocess(bad, DefaultConfig()); !errors.Is(err, sparse.ErrInvalid) {
+		t.Fatalf("Preprocess accepted NaN value: %v", err)
+	}
+	if _, err := PreprocessNR(bad, DefaultConfig()); !errors.Is(err, sparse.ErrInvalid) {
+		t.Fatalf("PreprocessNR accepted NaN value: %v", err)
+	}
+}

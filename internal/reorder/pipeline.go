@@ -1,11 +1,13 @@
 package reorder
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/aspt"
 	"repro/internal/lsh"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -58,6 +60,14 @@ type Config struct {
 	// runtime.GOMAXPROCS(0). The produced Plan is bit-identical for
 	// every value — Workers only changes how fast it is computed.
 	Workers int
+	// PreprocessBudget bounds the wall-clock time the *background*
+	// reordered-plan build of an online pipeline may spend before the
+	// pipeline permanently degrades to the no-reorder plan (see
+	// repro.NewOnlinePipelineCtx). 0 or negative means no budget. It
+	// does not affect Preprocess itself and — like Workers — never
+	// changes what a successful build produces, so plan-cache
+	// fingerprints ignore it.
+	PreprocessBudget time.Duration
 }
 
 // withWorkers propagates the pipeline-wide Workers bound into the
@@ -197,8 +207,8 @@ func (p *Plan) Describe() string {
 // LSH, clustering with the configured emission order, and (optionally)
 // panel-aligned packing of the emitted clusters — accumulating the
 // stage breakdown into st.
-func reorderWithConfig(m *sparse.CSR, cfg Config, st *StageTimings) ([]int32, ClusterStats, error) {
-	pairs, lt, err := lsh.CandidatePairsTimed(m, cfg.LSH)
+func reorderWithConfig(ctx context.Context, m *sparse.CSR, cfg Config, st *StageTimings) ([]int32, ClusterStats, error) {
+	pairs, lt, err := lsh.CandidatePairsTimedCtx(ctx, m, cfg.LSH)
 	if err != nil {
 		return nil, ClusterStats{}, err
 	}
@@ -206,9 +216,9 @@ func reorderWithConfig(m *sparse.CSR, cfg Config, st *StageTimings) ([]int32, Cl
 	t0 := time.Now()
 	defer func() { st.Clustering += time.Since(t0) }()
 	if !cfg.PanelAlign {
-		return ClusterOrdered(m, pairs, cfg.ThresholdSize, cfg.EmitMergeOrder)
+		return ClusterOrderedCtx(ctx, m, pairs, cfg.ThresholdSize, cfg.EmitMergeOrder)
 	}
-	groups, stats, err := ClusterGroups(m, pairs, cfg.ThresholdSize, cfg.EmitMergeOrder)
+	groups, stats, err := ClusterGroupsCtx(ctx, m, pairs, cfg.ThresholdSize, cfg.EmitMergeOrder)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -229,8 +239,20 @@ func buildTiled(m *sparse.CSR, cfg Config) (*aspt.Matrix, error) {
 // cfg.Workers goroutines; the Plan is bit-identical for every worker
 // count.
 func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
-	if err := m.Validate(); err != nil {
+	return PreprocessCtx(context.Background(), m, cfg)
+}
+
+// PreprocessCtx is Preprocess with cooperative cancellation and panic
+// isolation: every parallel stage (LSH, clustering, tiling, permutation,
+// similarity scans) observes ctx between work units and converts worker
+// panics into a *par.PanicError returned from this call. A cancelled
+// build returns ctx's error with no partial Plan.
+func PreprocessCtx(ctx context.Context, m *sparse.CSR, cfg Config) (*Plan, error) {
+	if err := sparse.Validate(m, sparse.FiniteOnly); err != nil {
 		return nil, fmt.Errorf("reorder: input: %w", err)
+	}
+	if err := par.CtxErr(ctx); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	p := &Plan{Cfg: cfg}
@@ -240,20 +262,23 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 	// Baseline tiling of the original matrix: needed both for the
 	// round-1 heuristic and for the Before metrics.
 	t0 := time.Now()
-	baseTiled, err := aspt.Build(m, cfg.ASpT)
+	baseTiled, err := aspt.BuildCtx(ctx, m, cfg.ASpT)
 	if err != nil {
 		return nil, err
 	}
 	st.Tiling += time.Since(t0)
 	p.DenseRatioBefore = baseTiled.DenseRatio()
 	t0 = time.Now()
-	p.AvgSimBefore = sparse.AvgConsecutiveSimilarityWorkers(baseTiled.Rest, cfg.SimSamplePairs, cfg.Workers)
+	p.AvgSimBefore, err = sparse.AvgConsecutiveSimilarityCtx(ctx, baseTiled.Rest, cfg.SimSamplePairs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	st.Heuristics += time.Since(t0)
 
 	// Round 1: reorder the whole matrix to enlarge the dense tiles.
 	doRound1 := !cfg.Disable && (cfg.Force || p.DenseRatioBefore <= cfg.DenseRatioSkip)
 	if doRound1 {
-		perm, stats, err := reorderWithConfig(m, cfg, st)
+		perm, stats, err := reorderWithConfig(ctx, m, cfg, st)
 		if err != nil {
 			return nil, err
 		}
@@ -261,13 +286,13 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 		p.Round1Stats = stats
 		p.Round1Applied = true
 		t0 = time.Now()
-		p.Reordered, err = sparse.PermuteRowsWorkers(m, perm, cfg.Workers)
+		p.Reordered, err = sparse.PermuteRowsCtx(ctx, m, perm, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		st.Permute += time.Since(t0)
 		t0 = time.Now()
-		p.Tiled, err = aspt.Build(p.Reordered, cfg.ASpT)
+		p.Tiled, err = aspt.BuildCtx(ctx, p.Reordered, cfg.ASpT)
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +311,10 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 
 	// Round 2: reorder the processing order of the leftover sparse part.
 	t0 = time.Now()
-	restSim := sparse.AvgConsecutiveSimilarityWorkers(p.Tiled.Rest, cfg.SimSamplePairs, cfg.Workers)
+	restSim, err := sparse.AvgConsecutiveSimilarityCtx(ctx, p.Tiled.Rest, cfg.SimSamplePairs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	st.Heuristics += time.Since(t0)
 	restRatio := 1.0
 	if m.NNZ() > 0 {
@@ -295,7 +323,7 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 	doRound2 := !cfg.Disable &&
 		(cfg.Force || (restSim <= cfg.AvgSimSkip && restRatio >= cfg.MinRestRatio))
 	if doRound2 {
-		perm, stats, err := reorderWithConfig(p.Tiled.Rest, cfg, st)
+		perm, stats, err := reorderWithConfig(ctx, p.Tiled.Rest, cfg, st)
 		if err != nil {
 			return nil, err
 		}
@@ -303,13 +331,16 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 		p.Round2Stats = stats
 		p.Round2Applied = true
 		t0 = time.Now()
-		restPerm, err := sparse.PermuteRowsWorkers(p.Tiled.Rest, perm, cfg.Workers)
+		restPerm, err := sparse.PermuteRowsCtx(ctx, p.Tiled.Rest, perm, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		st.Permute += time.Since(t0)
 		t0 = time.Now()
-		p.AvgSimAfter = sparse.AvgConsecutiveSimilarityWorkers(restPerm, cfg.SimSamplePairs, cfg.Workers)
+		p.AvgSimAfter, err = sparse.AvgConsecutiveSimilarityCtx(ctx, restPerm, cfg.SimSamplePairs, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
 		st.Heuristics += time.Since(t0)
 	} else {
 		p.RestOrder = sparse.IdentityPermutation(m.Rows)
@@ -325,4 +356,11 @@ func Preprocess(m *sparse.CSR, cfg Config) (*Plan, error) {
 func PreprocessNR(m *sparse.CSR, cfg Config) (*Plan, error) {
 	cfg.Disable = true
 	return Preprocess(m, cfg)
+}
+
+// PreprocessNRCtx is PreprocessNR with cooperative cancellation and
+// panic isolation (see PreprocessCtx).
+func PreprocessNRCtx(ctx context.Context, m *sparse.CSR, cfg Config) (*Plan, error) {
+	cfg.Disable = true
+	return PreprocessCtx(ctx, m, cfg)
 }

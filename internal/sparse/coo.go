@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"slices"
 )
 
@@ -17,6 +18,12 @@ type Entry struct {
 type COO struct {
 	Rows, Cols int
 	Entries    []Entry
+
+	// addErr records the first coordinate that could not be stored
+	// losslessly (int32 overflow in Add); surfaced by ToCSR so a bad
+	// bulk load fails instead of silently wrapping into a valid-looking
+	// coordinate.
+	addErr error
 }
 
 // NewCOO returns an empty COO matrix with the given dimensions.
@@ -25,9 +32,18 @@ func NewCOO(rows, cols int) *COO {
 }
 
 // Add appends a triplet. Bounds are checked at ToCSR time, not here, so
-// bulk loading stays cheap.
+// bulk loading stays cheap — except coordinates that do not fit int32,
+// which would otherwise wrap into a different, possibly in-range
+// position; those are recorded and reported by ToCSR.
 func (c *COO) Add(row, col int, val float32) {
-	c.Entries = append(c.Entries, Entry{Row: int32(row), Col: int32(col), Val: val})
+	r, l := int32(row), int32(col)
+	if int(r) != row || int(l) != col {
+		if c.addErr == nil {
+			c.addErr = fmt.Errorf("%w: entry (%d,%d) overflows int32 coordinates", ErrInvalid, row, col)
+		}
+		return
+	}
+	c.Entries = append(c.Entries, Entry{Row: r, Col: l, Val: val})
 }
 
 // NNZ returns the number of stored triplets (before coalescing, duplicates
@@ -57,8 +73,18 @@ func (c *COO) Coalesce() {
 }
 
 // ToCSR coalesces the triplets and converts to CSR. It returns an error if
-// any index is out of range.
+// the dimensions are negative, any index is out of range, any Add
+// overflowed, or the nonzero count exceeds the int32 RowPtr range.
 func (c *COO) ToCSR() (*CSR, error) {
+	if c.addErr != nil {
+		return nil, c.addErr
+	}
+	if c.Rows < 0 || c.Cols < 0 {
+		return nil, fmt.Errorf("%w: negative dimensions %dx%d", ErrInvalid, c.Rows, c.Cols)
+	}
+	if len(c.Entries) > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %d entries overflow int32 row pointers", ErrInvalid, len(c.Entries))
+	}
 	for _, e := range c.Entries {
 		if e.Row < 0 || int(e.Row) >= c.Rows || e.Col < 0 || int(e.Col) >= c.Cols {
 			return nil, fmt.Errorf("%w: entry (%d,%d) out of range %dx%d",
@@ -88,8 +114,13 @@ func (c *COO) ToCSR() (*CSR, error) {
 
 // FromRows builds a CSR matrix from per-row column/value lists. Columns in
 // each row need not be sorted; they are sorted during construction.
-// Duplicate columns within a row are rejected.
+// Duplicate, negative, or out-of-range columns, negative dimensions,
+// and non-finite values are all rejected with descriptive
+// ErrInvalid-wrapped errors.
 func FromRows(rows, cols int, colIdx [][]int32, vals [][]float32) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("%w: negative dimensions %dx%d", ErrInvalid, rows, cols)
+	}
 	if len(colIdx) != rows {
 		return nil, fmt.Errorf("%w: %d row lists for %d rows", ErrInvalid, len(colIdx), rows)
 	}
@@ -99,6 +130,9 @@ func FromRows(rows, cols int, colIdx [][]int32, vals [][]float32) (*CSR, error) 
 	nnz := 0
 	for _, r := range colIdx {
 		nnz += len(r)
+	}
+	if nnz > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %d nonzeros overflow int32 row pointers", ErrInvalid, nnz)
 	}
 	m := &CSR{
 		Rows:   rows,
@@ -125,7 +159,7 @@ func FromRows(rows, cols int, colIdx [][]int32, vals [][]float32) (*CSR, error) 
 	if err := m.SortRows(); err != nil {
 		return nil, err
 	}
-	if err := m.Validate(); err != nil {
+	if err := Validate(m, FiniteOnly); err != nil {
 		return nil, err
 	}
 	return m, nil

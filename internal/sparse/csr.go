@@ -10,6 +10,7 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -113,6 +114,50 @@ func (m *CSR) SameStructure(o *CSR) bool {
 // ErrInvalid is wrapped by all structural validation failures.
 var ErrInvalid = errors.New("invalid CSR matrix")
 
+// ValuePolicy governs which floating-point values a validated matrix
+// may carry. Structure checks are unconditional; the policy only
+// concerns Val entries.
+type ValuePolicy int
+
+const (
+	// FiniteOnly rejects NaN and ±Inf values — the serving default:
+	// a single NaN nonzero silently poisons every SpMM output row it
+	// touches, so ingestion is the right place to stop it.
+	FiniteOnly ValuePolicy = iota
+	// AllowInf rejects NaN but admits ±Inf.
+	AllowInf
+	// AllowAll performs no value checks.
+	AllowAll
+)
+
+// ValidateValues checks m.Val against the policy and returns a
+// descriptive ErrInvalid-wrapped error for the first violation.
+func (m *CSR) ValidateValues(policy ValuePolicy) error {
+	if policy == AllowAll {
+		return nil
+	}
+	for j, v := range m.Val {
+		f := float64(v)
+		if math.IsNaN(f) {
+			return fmt.Errorf("%w: NaN value at nonzero %d", ErrInvalid, j)
+		}
+		if policy == FiniteOnly && math.IsInf(f, 0) {
+			return fmt.Errorf("%w: infinite value %v at nonzero %d", ErrInvalid, v, j)
+		}
+	}
+	return nil
+}
+
+// Validate checks m's structural invariants and its values against the
+// policy — the single validation pass enforced at every construction
+// and pipeline entry point. All failures wrap ErrInvalid.
+func Validate(m *CSR, policy ValuePolicy) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return m.ValidateValues(policy)
+}
+
 // Validate checks all CSR structural invariants and returns a descriptive
 // error for the first violation found.
 func (m *CSR) Validate() error {
@@ -131,10 +176,18 @@ func (m *CSR) Validate() error {
 	if int(m.RowPtr[m.Rows]) != len(m.ColIdx) {
 		return fmt.Errorf("%w: RowPtr[%d]=%d != nnz=%d", ErrInvalid, m.Rows, m.RowPtr[m.Rows], len(m.ColIdx))
 	}
+	// Validate the whole RowPtr array before slicing ColIdx with it: a
+	// mid-array entry above nnz (or below a predecessor) would otherwise
+	// panic in RowCols before the scan reaches the offending step.
 	for i := 0; i < m.Rows; i++ {
 		if m.RowPtr[i+1] < m.RowPtr[i] {
 			return fmt.Errorf("%w: RowPtr decreases at row %d (%d -> %d)", ErrInvalid, i, m.RowPtr[i], m.RowPtr[i+1])
 		}
+		if int(m.RowPtr[i+1]) > len(m.ColIdx) {
+			return fmt.Errorf("%w: RowPtr[%d]=%d exceeds nnz=%d", ErrInvalid, i+1, m.RowPtr[i+1], len(m.ColIdx))
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
 		prev := int32(-1)
 		for _, c := range m.RowCols(i) {
 			if c < 0 || int(c) >= m.Cols {

@@ -2,6 +2,8 @@ package sparse
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -16,12 +18,21 @@ func FuzzReadMTX(f *testing.F) {
 	f.Add("% comment only")
 	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n999999999 1 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 inf\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1e40\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 3000000000\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		m, err := ReadMTX(strings.NewReader(in))
 		if err != nil {
 			return
 		}
-		if err := m.Validate(); err != nil {
+		// Anything the parser accepts must satisfy the full serving-entry
+		// contract: structural invariants AND finite values.
+		if err := Validate(m, FiniteOnly); err != nil {
 			t.Fatalf("parser accepted invalid matrix: %v", err)
 		}
 		var buf bytes.Buffer
@@ -34,6 +45,65 @@ func FuzzReadMTX(f *testing.F) {
 		}
 		if !back.SameStructure(m) {
 			t.Fatalf("round trip changed structure")
+		}
+	})
+}
+
+// FuzzValidate drives the full validation pass with arbitrary CSR
+// field contents decoded from raw bytes: Validate must never panic on
+// any input (no matter how inconsistent the arrays are), must reject
+// every matrix that breaks an invariant, and everything it accepts must
+// be safe to Clone and round-trip through Matrix Market.
+func FuzzValidate(f *testing.F) {
+	f.Add(2, 2, []byte{0, 1, 2}, []byte{0, 1}, []byte{1, 2})
+	f.Add(1, 1, []byte{0, 1}, []byte{0}, []byte{255})        // value decodes non-trivially
+	f.Add(2, 2, []byte{0, 2, 1}, []byte{0, 1}, []byte{1, 2}) // RowPtr decreases
+	f.Add(2, 2, []byte{0, 1, 2}, []byte{5, 0}, []byte{1, 2}) // col out of range
+	f.Add(-1, 3, []byte{}, []byte{}, []byte{})
+	f.Add(3, 3, []byte{0}, []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, rows, cols int, rowPtrB, colIdxB, valB []byte) {
+		// Keep fuzzed sizes bounded so the harness stays fast.
+		if rows > 1<<12 || cols > 1<<12 || len(rowPtrB) > 1<<12 {
+			return
+		}
+		m := &CSR{Rows: rows, Cols: cols}
+		m.RowPtr = make([]int32, len(rowPtrB))
+		for i, b := range rowPtrB {
+			m.RowPtr[i] = int32(b) // small values so offsets can be plausible
+		}
+		m.ColIdx = make([]int32, len(colIdxB))
+		for i, b := range colIdxB {
+			m.ColIdx[i] = int32(b) - 8 // shift so negatives occur
+		}
+		m.Val = make([]float32, len(valB))
+		for i, b := range valB {
+			v := float32(b) - 128
+			if b == 7 {
+				v = float32(math.NaN())
+			}
+			if b == 9 {
+				v = float32(math.Inf(1))
+			}
+			m.Val[i] = v
+		}
+		err := Validate(m, FiniteOnly)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("Validate error %v does not wrap ErrInvalid", err)
+			}
+			return
+		}
+		// Accepted: the matrix must be fully usable.
+		c := m.Clone()
+		if err := Validate(c, FiniteOnly); err != nil {
+			t.Fatalf("clone of accepted matrix rejected: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMTX(&buf, m); err != nil {
+			t.Fatalf("write of accepted matrix failed: %v", err)
+		}
+		if _, err := ReadMTX(&buf); err != nil {
+			t.Fatalf("round trip of accepted matrix failed: %v", err)
 		}
 	})
 }

@@ -1,6 +1,10 @@
 package sparse
 
-import "repro/internal/par"
+import (
+	"context"
+
+	"repro/internal/par"
+)
 
 // Jaccard computes the Jaccard similarity |a ∩ b| / |a ∪ b| of two sorted
 // int32 sets. Two empty sets have similarity 0 (the paper never compares
@@ -68,9 +72,22 @@ const simChunk = 1 << 10
 // AvgConsecutiveSimilarityWorkers is AvgConsecutiveSimilaritySampled
 // with an explicit parallelism bound (workers 0 = GOMAXPROCS).
 func AvgConsecutiveSimilarityWorkers(m *CSR, maxPairs, workers int) float64 {
+	sim, err := AvgConsecutiveSimilarityCtx(context.Background(), m, maxPairs, workers)
+	if err != nil {
+		// Unreachable with a background context and panic-free scan;
+		// keep the legacy wrapper's signature anyway.
+		panic(err)
+	}
+	return sim
+}
+
+// AvgConsecutiveSimilarityCtx is the similarity scan with cooperative
+// cancellation between accumulation chunks. The returned value is
+// bit-identical to the serial scan for every worker count.
+func AvgConsecutiveSimilarityCtx(ctx context.Context, m *CSR, maxPairs, workers int) (float64, error) {
 	pairs := m.Rows - 1
 	if pairs <= 0 {
-		return 0
+		return 0, nil
 	}
 	sampled := pairs
 	stride := 1.0
@@ -83,7 +100,7 @@ func AvgConsecutiveSimilarityWorkers(m *CSR, maxPairs, workers int) float64 {
 	}
 	nchunks := (sampled + simChunk - 1) / simChunk
 	sums := make([]float64, nchunks)
-	par.ForChunks(sampled, simChunk, workers, func(lo, hi int) {
+	err := par.ForChunksCtx(ctx, sampled, simChunk, workers, func(lo, hi int) error {
 		s := 0.0
 		for k := lo; k < hi; k++ {
 			i := k
@@ -93,10 +110,14 @@ func AvgConsecutiveSimilarityWorkers(m *CSR, maxPairs, workers int) float64 {
 			s += RowJaccard(m, i, i+1)
 		}
 		sums[lo/simChunk] = s
+		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
 	for _, s := range sums {
 		total += s
 	}
-	return total / float64(sampled)
+	return total / float64(sampled), nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -72,9 +73,18 @@ func ReadMTX(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("%w: dimensions %dx%d exceed the supported maximum %d",
 			ErrMTX, rows, cols, maxDim)
 	}
+	if nnz > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %d entries overflow int32 row pointers", ErrMTX, nnz)
+	}
+	// The declared count sizes the preallocation, so cap what a 3-line
+	// hostile header can reserve; genuinely large streams grow by append.
+	preallocate := nnz
+	if preallocate > 1<<24 {
+		preallocate = 1 << 24
+	}
 
 	coo := NewCOO(rows, cols)
-	coo.Entries = make([]Entry, 0, nnz)
+	coo.Entries = make([]Entry, 0, preallocate)
 	for k := 0; k < nnz; k++ {
 		line, err := readDataLine(br)
 		if err != nil {
@@ -101,6 +111,14 @@ func ReadMTX(r io.Reader) (*CSR, error) {
 			v, err = strconv.ParseFloat(toks[2], 64)
 			if err != nil {
 				return nil, fmt.Errorf("%w: entry %d: bad value %q", ErrMTX, k+1, toks[2])
+			}
+			// Serving-grade ingestion: a NaN/Inf nonzero silently
+			// poisons every output row it touches downstream, so reject
+			// it here with the offending entry named (FiniteOnly
+			// policy). The check runs on the stored float32, catching
+			// finite float64 inputs that overflow to Inf on conversion.
+			if math.IsNaN(v) || math.IsInf(float64(float32(v)), 0) {
+				return nil, fmt.Errorf("%w: entry %d: non-finite value %q", ErrMTX, k+1, toks[2])
 			}
 		}
 		// Matrix Market is 1-based.

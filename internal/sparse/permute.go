@@ -1,8 +1,10 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/par"
 )
 
@@ -75,6 +77,13 @@ func PermuteRows(m *CSR, perm []int32) (*CSR, error) {
 // destination row blocks — the result is bit-identical for every worker
 // count.
 func PermuteRowsWorkers(m *CSR, perm []int32, workers int) (*CSR, error) {
+	return PermuteRowsCtx(context.Background(), m, perm, workers)
+}
+
+// PermuteRowsCtx is PermuteRowsWorkers with cooperative cancellation:
+// workers observe ctx between row blocks, and a worker panic surfaces
+// as a *par.PanicError instead of crashing the process.
+func PermuteRowsCtx(ctx context.Context, m *CSR, perm []int32, workers int) (*CSR, error) {
 	if !IsPermutation(perm, m.Rows) {
 		return nil, fmt.Errorf("%w: row permutation invalid for %d rows", ErrInvalid, m.Rows)
 	}
@@ -96,14 +105,21 @@ func PermuteRowsWorkers(m *CSR, perm []int32, workers int) (*CSR, error) {
 	if m.NNZ() < 32<<10 {
 		workers = 1
 	}
-	par.ForChunks(m.Rows, rowBlock, workers, func(lo, hi int) {
+	err := par.ForChunksCtx(ctx, m.Rows, rowBlock, workers, func(lo, hi int) error {
+		if err := faultinject.Fire("sparse.permute"); err != nil {
+			return err
+		}
 		for i := lo; i < hi; i++ {
 			src := perm[i]
 			dst := out.RowPtr[i]
 			copy(out.ColIdx[dst:out.RowPtr[i+1]], m.RowCols(int(src)))
 			copy(out.Val[dst:out.RowPtr[i+1]], m.RowVals(int(src)))
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

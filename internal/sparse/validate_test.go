@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFromRowsRejectsNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(-1))
+	for name, vals := range map[string][][]float32{
+		"nan": {{1, nan}},
+		"inf": {{inf, 2}},
+	} {
+		_, err := FromRows(1, 3, [][]int32{{0, 1}}, vals)
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: FromRows err = %v, want ErrInvalid", name, err)
+		}
+	}
+}
+
+func TestFromRowsErrorsWrapErrInvalid(t *testing.T) {
+	for name, call := range map[string]func() (*CSR, error){
+		"negative rows": func() (*CSR, error) { return FromRows(-1, 3, nil, nil) },
+		"negative cols": func() (*CSR, error) { return FromRows(1, -3, [][]int32{{0}}, nil) },
+		"negative col":  func() (*CSR, error) { return FromRows(1, 3, [][]int32{{-1}}, nil) },
+		"col overflow":  func() (*CSR, error) { return FromRows(1, 3, [][]int32{{7}}, nil) },
+	} {
+		if _, err := call(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", name, err)
+		}
+	}
+}
+
+func TestReadMTXRejectsNonFiniteValues(t *testing.T) {
+	for name, in := range map[string]string{
+		"nan":          "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n",
+		"inf":          "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 inf\n",
+		"neg inf":      "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 -infinity\n",
+		"f32 overflow": "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e40\n",
+	} {
+		if _, err := ReadMTX(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted non-finite value", name)
+		}
+	}
+}
+
+func TestValidateValuesPolicies(t *testing.T) {
+	m := &CSR{Rows: 1, Cols: 3, RowPtr: []int32{0, 3}, ColIdx: []int32{0, 1, 2},
+		Val: []float32{1, float32(math.Inf(1)), 2}}
+	if err := m.ValidateValues(FiniteOnly); !errors.Is(err, ErrInvalid) {
+		t.Errorf("FiniteOnly accepted Inf: %v", err)
+	}
+	if err := m.ValidateValues(AllowInf); err != nil {
+		t.Errorf("AllowInf rejected Inf: %v", err)
+	}
+	m.Val[1] = float32(math.NaN())
+	if err := m.ValidateValues(AllowInf); !errors.Is(err, ErrInvalid) {
+		t.Errorf("AllowInf accepted NaN: %v", err)
+	}
+	if err := m.ValidateValues(AllowAll); err != nil {
+		t.Errorf("AllowAll rejected NaN: %v", err)
+	}
+}
+
+func TestValidateRowPtrOverrunDoesNotPanic(t *testing.T) {
+	// Regression (found by FuzzValidate): a mid-array RowPtr entry above
+	// nnz panicked in RowCols before the monotonicity scan caught it.
+	m := &CSR{Rows: 2, Cols: 2, RowPtr: []int32{0, 48, 2},
+		ColIdx: []int32{0, 1}, Val: []float32{1, 1}}
+	if err := m.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Validate = %v, want ErrInvalid", err)
+	}
+}
+
+func TestCOOAddOverflowGuard(t *testing.T) {
+	c := NewCOO(10, 10)
+	c.Add(1<<31, 0, 1) // truncates if cast blindly to int32
+	if _, err := c.ToCSR(); err == nil {
+		t.Fatalf("ToCSR accepted an index that overflows int32")
+	}
+}

@@ -1,0 +1,52 @@
+// Package testutil holds shared test helpers. It must only be imported
+// from _test.go files.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// CheckNoGoroutineLeak snapshots the goroutine count and returns a
+// function for the caller to defer: it polls (goroutines wind down
+// asynchronously after wg.Wait returns) and fails the test if the count
+// has not returned to the baseline within ~2s.
+//
+// Callers must warm any persistent worker pools (e.g. the kernels
+// executor pool, which keeps NumCPU goroutines parked for the process
+// lifetime) *before* taking the baseline, so only leaks attributable to
+// the code under test are counted.
+func CheckNoGoroutineLeak(t interface {
+	Helper()
+	Errorf(format string, args ...any)
+}) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s",
+			n, base, truncate(string(buf), 8<<10))
+	}
+}
+
+func truncate(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + fmt.Sprintf("\n... (%d bytes truncated)", len(s)-max)
+}

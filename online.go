@@ -1,9 +1,12 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/par"
 )
 
 // OnlinePipeline implements the paper's §4 *online* trial-and-error
@@ -11,26 +14,52 @@ import (
 // on both the reordered matrix and the original matrix. If the
 // reordered matrix is faster, keep the row-reordering for the rest of
 // iterations; otherwise, discard [it]". The first SpMM (or SDDMM) call
-// runs the trial — one untimed warm-up of each plan to strip the
-// cold-cache penalty, then one timed run of each — and locks in the
-// winner for every subsequent call.
+// after both plans exist runs the trial — one untimed warm-up of each
+// plan to strip the cold-cache penalty, then one timed run of each —
+// and locks in the winner for every subsequent call.
+//
+// Built with NewOnlinePipelineCtx, the pipeline is additionally
+// *degradation-hardened*: only the cheap no-reorder (ASpT-NR) plan is
+// built before the constructor returns, while the expensive reordered
+// plan builds in the background under cfg.PreprocessBudget. Until that
+// build lands, calls serve the NR plan immediately; if the build runs
+// over budget, is cancelled, or fails, the pipeline permanently settles
+// on NR and records why (see Degraded). Serving is therefore never
+// blocked on — and never crashes because of — preprocessing.
 //
 // OnlinePipeline is safe for concurrent use. Once the trial has
 // decided, calls load the winner through an atomic pointer and execute
 // without taking any lock, so N goroutines get N-way parallel
-// SpMM/SDDMM; only concurrent *undecided* calls serialise, and they
-// serialise only the trial itself.
+// SpMM/SDDMM; only concurrent *undecided* calls with both plans ready
+// serialise, and they serialise only the trial itself.
 type OnlinePipeline struct {
-	rr, nr *Pipeline
+	nr *Pipeline
 
-	// winner is nil until the trial decides; decided calls go straight
-	// through this pointer without touching mu.
+	// rr is nil until the reordered build lands (immediately in
+	// NewOnlinePipeline; in the background in NewOnlinePipelineCtx).
+	rr atomic.Pointer[Pipeline]
+
+	// winner is nil until the trial decides or the pipeline degrades;
+	// decided calls go straight through this pointer without touching mu.
 	winner atomic.Pointer[Pipeline]
+
+	// degraded records why the reordered build was abandoned (nil while
+	// it is pending or after it succeeded).
+	degraded atomic.Pointer[degradeReason]
+
+	// buildDone closes when the background reordered build finishes,
+	// for better or worse.
+	buildDone chan struct{}
 
 	mu     sync.Mutex // serialises the trial; guards the times below
 	rrTime time.Duration
 	nrTime time.Duration
 }
+
+type degradeReason struct{ err error }
+
+// closedChan is shared by every synchronously constructed pipeline.
+var closedChan = func() chan struct{} { c := make(chan struct{}); close(c); return c }()
 
 // NewOnlinePipeline preprocesses m both ways (with the §4 heuristics and
 // without any reordering) and returns a pipeline that will pick between
@@ -38,6 +67,10 @@ type OnlinePipeline struct {
 // cache, so an online pipeline over an already-seen sparsity structure
 // (e.g. the same graph re-served with new values) starts in O(nnz)
 // without any LSH, clustering, or tiling work.
+//
+// Both builds run synchronously: the constructor does not return until
+// the reordered plan exists (or errors). For budgeted, non-blocking
+// construction use NewOnlinePipelineCtx.
 func NewOnlinePipeline(m *Matrix, cfg Config) (*OnlinePipeline, error) {
 	rr, err := NewPipeline(m, cfg)
 	if err != nil {
@@ -47,18 +80,94 @@ func NewOnlinePipeline(m *Matrix, cfg Config) (*OnlinePipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &OnlinePipeline{rr: rr, nr: nr}, nil
+	o := &OnlinePipeline{nr: nr, buildDone: closedChan}
+	o.rr.Store(rr)
+	return o, nil
 }
 
-// Decided reports whether the first-iteration trial has happened, and if
-// so whether reordering won.
+// NewOnlinePipelineCtx builds the serving-grade online pipeline: the
+// cheap no-reorder plan is built synchronously (its error, if any, is
+// the constructor's error), and the expensive reordered plan builds in
+// a background goroutine governed by ctx and, when positive, by
+// cfg.PreprocessBudget of wall-clock time.
+//
+// The pipeline serves immediately: SpMM/SDDMM calls arriving before the
+// reordered plan is ready execute on the no-reorder plan without
+// waiting. When the background build lands, the next call runs the §4
+// trial as usual. If the build exceeds its budget, observes ctx's
+// cancellation, fails, or panics (surfaced as a *PanicError), the
+// pipeline permanently degrades to the no-reorder plan — Decided then
+// reports (true, false) and Degraded returns the recorded cause. A
+// failed or cancelled build is never stored in the plan cache.
+func NewOnlinePipelineCtx(ctx context.Context, m *Matrix, cfg Config) (*OnlinePipeline, error) {
+	nr, err := NewPipelineNRCtx(ctx, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := &OnlinePipeline{nr: nr, buildDone: make(chan struct{})}
+	bctx, cancel := context.WithCancel(ctx)
+	if cfg.PreprocessBudget > 0 {
+		bctx, cancel = context.WithTimeout(ctx, cfg.PreprocessBudget)
+	}
+	go func() {
+		defer close(o.buildDone)
+		defer cancel()
+		var rr *Pipeline
+		// Guard the whole build: stage-internal panics already surface
+		// as errors, and this converts any residual glue-code panic too
+		// — a background goroutine must never crash the process.
+		err := par.Guard(func() error {
+			var err error
+			rr, err = NewPipelineCtx(bctx, m, cfg)
+			return err
+		})
+		if err != nil {
+			o.degraded.Store(&degradeReason{err: err})
+			o.winner.Store(o.nr)
+			return
+		}
+		o.rr.Store(rr)
+	}()
+	return o, nil
+}
+
+// Decided reports whether the pipeline has settled on a plan, and if so
+// whether reordering won. Settling happens through the first-iteration
+// trial or — for budgeted pipelines — by degrading to the no-reorder
+// plan (in which case reorderingWon is false; see Degraded for why).
 func (o *OnlinePipeline) Decided() (done, reorderingWon bool) {
 	w := o.winner.Load()
-	return w != nil, w == o.rr
+	return w != nil, w != nil && w == o.rr.Load()
+}
+
+// Degraded reports whether the reordered build was abandoned — budget
+// exceeded, context cancelled, build error, or build panic — and the
+// error that caused it. A degraded pipeline serves the no-reorder plan
+// permanently.
+func (o *OnlinePipeline) Degraded() (bool, error) {
+	if d := o.degraded.Load(); d != nil {
+		return true, d.err
+	}
+	return false, nil
+}
+
+// WaitPreprocessed blocks until the background reordered build has
+// finished (successfully or by degrading) or ctx is cancelled. It
+// returns ctx's error in the latter case and nil otherwise; check
+// Degraded for the build's outcome. Pipelines built with
+// NewOnlinePipeline return immediately.
+func (o *OnlinePipeline) WaitPreprocessed(ctx context.Context) error {
+	select {
+	case <-o.buildDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // TrialTimes returns the wall times measured in the deciding iteration
-// (zero until decided).
+// (zero until decided, and forever for a degraded pipeline — no trial
+// ever runs).
 func (o *OnlinePipeline) TrialTimes() (reordered, plain time.Duration) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -68,28 +177,54 @@ func (o *OnlinePipeline) TrialTimes() (reordered, plain time.Duration) {
 // Pipeline returns the winning pipeline once decided (nil before).
 func (o *OnlinePipeline) Pipeline() *Pipeline { return o.winner.Load() }
 
-// SpMM computes Y = S·X. The first call runs the trial and keeps the
-// faster plan; later calls use the winner lock-free.
+// SpMM computes Y = S·X. The first call with both plans ready runs the
+// trial and keeps the faster plan; later calls use the winner
+// lock-free. While the reordered plan is still building in the
+// background, calls serve the no-reorder plan immediately.
 func (o *OnlinePipeline) SpMM(x *Dense) (*Dense, error) {
-	if w := o.winner.Load(); w != nil {
-		return w.SpMM(x)
-	}
-	return o.trialSpMM(x)
+	return o.SpMMCtx(context.Background(), x)
 }
 
-// SpMMInto is the allocation-free form of SpMM: once decided it
-// delegates to the winner's SpMMInto without locking or allocating.
-// (The deciding call itself still allocates for the trial runs.)
-func (o *OnlinePipeline) SpMMInto(y *Dense, x *Dense) error {
+// SpMMCtx is SpMM with cooperative cancellation between kernel chunks
+// and panic isolation. A call cancelled mid-trial returns ctx's error
+// without publishing a winner; a later call re-runs the trial.
+func (o *OnlinePipeline) SpMMCtx(ctx context.Context, x *Dense) (*Dense, error) {
 	if w := o.winner.Load(); w != nil {
-		return w.SpMMInto(y, x)
+		return w.SpMMCtx(ctx, x)
 	}
-	res, err := o.trialSpMM(x)
+	rr := o.rr.Load()
+	if rr == nil {
+		// Reordered plan not ready: serve the no-reorder plan now
+		// rather than blocking the caller on preprocessing.
+		return o.nr.SpMMCtx(ctx, x)
+	}
+	return o.trialSpMM(ctx, rr, x)
+}
+
+// SpMMInto is the allocation-free form of SpMM: once decided (or while
+// degraded / still building) it delegates to a plan's SpMMInto without
+// locking or allocating. (The deciding call itself still allocates for
+// the trial runs.)
+func (o *OnlinePipeline) SpMMInto(y *Dense, x *Dense) error {
+	return o.SpMMIntoCtx(context.Background(), y, x)
+}
+
+// SpMMIntoCtx is SpMMInto with cooperative cancellation between kernel
+// chunks and panic isolation.
+func (o *OnlinePipeline) SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
+	if w := o.winner.Load(); w != nil {
+		return w.SpMMIntoCtx(ctx, y, x)
+	}
+	rr := o.rr.Load()
+	if rr == nil {
+		return o.nr.SpMMIntoCtx(ctx, y, x)
+	}
+	res, err := o.trialSpMM(ctx, rr, x)
 	if err != nil {
 		return err
 	}
 	if y.Rows != res.Rows || y.Cols != res.Cols {
-		return o.winner.Load().SpMMInto(y, x) // reuses the shape check
+		return o.winner.Load().SpMMIntoCtx(ctx, y, x) // reuses the shape check
 	}
 	copy(y.Data, res.Data)
 	return nil
@@ -99,102 +234,127 @@ func (o *OnlinePipeline) SpMMInto(y *Dense, x *Dense) error {
 // plans untimed (so neither eats the cold-cache penalty the other is
 // measured without), then time one run of each, and publish the winner.
 // The result returned to the caller is the winner's, so the loser's
-// discarded output is never what the caller observes.
-func (o *OnlinePipeline) trialSpMM(x *Dense) (*Dense, error) {
+// discarded output is never what the caller observes. Any error —
+// including ctx's cancellation mid-flight — aborts the trial without
+// publishing a winner.
+func (o *OnlinePipeline) trialSpMM(ctx context.Context, rr *Pipeline, x *Dense) (*Dense, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if w := o.winner.Load(); w != nil {
 		// Another goroutine decided while this one waited on the lock.
-		return w.SpMM(x)
+		return w.SpMMCtx(ctx, x)
 	}
 	// Untimed warm-up of each plan (touches the operands and primes the
 	// kernels' pooled state for both).
-	if _, err := o.rr.SpMM(x); err != nil {
+	if _, err := rr.SpMMCtx(ctx, x); err != nil {
 		return nil, err
 	}
-	if _, err := o.nr.SpMM(x); err != nil {
+	if _, err := o.nr.SpMMCtx(ctx, x); err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	yRR, err := o.rr.SpMM(x)
+	yRR, err := rr.SpMMCtx(ctx, x)
 	if err != nil {
 		return nil, err
 	}
-	o.rrTime = time.Since(t0)
+	rrTime := time.Since(t0)
 	t0 = time.Now()
-	yNR, err := o.nr.SpMM(x)
+	yNR, err := o.nr.SpMMCtx(ctx, x)
 	if err != nil {
 		return nil, err
 	}
-	o.nrTime = time.Since(t0)
-	if o.decide() == o.rr {
+	nrTime := time.Since(t0)
+	if o.decide(rr, rrTime, nrTime) == rr {
 		return yRR, nil
 	}
 	return yNR, nil
 }
 
-// SDDMM computes O = S ⊙ (Y·Xᵀ) with the same first-call trial and the
-// same lock-free decided path.
+// SDDMM computes O = S ⊙ (Y·Xᵀ) with the same first-call trial, the
+// same lock-free decided path, and the same serve-NR-while-building
+// behaviour.
 func (o *OnlinePipeline) SDDMM(x, y *Dense) (*Matrix, error) {
+	return o.SDDMMCtx(context.Background(), x, y)
+}
+
+// SDDMMCtx is SDDMM with cooperative cancellation between kernel chunks
+// and panic isolation.
+func (o *OnlinePipeline) SDDMMCtx(ctx context.Context, x, y *Dense) (*Matrix, error) {
 	if w := o.winner.Load(); w != nil {
-		return w.SDDMM(x, y)
+		return w.SDDMMCtx(ctx, x, y)
 	}
-	return o.trialSDDMM(x, y)
+	rr := o.rr.Load()
+	if rr == nil {
+		return o.nr.SDDMMCtx(ctx, x, y)
+	}
+	return o.trialSDDMM(ctx, rr, x, y)
 }
 
 // SDDMMInto is the allocation-free form of SDDMM; out must have the
 // matrix's sparsity structure.
 func (o *OnlinePipeline) SDDMMInto(out *Matrix, x, y *Dense) error {
+	return o.SDDMMIntoCtx(context.Background(), out, x, y)
+}
+
+// SDDMMIntoCtx is SDDMMInto with cooperative cancellation between
+// kernel chunks and panic isolation.
+func (o *OnlinePipeline) SDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) error {
 	if w := o.winner.Load(); w != nil {
-		return w.SDDMMInto(out, x, y)
+		return w.SDDMMIntoCtx(ctx, out, x, y)
 	}
-	res, err := o.trialSDDMM(x, y)
+	rr := o.rr.Load()
+	if rr == nil {
+		return o.nr.SDDMMIntoCtx(ctx, out, x, y)
+	}
+	res, err := o.trialSDDMM(ctx, rr, x, y)
 	if err != nil {
 		return err
 	}
 	if !out.SameStructure(res) {
-		return o.winner.Load().SDDMMInto(out, x, y) // reuses the structure check
+		return o.winner.Load().SDDMMIntoCtx(ctx, out, x, y) // reuses the structure check
 	}
 	copy(out.Val, res.Val)
 	return nil
 }
 
-func (o *OnlinePipeline) trialSDDMM(x, y *Dense) (*Matrix, error) {
+func (o *OnlinePipeline) trialSDDMM(ctx context.Context, rr *Pipeline, x, y *Dense) (*Matrix, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if w := o.winner.Load(); w != nil {
-		return w.SDDMM(x, y)
+		return w.SDDMMCtx(ctx, x, y)
 	}
-	if _, err := o.rr.SDDMM(x, y); err != nil {
+	if _, err := rr.SDDMMCtx(ctx, x, y); err != nil {
 		return nil, err
 	}
-	if _, err := o.nr.SDDMM(x, y); err != nil {
+	if _, err := o.nr.SDDMMCtx(ctx, x, y); err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	oRR, err := o.rr.SDDMM(x, y)
+	oRR, err := rr.SDDMMCtx(ctx, x, y)
 	if err != nil {
 		return nil, err
 	}
-	o.rrTime = time.Since(t0)
+	rrTime := time.Since(t0)
 	t0 = time.Now()
-	oNR, err := o.nr.SDDMM(x, y)
+	oNR, err := o.nr.SDDMMCtx(ctx, x, y)
 	if err != nil {
 		return nil, err
 	}
-	o.nrTime = time.Since(t0)
-	if o.decide() == o.rr {
+	nrTime := time.Since(t0)
+	if o.decide(rr, rrTime, nrTime) == rr {
 		return oRR, nil
 	}
 	return oNR, nil
 }
 
 // decide publishes the winner; ties keep the plain plan (no reordering
-// to maintain). Caller holds o.mu and has recorded both times.
-func (o *OnlinePipeline) decide() *Pipeline {
+// to maintain). Caller holds o.mu; the times are recorded only here so
+// an aborted trial leaves them zero.
+func (o *OnlinePipeline) decide(rr *Pipeline, rrTime, nrTime time.Duration) *Pipeline {
+	o.rrTime, o.nrTime = rrTime, nrTime
 	w := o.nr
-	if o.rrTime < o.nrTime {
-		w = o.rr
+	if rrTime < nrTime {
+		w = rr
 	}
 	o.winner.Store(w)
 	return w

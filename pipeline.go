@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -40,7 +41,15 @@ type Pipeline struct {
 // LSH, clustering, and tiling and reuses the cached plan (values are
 // regathered in O(nnz) if they differ). See SetPlanCacheCapacity.
 func NewPipeline(m *Matrix, cfg Config) (*Pipeline, error) {
-	plan, err := planCache.Load().Preprocess(m, cfg)
+	return NewPipelineCtx(context.Background(), m, cfg)
+}
+
+// NewPipelineCtx is NewPipeline with cooperative cancellation: every
+// preprocessing stage observes ctx between work units, so cancelling
+// ctx aborts construction promptly with ctx's error. A cancelled or
+// failed build is never stored in the plan cache.
+func NewPipelineCtx(ctx context.Context, m *Matrix, cfg Config) (*Pipeline, error) {
+	plan, err := planCache.Load().PreprocessCtx(ctx, m, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +59,13 @@ func NewPipeline(m *Matrix, cfg Config) (*Pipeline, error) {
 // NewPipelineNR builds a no-reordering (plain ASpT) pipeline — the
 // ASpT-NR baseline. Cached like NewPipeline, under a distinct key.
 func NewPipelineNR(m *Matrix, cfg Config) (*Pipeline, error) {
-	plan, err := planCache.Load().PreprocessNR(m, cfg)
+	return NewPipelineNRCtx(context.Background(), m, cfg)
+}
+
+// NewPipelineNRCtx is NewPipelineNR with cooperative cancellation (see
+// NewPipelineCtx).
+func NewPipelineNRCtx(ctx context.Context, m *Matrix, cfg Config) (*Pipeline, error) {
+	plan, err := planCache.Load().PreprocessNRCtx(ctx, m, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -74,18 +89,35 @@ func (p *Pipeline) SpMM(x *Dense) (*Dense, error) {
 	return y, nil
 }
 
+// SpMMCtx is SpMM with cooperative cancellation between kernel chunks
+// and panic isolation (a kernel panic returns as an error instead of
+// crashing the process).
+func (p *Pipeline) SpMMCtx(ctx context.Context, x *Dense) (*Dense, error) {
+	y := dense.New(p.orig.Rows, x.Cols)
+	if err := p.SpMMIntoCtx(ctx, y, x); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
 // SpMMInto computes Y = S·X into the caller-provided y
 // (S.Rows × X.Cols), overwriting its contents; rows come back in the
 // original order. The reordered intermediate lives in pooled scratch,
 // so a steady-state call performs no heap allocations.
 func (p *Pipeline) SpMMInto(y *Dense, x *Dense) error {
+	return p.SpMMIntoCtx(context.Background(), y, x)
+}
+
+// SpMMIntoCtx is SpMMInto with cooperative cancellation between kernel
+// chunks and panic isolation. On error y's contents are unspecified.
+func (p *Pipeline) SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
 	if y.Rows != p.orig.Rows || y.Cols != x.Cols {
 		return fmt.Errorf("repro: SpMMInto output is %dx%d, want %dx%d",
 			y.Rows, y.Cols, p.orig.Rows, x.Cols)
 	}
 	yre := dense.Get(p.orig.Rows, x.Cols)
 	defer dense.Put(yre)
-	if err := kernels.SpMMASpTInto(yre, p.plan.Tiled, x); err != nil {
+	if err := kernels.SpMMASpTIntoCtx(ctx, yre, p.plan.Tiled, x); err != nil {
 		return err
 	}
 	// Row i of the reordered result is original row RowPerm[i]; gather
@@ -103,12 +135,29 @@ func (p *Pipeline) SDDMM(x, y *Dense) (*Matrix, error) {
 	return out, nil
 }
 
+// SDDMMCtx is SDDMM with cooperative cancellation between kernel chunks
+// and panic isolation.
+func (p *Pipeline) SDDMMCtx(ctx context.Context, x, y *Dense) (*Matrix, error) {
+	out := p.orig.Clone()
+	if err := p.SDDMMIntoCtx(ctx, out, x, y); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // SDDMMInto computes O = S ⊙ (Y·Xᵀ) into the caller-provided out, which
 // must have the original matrix's sparsity structure (e.g. a Clone of
 // it, a previous SDDMM result, or the matrix itself for in-place value
 // rewriting). Only out.Val is written. Steady-state calls perform no
 // heap allocations.
 func (p *Pipeline) SDDMMInto(out *Matrix, x, y *Dense) error {
+	return p.SDDMMIntoCtx(context.Background(), out, x, y)
+}
+
+// SDDMMIntoCtx is SDDMMInto with cooperative cancellation between
+// kernel chunks and panic isolation. On error out.Val's contents are
+// unspecified.
+func (p *Pipeline) SDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) error {
 	if out != p.orig && !out.SameStructure(p.orig) {
 		return fmt.Errorf("repro: SDDMMInto output structure differs from the matrix (%s vs %s)",
 			out, p.orig)
@@ -122,7 +171,7 @@ func (p *Pipeline) SDDMMInto(out *Matrix, x, y *Dense) error {
 	}
 	ore := p.getSDDMMScratch()
 	defer p.sddmmScratch.Put(ore)
-	if err := kernels.SDDMMASpTInto(ore, p.plan.Tiled, x, yre); err != nil {
+	if err := kernels.SDDMMASpTIntoCtx(ctx, ore, p.plan.Tiled, x, yre); err != nil {
 		return err
 	}
 	// Scatter reordered-row values back to their original rows. Row
