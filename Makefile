@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-preprocess fuzz experiments corpus clean
+.PHONY: all build test race vet lint soak bench bench-preprocess fuzz experiments corpus clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,27 @@ vet:
 test:
 	$(GO) test ./...
 
+# Required lint: vet plus staticcheck. CI installs staticcheck; locally
+# it is skipped with a notice when absent (no network fetch here).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Full suite under the race detector — exercises the concurrent
 # OnlinePipeline paths and the work-stealing executor.
 race:
 	$(GO) test -race ./...
+
+# Chaos soak: the full Server (admission, retry, breaker, persistence)
+# under fault injection, cancellations, and concurrent load, raced.
+# PR CI runs the short budget (make soak SOAK_FLAGS=-short); the
+# nightly job runs it full-length.
+SOAK_FLAGS ?=
+soak:
+	$(GO) test -race -count=1 -run TestServerChaosSoak -v $(SOAK_FLAGS) .
 
 # One bench per paper table/figure plus the ablations (see DESIGN.md §4).
 bench:

@@ -3,6 +3,8 @@ package repro
 import (
 	"context"
 	"io"
+	"os"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/dense"
@@ -171,8 +173,48 @@ func PlanCacheStats() CacheStats { return planCache.Load().Stats() }
 // SetPlanCacheCapacity replaces the process-wide plan cache with an
 // empty one holding at most n plans; n <= 0 disables caching entirely.
 // Pipelines already built keep their plans; only future lookups are
-// affected.
+// affected. The replacement cache has no snapshot directory attached —
+// call LoadPlanDir (or SetPlanCacheDir) again if the disk tier should
+// survive a capacity change.
 func SetPlanCacheCapacity(n int) { planCache.Store(plancache.New(n)) }
+
+// SetPlanCacheDir attaches dir as the process-wide plan cache's disk
+// tier (creating it if needed): SnapshotPlanCache writes cached plans
+// there, and a cache miss probes it for a previously snapshotted plan
+// — applied in O(nnz), no LSH or clustering — before recomputing. An
+// empty dir detaches the tier. A corrupted or truncated snapshot file
+// is detected (CRC-checksummed format) and silently skipped; the plan
+// is then recomputed from scratch.
+func SetPlanCacheDir(dir string) error { return planCache.Load().SetDir(dir) }
+
+// LoadPlanDir attaches dir as the plan cache's disk tier (see
+// SetPlanCacheDir) and returns the number of plan snapshot files it
+// currently holds — the warm-start entry point for a restarted server.
+// Plans are not eagerly parsed: each file is read, verified, and
+// applied only when a matrix with the matching structural fingerprint
+// first arrives.
+func LoadPlanDir(dir string) (int, error) {
+	if err := planCache.Load().SetDir(dir); err != nil {
+		return 0, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".plan") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// SnapshotPlanCache writes every plan currently held by the
+// process-wide cache to the attached snapshot directory (atomic
+// temp-file + rename + fsync per plan) and returns how many were
+// written. A no-op returning (0, nil) when no directory is attached.
+func SnapshotPlanCache() (int, error) { return planCache.Load().Snapshot() }
 
 // PreprocessCached is Preprocess backed by the process-wide
 // content-addressed plan cache. Matrices whose sparsity *structure*

@@ -11,6 +11,7 @@
 //	       [-saveplan p.plan | -loadplan p.plan]
 //	spmmrr -gen scrambled [-rows 16384] ...
 //	spmmrr -dir corpus/ [-k 512]       # batch summary over .mtx files
+//	spmmrr -in matrix.mtx -serve [-plandir plans/] [-serve-duration 30s]
 package main
 
 import (
@@ -44,6 +45,9 @@ func main() {
 		savePlan  = flag.String("saveplan", "", "write the preprocessing plan (permutations) to this file")
 		loadPlan  = flag.String("loadplan", "", "reuse a plan written by -saveplan instead of preprocessing")
 		dir       = flag.String("dir", "", "batch mode: evaluate every .mtx file in this directory and print a summary table")
+		serve     = flag.Bool("serve", false, "serving mode: host the matrix behind the resilient Server until SIGINT/SIGTERM (graceful drain)")
+		planDir   = flag.String("plandir", "", "with -serve: plan snapshot directory for warm start and shutdown snapshot")
+		serveFor  = flag.Duration("serve-duration", 0, "with -serve: stop automatically after this long (0 = run until a signal)")
 	)
 	flag.Parse()
 
@@ -62,6 +66,12 @@ func main() {
 
 	cfg := repro.DefaultConfig()
 	cfg.EmitMergeOrder = *mergeOrd
+	if *serve {
+		if err := runServe(m, cfg, *planDir, *serveFor, *k); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	dev := repro.P100()
 	var pipe *repro.Pipeline
 	if *loadPlan != "" {

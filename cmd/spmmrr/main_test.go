@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // runCLI builds the command once per test binary and runs it with args.
@@ -90,6 +93,87 @@ func TestCLIBatchDir(t *testing.T) {
 	// Empty directory is an error.
 	if _, err := exec.Command("go", "run", ".", "-dir", t.TempDir()).CombinedOutput(); err == nil {
 		t.Fatalf("empty dir accepted")
+	}
+}
+
+// buildCLI compiles the binary once so serve tests can signal the real
+// process (go run would intercept the signal itself).
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "spmmrr")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Serving mode with a time limit: first run cold-starts and snapshots
+// the plan cache on exit; the second run must warm start from it.
+func TestCLIServeWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildCLI(t)
+	plans := t.TempDir()
+	run := func() string {
+		out, err := exec.Command(bin, "-gen", "scrambled", "-rows", "512", "-k", "16",
+			"-serve", "-plandir", plans, "-serve-duration", "2s").CombinedOutput()
+		if err != nil {
+			t.Fatalf("serve run: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	out := run()
+	for _, want := range []string{"warm start from", "(0 plan snapshot(s))", "drained;", "plan cache snapshotted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cold serve output missing %q:\n%s", want, out)
+		}
+	}
+	out = run()
+	if strings.Contains(out, "(0 plan snapshot(s))") {
+		t.Fatalf("second run did not warm start:\n%s", out)
+	}
+	if !strings.Contains(out, "drained;") {
+		t.Fatalf("second run did not drain:\n%s", out)
+	}
+}
+
+// SIGTERM must trigger the graceful path: drain, stats line, snapshot,
+// exit code 0.
+func TestCLIServeGracefulSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildCLI(t)
+	plans := t.TempDir()
+	cmd := exec.Command(bin, "-gen", "scrambled", "-rows", "512", "-k", "16",
+		"-serve", "-plandir", plans)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give it time to come up and serve a little before interrupting.
+	time.Sleep(2 * time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not exit cleanly on SIGTERM: %v\n%s", err, buf.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("serve wedged after SIGTERM:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"shutdown requested", "drained;", "plan cache snapshotted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("graceful shutdown output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+// runServe hosts m behind the full serving stack (admission control,
+// retry, circuit breaker, durable plans) and drives it with a
+// self-generated SpMM load until SIGINT/SIGTERM arrives or the optional
+// duration elapses. Shutdown is graceful: the load stops, in-flight
+// requests drain through Server.Close, and — with a plan directory
+// configured — the plan cache is snapshotted so the next run warm
+// starts without redoing LSH or clustering.
+func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.Duration, k int) error {
+	if planDir != "" {
+		n, err := repro.LoadPlanDir(planDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serve: warm start from %s (%d plan snapshot(s))\n", planDir, n)
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx, cancelRun := context.WithCancel(sigCtx)
+	defer cancelRun()
+
+	s, err := repro.NewServer(context.Background(), m, cfg, repro.ServerConfig{
+		DefaultDeadline: 2 * time.Second,
+		PlanDir:         planDir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: accepting requests (K=%d); no-reorder plan ready, reordered plan building in background\n", k)
+
+	var completed, failed atomic.Int64
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		x := repro.NewRandomDense(m.Cols, k, 7)
+		y := repro.NewDense(m.Rows, k)
+		for runCtx.Err() == nil {
+			if err := s.SpMMInto(runCtx, y, x); err != nil {
+				if runCtx.Err() != nil {
+					return
+				}
+				failed.Add(1)
+				continue
+			}
+			completed.Add(1)
+		}
+	}()
+
+	if duration > 0 {
+		select {
+		case <-sigCtx.Done():
+		case <-time.After(duration):
+		}
+	} else {
+		<-sigCtx.Done()
+	}
+	stop() // a second signal from here on kills the process the hard way
+	cancelRun()
+	<-loadDone
+
+	fmt.Println("serve: shutdown requested, draining in-flight requests")
+	closeCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Close(closeCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+
+	st := s.Stats()
+	decided, rrWon := s.Pipeline().Decided()
+	trial := "trial undecided"
+	switch {
+	case st.Degraded:
+		trial = "degraded to no-reorder"
+	case decided && rrWon:
+		trial = "trial chose reordered"
+	case decided:
+		trial = "trial chose no-reorder"
+	}
+	fmt.Printf("serve: drained; %d completed, %d failed, %d shed, %d retries, breaker %s, %s\n",
+		st.Completed, st.Failed, st.Admission.Shed, st.Retries, st.Breaker.State, trial)
+	if planDir != "" {
+		entries, err := os.ReadDir(planDir)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".plan") {
+				n++
+			}
+		}
+		fmt.Printf("serve: plan cache snapshotted to %s (%d file(s))\n", planDir, n)
+	}
+	return nil
+}

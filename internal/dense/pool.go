@@ -1,6 +1,10 @@
 package dense
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/faultinject"
+)
 
 // Scratch-matrix pooling for the zero-allocation serving path: the
 // pipeline-level SpMM/SDDMM need a temporary matrix in reordered row
@@ -24,6 +28,12 @@ func Get(rows, cols int) *Matrix {
 		return New(rows, cols) // panics with the standard message
 	}
 	n := rows * cols
+	// A pool failure is recoverable by construction: serving simply
+	// falls back to a fresh allocation, trading steady-state
+	// allocation-freedom for availability.
+	if faultinject.Fire("dense.pool") != nil {
+		return New(rows, cols)
+	}
 	if v := matrixPool.Get(); v != nil {
 		m := v.(*Matrix)
 		if cap(m.Data) >= n {
@@ -42,6 +52,11 @@ func Get(rows, cols int) *Matrix {
 // Put. Put(nil) is a no-op.
 func Put(m *Matrix) {
 	if m == nil || m.Data == nil {
+		return
+	}
+	// Mirror of the Get site: an injected failure drops the matrix on
+	// the floor (collected by the GC) instead of pooling it.
+	if faultinject.Fire("dense.pool") != nil {
 		return
 	}
 	matrixPool.Put(m)

@@ -22,6 +22,32 @@ import (
 // with errors.Is.
 var Err = errors.New("faultinject: injected fault")
 
+// known lists every site name that appears in a production Fire call.
+// Chaos tests iterate over Sites() so that adding a fault-injection
+// point automatically widens their coverage; TestKnownSitesMatchSource
+// fails the build when this list and the source drift apart.
+var known = []string{
+	"aspt.build",
+	"dense.pool",
+	"kernels.exec",
+	"lsh.banding",
+	"lsh.pairmerge",
+	"lsh.scoring",
+	"lsh.signatures",
+	"plancache.disk.load",
+	"plancache.disk.save",
+	"plancache.get",
+	"plancache.put",
+	"reorder.cluster",
+	"sparse.permute",
+}
+
+// Sites returns the names of every registered fault-injection site, in
+// sorted order. The slice is a copy; callers may reorder it freely.
+func Sites() []string {
+	return append([]string(nil), known...)
+}
+
 // hooks is a copy-on-write site -> hook map; nil when no hook is
 // installed anywhere (the production state).
 var (

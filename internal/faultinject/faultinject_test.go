@@ -2,6 +2,12 @@ package faultinject
 
 import (
 	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strings"
 	"testing"
 )
 
@@ -59,6 +65,46 @@ func TestPanicAt(t *testing.T) {
 		}
 	}()
 	_ = Fire("site.p")
+}
+
+// TestKnownSitesMatchSource walks the module source and checks that the
+// set of literal site names passed to Fire equals Sites(): a new
+// injection point must be registered (so chaos tests cover it), and a
+// removed one must be dropped.
+func TestKnownSitesMatchSource(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	fire := regexp.MustCompile(`faultinject\.Fire\("([^"]+)"\)`)
+	found := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range fire.FindAllStringSubmatch(string(src), -1) {
+			found[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inSource []string
+	for s := range found {
+		inSource = append(inSource, s)
+	}
+	slices.Sort(inSource)
+	if want := Sites(); !slices.Equal(inSource, want) {
+		t.Fatalf("Fire sites in source %v != Sites() %v — update the known list", inSource, want)
+	}
 }
 
 func TestNestedRestoreOrder(t *testing.T) {

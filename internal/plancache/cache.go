@@ -24,9 +24,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/par"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
@@ -160,12 +163,19 @@ type entry struct {
 	restFrom    []int32 // -> Plan.Tiled.Rest.Val
 }
 
-// Stats reports cache effectiveness counters.
+// Stats reports cache effectiveness counters. Hits and Misses count
+// the in-memory tier; DiskHits counts misses that were served from the
+// attached snapshot directory instead of recomputing (each such hit
+// also repopulates the memory tier), and DiskMisses counts disk probes
+// that found nothing usable — absent, truncated, corrupt, or
+// mismatched plan files all fall back to recomputation.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Entries   int
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	DiskHits   int64
+	DiskMisses int64
+	Entries    int
 }
 
 // Cache is a bounded, concurrency-safe, content-addressed LRU of
@@ -173,13 +183,16 @@ type Stats struct {
 // *Cache is valid and behaves as an always-miss cache, so callers can
 // treat "caching disabled" uniformly.
 type Cache struct {
-	mu        sync.Mutex
-	capacity  int
-	ll        *list.List // front = most recently used; values are *entry
-	byKey     map[key]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+	mu         sync.Mutex
+	capacity   int
+	ll         *list.List // front = most recently used; values are *entry
+	byKey      map[key]*list.Element
+	dir        string // "" = no disk tier
+	hits       int64
+	misses     int64
+	evictions  int64
+	diskHits   int64
+	diskMisses int64
 }
 
 // New returns a cache holding at most capacity plans. capacity <= 0
@@ -208,7 +221,125 @@ func (c *Cache) Stats() Stats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		DiskHits: c.diskHits, DiskMisses: c.diskMisses, Entries: c.ll.Len()}
+}
+
+// SetDir attaches dir as the cache's disk tier (creating it if needed):
+// Snapshot writes every cached plan there as a content-addressed
+// `<fingerprint>.plan` file, and a memory miss probes it for a
+// previously snapshotted plan before recomputing — the warm-start path
+// a restarted server takes. An empty dir detaches the tier.
+func (c *Cache) SetDir(dir string) error {
+	if c == nil {
+		return nil
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.dir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// Dir returns the attached snapshot directory ("" when detached).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
+// planFileName is the content-addressed snapshot name for a cache key;
+// the fingerprint already folds in structure, configuration, and
+// workflow variant, so distinct plans never collide on a name.
+func planFileName(k key) string {
+	return fmt.Sprintf("%016x%016x.plan", k[0], k[1])
+}
+
+// Snapshot writes every currently cached plan to the attached directory
+// (atomically, via reorder.WritePlanFile) and returns how many were
+// written. With no directory attached it is a no-op. Individual write
+// failures skip that entry and the first one is returned after the
+// sweep completes — a snapshot is best-effort by design: the disk tier
+// is an accelerator, never a correctness dependency.
+func (c *Cache) Snapshot() (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	c.mu.Lock()
+	dir := c.dir
+	if dir == "" {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	type item struct {
+		k key
+		p *reorder.Plan
+	}
+	items := make([]item, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		items = append(items, item{e.k, e.plan})
+	}
+	c.mu.Unlock()
+	written := 0
+	var firstErr error
+	for _, it := range items {
+		err := faultinject.Fire("plancache.disk.save")
+		if err == nil {
+			err = reorder.WritePlanFile(filepath.Join(dir, planFileName(it.k)), it.p)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		written++
+	}
+	return written, firstErr
+}
+
+// diskLoad probes the disk tier for a snapshotted plan matching k and,
+// on success, applies it to m (O(nnz): permute + re-tile, no LSH or
+// clustering) and repopulates the memory tier. Every failure — injected
+// fault, absent file, truncation, corruption (ReadPlan's CRC check), or
+// a plan that no longer matches m — is a silent miss: the caller
+// recomputes from scratch, so a damaged snapshot can degrade only
+// startup latency, never correctness.
+func (c *Cache) diskLoad(dir string, k key, m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.Plan, bool) {
+	bump := func(hit bool) {
+		c.mu.Lock()
+		if hit {
+			c.diskHits++
+		} else {
+			c.diskMisses++
+		}
+		c.mu.Unlock()
+	}
+	if faultinject.Fire("plancache.disk.load") != nil {
+		bump(false)
+		return nil, false
+	}
+	sp, err := reorder.ReadPlanFile(filepath.Join(dir, planFileName(k)))
+	if err != nil {
+		bump(false)
+		return nil, false
+	}
+	plan, err := sp.Apply(m, cfg)
+	if err != nil {
+		bump(false)
+		return nil, false
+	}
+	c.Put(m, cfg, v, plan)
+	bump(true)
+	return plan, true
 }
 
 // Purge drops every entry (counters are kept).
@@ -234,13 +365,30 @@ func (c *Cache) Get(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.Plan
 	if c == nil {
 		return nil, false
 	}
+	// An injected lookup failure is indistinguishable from a miss: the
+	// caller recomputes, which is always correct.
+	if faultinject.Fire("plancache.get") != nil {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
 	start := time.Now()
 	k := fingerprint(m, cfg, v)
 	c.mu.Lock()
 	el, ok := c.byKey[k]
 	if !ok {
 		c.misses++
+		dir := c.dir
 		c.mu.Unlock()
+		if dir != "" {
+			if p, hit := c.diskLoad(dir, k, m, cfg, v); hit {
+				if p.Preprocess = time.Since(start); p.Preprocess <= 0 {
+					p.Preprocess = time.Nanosecond
+				}
+				return p, true
+			}
+		}
 		return nil, false
 	}
 	c.hits++
@@ -305,6 +453,11 @@ func (c *Cache) Put(m *sparse.CSR, cfg reorder.Config, v Variant, plan *reorder.
 	if c == nil || plan == nil || plan.Reordered == nil || plan.Tiled == nil ||
 		plan.Tiled.Rest == nil || plan.Reordered.Rows != m.Rows || plan.Reordered.NNZ() != m.NNZ() ||
 		len(plan.RowPerm) != m.Rows {
+		return
+	}
+	// An injected store failure simply skips caching; the next call for
+	// this structure recomputes (or reloads from disk).
+	if faultinject.Fire("plancache.put") != nil {
 		return
 	}
 	e := &entry{

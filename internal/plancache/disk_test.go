@@ -1,0 +1,222 @@
+package plancache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/reorder"
+)
+
+func planFilesIn(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".plan") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestSnapshotAndWarmStart is the restart story: cache A preprocesses,
+// snapshots to disk, and a fresh cache B (a new process, conceptually)
+// serves the same structure from the snapshot — disk hit, no LSH or
+// clustering — with the plan repopulated into B's memory tier.
+func TestSnapshotAndWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	m := clusteredMatrix(t, 1024, 512, 3)
+	cfg := reorder.DefaultConfig()
+
+	a := New(4)
+	if err := a.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := a.Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Snapshot()
+	if err != nil || n != 1 {
+		t.Fatalf("Snapshot = (%d, %v), want (1, nil)", n, err)
+	}
+	if files := planFilesIn(t, dir); len(files) != 1 {
+		t.Fatalf("snapshot dir holds %v, want one .plan file", files)
+	}
+
+	b := New(4)
+	if err := b.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm, ok := b.Get(m, cfg, Full)
+	if !ok {
+		t.Fatal("warm start: expected a disk hit")
+	}
+	for i := range cold.RowPerm {
+		if warm.RowPerm[i] != cold.RowPerm[i] {
+			t.Fatalf("warm plan permutation differs at %d", i)
+		}
+	}
+	st := b.Stats()
+	if st.DiskHits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want DiskHits 1 and the plan repopulated", st)
+	}
+	// Second Get is a pure memory hit — the disk tier is touched once.
+	if _, ok := b.Get(m, cfg, Full); !ok {
+		t.Fatal("repopulated entry missed")
+	}
+	if st := b.Stats(); st.DiskHits != 1 || st.Hits != 1 {
+		t.Errorf("after memory hit: stats = %+v", st)
+	}
+}
+
+// TestCorruptSnapshotFallsBack truncates and bit-flips the snapshot
+// file: both must be detected (never applied) and degrade to a plain
+// recompute.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	m := clusteredMatrix(t, 1024, 512, 4)
+	cfg := reorder.DefaultConfig()
+	a := New(4)
+	if err := a.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Preprocess(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	name := planFilesIn(t, dir)[0]
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(t *testing.T, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b := New(4)
+		if err := b.SetDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := b.Get(m, cfg, Full); ok {
+			t.Fatal("corrupted snapshot served as a hit")
+		}
+		if st := b.Stats(); st.DiskMisses != 1 {
+			t.Errorf("stats = %+v, want DiskMisses 1", st)
+		}
+		// The fallback path still works: recompute from scratch.
+		if _, err := b.Preprocess(m, cfg); err != nil {
+			t.Fatalf("recompute after corrupt snapshot: %v", err)
+		}
+	}
+	t.Run("truncated", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte { return b[:len(b)/2] })
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b })
+	})
+}
+
+// TestDiskTierFaultInjection exercises every plancache fault site:
+// each one must degrade (skip cache, skip disk, skip snapshot) without
+// affecting correctness.
+func TestDiskTierFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	m := clusteredMatrix(t, 1024, 512, 5)
+	cfg := reorder.DefaultConfig()
+	c := New(4)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Preprocess(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("disk.save", func(t *testing.T) {
+		defer faultinject.ErrorAt("plancache.disk.save")()
+		n, err := c.Snapshot()
+		if n != 0 || err == nil {
+			t.Fatalf("Snapshot under fault = (%d, %v), want (0, injected error)", n, err)
+		}
+	})
+	if _, err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("get", func(t *testing.T) {
+		defer faultinject.ErrorAt("plancache.get")()
+		if _, ok := c.Get(m, cfg, Full); ok {
+			t.Fatal("Get under injected lookup fault returned a hit")
+		}
+	})
+
+	t.Run("disk.load", func(t *testing.T) {
+		defer faultinject.ErrorAt("plancache.disk.load")()
+		b := New(4)
+		if err := b.SetDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := b.Get(m, cfg, Full); ok {
+			t.Fatal("disk load under fault returned a hit")
+		}
+		if st := b.Stats(); st.DiskMisses != 1 {
+			t.Errorf("stats = %+v, want DiskMisses 1", st)
+		}
+	})
+
+	t.Run("put", func(t *testing.T) {
+		defer faultinject.ErrorAt("plancache.put")()
+		b := New(4)
+		if _, err := b.Preprocess(m, cfg); err != nil {
+			t.Fatalf("Preprocess under put fault: %v", err)
+		}
+		if st := b.Stats(); st.Entries != 0 {
+			t.Errorf("entry cached despite injected put fault: %+v", st)
+		}
+	})
+}
+
+// TestSnapshotRestartServesNRVariantToo: an online pipeline caches both
+// variants; both must round-trip through the disk tier under their
+// distinct fingerprints.
+func TestSnapshotBothVariants(t *testing.T) {
+	dir := t.TempDir()
+	m := clusteredMatrix(t, 1024, 512, 6)
+	cfg := reorder.DefaultConfig()
+	a := New(4)
+	if err := a.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Preprocess(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.PreprocessNR(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a.Snapshot(); n != 2 || err != nil {
+		t.Fatalf("Snapshot = (%d, %v), want (2, nil)", n, err)
+	}
+	b := New(4)
+	if err := b.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get(m, cfg, Full); !ok {
+		t.Error("Full variant not served from disk")
+	}
+	if _, ok := b.Get(m, cfg, NR); !ok {
+		t.Error("NR variant not served from disk")
+	}
+	if st := b.Stats(); st.DiskHits != 2 {
+		t.Errorf("stats = %+v, want DiskHits 2", st)
+	}
+}

@@ -9,9 +9,9 @@ import (
 // must never panic or over-allocate, and anything accepted must carry
 // valid permutations.
 func FuzzReadPlan(f *testing.F) {
-	// A valid 2-row plan as seed.
+	// A valid legacy v0-header plan (2 rows) as seed.
 	var valid bytes.Buffer
-	valid.Write([]byte{0x31, 0x50, 0x52, 0x52}) // magic
+	valid.Write([]byte{0x31, 0x50, 0x52, 0x52}) // v0 magic
 	valid.Write([]byte{2, 0, 0, 0})             // rows
 	valid.Write([]byte{3, 0, 0, 0})             // flags
 	valid.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0}) // RowPerm [1,0]
@@ -19,6 +19,22 @@ func FuzzReadPlan(f *testing.F) {
 	f.Add(valid.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x31, 0x50, 0x52, 0x52, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	// A valid v1 plan (current format, CRC footer), plus truncated and
+	// bit-flipped mutations of it.
+	var v1 bytes.Buffer
+	if err := WritePlan(&v1, &Plan{
+		RowPerm:       []int32{2, 0, 1},
+		RestOrder:     []int32{1, 2, 0},
+		Round1Applied: true,
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v1.Bytes()[:len(v1.Bytes())-5]) // truncated mid-footer
+	f.Add(v1.Bytes()[:17])                // truncated mid-permutation
+	flipped := append([]byte(nil), v1.Bytes()...)
+	flipped[20] ^= 0x10 // bit flip inside RowPerm
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, in []byte) {
 		sp, err := ReadPlan(bytes.NewReader(in))
 		if err != nil {

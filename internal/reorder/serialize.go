@@ -4,7 +4,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/sparse"
 )
@@ -15,23 +19,38 @@ import (
 // written to a compact binary file at preprocessing time and re-applied
 // at deployment time without re-running LSH or clustering.
 //
-// Format (little-endian):
+// Format v1 (little-endian), written by WritePlan:
 //
-//	magic  uint32 = 0x52525031 ("RRP1")
-//	rows   uint32
-//	flags  uint32 (bit0 round1, bit1 round2)
+//	magic   uint32 = 0x52525032 ("2PRR")
+//	version uint32 = 1
+//	rows    uint32
+//	flags   uint32 (bit0 round1, bit1 round2)
 //	rowPerm   [rows]uint32
 //	restOrder [rows]uint32
-
-const planMagic = 0x52525031
+//	crc32   uint32 (IEEE, over everything above)
+//	footer  uint32 = 0x444E4531 ("1END")
+//
+// The CRC-checksummed footer lets ReadPlan distinguish a complete,
+// intact file from a truncated or bit-flipped one — a corrupted plan is
+// rejected with ErrPlanFormat instead of being applied (a flipped bit
+// inside a permutation can still yield a *valid* permutation, which the
+// structural checks alone would accept). The legacy v0 format (magic
+// "1PRR", no version field, no footer) is still readable.
+const (
+	planMagicV0     = 0x52525031
+	planMagicV1     = 0x52525032
+	planVersion     = 1
+	planFooterMagic = 0x444E4531
+)
 
 // ErrPlanFormat is wrapped by all plan-deserialization failures.
 var ErrPlanFormat = errors.New("reorder: bad plan file")
 
-// WritePlan serialises the plan's permutations to w. The whole file is
-// encoded into one buffer and written with a single Write per
-// permutation block, instead of one reflective binary.Write per
-// element.
+// WritePlan serialises the plan's permutations to w in format v1. The
+// whole file is encoded into one buffer and written with a single
+// Write, so an io.Writer that either fully succeeds or fully fails
+// (e.g. a bytes.Buffer, or a pipe with one reader) never observes a
+// torn plan; for crash-durable on-disk atomicity use WritePlanFile.
 func WritePlan(w io.Writer, p *Plan) error {
 	rows := len(p.RowPerm)
 	if len(p.RestOrder) != rows {
@@ -44,19 +63,62 @@ func WritePlan(w io.Writer, p *Plan) error {
 	if p.Round2Applied {
 		flags |= 2
 	}
-	buf := make([]byte, 12+8*rows)
-	binary.LittleEndian.PutUint32(buf[0:], planMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(rows))
-	binary.LittleEndian.PutUint32(buf[8:], flags)
-	off := 12
+	buf := make([]byte, 16+8*rows+8)
+	binary.LittleEndian.PutUint32(buf[0:], planMagicV1)
+	binary.LittleEndian.PutUint32(buf[4:], planVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(rows))
+	binary.LittleEndian.PutUint32(buf[12:], flags)
+	off := 16
 	for _, perm := range [][]int32{p.RowPerm, p.RestOrder} {
 		for _, v := range perm {
 			binary.LittleEndian.PutUint32(buf[off:], uint32(v))
 			off += 4
 		}
 	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	binary.LittleEndian.PutUint32(buf[off+4:], planFooterMagic)
 	_, err := w.Write(buf)
 	return err
+}
+
+// WritePlanFile writes the plan to path atomically and durably: the
+// bytes go to a temporary file in path's directory, which is fsynced,
+// renamed over path, and the directory entry is fsynced too. A reader
+// (or a crash) therefore observes either the previous file or the
+// complete new one — never a torn mixture — and a concurrent
+// WritePlanFile to the same path is safe: one of the writers wins
+// whole.
+func WritePlanFile(path string, p *Plan) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".plan-tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = WritePlan(tmp, p); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself: fsync the containing directory. Best
+	// effort on filesystems that refuse to sync directories.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // SavedPlan is the deserialised form of a plan file: just the decisions
@@ -69,31 +131,55 @@ type SavedPlan struct {
 	RestOrder     []int32
 }
 
-// ReadPlan parses a plan file. Each permutation is read with bulk
-// io.ReadFull calls over a bounded chunk buffer (no per-element
-// binary.Read, and no huge up-front byte allocation for a corrupt
-// header claiming billions of rows: the permutation slices grow only as
-// bytes actually arrive).
+// ReadPlan parses a plan file in format v1 (with CRC verification) or
+// the legacy v0 format. Each permutation is read with bulk io.ReadFull
+// calls over a bounded chunk buffer (no per-element binary.Read, and no
+// huge up-front byte allocation for a corrupt header claiming billions
+// of rows: the permutation slices grow only as bytes actually arrive).
+// Truncation, a bad checksum, a missing footer, or a stored order that
+// is not a permutation all fail with a wrapped ErrPlanFormat — a
+// corrupted plan is never returned for Apply to act on.
 func ReadPlan(r io.Reader) (*SavedPlan, error) {
-	var head [12]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
+	var head [16]byte
+	if _, err := io.ReadFull(r, head[:4]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
 	}
-	if magic := binary.LittleEndian.Uint32(head[0:]); magic != planMagic {
+	var (
+		rows  int
+		flags uint32
+		crc   hash.Hash32
+	)
+	switch magic := binary.LittleEndian.Uint32(head[0:]); magic {
+	case planMagicV0:
+		if _, err := io.ReadFull(r, head[4:12]); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
+		}
+		rows = int(binary.LittleEndian.Uint32(head[4:]))
+		flags = binary.LittleEndian.Uint32(head[8:])
+	case planMagicV1:
+		if _, err := io.ReadFull(r, head[4:16]); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
+		}
+		if v := binary.LittleEndian.Uint32(head[4:]); v != planVersion {
+			return nil, fmt.Errorf("%w: unsupported version %d", ErrPlanFormat, v)
+		}
+		rows = int(binary.LittleEndian.Uint32(head[8:]))
+		flags = binary.LittleEndian.Uint32(head[12:])
+		crc = crc32.NewIEEE()
+		crc.Write(head[:16])
+	default:
 		return nil, fmt.Errorf("%w: bad magic %#x", ErrPlanFormat, magic)
 	}
-	rows := int(binary.LittleEndian.Uint32(head[4:]))
 	if rows < 0 || rows > 1<<30 {
 		return nil, fmt.Errorf("%w: implausible row count %d", ErrPlanFormat, rows)
 	}
-	flags := binary.LittleEndian.Uint32(head[8:])
 	sp := &SavedPlan{
 		Rows:          rows,
 		Round1Applied: flags&1 != 0,
 		Round2Applied: flags&2 != 0,
 	}
 	for _, dst := range []*[]int32{&sp.RowPerm, &sp.RestOrder} {
-		perm, err := readPermutation(r, rows)
+		perm, err := readPermutation(r, rows, crc)
 		if err != nil {
 			return nil, err
 		}
@@ -102,13 +188,47 @@ func ReadPlan(r io.Reader) (*SavedPlan, error) {
 		}
 		*dst = perm
 	}
+	if crc != nil {
+		var foot [8]byte
+		if _, err := io.ReadFull(r, foot[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated footer: %v", ErrPlanFormat, err)
+		}
+		if got, want := binary.LittleEndian.Uint32(foot[0:]), crc.Sum32(); got != want {
+			return nil, fmt.Errorf("%w: checksum mismatch (file %#x, computed %#x)", ErrPlanFormat, got, want)
+		}
+		if m := binary.LittleEndian.Uint32(foot[4:]); m != planFooterMagic {
+			return nil, fmt.Errorf("%w: bad footer magic %#x", ErrPlanFormat, m)
+		}
+	}
+	return sp, nil
+}
+
+// ReadPlanFile opens and parses path with ReadPlan, additionally
+// rejecting trailing garbage after the footer (a concatenation or
+// copy-paste accident is corruption for a file, even though a stream
+// may legitimately carry further records).
+func ReadPlanFile(path string) (*SavedPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sp, err := ReadPlan(f)
+	if err != nil {
+		return nil, err
+	}
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after footer", ErrPlanFormat)
+	}
 	return sp, nil
 }
 
 // readPermutation reads n little-endian uint32s in bounded chunks,
 // growing the result incrementally so a lying header cannot force a
-// gigantic allocation before the stream runs dry.
-func readPermutation(r io.Reader, n int) ([]int32, error) {
+// gigantic allocation before the stream runs dry. When crc is non-nil
+// every consumed byte is folded into it.
+func readPermutation(r io.Reader, n int, crc hash.Hash32) ([]int32, error) {
 	const chunkWords = 16 << 10
 	perm := make([]int32, 0, min(n, chunkWords))
 	var buf [4 * chunkWords]byte
@@ -116,6 +236,9 @@ func readPermutation(r io.Reader, n int) ([]int32, error) {
 		words := min(n-len(perm), chunkWords)
 		if _, err := io.ReadFull(r, buf[:4*words]); err != nil {
 			return nil, fmt.Errorf("%w: truncated permutation: %v", ErrPlanFormat, err)
+		}
+		if crc != nil {
+			crc.Write(buf[:4*words])
 		}
 		for i := 0; i < words; i++ {
 			perm = append(perm, int32(binary.LittleEndian.Uint32(buf[4*i:])))

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int32
+
+const (
+	// Closed: traffic flows; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: traffic is rejected (routed to the fallback) until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed and exactly one probe request is
+	// in flight; its outcome closes or re-opens the circuit.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerStats is a snapshot of the breaker's counters.
+type BreakerStats struct {
+	State     BreakerState
+	Trips     int64 // Closed/HalfOpen → Open transitions
+	HalfOpens int64 // Open → HalfOpen transitions (probe admitted)
+	Closes    int64 // HalfOpen → Closed transitions (probe succeeded)
+	Rejected  int64 // Allow() == false while Open or probing
+	Failures  int64 // Failure() calls
+	Successes int64 // Success() calls
+}
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it admits
+// everything and trips to Open after `threshold` consecutive failures;
+// Open, it rejects until `cooldown` has elapsed, then admits exactly
+// one probe (HalfOpen); the probe's success closes the circuit, its
+// failure re-opens it for another cooldown. All methods are safe for
+// concurrent use.
+//
+// The caller contract is: if Allow returns true, report the outcome of
+// exactly that one attempt with Success or Failure; if it returns
+// false, route to the fallback and report nothing.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool // a HalfOpen probe is in flight
+
+	trips     int64
+	halfOpens int64
+	closes    int64
+	rejected  int64
+	failures  int64
+	successes int64
+}
+
+// NewBreaker returns a closed breaker tripping after threshold
+// consecutive failures (min 1) and cooling down for cooldown (min 1ms)
+// before probing.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether the protected path may serve this attempt.
+// While Open it returns false until the cooldown elapses, at which
+// point the calling attempt becomes the half-open probe (true); while
+// a probe is in flight every other attempt is rejected.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			b.halfOpens++
+			return true
+		}
+		b.rejected++
+		return false
+	default: // HalfOpen
+		if b.probing {
+			b.rejected++
+			return false
+		}
+		// The previous probe resolved but a racer arrived between its
+		// report and the state change becoming visible; admit as a new
+		// probe.
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a successful attempt on the protected path.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.consecutive = 0
+	if b.state == HalfOpen {
+		b.state = Closed
+		b.probing = false
+		b.closes++
+	}
+}
+
+// Failure reports a failed attempt on the protected path.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case HalfOpen:
+		// The probe failed: straight back to Open for another cooldown.
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+		b.consecutive = 0
+		b.trips++
+	case Closed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.state = Open
+			b.openedAt = b.now()
+			b.consecutive = 0
+			b.trips++
+		}
+	}
+	// Open: a straggler attempt admitted before the trip reported late;
+	// it changes nothing.
+}
+
+// State returns the current automaton state (Open may lazily become
+// HalfOpen only on the next Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State: b.state, Trips: b.trips, HalfOpens: b.halfOpens, Closes: b.closes,
+		Rejected: b.rejected, Failures: b.failures, Successes: b.successes,
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy bounds a retry loop: at most MaxAttempts tries, sleeping
+// an exponentially growing, fully jittered delay between them. Full
+// jitter (delay drawn uniformly from [0, base·2ⁿ), capped at MaxDelay)
+// decorrelates retry storms: when many requests fail together — the
+// exact situation a fault burst creates — their retries spread out
+// instead of hammering the recovering path in lockstep.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts, including the first (min 1)
+	BaseDelay   time.Duration // backoff scale for attempt 1 (min 1µs when retrying)
+	MaxDelay    time.Duration // cap on any single delay (0 = 100·BaseDelay)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * p.BaseDelay
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry attempt n (1-based
+// count of completed attempts).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	ceil := p.BaseDelay << min(n-1, 20)
+	if ceil > p.MaxDelay || ceil <= 0 {
+		ceil = p.MaxDelay
+	}
+	return time.Duration(rand.Int64N(int64(ceil) + 1))
+}
+
+// Retry runs f until it succeeds, returns a non-transient error, or
+// the policy's attempts are exhausted — whichever comes first — and
+// reports the number of *re*tries performed (0 when the first attempt
+// settled it) alongside f's final error. The context bounds the whole
+// loop: its cancellation cuts a backoff sleep short and is returned
+// immediately, and a context error from f itself is never retried
+// (retrying cannot outlive the caller's deadline).
+func Retry(ctx context.Context, p RetryPolicy, transient func(error) bool, f func(attempt int) error) (retries int, err error) {
+	p = p.withDefaults()
+	for attempt := 1; ; attempt++ {
+		err = f(attempt)
+		if err == nil || attempt >= p.MaxAttempts ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			!transient(err) {
+			return attempt - 1, err
+		}
+		if cerr := sleep(ctx, p.backoff(attempt)); cerr != nil {
+			return attempt - 1, cerr
+		}
+	}
+}
+
+// sleep waits for d or until ctx is done, returning ctx's error in the
+// latter case.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -165,10 +165,18 @@ func (o *OnlinePipeline) WaitPreprocessed(ctx context.Context) error {
 	}
 }
 
-// TrialTimes returns the wall times measured in the deciding iteration
-// (zero until decided, and forever for a degraded pipeline — no trial
-// ever runs).
+// TrialTimes returns the wall times measured in the deciding iteration.
+//
+// Pre-decision contract: until Decided reports done, TrialTimes returns
+// (0, 0) immediately — it is guarded by the decided flag and never
+// blocks on the decision lock, which an in-flight trial holds for the
+// full duration of four kernel executions. A degraded pipeline returns
+// zeros forever: no trial ever runs. Poll Decided (or WaitPreprocessed
+// plus one serving call) before treating the times as meaningful.
 func (o *OnlinePipeline) TrialTimes() (reordered, plain time.Duration) {
+	if o.winner.Load() == nil {
+		return 0, 0
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.rrTime, o.nrTime

@@ -245,6 +245,33 @@ func NewPipelineFromSavedPlan(m *Matrix, cfg Config, r io.Reader) (*Pipeline, er
 	return &Pipeline{orig: m, plan: plan}, nil
 }
 
+// SavePlanFile writes the plan to path atomically and durably (temp
+// file + rename + fsync): a crash mid-write, or a concurrent writer to
+// the same path, leaves either the previous file or the complete new
+// one — never a torn plan.
+func (p *Pipeline) SavePlanFile(path string) error { return reorder.WritePlanFile(path, p.plan) }
+
+// NewPipelineFromPlanFile is NewPipelineFromSavedPlan reading from a
+// file written by SavePlanFile. A truncated or corrupted file fails
+// with ErrPlanFormat (the format carries a CRC-checksummed footer) and
+// is never applied; callers fall back to preprocessing from scratch.
+func NewPipelineFromPlanFile(m *Matrix, cfg Config, path string) (*Pipeline, error) {
+	sp, err := reorder.ReadPlanFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sp.Apply(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{orig: m, plan: plan}, nil
+}
+
+// ErrPlanFormat is wrapped by every plan-file deserialization failure:
+// bad magic or version, truncation, checksum mismatch, or a stored
+// order that is not a permutation. Test with errors.Is.
+var ErrPlanFormat = reorder.ErrPlanFormat
+
 // EstimateSpMMASpTPlanNoRound2 simulates a plan's SpMM with the leftover
 // sparse part processed in natural order, ignoring the plan's round-2
 // RestOrder — isolating the contribution of round 1 for the rounds

@@ -1,0 +1,370 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// ErrOverloaded is the sentinel matched (with errors.Is) by every
+// load-shedding rejection from a Server: the in-flight capacity was
+// exhausted and the wait queue was full. The concrete error is an
+// *OverloadError carrying the queue-depth statistics at rejection time.
+var ErrOverloaded = serve.ErrOverloaded
+
+// OverloadError is the typed load-shedding error (see ErrOverloaded);
+// test with errors.As to read the queue-depth fields.
+type OverloadError = serve.Overload
+
+// ErrServerClosed is returned for requests arriving after Close.
+var ErrServerClosed = errors.New("repro: server closed")
+
+// AdmissionStats reports the Server's admission-gate counters.
+type AdmissionStats = serve.AdmissionStats
+
+// BreakerStats reports the Server's circuit-breaker counters.
+type BreakerStats = serve.BreakerStats
+
+// ServerConfig tunes the resilience layer around an online pipeline.
+// The zero value gets sensible serving defaults (see each field).
+type ServerConfig struct {
+	// MaxInFlight bounds concurrently executing work, in weight units:
+	// each request weighs its dense-operand column count (min 1), so a
+	// K=512 SpMM counts 512 units — admission tracks *work*, not call
+	// count, and many small requests can share the gate one huge one
+	// would fill. Default 4096.
+	MaxInFlight int64
+	// MaxQueue bounds the FIFO wait queue behind the gate. Requests
+	// beyond it are shed immediately with ErrOverloaded instead of
+	// piling up goroutines. Default 128; negative means shed whenever
+	// the gate is saturated.
+	MaxQueue int
+	// DefaultDeadline is applied to requests whose context carries no
+	// deadline (0 = never impose one). Queued requests whose deadline
+	// expires leave the queue with context.DeadlineExceeded.
+	DefaultDeadline time.Duration
+	// MaxAttempts bounds tries per request for transient failures
+	// (fault-injected errors and recovered panics). Default 3.
+	MaxAttempts int
+	// RetryBase/RetryMax scale the full-jitter exponential backoff
+	// between attempts. Defaults 500µs / 20ms.
+	RetryBase, RetryMax time.Duration
+	// BreakerThreshold trips the reordered-path circuit breaker after
+	// this many consecutive failures. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker routes traffic to
+	// the no-reorder fallback before admitting a half-open probe.
+	// Default 100ms.
+	BreakerCooldown time.Duration
+	// PlanDir, when set, attaches the plan cache's disk tier for a
+	// warm start (previously snapshotted plans are applied in O(nnz)
+	// instead of re-running LSH/clustering) and Close snapshots the
+	// cache back to it.
+	PlanDir string
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4096
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 128
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 500 * time.Microsecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 20 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 100 * time.Millisecond
+	}
+	return c
+}
+
+// ServerStats is a point-in-time snapshot of every resilience counter;
+// the fields reconcile exactly with client-observed outcomes (each
+// request ends in exactly one of Completed, Failed, a shed/expired
+// admission outcome, or ErrServerClosed).
+type ServerStats struct {
+	Admission AdmissionStats
+	Breaker   BreakerStats
+	// Completed counts requests that returned a result; Failed counts
+	// admitted requests whose final attempt still errored.
+	Completed, Failed int64
+	// Retries counts re-attempts after transient failures (attempts
+	// beyond each request's first).
+	Retries int64
+	// Fallbacks counts attempts routed to the no-reorder pipeline
+	// because the breaker rejected the reordered path; it equals the
+	// breaker's Rejected counter.
+	Fallbacks int64
+	// Degraded reports whether the background reordered build was
+	// abandoned (see OnlinePipeline.Degraded).
+	Degraded bool
+}
+
+// Server wraps an OnlinePipeline with the three layers a production
+// deployment hits before any kernel runs (DESIGN.md §10):
+//
+//  1. admission control — a weighted semaphore with a bounded FIFO
+//     wait queue and per-request deadlines; overload sheds with a
+//     typed ErrOverloaded instead of letting goroutines pile up;
+//  2. retry with exponential backoff + jitter for transient errors
+//     (fault-injected failures, recovered worker panics), and a
+//     circuit breaker on the reordered execution path that trips
+//     after consecutive failures, routes traffic to the no-reorder
+//     fallback, and half-opens to probe recovery — composing with the
+//     pipeline's Degraded machinery (a degraded pipeline serves the
+//     fallback without consulting the breaker);
+//  3. durable plan persistence — with PlanDir set, construction warm
+//     starts from snapshotted plans and Close snapshots the cache.
+//
+// A Server is safe for concurrent use; Close drains in-flight
+// requests and is idempotent.
+type Server struct {
+	pipe   *OnlinePipeline
+	adm    *serve.Admission
+	brk    *serve.Breaker
+	cfg    ServerConfig
+	cancel context.CancelFunc
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
+	completed atomic.Int64
+	failed    atomic.Int64
+	retries   atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// NewServer builds a serving-grade front end over m: the no-reorder
+// plan is built synchronously (its error is the constructor's error)
+// and the reordered plan builds in the background under ctx and
+// cfg.PreprocessBudget, exactly as NewOnlinePipelineCtx. With
+// scfg.PlanDir set, the plan cache's disk tier is attached first, so
+// both builds warm start from snapshots left by a previous process.
+func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*Server, error) {
+	scfg = scfg.withDefaults()
+	if scfg.PlanDir != "" {
+		if err := SetPlanCacheDir(scfg.PlanDir); err != nil {
+			return nil, err
+		}
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	pipe, err := NewOnlinePipelineCtx(sctx, m, cfg)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return &Server{
+		pipe:   pipe,
+		adm:    serve.NewAdmission(scfg.MaxInFlight, scfg.MaxQueue),
+		brk:    serve.NewBreaker(scfg.BreakerThreshold, scfg.BreakerCooldown),
+		cfg:    scfg,
+		cancel: cancel,
+	}, nil
+}
+
+// Pipeline exposes the wrapped online pipeline (trial state, Degraded,
+// WaitPreprocessed).
+func (s *Server) Pipeline() *OnlinePipeline { return s.pipe }
+
+// Stats returns a snapshot of every resilience counter.
+func (s *Server) Stats() ServerStats {
+	degraded, _ := s.pipe.Degraded()
+	return ServerStats{
+		Admission: s.adm.Stats(),
+		Breaker:   s.brk.Stats(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Retries:   s.retries.Load(),
+		Fallbacks: s.fallbacks.Load(),
+		Degraded:  degraded,
+	}
+}
+
+// SpMM computes Y = S·X through the full resilience stack. It returns
+// ErrOverloaded (load shed), ErrServerClosed, the context's error, or
+// the final attempt's error; transient failures are retried with
+// backoff before any error surfaces.
+func (s *Server) SpMM(ctx context.Context, x *Dense) (*Dense, error) {
+	var y *Dense
+	err := s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+		var err error
+		if fallback != nil {
+			y, err = fallback.SpMMCtx(ctx, x)
+		} else {
+			y, err = s.pipe.SpMMCtx(ctx, x)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// SpMMInto is SpMM into a caller-provided output (see
+// Pipeline.SpMMInto); steady-state calls stay allocation-free.
+func (s *Server) SpMMInto(ctx context.Context, y *Dense, x *Dense) error {
+	return s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+		if fallback != nil {
+			return fallback.SpMMIntoCtx(ctx, y, x)
+		}
+		return s.pipe.SpMMIntoCtx(ctx, y, x)
+	})
+}
+
+// SDDMM computes O = S ⊙ (Y·Xᵀ) through the full resilience stack.
+func (s *Server) SDDMM(ctx context.Context, x, y *Dense) (*Matrix, error) {
+	var out *Matrix
+	err := s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+		var err error
+		if fallback != nil {
+			out, err = fallback.SDDMMCtx(ctx, x, y)
+		} else {
+			out, err = s.pipe.SDDMMCtx(ctx, x, y)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SDDMMInto is SDDMM into a caller-provided output with the matrix's
+// sparsity structure.
+func (s *Server) SDDMMInto(ctx context.Context, out *Matrix, x, y *Dense) error {
+	return s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+		if fallback != nil {
+			return fallback.SDDMMIntoCtx(ctx, out, x, y)
+		}
+		return s.pipe.SDDMMIntoCtx(ctx, out, x, y)
+	})
+}
+
+// do runs one request through admission, deadline, retry, and breaker
+// routing. run receives a nil fallback to execute the full online path
+// or a concrete pipeline to execute the no-reorder fallback.
+func (s *Server) do(ctx context.Context, weight int64, run func(context.Context, *Pipeline) error) error {
+	if s.closed.Load() {
+		return ErrServerClosed
+	}
+	if s.cfg.DefaultDeadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+			defer cancel()
+		}
+	}
+	if err := s.adm.Acquire(ctx, weight); err != nil {
+		if errors.Is(err, serve.ErrClosed) {
+			return ErrServerClosed
+		}
+		return err
+	}
+	defer s.adm.Release(weight)
+
+	retries, err := serve.Retry(ctx,
+		serve.RetryPolicy{MaxAttempts: s.cfg.MaxAttempts, BaseDelay: s.cfg.RetryBase, MaxDelay: s.cfg.RetryMax},
+		transientError,
+		func(int) error { return s.attempt(ctx, run) })
+	s.retries.Add(int64(retries))
+	if err != nil {
+		s.failed.Add(1)
+		return err
+	}
+	s.completed.Add(1)
+	return nil
+}
+
+// attempt executes one try, consulting the breaker only when the call
+// would actually exercise the reordered path: a degraded pipeline, a
+// trial already decided for no-reorder, or a reordered build still in
+// flight all serve the no-reorder plan anyway, and their outcomes must
+// not open (or close) the reordered path's circuit.
+func (s *Server) attempt(ctx context.Context, run func(context.Context, *Pipeline) error) error {
+	if !s.reorderedPathActive() {
+		return run(ctx, nil)
+	}
+	if !s.brk.Allow() {
+		s.fallbacks.Add(1)
+		return run(ctx, s.pipe.nr)
+	}
+	err := run(ctx, nil)
+	switch {
+	case err == nil:
+		s.brk.Success()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The caller gave up; says nothing about the path's health.
+	default:
+		s.brk.Failure()
+	}
+	return err
+}
+
+// reorderedPathActive reports whether a full-path call right now would
+// execute the reordered plan (as the decided winner, or inside the
+// first-call trial).
+func (s *Server) reorderedPathActive() bool {
+	if d, _ := s.pipe.Degraded(); d {
+		return false
+	}
+	rr := s.pipe.rr.Load()
+	if rr == nil {
+		return false // still building: calls serve the no-reorder plan
+	}
+	w := s.pipe.winner.Load()
+	return w == nil || w == rr
+}
+
+// transientError classifies errors worth retrying: injected faults and
+// recovered worker panics are momentary by construction; validation
+// and shape errors are not, and context errors are handled by Retry
+// itself.
+func transientError(err error) bool {
+	var pe *PanicError
+	return errors.Is(err, faultinject.Err) || errors.As(err, &pe)
+}
+
+// Close shuts the server down gracefully: new requests fail fast with
+// ErrServerClosed, queued requests are rejected, in-flight requests
+// drain (bounded by ctx), the background reordered build is cancelled
+// and joined, and — with PlanDir configured — the plan cache is
+// snapshotted to disk so the next process warm starts. Close is
+// idempotent; every call returns the first call's error.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.adm.Close()
+		err := s.adm.Drain(ctx)
+		s.cancel()
+		if werr := s.pipe.WaitPreprocessed(ctx); err == nil {
+			err = werr
+		}
+		if s.cfg.PlanDir != "" {
+			if _, serr := SnapshotPlanCache(); err == nil {
+				err = serr
+			}
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
+}

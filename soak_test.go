@@ -1,0 +1,306 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/faultinject"
+	"repro/internal/testutil"
+)
+
+// soakTally is one client goroutine's view of its request outcomes;
+// the per-class totals are reconciled against Server.Stats() at the
+// end, so every counter the server exports is cross-checked against
+// what clients actually observed.
+type soakTally struct {
+	requests   int64
+	successes  int64
+	sheds      int64
+	ctxErrs    int64
+	faults     int64
+	unexpected error
+}
+
+// TestServerChaosSoak drives a full Server with concurrent clients,
+// short deadlines, pre-cancelled contexts, and a fault injector cycling
+// error (and panic) hooks through every registered fault site, for a
+// bounded wall-clock budget. It then asserts the system-level
+// robustness contract: no goroutine leaks, no wedged requests (Close
+// drains within its deadline), client-observed outcomes reconcile
+// exactly with the server's counters, the breaker's counters satisfy
+// their invariants, and the plan cache still snapshots cleanly.
+//
+// Run under -race (the CI soak job does); the test is also the
+// designated chaos budget for `make soak`.
+func TestServerChaosSoak(t *testing.T) {
+	chaosBudget, cleanTail := 5*time.Second, 500*time.Millisecond
+	if testing.Short() {
+		chaosBudget, cleanTail = 1200*time.Millisecond, 300*time.Millisecond
+	}
+
+	// Multi-chunk kernel dispatch even on a single-CPU machine, so the
+	// soak exercises the worker pool, chunk-boundary cancellation, and
+	// real interleaving.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	dir := t.TempDir()
+	repro.SetPlanCacheCapacity(8)
+	defer repro.SetPlanCacheCapacity(64)
+	defer faultinject.Reset()
+
+	m := freshScrambled(t, 3001)
+	warmKernelPool(t, m)
+	defer testutil.CheckNoGoroutineLeak(t)()
+
+	cfg := repro.DefaultConfig()
+	cfg.Workers = 4
+	cfg.PreprocessBudget = time.Hour
+	// Small capacities on purpose: weight-8 requests against a 16-unit
+	// gate admit two at a time, so six clients constantly queue and shed.
+	s, err := repro.NewServer(context.Background(), m, cfg, repro.ServerConfig{
+		MaxInFlight:      16,
+		MaxQueue:         2,
+		DefaultDeadline:  2 * time.Second,
+		MaxAttempts:      3,
+		RetryBase:        200 * time.Microsecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  20 * time.Millisecond,
+		PlanDir:          dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pipeline().WaitPreprocessed(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if deg, cause := s.Pipeline().Degraded(); deg {
+		t.Fatalf("build degraded before chaos started: %v", cause)
+	}
+	// Prime: run the first-call trial cleanly so the pipeline is decided
+	// and chaos-era serving takes the lock-free path.
+	prime := repro.NewRandomDense(m.Cols, 8, 42)
+	if _, err := s.SpMM(context.Background(), prime); err != nil {
+		t.Fatalf("priming request: %v", err)
+	}
+	if done, _ := s.Pipeline().Decided(); !done {
+		t.Fatalf("priming request did not decide the trial")
+	}
+
+	// Per-client operands and fault-free reference results, computed
+	// before any fault is armed.
+	const clients = 6
+	xs := make([]*repro.Dense, clients)
+	yds := make([]*repro.Dense, clients)
+	wants := make([]*repro.Dense, clients)
+	for g := 0; g < clients; g++ {
+		xs[g] = repro.NewRandomDense(m.Cols, 8, int64(100+g))
+		yds[g] = repro.NewRandomDense(m.Rows, 8, int64(200+g))
+		w, err := repro.SpMM(m, xs[g])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[g] = w
+	}
+
+	// Fault injector: cycle an error hook (and, at the panic-isolated
+	// kernel site, a panic hook) through every registered site, with a
+	// short fault-free window between sites so retries can land.
+	var injected atomic.Int64
+	sites := faultinject.Sites()
+	stopInj := make(chan struct{})
+	injDone := make(chan struct{})
+	go func() {
+		defer close(injDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopInj:
+				return
+			default:
+			}
+			site := sites[i%len(sites)]
+			var restore func()
+			if site == "kernels.exec" && i%2 == 1 {
+				restore = faultinject.Set(site, func() error {
+					injected.Add(1)
+					panic("soak: injected panic at kernels.exec")
+				})
+			} else {
+				restore = faultinject.Set(site, func() error {
+					injected.Add(1)
+					return faultinject.Err
+				})
+			}
+			time.Sleep(2 * time.Millisecond)
+			restore()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	stopClients := time.Now().Add(chaosBudget + cleanTail)
+	tallies := make([]soakTally, clients)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ta := &tallies[g]
+			x, yd, want := xs[g], yds[g], wants[g]
+			bg := context.Background()
+			for i := 0; time.Now().Before(stopClients); i++ {
+				var ctx context.Context
+				var cancel context.CancelFunc
+				switch {
+				case i%13 == 0:
+					ctx, cancel = context.WithCancel(bg)
+					cancel() // request arrives already cancelled
+				case i%5 == 0:
+					ctx, cancel = context.WithTimeout(bg, time.Millisecond)
+				default:
+					ctx, cancel = context.WithTimeout(bg, 2*time.Second)
+				}
+				ta.requests++
+				var err error
+				switch i % 3 {
+				case 0:
+					var y *repro.Dense
+					y, err = s.SpMM(ctx, x)
+					if err == nil && i%24 == 0 {
+						for k := range want.Data {
+							if math.Abs(float64(want.Data[k]-y.Data[k])) > 1e-4 {
+								ta.unexpected = errDiverged
+								cancel()
+								return
+							}
+						}
+					}
+				case 1:
+					y := repro.GetDense(m.Rows, x.Cols)
+					err = s.SpMMInto(ctx, y, x)
+					repro.PutDense(y)
+				default:
+					_, err = s.SDDMM(ctx, x, yd)
+				}
+				cancel()
+				switch {
+				case err == nil:
+					ta.successes++
+				case errors.Is(err, repro.ErrOverloaded):
+					ta.sheds++
+					// A real client backs off on load shedding; without
+					// this the loop degenerates into a shed-counting spin.
+					time.Sleep(time.Millisecond)
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					ta.ctxErrs++
+				case errors.Is(err, faultinject.Err), isPanicError(err):
+					ta.faults++
+				default:
+					ta.unexpected = err
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Chaos phase, then a fault-free tail so in-flight retries and the
+	// breaker's recovery probe get a clean runway before reconciliation.
+	time.Sleep(chaosBudget)
+	close(stopInj)
+	<-injDone
+	faultinject.Reset()
+	wg.Wait()
+
+	var total soakTally
+	for g := range tallies {
+		if err := tallies[g].unexpected; err != nil {
+			t.Fatalf("client %d: unexpected error %v", g, err)
+		}
+		total.requests += tallies[g].requests
+		total.successes += tallies[g].successes
+		total.sheds += tallies[g].sheds
+		total.ctxErrs += tallies[g].ctxErrs
+		total.faults += tallies[g].faults
+	}
+	if total.requests == 0 || total.successes == 0 {
+		t.Fatalf("soak did no work: %+v", total)
+	}
+	t.Logf("soak: %d requests, %d ok, %d shed, %d ctx, %d fault; %d fault fires injected",
+		total.requests, total.successes, total.sheds, total.ctxErrs, total.faults, injected.Load())
+
+	// A post-chaos request must succeed (the breaker may still be open —
+	// then it is served by the fallback, which is precisely the point).
+	if _, err := s.SpMM(context.Background(), prime); err != nil {
+		t.Fatalf("post-chaos request: %v", err)
+	}
+	// The priming and post-chaos requests went through the same stack.
+	total.requests += 2
+	total.successes += 2
+
+	// Reconcile client-observed outcomes with the server's counters.
+	st := s.Stats()
+	if st.Completed != total.successes {
+		t.Fatalf("server completed %d, clients observed %d successes", st.Completed, total.successes)
+	}
+	if st.Admission.Shed != total.sheds {
+		t.Fatalf("server shed %d, clients observed %d overload errors", st.Admission.Shed, total.sheds)
+	}
+	if st.Admission.Admitted != st.Completed+st.Failed {
+		t.Fatalf("admitted %d != completed %d + failed %d",
+			st.Admission.Admitted, st.Completed, st.Failed)
+	}
+	if got := st.Admission.Admitted + st.Admission.Shed + st.Admission.Expired; got > total.requests {
+		t.Fatalf("admission accounted for %d requests, clients made %d", got, total.requests)
+	}
+	if st.Failed > total.ctxErrs+total.faults {
+		t.Fatalf("server failed %d > client-observed errors %d",
+			st.Failed, total.ctxErrs+total.faults)
+	}
+	if st.Admission.InFlight != 0 || st.Admission.InUse != 0 || st.Admission.QueueLen != 0 {
+		t.Fatalf("requests still wedged in the gate: %+v", st.Admission)
+	}
+
+	// Breaker invariants: every recovery requires a preceding trip, every
+	// trip requires real failures, and fallback routing must agree with
+	// the breaker's own rejection count exactly.
+	b := st.Breaker
+	if st.Fallbacks != b.Rejected {
+		t.Fatalf("fallbacks %d != breaker rejected %d", st.Fallbacks, b.Rejected)
+	}
+	if b.HalfOpens > b.Trips || b.Closes > b.HalfOpens {
+		t.Fatalf("impossible breaker lifecycle: %+v", b)
+	}
+	if b.Trips > 0 && injected.Load() == 0 {
+		t.Fatalf("breaker tripped %d times with no injected faults", b.Trips)
+	}
+	if b.Failures > 0 && injected.Load() == 0 && total.ctxErrs == 0 {
+		t.Fatalf("breaker recorded %d failures with no fault source", b.Failures)
+	}
+	if st.Degraded {
+		t.Fatalf("serving-time faults degraded the pipeline (build finished pre-chaos)")
+	}
+
+	// Graceful shutdown with zero in-flight work must be prompt and
+	// clean, and must leave a loadable snapshot behind.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close after soak: %v (wedged requests?)", err)
+	}
+	if n := countPlanFiles(t, dir); n < 2 {
+		t.Fatalf("post-soak snapshot wrote %d plan files, want both variants", n)
+	}
+	if _, err := s.SpMM(context.Background(), prime); !errors.Is(err, repro.ErrServerClosed) {
+		t.Fatalf("request after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+func isPanicError(err error) bool {
+	var pe *repro.PanicError
+	return errors.As(err, &pe)
+}
