@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint soak bench bench-preprocess fuzz experiments corpus clean
+.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess fuzz experiments corpus clean
 
 all: build lint test
 
@@ -36,6 +36,13 @@ race:
 SOAK_FLAGS ?=
 soak:
 	$(GO) test -race -count=1 -run TestServerChaosSoak -v $(SOAK_FLAGS) .
+
+# Observability smoke: boot the real spmmrr binary in serving mode with
+# -obs-listen, scrape /metrics, /healthz, /readyz, and /debug/traces,
+# and fail on a malformed exposition (the same grammar a Prometheus
+# scraper applies), then SIGTERM and require a clean drain.
+obs-smoke:
+	$(GO) test -count=1 -run TestCLIServeObservability -v ./cmd/spmmrr/
 
 # One bench per paper table/figure plus the ablations (see DESIGN.md §4).
 bench:

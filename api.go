@@ -46,6 +46,11 @@ type Config = reorder.Config
 // Plan is the result of preprocessing a matrix.
 type Plan = reorder.Plan
 
+// StageTimings is the per-stage wall-clock breakdown of preprocessing
+// (Plan.Stages), surfaced through Pipeline.PlanStages and
+// Server.PlanStages.
+type StageTimings = reorder.StageTimings
+
 // LSHParams configures the MinHash candidate-pair generation.
 type LSHParams = lsh.Params
 

@@ -12,6 +12,7 @@
 //	spmmrr -gen scrambled [-rows 16384] ...
 //	spmmrr -dir corpus/ [-k 512]       # batch summary over .mtx files
 //	spmmrr -in matrix.mtx -serve [-plandir plans/] [-serve-duration 30s]
+//	       [-obs-listen 127.0.0.1:9090]   # /metrics, /healthz, /readyz, /debug/traces, /debug/pprof
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		serve     = flag.Bool("serve", false, "serving mode: host the matrix behind the resilient Server until SIGINT/SIGTERM (graceful drain)")
 		planDir   = flag.String("plandir", "", "with -serve: plan snapshot directory for warm start and shutdown snapshot")
 		serveFor  = flag.Duration("serve-duration", 0, "with -serve: stop automatically after this long (0 = run until a signal)")
+		obsListen = flag.String("obs-listen", "", "with -serve: expose /metrics, /healthz, /readyz, /debug/traces and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = no listener)")
 	)
 	flag.Parse()
 
@@ -67,7 +69,7 @@ func main() {
 	cfg := repro.DefaultConfig()
 	cfg.EmitMergeOrder = *mergeOrd
 	if *serve {
-		if err := runServe(m, cfg, *planDir, *serveFor, *k); err != nil {
+		if err := runServe(m, cfg, *planDir, *serveFor, *k, *obsListen); err != nil {
 			fatal(err)
 		}
 		return

@@ -2,13 +2,19 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // runCLI builds the command once per test binary and runs it with args.
@@ -174,6 +180,137 @@ func TestCLIServeGracefulSIGTERM(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("graceful shutdown output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// lockedBuffer is an io.Writer safe to read while the child process is
+// still writing through the exec pipes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// The observability listener of a real serving process: scrape
+// /metrics (and validate the exposition format), check /healthz and
+// /readyz, fetch /debug/traces, then SIGTERM and require a clean exit.
+func TestCLIServeObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "-gen", "scrambled", "-rows", "512", "-k", "16",
+		"-serve", "-obs-listen", "127.0.0.1:0")
+	buf := &lockedBuffer{}
+	cmd.Stdout, cmd.Stderr = buf, buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The listener binds port 0; parse the actual address from stdout.
+	var base string
+	deadline := time.Now().Add(15 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no observability address announced:\n%s", buf.String())
+		}
+		out := buf.String()
+		if i := strings.Index(out, "observability on http://"); i >= 0 {
+			rest := out[i+len("observability on "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				base = strings.TrimSpace(rest[:j])
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\n%s", path, err, buf.String())
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// Readiness flips once the background reordered build (or the
+	// degraded decision) lands; 512 rows build in well under a second.
+	for {
+		if code, _, _ := get("/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never became ready:\n%s", buf.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if code, body, _ := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	for _, fam := range []string{
+		"spmmrr_admission_admitted_total",
+		"spmmrr_breaker_state",
+		"spmmrr_server_request_seconds",
+		"spmmrr_plancache_hits_total",
+		"spmmrr_kernel_seconds",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Fatalf("/metrics missing family %q:\n%s", fam, body)
+		}
+	}
+
+	if code, body, _ = get("/debug/traces"); code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", code)
+	} else if !json.Valid([]byte(body)) {
+		t.Fatalf("/debug/traces not JSON:\n%s", body)
+	}
+	if code, _, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not exit cleanly on SIGTERM: %v\n%s", err, buf.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("serve wedged after SIGTERM:\n%s", buf.String())
+	}
+	if out := buf.String(); !strings.Contains(out, "drained;") {
+		t.Fatalf("graceful shutdown output missing:\n%s", out)
 	}
 }
 

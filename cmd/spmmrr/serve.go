@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/faultinject"
 )
 
 // runServe hosts m behind the full serving stack (admission control,
@@ -19,8 +22,11 @@ import (
 // duration elapses. Shutdown is graceful: the load stops, in-flight
 // requests drain through Server.Close, and — with a plan directory
 // configured — the plan cache is snapshotted so the next run warm
-// starts without redoing LSH or clustering.
-func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.Duration, k int) error {
+// starts without redoing LSH or clustering. With obsListen non-empty an
+// HTTP observability listener is hosted on that address for the life of
+// the server: /metrics (Prometheus text), /healthz, /readyz,
+// /debug/traces, and /debug/pprof.
+func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.Duration, k int, obsListen string) error {
 	if planDir != "" {
 		n, err := repro.LoadPlanDir(planDir)
 		if err != nil {
@@ -42,6 +48,20 @@ func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.D
 		return err
 	}
 	fmt.Printf("serve: accepting requests (K=%d); no-reorder plan ready, reordered plan building in background\n", k)
+
+	var obsSrv *http.Server
+	if obsListen != "" {
+		if err := faultinject.Fire("obs.listen"); err != nil {
+			return fmt.Errorf("observability listener: %w", err)
+		}
+		ln, err := net.Listen("tcp", obsListen)
+		if err != nil {
+			return fmt.Errorf("observability listener: %w", err)
+		}
+		obsSrv = &http.Server{Handler: s.ObsHandler()}
+		go obsSrv.Serve(ln)
+		fmt.Printf("serve: observability on http://%s\n", ln.Addr())
+	}
 
 	var completed, failed atomic.Int64
 	loadDone := make(chan struct{})
@@ -78,6 +98,13 @@ func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.D
 	defer cancel()
 	if err := s.Close(closeCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if obsSrv != nil {
+		// The metrics listener outlives the drain so a final scrape can
+		// observe the fully settled counters, then shuts down cleanly.
+		if err := obsSrv.Shutdown(closeCtx); err != nil {
+			return fmt.Errorf("observability shutdown: %w", err)
+		}
 	}
 
 	st := s.Stats()

@@ -34,6 +34,7 @@ var known = []string{
 	"lsh.pairmerge",
 	"lsh.scoring",
 	"lsh.signatures",
+	"obs.listen",
 	"plancache.disk.load",
 	"plancache.disk.save",
 	"plancache.get",

@@ -138,23 +138,26 @@ func startWorkers() {
 }
 
 // steal claims chunks off the job's atomic cursor until none remain,
-// the job has failed, or its context is cancelled.
-func (j *job) steal() {
+// the job has failed, or its context is cancelled, and reports how many
+// chunks this goroutine ran (the work-stealing balance signal).
+func (j *job) steal() int {
 	n := int64(len(j.chunks))
+	claimed := 0
 	for {
 		if j.stop.Load() {
-			return
+			return claimed
 		}
 		if err := par.CtxErr(j.ctx); err != nil {
 			j.recordFail(err)
-			return
+			return claimed
 		}
 		i := j.next.Add(1) - 1
 		if i >= n {
-			return
+			return claimed
 		}
 		c := j.chunks[i]
 		j.runChunk(c.lo, c.hi)
+		claimed++
 	}
 }
 
@@ -261,15 +264,19 @@ func (j *job) dispatch(rows int, cum func(int) int64) error {
 		if err := par.CtxErr(j.ctx); err != nil {
 			return err
 		}
+		executorChunks.Observe(1)
+		executorCallerRatio.Observe(1)
 		j.runChunk(0, rows)
 		return j.err()
 	}
 	j.chunks = appendBalancedChunks(j.chunks[:0], rows, cum, workers*chunksPerWorker)
+	executorChunks.Observe(float64(len(j.chunks)))
 	if len(j.chunks) == 1 {
 		c := j.chunks[0]
 		if err := par.CtxErr(j.ctx); err != nil {
 			return err
 		}
+		executorCallerRatio.Observe(1)
 		j.runChunk(c.lo, c.hi)
 		return j.err()
 	}
@@ -283,7 +290,8 @@ func (j *job) dispatch(rows int, cum func(int) int64) error {
 			w = workers // queue full; run with whoever already joined
 		}
 	}
-	j.steal()
+	mine := j.steal()
 	j.wg.Wait()
+	executorCallerRatio.Observe(float64(mine) / float64(len(j.chunks)))
 	return j.err()
 }

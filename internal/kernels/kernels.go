@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/aspt"
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -98,12 +100,16 @@ func SpMMRowWiseIntoCtx(ctx context.Context, y *dense.Matrix, s *sparse.CSR, x *
 	if err := checkSpMMOut(s, x, y); err != nil {
 		return err
 	}
+	start := time.Now()
+	sp := obs.TraceFrom(ctx).StartSpan("kernel_spmm_rowwise")
 	j := getJob()
 	j.run = runSpMMRowWise
 	j.ctx = ctx
 	j.csr, j.x, j.y = s, x, y
 	err := j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
 	putJob(j)
+	sp.End()
+	kernelSpMMRowWise.ObserveSince(start)
 	return err
 }
 
@@ -153,12 +159,16 @@ func SpMMASpTIntoCtx(ctx context.Context, y *dense.Matrix, t *aspt.Matrix, x *de
 	if err := checkSpMMOut(t.Src, x, y); err != nil {
 		return err
 	}
+	start := time.Now()
+	sp := obs.TraceFrom(ctx).StartSpan("kernel_spmm_aspt")
 	j := getJob()
 	j.run = runSpMMASpT
 	j.ctx = ctx
 	j.tile, j.x, j.y = t, x, y
 	err := j.dispatch(t.Src.Rows, t.CumWork)
 	putJob(j)
+	sp.End()
+	kernelSpMMASpT.ObserveSince(start)
 	return err
 }
 
@@ -245,12 +255,16 @@ func SDDMMRowWiseIntoCtx(ctx context.Context, out, s *sparse.CSR, x, y *dense.Ma
 	if err := checkSDDMMOut(s, out); err != nil {
 		return err
 	}
+	start := time.Now()
+	sp := obs.TraceFrom(ctx).StartSpan("kernel_sddmm_rowwise")
 	j := getJob()
 	j.run = runSDDMMRowWise
 	j.ctx = ctx
 	j.csr, j.x, j.y, j.out = s, x, y, out.Val
 	err := j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
 	putJob(j)
+	sp.End()
+	kernelSDDMMRowWise.ObserveSince(start)
 	return err
 }
 
@@ -302,12 +316,16 @@ func SDDMMASpTIntoCtx(ctx context.Context, out *sparse.CSR, t *aspt.Matrix, x, y
 	if err := checkSDDMMOut(t.Src, out); err != nil {
 		return err
 	}
+	start := time.Now()
+	sp := obs.TraceFrom(ctx).StartSpan("kernel_sddmm_aspt")
 	j := getJob()
 	j.run = runSDDMMASpT
 	j.ctx = ctx
 	j.tile, j.x, j.y, j.out = t, x, y, out.Val
 	err := j.dispatch(t.Src.Rows, t.CumWork)
 	putJob(j)
+	sp.End()
+	kernelSDDMMASpT.ObserveSince(start)
 	return err
 }
 

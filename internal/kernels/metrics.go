@@ -1,0 +1,35 @@
+package kernels
+
+import (
+	"repro/internal/obs"
+)
+
+// Kernel metrics live in the process-wide registry and are created once
+// at init: the hot path only touches pre-registered histograms, whose
+// Observe is lock-free and allocation-free, preserving the *Into
+// kernels' zero-allocation guarantee.
+var (
+	kernelSpMMRowWise = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "spmm_rowwise"))
+	kernelSpMMASpT = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "spmm_aspt"))
+	kernelSDDMMRowWise = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "sddmm_rowwise"))
+	kernelSDDMMASpT = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "sddmm_aspt"))
+
+	executorChunks = obs.Default().Histogram("spmmrr_executor_chunks_per_call",
+		"nnz-balanced chunks produced per kernel dispatch.",
+		obs.ExponentialBuckets(1, 2, 10))
+	// The caller participates in stealing alongside the pool workers; the
+	// fraction of chunks it ends up running measures work-stealing
+	// balance (≈1/workers when balanced, →1 when the pool is saturated
+	// and the caller drains everything itself).
+	executorCallerRatio = obs.Default().Histogram("spmmrr_executor_caller_chunk_ratio",
+		"Fraction of a dispatch's chunks executed by the calling goroutine.",
+		obs.LinearBuckets(0.1, 0.1, 10))
+)

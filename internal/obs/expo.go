@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders every series of the given registries in Prometheus
+// text exposition format v0.0.4, families sorted by name and merged
+// across registries (same-name families must agree on kind). The
+// encoder is hand-rolled — the module takes no dependencies — and its
+// output is checked against the grammar by ValidateExposition in tests
+// and the CI obs smoke.
+func WriteTo(w io.Writer, regs ...*Registry) error {
+	type famOut struct {
+		help    string
+		kind    Kind
+		samples []Sample
+	}
+	merged := make(map[string]*famOut)
+	var names []string
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		meta := r.helpAndKind()
+		for _, s := range r.Snapshot() {
+			f := merged[s.Name]
+			if f == nil {
+				f = &famOut{help: meta[s.Name].help, kind: meta[s.Name].kind}
+				merged[s.Name] = f
+				names = append(names, s.Name)
+			}
+			f.samples = append(f.samples, s)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := merged[name]
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+		for _, s := range f.samples {
+			if f.kind == KindHistogram {
+				writeHistogram(&b, name, s)
+				continue
+			}
+			b.WriteString(name)
+			b.WriteString(formatLabels(s.Labels))
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one labeled histogram series: cumulative
+// _bucket lines (including the mandatory le="+Inf"), then _sum and
+// _count. Because HistogramSnapshot derives Count from its buckets,
+// the rendered +Inf bucket always equals _count.
+func writeHistogram(b *strings.Builder, name string, s Sample) {
+	var cum uint64
+	for i, c := range s.Hist.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Hist.Bounds) {
+			le = formatValue(s.Hist.Bounds[i])
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(formatLabels(append(append([]Label(nil), s.Labels...), Label{"le", le})))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(formatLabels(s.Labels))
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.Hist.Sum))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(formatLabels(s.Labels))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.Hist.Count, 10))
+	b.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

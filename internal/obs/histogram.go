@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// histShards is the number of independently updated shards per
+// histogram. Power of two so the shard pick is a mask, sized to cover
+// typical serving concurrency without contending on one cache line.
+const histShards = 16
+
+// histShard holds one shard's bucket counts and running sum. The
+// padding keeps concurrent writers on different shards from false
+// sharing; counts live in a fixed array so a Histogram is a single
+// allocation regardless of bucket count (bounded by maxBuckets).
+type histShard struct {
+	counts  [maxBuckets]atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	_       [6]uint64     // pad to a cache-line boundary past sumBits
+}
+
+// maxBuckets bounds the per-histogram bucket count (excluding the
+// implicit +Inf bucket, which is the last slot).
+const maxBuckets = 32
+
+// Histogram is a fixed-bucket histogram with per-shard atomic state.
+// Observe is lock-free and allocation-free; Snapshot merges the shards
+// into a consistent view. Upper bounds are cumulative-le boundaries in
+// ascending order; observations above the last bound land in the
+// implicit +Inf bucket. A nil *Histogram ignores observations.
+type Histogram struct {
+	bounds []float64 // ascending, len <= maxBuckets-1
+	shards [histShards]histShard
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. It panics on unsorted, non-finite, or oversized bounds —
+// bucket layouts are static configuration, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 || len(bounds) > maxBuckets-1 {
+		panic("obs: histogram needs 1..31 bucket bounds")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	sh := &h.shards[rand.Uint32()&(histShards-1)]
+	// Inlined binary search for the first bound >= v (le semantics).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	sh.counts[lo].Add(1)
+	for {
+		old := sh.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if sh.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the time elapsed since start, in seconds, and
+// is the idiomatic way to time a code region:
+//
+//	defer h.ObserveSince(time.Now())
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// HistogramSnapshot is a merged, self-consistent view of a histogram.
+// Counts[i] is the non-cumulative count for bucket i (bounds[i] as
+// upper bound), with the final slot being the +Inf bucket. Count is
+// always the sum of Counts, so cumulative exposition derived from a
+// snapshot satisfies the bucket-sum == _count invariant even while
+// writers race with the snapshot.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot merges all shards. Observations that land concurrently may
+// or may not be included, but the returned snapshot is internally
+// consistent (Count == sum of Counts by construction).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	n := len(h.bounds) + 1 // + the +Inf bucket
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, n),
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < n; b++ {
+			s.Counts[b] += sh.counts[b].Load()
+		}
+		s.Sum += math.Float64frombits(sh.sumBits.Load())
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	return s
+}
+
+// LatencyBuckets is the default bucket layout for request and kernel
+// latencies: 10µs to ~10s, roughly 3 buckets per decade.
+func LatencyBuckets() []float64 {
+	return []float64{
+		10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+		100e-3, 250e-3, 500e-3, 1, 2.5, 5, 10,
+	}
+}
+
+// LinearBuckets returns count bounds starting at start, spaced width
+// apart.
+func LinearBuckets(start, width float64, count int) []float64 {
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// ExponentialBuckets returns count bounds starting at start, each
+// factor times the previous.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrentRecordMerge hammers one histogram from many
+// goroutines while a reader merges snapshots mid-flight, then checks
+// the final merged view accounts for every observation exactly. Run
+// under -race this also proves Observe/Snapshot are data-race free.
+func TestHistogramConcurrentRecordMerge(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	const goroutines = 8
+	const perG = 20000
+
+	// Concurrent reader: snapshots must always be internally consistent
+	// even while writers race.
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum uint64
+			for _, c := range s.Counts {
+				sum += c
+			}
+			if sum != s.Count {
+				t.Errorf("mid-flight snapshot: bucket sum %d != count %d", sum, s.Count)
+				return
+			}
+		}
+	}()
+
+	var wantSum float64
+	var mu sync.Mutex
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(seed uint64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+			var local float64
+			for i := 0; i < perG; i++ {
+				v := rng.Float64() * 2 // spans most latency buckets
+				local += v
+				h.Observe(v)
+			}
+			mu.Lock()
+			wantSum += local
+			mu.Unlock()
+		}(uint64(g + 1))
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramBucketSumProperty is the property test from the issue:
+// for randomized bucket layouts and observation streams, bucket counts
+// always sum to the total observation count, every observation lands
+// in the first bucket whose bound is >= the value, and the running sum
+// matches.
+func TestHistogramBucketSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		nb := 1 + rng.IntN(maxBuckets-1)
+		bounds := make([]float64, nb)
+		v := rng.Float64()*0.01 + 1e-6
+		for i := range bounds {
+			bounds[i] = v
+			v *= 1 + rng.Float64()*3
+		}
+		h := NewHistogram(bounds)
+		n := 1 + rng.IntN(5000)
+		want := make([]uint64, nb+1)
+		var wantSum float64
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * bounds[nb-1] * 1.5 // some beyond the last bound
+			h.Observe(x)
+			wantSum += x
+			idx := nb // +Inf
+			for b, ub := range bounds {
+				if x <= ub {
+					idx = b
+					break
+				}
+			}
+			want[idx]++
+		}
+		s := h.Snapshot()
+		if s.Count != uint64(n) {
+			t.Fatalf("trial %d: count %d != %d", trial, s.Count, n)
+		}
+		var sum uint64
+		for b, c := range s.Counts {
+			sum += c
+			if c != want[b] {
+				t.Fatalf("trial %d: bucket %d = %d, want %d", trial, b, c, want[b])
+			}
+		}
+		if sum != s.Count {
+			t.Fatalf("trial %d: bucket sum %d != count %d", trial, sum, s.Count)
+		}
+		if math.Abs(s.Sum-wantSum) > 1e-9*math.Max(1, wantSum) {
+			t.Fatalf("trial %d: sum %v != %v", trial, s.Sum, wantSum)
+		}
+	}
+}
+
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.0042) }); n != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", n)
+	}
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nilH.Observe(1); nilH.ObserveSince(time.Time{}) }); n != 0 {
+		t.Fatalf("nil-histogram Observe allocates %v times per call, want 0", n)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c *Counter
+	c.Inc() // nil-safe
+	if c.Value() != 0 {
+		t.Fatal("nil counter non-zero")
+	}
+	c = &Counter{}
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	var gf GaugeFloat
+	gf.SetDuration(1500 * time.Millisecond)
+	if got := gf.Value(); got != 1.5 {
+		t.Fatalf("gauge float = %v, want 1.5", got)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); g.Add(1); gf.Set(1) }); n != 0 {
+		t.Fatalf("counter/gauge ops allocate %v times per run, want 0", n)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 4)
+	if want := []float64{1, 3, 5, 7}; !equalF(lin, want) {
+		t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if want := []float64{1, 10, 100}; !equalF(exp, want) {
+		t.Fatalf("ExponentialBuckets = %v, want %v", exp, want)
+	}
+	// Defaults must be valid histogram config.
+	NewHistogram(LatencyBuckets())
+}
+
+func equalF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerConfig wires the observability HTTP surface.
+type HandlerConfig struct {
+	// Registries are gathered, merged, and exposed at /metrics.
+	Registries []*Registry
+	// Traces, when non-nil, is served as JSON at /debug/traces.
+	Traces *TraceRing
+	// Ready reports request-serving readiness for /readyz (for the
+	// serving stack: a warm reordered plan has landed or the degraded
+	// decision has been made). A nil Ready means always ready.
+	Ready func() bool
+	// Healthy reports process liveness for /healthz. A nil Healthy
+	// means always healthy.
+	Healthy func() bool
+}
+
+// NewHandler returns the observability endpoint mux:
+//
+//	/metrics       Prometheus text format v0.0.4
+//	/healthz       200 "ok" while Healthy() (liveness)
+//	/readyz        200 "ready" once Ready() (readiness)
+//	/debug/traces  recent-trace ring as a JSON array
+//	/debug/pprof/  the standard net/http/pprof surface
+func NewHandler(cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteTo(w, cfg.Registries...)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Healthy != nil && !cfg.Healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Ready != nil && !cfg.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Traces.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

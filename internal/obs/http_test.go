@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "Demo counter.").Add(2)
+	ring := NewTraceRing(4)
+	tr := NewTrace("spmm")
+	tr.StartSpan("attempt").End()
+	tr.Finish(nil)
+	ring.Push(tr)
+	var ready atomic.Bool
+	h := NewHandler(HandlerConfig{
+		Registries: []*Registry{reg},
+		Traces:     ring,
+		Ready:      ready.Load,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "demo_total 2") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics output malformed: %v", err)
+	}
+
+	if code, body = get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ = get("/readyz"); code != 503 {
+		t.Fatalf("/readyz before ready = %d, want 503", code)
+	}
+	ready.Store(true)
+	if code, body = get("/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+
+	code, body = get("/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	var traces []TraceSnapshot
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].Op != "spmm" || len(traces[0].Spans) != 1 {
+		t.Fatalf("/debug/traces = %+v", traces)
+	}
+
+	if code, _ = get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a per-request record of stage spans and annotations. It is
+// carried through the existing context plumbing via WithTrace /
+// TraceFrom, so instrumented layers (admission, retry, plan cache,
+// preprocessing, kernels) record into the request's trace without any
+// signature changes. All methods are nil-safe: code paths that run
+// without a trace (the zero-allocation kernel entry points under a
+// bare context) see a nil *Trace and record nothing.
+type Trace struct {
+	mu    sync.Mutex
+	id    uint64
+	op    string
+	start time.Time
+	end   time.Time
+	err   string
+	spans []span
+	attrs []Attr
+}
+
+// Attr is one key=value annotation on a trace (breaker state at
+// decision time, plan-cache tier, outcome class, ...).
+type Attr struct{ Key, Value string }
+
+type span struct {
+	name  string
+	start time.Duration // offset from trace start
+	dur   time.Duration
+}
+
+var traceIDs atomic.Uint64
+
+var tracePool = sync.Pool{New: func() any { return &Trace{} }}
+
+// NewTrace starts a trace for one operation. Traces are pooled; they
+// return to the pool when evicted from the TraceRing they are pushed
+// to, so steady-state serving reuses a bounded set of Trace objects.
+func NewTrace(op string) *Trace {
+	tr := tracePool.Get().(*Trace)
+	tr.id = traceIDs.Add(1)
+	tr.op = op
+	tr.start = time.Now()
+	tr.end = time.Time{}
+	tr.err = ""
+	tr.spans = tr.spans[:0]
+	tr.attrs = tr.attrs[:0]
+	return tr
+}
+
+// SpanHandle ends a span started with StartSpan. The zero value (from
+// a nil trace) is a no-op.
+type SpanHandle struct {
+	tr  *Trace
+	idx int
+}
+
+// StartSpan opens a named span at the current time. Spans may nest and
+// overlap; they are closed by the returned handle's End.
+func (t *Trace) StartSpan(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	t.spans = append(t.spans, span{name: name, start: now, dur: -1})
+	h := SpanHandle{t, len(t.spans) - 1}
+	t.mu.Unlock()
+	return h
+}
+
+// End closes the span at the current time.
+func (h SpanHandle) End() {
+	if h.tr == nil {
+		return
+	}
+	now := time.Since(h.tr.start)
+	h.tr.mu.Lock()
+	sp := &h.tr.spans[h.idx]
+	if sp.dur < 0 {
+		sp.dur = now - sp.start
+	}
+	h.tr.mu.Unlock()
+}
+
+// AddSpan records an already-measured span with an explicit start time
+// and duration. Used to lift externally timed stages (for example
+// Plan.Stages durations measured by code that has no trace in scope)
+// into the trace after the fact.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, span{name: name, start: start.Sub(t.start), dur: d})
+	t.mu.Unlock()
+}
+
+// Annotate attaches a key=value attribute. Re-annotating a key
+// overwrites its value.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for i := range t.attrs {
+		if t.attrs[i].Key == key {
+			t.attrs[i].Value = value
+			t.mu.Unlock()
+			return
+		}
+	}
+	t.attrs = append(t.attrs, Attr{key, value})
+	t.mu.Unlock()
+}
+
+// Finish stamps the trace end time and the final error outcome ("" on
+// success). It is idempotent; the first call wins.
+func (t *Trace) Finish(err error) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+		if err != nil {
+			t.err = err.Error()
+		}
+	}
+	t.mu.Unlock()
+}
+
+// ctxKey is the private context key type for trace propagation.
+type ctxKey struct{}
+
+// WithTrace returns a context carrying tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil. All Trace
+// methods accept the nil result, so callers never need to branch.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// SpanSnapshot is one span in a trace dump. Offsets and durations are
+// microseconds from the trace start.
+type SpanSnapshot struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// TraceSnapshot is the JSON form of a finished trace served by
+// /debug/traces.
+type TraceSnapshot struct {
+	ID     uint64            `json:"id"`
+	Op     string            `json:"op"`
+	Start  time.Time         `json:"start"`
+	WallUS int64             `json:"wall_us"`
+	Err    string            `json:"err,omitempty"`
+	Spans  []SpanSnapshot    `json:"spans"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Snapshot deep-copies the trace. Unfinished spans are reported with
+// the trace end (or current time) as their implicit end.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+func (t *Trace) snapshotLocked() TraceSnapshot {
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	s := TraceSnapshot{
+		ID:     t.id,
+		Op:     t.op,
+		Start:  t.start,
+		WallUS: end.Sub(t.start).Microseconds(),
+		Err:    t.err,
+		Spans:  make([]SpanSnapshot, len(t.spans)),
+	}
+	for i, sp := range t.spans {
+		d := sp.dur
+		if d < 0 {
+			d = end.Sub(t.start) - sp.start
+		}
+		s.Spans[i] = SpanSnapshot{Name: sp.name, StartUS: sp.start.Microseconds(), DurUS: d.Microseconds()}
+	}
+	if len(t.attrs) > 0 {
+		s.Attrs = make(map[string]string, len(t.attrs))
+		for _, a := range t.attrs {
+			s.Attrs[a.Key] = a.Value
+		}
+	}
+	return s
+}
+
+// SpanCoverageUS returns the union length, in microseconds, of all
+// span intervals in the snapshot. Nested and overlapping spans count
+// once, so the value is comparable against WallUS to ask "how much of
+// this request's wall time is accounted for by recorded spans".
+func (s TraceSnapshot) SpanCoverageUS() int64 {
+	if len(s.Spans) == 0 {
+		return 0
+	}
+	type iv struct{ lo, hi int64 }
+	ivs := make([]iv, len(s.Spans))
+	for i, sp := range s.Spans {
+		ivs[i] = iv{sp.StartUS, sp.StartUS + sp.DurUS}
+	}
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].lo < ivs[j-1].lo; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	var total, hi int64
+	lo := ivs[0].lo
+	hi = ivs[0].hi
+	for _, v := range ivs[1:] {
+		if v.lo > hi {
+			total += hi - lo
+			lo, hi = v.lo, v.hi
+			continue
+		}
+		if v.hi > hi {
+			hi = v.hi
+		}
+	}
+	return total + hi - lo
+}
+
+// TraceRing keeps the most recent finished traces for /debug/traces.
+// Push recycles the evicted trace back into the trace pool, so the
+// ring also bounds trace object lifetime.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	n    int
+}
+
+// NewTraceRing returns a ring holding up to capacity traces.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]*Trace, capacity)}
+}
+
+// Push adds a finished trace, evicting (and pooling) the oldest when
+// full. A nil ring or nil trace is a no-op.
+func (r *TraceRing) Push(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.mu.Lock()
+	if old := r.buf[r.next]; old != nil {
+		tracePool.Put(old)
+	}
+	r.buf[r.next] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the ring's traces, most recent first.
+func (r *TraceRing) Snapshot() []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSnapshot, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		tr := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		tr.mu.Lock()
+		out = append(out, tr.snapshotLocked())
+		tr.mu.Unlock()
+	}
+	return out
+}
+
+// MarshalJSON renders the ring as a JSON array of trace snapshots.
+func (r *TraceRing) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndAttrs(t *testing.T) {
+	tr := NewTrace("spmm")
+	outer := tr.StartSpan("attempt")
+	inner := tr.StartSpan("kernel_spmm")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+	tr.Annotate("breaker", "closed")
+	tr.Annotate("breaker", "open") // overwrite, not duplicate
+	tr.Annotate("cache_tier", "memory")
+	tr.AddSpan("stage_tiling", tr.start, 500*time.Microsecond)
+	tr.Finish(errors.New("boom"))
+	tr.Finish(nil) // idempotent: first outcome wins
+
+	s := tr.Snapshot()
+	if s.Op != "spmm" || s.Err != "boom" {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(s.Spans))
+	}
+	if s.Attrs["breaker"] != "open" || s.Attrs["cache_tier"] != "memory" || len(s.Attrs) != 2 {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+	if s.WallUS < 2000 {
+		t.Fatalf("wall %dus, want >= 2ms", s.WallUS)
+	}
+	// The nested kernel span must not double-count in the union.
+	if cov := s.SpanCoverageUS(); cov > s.WallUS || cov < 2000 {
+		t.Fatalf("span coverage %dus of wall %dus", cov, s.WallUS)
+	}
+}
+
+func TestSpanCoverageUnion(t *testing.T) {
+	s := TraceSnapshot{Spans: []SpanSnapshot{
+		{Name: "a", StartUS: 0, DurUS: 100},
+		{Name: "nested", StartUS: 20, DurUS: 30}, // inside a
+		{Name: "b", StartUS: 150, DurUS: 50},
+		{Name: "overlap", StartUS: 180, DurUS: 40},
+	}}
+	if got := s.SpanCoverageUS(); got != 100+70 {
+		t.Fatalf("coverage = %d, want 170", got)
+	}
+	if got := (TraceSnapshot{}).SpanCoverageUS(); got != 0 {
+		t.Fatalf("empty coverage = %d", got)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	h := tr.StartSpan("x")
+	h.End()
+	tr.Annotate("k", "v")
+	tr.AddSpan("y", time.Now(), time.Second)
+	tr.Finish(nil)
+	if n := testing.AllocsPerRun(500, func() {
+		sp := tr.StartSpan("x")
+		sp.End()
+		tr.Annotate("k", "v")
+	}); n != 0 {
+		t.Fatalf("nil trace ops allocate %v times per run, want 0", n)
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(background) = %v", got)
+	}
+}
+
+func TestWithTraceRoundTrip(t *testing.T) {
+	tr := NewTrace("op")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("TraceFrom did not return the installed trace")
+	}
+}
+
+func TestTraceRingEvictionAndOrder(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		tr := NewTrace("op")
+		tr.Annotate("i", string(rune('0'+i)))
+		tr.Finish(nil)
+		r.Push(tr)
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(snaps))
+	}
+	// Most recent first: 4, 3, 2.
+	for i, want := range []string{"4", "3", "2"} {
+		if snaps[i].Attrs["i"] != want {
+			t.Fatalf("ring[%d] = %v, want i=%s", i, snaps[i].Attrs, want)
+		}
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []TraceSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("ring JSON does not round-trip: %v\n%s", err, data)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d traces, want 3", len(decoded))
+	}
+}
+
+// TestTraceRingConcurrentPushSnapshot exercises pooled-trace recycling
+// while snapshots race with pushes; run under -race this proves the
+// ring's eviction/reuse cycle cannot corrupt a concurrent reader.
+func TestTraceRingConcurrentPushSnapshot(t *testing.T) {
+	r := NewTraceRing(4)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range r.Snapshot() {
+				if s.Op != "op" {
+					t.Errorf("corrupt snapshot op %q", s.Op)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		tr := NewTrace("op")
+		tr.StartSpan("s").End()
+		tr.Finish(nil)
+		r.Push(tr)
+	}
+	close(stop)
+	<-done
+}

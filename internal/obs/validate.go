@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// famState tracks per-family validation state while scanning an
+// exposition document.
+type famState struct {
+	typ       string
+	sawSample bool
+	closed    bool // a different family has started since
+	hist      map[string]*histCheck
+	histSum   map[string]bool
+	histCount map[string]uint64
+}
+
+// histCheck tracks one labeled histogram series' bucket progression.
+type histCheck struct {
+	prev     uint64
+	prevLe   float64
+	any      bool
+	sawInf   bool
+	infValue uint64
+}
+
+// ValidateExposition checks text against the Prometheus text format
+// v0.0.4 grammar plus the structural invariants a conforming scraper
+// relies on:
+//
+//   - every line is a HELP/TYPE comment, a plain comment, blank, or a
+//     sample with a valid metric name, well-formed escaped labels, and
+//     a parseable value;
+//   - TYPE appears at most once per family, before that family's
+//     samples, with a known type;
+//   - all lines of one family are contiguous (a family never resumes
+//     after another family's lines);
+//   - histogram families have, per label set: cumulative non-decreasing
+//     buckets in ascending le order ending at le="+Inf", a _count equal
+//     to the +Inf bucket, and a _sum line.
+//
+// It is used by the obs tests, the mid-soak scrape assertion, and the
+// CI obs-smoke step ("fail on malformed exposition output").
+func ValidateExposition(text string) error {
+	fams := make(map[string]*famState)
+	var current string
+	enter := func(name string) (*famState, error) {
+		f := fams[name]
+		if f == nil {
+			f = &famState{}
+			fams[name] = f
+		}
+		if f.closed {
+			return nil, fmt.Errorf("family %q resumed after another family", name)
+		}
+		if current != "" && current != name {
+			fams[current].closed = true
+		}
+		current = name
+		return f, nil
+	}
+
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // plain comment
+			}
+			if len(fields) < 3 || !validMetricName(fields[2]) {
+				return fmt.Errorf("line %d: malformed %s comment: %q", lineNo, fields[1], line)
+			}
+			f, err := enter(fields[2])
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if fields[1] == "TYPE" {
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				if f.sawSample {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, fields[2])
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE %q missing type", lineNo, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q for %q", lineNo, fields[3], fields[2])
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, sfx); base != name {
+				if f := fams[base]; f != nil && f.typ == "histogram" {
+					fam, suffix = base, sfx
+				}
+				break
+			}
+		}
+		f, err := enter(fam)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		f.sawSample = true
+
+		switch f.typ {
+		case "histogram":
+			if err := f.checkHistogramLine(suffix, labels, value); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case "counter":
+			if math.IsNaN(value) || value < 0 {
+				return fmt.Errorf("line %d: counter %q has NaN or negative value", lineNo, name)
+			}
+		}
+	}
+
+	for name, f := range fams {
+		if f.typ != "histogram" {
+			continue
+		}
+		for key, hc := range f.hist {
+			if !hc.sawInf {
+				return fmt.Errorf("histogram %q series %s missing le=\"+Inf\" bucket", name, key)
+			}
+			if !f.histSum[key] {
+				return fmt.Errorf("histogram %q series %s missing _sum", name, key)
+			}
+			cnt, ok := f.histCount[key]
+			if !ok {
+				return fmt.Errorf("histogram %q series %s missing _count", name, key)
+			}
+			if cnt != hc.infValue {
+				return fmt.Errorf("histogram %q series %s: _count %d != +Inf bucket %d", name, key, cnt, hc.infValue)
+			}
+		}
+	}
+	return nil
+}
+
+// checkHistogramLine validates one _bucket/_sum/_count sample of a
+// histogram family. Buckets are keyed by their labels minus le.
+func (f *famState) checkHistogramLine(suffix string, labels []Label, value float64) error {
+	if f.hist == nil {
+		f.hist = make(map[string]*histCheck)
+		f.histSum = make(map[string]bool)
+		f.histCount = make(map[string]uint64)
+	}
+	switch suffix {
+	case "_bucket":
+		var le string
+		rest := labels[:0:0]
+		for _, l := range labels {
+			if l.Name == "le" {
+				le = l.Value
+				continue
+			}
+			rest = append(rest, l)
+		}
+		if le == "" {
+			return fmt.Errorf("histogram bucket missing le label")
+		}
+		leV, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("unparseable le=%q", le)
+		}
+		if value != math.Trunc(value) || value < 0 {
+			return fmt.Errorf("bucket count %v is not a non-negative integer", value)
+		}
+		key := formatLabels(rest)
+		hc := f.hist[key]
+		if hc == nil {
+			hc = &histCheck{}
+			f.hist[key] = hc
+		}
+		if hc.sawInf {
+			return fmt.Errorf("bucket after le=\"+Inf\" in series %s", key)
+		}
+		if hc.any && leV <= hc.prevLe {
+			return fmt.Errorf("bucket le=%q not ascending in series %s", le, key)
+		}
+		if hc.any && uint64(value) < hc.prev {
+			return fmt.Errorf("bucket counts not cumulative in series %s", key)
+		}
+		hc.any, hc.prev, hc.prevLe = true, uint64(value), leV
+		if math.IsInf(leV, 1) {
+			hc.sawInf, hc.infValue = true, uint64(value)
+		}
+	case "_sum":
+		f.histSum[formatLabels(labels)] = true
+	case "_count":
+		if value != math.Trunc(value) || value < 0 {
+			return fmt.Errorf("histogram _count %v is not a non-negative integer", value)
+		}
+		f.histCount[formatLabels(labels)] = uint64(value)
+	default:
+		return fmt.Errorf("raw sample in histogram family")
+	}
+	return nil
+}
+
+// ParseSamples parses a Prometheus text exposition into a map from
+// series identity — metric name plus its label block, exactly as
+// exposed — to sample value. Comment and blank lines are skipped.
+// Tests use it to assert counter monotonicity across scrapes; run
+// ValidateExposition first when grammar conformance also matters.
+func ParseSamples(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, v, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out[name+formatLabels(labels)] = v
+	}
+	return out, nil
+}
+
+// parseSampleLine parses `name{labels} value [timestamp]`, validating
+// escapes and names.
+func parseSampleLine(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, ls, perr := parseLabels(rest)
+		if perr != nil {
+			return "", nil, 0, perr
+		}
+		labels = ls
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a `{name="value",...}` block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func parseLabels(s string) (end int, labels []Label, err error) {
+	i := 1
+	for {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' && s[i] != ' ' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		lname := s[start:i]
+		if !validLabelName(lname) {
+			return 0, nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+	scan:
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value for %q", lname)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("invalid escape \\%c in label %q", s[i+1], lname)
+				}
+				i += 2
+			case '"':
+				break scan
+			default:
+				val.WriteByte(s[i])
+				i++
+			}
+		}
+		i++ // closing '"'
+		labels = append(labels, Label{lname, val.String()})
+		switch {
+		case i < len(s) && s[i] == ',':
+			i++
+		case i < len(s) && s[i] == '}':
+			return i + 1, labels, nil
+		default:
+			return 0, nil, fmt.Errorf("expected ',' or '}' after label %q", lname)
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -30,10 +30,30 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
 )
+
+// Tier names which cache tier satisfied a lookup (or that none did).
+type Tier int
+
+const (
+	TierMiss   Tier = iota // neither tier had the plan
+	TierMemory             // in-memory LRU hit
+	TierDisk               // served from the snapshot directory
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	}
+	return "miss"
+}
 
 // key is a 128-bit content fingerprint. Two independently seeded
 // 64-bit lanes make accidental collisions (which would silently serve a
@@ -362,8 +382,15 @@ func (c *Cache) Purge() {
 // costs one O(nnz) hash (plus O(nnz) value gathers when m's values
 // differ from the cached ones).
 func (c *Cache) Get(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.Plan, bool) {
+	p, tier := c.GetTier(m, cfg, v)
+	return p, tier != TierMiss
+}
+
+// GetTier is Get reporting which tier satisfied the lookup, so callers
+// (traces, metrics) can distinguish a memory hit from a disk reload.
+func (c *Cache) GetTier(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.Plan, Tier) {
 	if c == nil {
-		return nil, false
+		return nil, TierMiss
 	}
 	// An injected lookup failure is indistinguishable from a miss: the
 	// caller recomputes, which is always correct.
@@ -371,7 +398,7 @@ func (c *Cache) Get(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.Plan
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
-		return nil, false
+		return nil, TierMiss
 	}
 	start := time.Now()
 	k := fingerprint(m, cfg, v)
@@ -386,10 +413,10 @@ func (c *Cache) Get(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.Plan
 				if p.Preprocess = time.Since(start); p.Preprocess <= 0 {
 					p.Preprocess = time.Nanosecond
 				}
-				return p, true
+				return p, TierDisk
 			}
 		}
-		return nil, false
+		return nil, TierMiss
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
@@ -405,7 +432,7 @@ func (c *Cache) Get(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.Plan
 	if np.Preprocess = time.Since(start); np.Preprocess <= 0 {
 		np.Preprocess = time.Nanosecond
 	}
-	return &np, true
+	return &np, TierMemory
 }
 
 // reskin replaces the three value arrays of the shallow-copied plan
@@ -550,10 +577,21 @@ func (c *Cache) PreprocessNRCtx(ctx context.Context, m *sparse.CSR, cfg reorder.
 
 func (c *Cache) preprocess(ctx context.Context, m *sparse.CSR, cfg reorder.Config, v Variant,
 	compute func(context.Context, *sparse.CSR, reorder.Config) (*reorder.Plan, error)) (*reorder.Plan, error) {
-	if p, ok := c.Get(m, cfg, v); ok {
+	getSpan, computeSpan, tierAttr := "plancache_get_full", "preprocess_compute_full", "plancache_full"
+	if v == NR {
+		getSpan, computeSpan, tierAttr = "plancache_get_nr", "preprocess_compute_nr", "plancache_nr"
+	}
+	tr := obs.TraceFrom(ctx)
+	sp := tr.StartSpan(getSpan)
+	p, tier := c.GetTier(m, cfg, v)
+	sp.End()
+	tr.Annotate(tierAttr, tier.String())
+	if tier != TierMiss {
 		return p, nil
 	}
+	sp = tr.StartSpan(computeSpan)
 	p, err := compute(ctx, m, cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,89 @@
+package reorder
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Build metrics live in the process-wide registry: preprocessing is a
+// package-level capability (several pipelines and caches share it), so
+// per-instance registries would fragment the numbers. Registered at
+// init so the families appear in /metrics from the first scrape.
+var (
+	buildsFull = obs.Default().Counter("spmmrr_preprocess_builds_total",
+		"Completed preprocessing builds by workflow variant.", obs.L("variant", "full"))
+	buildsNR = obs.Default().Counter("spmmrr_preprocess_builds_total",
+		"Completed preprocessing builds by workflow variant.", obs.L("variant", "nr"))
+	buildSecondsFull = obs.Default().Histogram("spmmrr_preprocess_seconds",
+		"End-to-end preprocessing build latency by workflow variant.",
+		obs.LatencyBuckets(), obs.L("variant", "full"))
+	buildSecondsNR = obs.Default().Histogram("spmmrr_preprocess_seconds",
+		"End-to-end preprocessing build latency by workflow variant.",
+		obs.LatencyBuckets(), obs.L("variant", "nr"))
+	denseTileRatio = obs.Default().GaugeFloat("spmmrr_preprocess_dense_tile_ratio",
+		"Dense-tile nonzero fraction of the most recent build (after reordering).")
+	avgConsecSim = obs.Default().GaugeFloat("spmmrr_preprocess_avg_consecutive_similarity",
+		"Average consecutive-row similarity of the most recent build's leftover part.")
+	stageSeconds = func() map[string]*obs.Histogram {
+		m := make(map[string]*obs.Histogram, len(stageNames))
+		for _, name := range stageNames {
+			m[name] = obs.Default().Histogram("spmmrr_preprocess_stage_seconds",
+				"Per-stage preprocessing time (the paper's cost-model stages).",
+				obs.LatencyBuckets(), obs.L("stage", name))
+		}
+		return m
+	}()
+)
+
+var stageNames = []string{
+	"signatures", "banding", "scoring", "clustering", "tiling", "permute", "heuristics",
+}
+
+// stageDurations returns the breakdown in stageNames order.
+func (s StageTimings) stageDurations() [7]time.Duration {
+	return [7]time.Duration{
+		s.Signatures, s.Banding, s.Scoring, s.Clustering, s.Tiling, s.Permute, s.Heuristics,
+	}
+}
+
+// recordBuild publishes a finished build to the process registry and,
+// when the build ran under a trace, lifts the stage breakdown into it
+// as spans laid out sequentially from the build's start (the stages
+// execute serially, interleaved with glue; the layout keeps every span
+// inside the build's wall-clock window).
+func recordBuild(p *Plan, start time.Time) {
+	if p.Cfg.Disable {
+		buildsNR.Inc()
+		buildSecondsNR.ObserveSince(start)
+	} else {
+		buildsFull.Inc()
+		buildSecondsFull.ObserveSince(start)
+	}
+	denseTileRatio.Set(p.DenseRatioAfter)
+	avgConsecSim.Set(p.AvgSimAfter)
+	durs := p.Stages.stageDurations()
+	for i, name := range stageNames {
+		if durs[i] > 0 {
+			stageSeconds[name].Observe(durs[i].Seconds())
+		}
+	}
+}
+
+// traceStages appends one span per non-zero stage to tr, consecutive
+// from start. Split out from recordBuild so callers without a trace
+// pay nothing.
+func traceStages(tr *obs.Trace, s StageTimings, start time.Time) {
+	if tr == nil {
+		return
+	}
+	durs := s.stageDurations()
+	at := start
+	for i, name := range stageNames {
+		if durs[i] <= 0 {
+			continue
+		}
+		tr.AddSpan("stage_"+name, at, durs[i])
+		at = at.Add(durs[i])
+	}
+}

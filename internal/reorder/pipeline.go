@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aspt"
 	"repro/internal/lsh"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -348,6 +349,8 @@ func PreprocessCtx(ctx context.Context, m *sparse.CSR, cfg Config) (*Plan, error
 	}
 
 	p.Preprocess = time.Since(start)
+	recordBuild(p, start)
+	traceStages(obs.TraceFrom(ctx), p.Stages, start)
 	return p, nil
 }
 

@@ -13,6 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrOverloaded is the sentinel matched (with errors.Is) by every
@@ -89,22 +92,59 @@ type Admission struct {
 	closed   bool
 	idle     []chan struct{} // closed when the gate drains empty
 
-	admitted int64
-	shed     int64
-	expired  int64
+	// Counters are obs objects (updated under mu, read atomically), so
+	// a registry-backed gate exposes the very objects Stats reads —
+	// /metrics and AdmissionStats can never disagree.
+	admitted *obs.Counter
+	shed     *obs.Counter
+	expired  *obs.Counter
+	waitHist *obs.Histogram // time from Acquire to admission
 }
 
 // NewAdmission returns a gate with the given weight capacity and wait
 // queue bound. capacity < 1 is raised to 1; queueCap < 0 is treated as
 // 0 (shed immediately when saturated).
 func NewAdmission(capacity int64, queueCap int) *Admission {
+	return NewAdmissionObs(capacity, queueCap, nil)
+}
+
+// NewAdmissionObs is NewAdmission with the gate's counters, gauges,
+// and admission-wait histogram registered in reg (metric families
+// spmmrr_admission_*). A nil reg keeps the counters private.
+func NewAdmissionObs(capacity int64, queueCap int, reg *obs.Registry) *Admission {
 	if capacity < 1 {
 		capacity = 1
 	}
 	if queueCap < 0 {
 		queueCap = 0
 	}
-	return &Admission{capacity: capacity, queueCap: queueCap, queue: list.New()}
+	a := &Admission{capacity: capacity, queueCap: queueCap, queue: list.New()}
+	if reg == nil {
+		a.admitted, a.shed, a.expired = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		return a
+	}
+	a.admitted = reg.Counter("spmmrr_admission_admitted_total",
+		"Requests admitted through the gate (immediately or after queueing).")
+	a.shed = reg.Counter("spmmrr_admission_shed_total",
+		"Requests shed with an overload error because the wait queue was full.")
+	a.expired = reg.Counter("spmmrr_admission_expired_total",
+		"Requests that left the gate on context expiry or shutdown before running.")
+	a.waitHist = reg.Histogram("spmmrr_admission_wait_seconds",
+		"Time from Acquire to admission, including queueing.", obs.LatencyBuckets())
+	reg.GaugeFunc("spmmrr_admission_in_flight",
+		"Requests currently admitted and executing.",
+		func() float64 { return float64(a.Stats().InFlight) })
+	reg.GaugeFunc("spmmrr_admission_weight_in_use",
+		"Weight units currently held by admitted requests.",
+		func() float64 { return float64(a.Stats().InUse) })
+	reg.GaugeFunc("spmmrr_admission_queue_depth",
+		"Requests currently waiting in the FIFO queue.",
+		func() float64 { return float64(a.Stats().QueueLen) })
+	reg.Gauge("spmmrr_admission_weight_capacity",
+		"Total weight capacity of the gate.").Set(capacity)
+	reg.Gauge("spmmrr_admission_queue_capacity",
+		"Bound on the FIFO wait queue.").Set(int64(queueCap))
+	return a
 }
 
 // Acquire admits a request of the given weight, blocking in FIFO order
@@ -123,6 +163,7 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	start := time.Now()
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
@@ -131,12 +172,13 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) error {
 	if a.inUse+weight <= a.capacity && a.queue.Len() == 0 {
 		a.inUse += weight
 		a.inFlight++
-		a.admitted++
+		a.admitted.Inc()
 		a.mu.Unlock()
+		a.waitHist.ObserveSince(start)
 		return nil
 	}
 	if a.queue.Len() >= a.queueCap {
-		a.shed++
+		a.shed.Inc()
 		ov := &Overload{
 			InFlight: a.inFlight, InUse: a.inUse, Capacity: a.capacity,
 			QueueLen: a.queue.Len(), QueueCap: a.queueCap,
@@ -155,6 +197,11 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) error {
 		if w.state == rejected { // woken by Close, not by a grant
 			return ErrClosed
 		}
+		// Admission is counted here — by the waiter that will actually
+		// run — not at grant time in releaseLocked, so the counter is
+		// monotone even when a grant races a cancellation.
+		a.admitted.Inc()
+		a.waitHist.ObserveSince(start)
 		return nil
 	case <-ctx.Done():
 		a.mu.Lock()
@@ -162,15 +209,15 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) error {
 		switch w.state {
 		case granted:
 			// The grant raced the cancellation: give the capacity back
-			// (waking successors) and report the cancellation.
+			// (waking successors) and report the cancellation. The
+			// request was never counted admitted (see above).
 			a.releaseLocked(weight)
-			a.admitted-- // the request never ran
-			a.expired++
+			a.expired.Inc()
 		case rejected: // Close got here first; already counted
 			return ErrClosed
 		default:
 			a.queue.Remove(el)
-			a.expired++
+			a.expired.Inc()
 		}
 		return ctx.Err()
 	}
@@ -210,7 +257,6 @@ func (a *Admission) releaseLocked(weight int64) {
 		a.queue.Remove(a.queue.Front())
 		a.inUse += w.weight
 		a.inFlight++
-		a.admitted++
 		w.state = granted
 		w.ready <- struct{}{}
 	}
@@ -239,7 +285,7 @@ func (a *Admission) Close() {
 	for a.queue.Len() > 0 {
 		w := a.queue.Front().Value.(*waiter)
 		a.queue.Remove(a.queue.Front())
-		a.expired++
+		a.expired.Inc()
 		w.state = rejected
 		w.ready <- struct{}{}
 	}
@@ -275,7 +321,7 @@ func (a *Admission) Stats() AdmissionStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return AdmissionStats{
-		Admitted: a.admitted, Shed: a.shed, Expired: a.expired,
+		Admitted: a.admitted.Value(), Shed: a.shed.Value(), Expired: a.expired.Value(),
 		InFlight: a.inFlight, InUse: a.inUse, Capacity: a.capacity,
 		QueueLen: a.queue.Len(), QueueCap: a.queueCap,
 	}

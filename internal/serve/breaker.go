@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // BreakerState is the classic three-state circuit-breaker automaton.
@@ -63,25 +65,55 @@ type Breaker struct {
 	openedAt    time.Time
 	probing     bool // a HalfOpen probe is in flight
 
-	trips     int64
-	halfOpens int64
-	closes    int64
-	rejected  int64
-	failures  int64
-	successes int64
+	// Counters are obs objects (updated under mu) so a registry-backed
+	// breaker serves /metrics from the same memory Stats reads.
+	trips     *obs.Counter
+	halfOpens *obs.Counter
+	closes    *obs.Counter
+	rejected  *obs.Counter
+	failures  *obs.Counter
+	successes *obs.Counter
 }
 
 // NewBreaker returns a closed breaker tripping after threshold
 // consecutive failures (min 1) and cooling down for cooldown (min 1ms)
 // before probing.
 func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return NewBreakerObs(threshold, cooldown, nil)
+}
+
+// NewBreakerObs is NewBreaker with the breaker's counters and a state
+// gauge registered in reg (metric families spmmrr_breaker_*). A nil
+// reg keeps the counters private.
+func NewBreakerObs(threshold int, cooldown time.Duration, reg *obs.Registry) *Breaker {
 	if threshold < 1 {
 		threshold = 1
 	}
 	if cooldown <= 0 {
 		cooldown = time.Millisecond
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+	b := &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+	if reg == nil {
+		b.trips, b.halfOpens, b.closes = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		b.rejected, b.failures, b.successes = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		return b
+	}
+	b.trips = reg.Counter("spmmrr_breaker_trips_total",
+		"Transitions into the Open state.")
+	b.halfOpens = reg.Counter("spmmrr_breaker_half_opens_total",
+		"Cooldown expiries that admitted a half-open probe.")
+	b.closes = reg.Counter("spmmrr_breaker_closes_total",
+		"Successful probes that closed the circuit.")
+	b.rejected = reg.Counter("spmmrr_breaker_rejected_total",
+		"Attempts rejected while Open or while a probe was in flight.")
+	b.failures = reg.Counter("spmmrr_breaker_failures_total",
+		"Failure reports from the protected path.")
+	b.successes = reg.Counter("spmmrr_breaker_successes_total",
+		"Success reports from the protected path.")
+	reg.GaugeFunc("spmmrr_breaker_state",
+		"Breaker automaton state (0=closed, 1=open, 2=half-open).",
+		func() float64 { return float64(b.State()) })
+	return b
 }
 
 // Allow reports whether the protected path may serve this attempt.
@@ -98,14 +130,14 @@ func (b *Breaker) Allow() bool {
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
 			b.probing = true
-			b.halfOpens++
+			b.halfOpens.Inc()
 			return true
 		}
-		b.rejected++
+		b.rejected.Inc()
 		return false
 	default: // HalfOpen
 		if b.probing {
-			b.rejected++
+			b.rejected.Inc()
 			return false
 		}
 		// The previous probe resolved but a racer arrived between its
@@ -120,12 +152,12 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.successes++
+	b.successes.Inc()
 	b.consecutive = 0
 	if b.state == HalfOpen {
 		b.state = Closed
 		b.probing = false
-		b.closes++
+		b.closes.Inc()
 	}
 }
 
@@ -133,7 +165,7 @@ func (b *Breaker) Success() {
 func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.failures++
+	b.failures.Inc()
 	switch b.state {
 	case HalfOpen:
 		// The probe failed: straight back to Open for another cooldown.
@@ -141,14 +173,14 @@ func (b *Breaker) Failure() {
 		b.openedAt = b.now()
 		b.probing = false
 		b.consecutive = 0
-		b.trips++
+		b.trips.Inc()
 	case Closed:
 		b.consecutive++
 		if b.consecutive >= b.threshold {
 			b.state = Open
 			b.openedAt = b.now()
 			b.consecutive = 0
-			b.trips++
+			b.trips.Inc()
 		}
 	}
 	// Open: a straggler attempt admitted before the trip reported late;
@@ -168,7 +200,7 @@ func (b *Breaker) Stats() BreakerStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return BreakerStats{
-		State: b.state, Trips: b.trips, HalfOpens: b.halfOpens, Closes: b.closes,
-		Rejected: b.rejected, Failures: b.failures, Successes: b.successes,
+		State: b.state, Trips: b.trips.Value(), HalfOpens: b.halfOpens.Value(), Closes: b.closes.Value(),
+		Rejected: b.rejected.Value(), Failures: b.failures.Value(), Successes: b.successes.Value(),
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/rand/v2"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RetryPolicy bounds a retry loop: at most MaxAttempts tries, sleeping
@@ -58,7 +60,10 @@ func Retry(ctx context.Context, p RetryPolicy, transient func(error) bool, f fun
 			!transient(err) {
 			return attempt - 1, err
 		}
-		if cerr := sleep(ctx, p.backoff(attempt)); cerr != nil {
+		sp := obs.TraceFrom(ctx).StartSpan("retry_backoff")
+		cerr := sleep(ctx, p.backoff(attempt))
+		sp.End()
+		if cerr != nil {
 			return attempt - 1, cerr
 		}
 	}

@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Online-strategy metrics live in the process-wide registry: the trial
+// is a property of the workload (which plan wins on this hardware for
+// these shapes), so aggregating across pipelines is what an operator
+// wants on a dashboard. Per-request serving metrics, by contrast, are
+// per-Server (see NewServer).
+var (
+	onlineTrialsReordered = obs.Default().Counter("spmmrr_online_trials_total",
+		"First-iteration trials decided, by winning plan.", obs.L("winner", "reordered"))
+	onlineTrialsPlain = obs.Default().Counter("spmmrr_online_trials_total",
+		"First-iteration trials decided, by winning plan.", obs.L("winner", "plain"))
+	onlineWinnerFlips = obs.Default().Counter("spmmrr_online_winner_flips_total",
+		"Consecutive trial decisions that disagreed with the previous one.")
+	onlineDegraded = obs.Default().Counter("spmmrr_online_degraded_total",
+		"Background reordered builds abandoned (budget, cancellation, error, panic).")
+	onlineTrialRRSeconds = obs.Default().GaugeFloat("spmmrr_online_trial_reordered_seconds",
+		"Reordered-plan wall time measured by the most recent trial.")
+	onlineTrialNRSeconds = obs.Default().GaugeFloat("spmmrr_online_trial_plain_seconds",
+		"No-reorder-plan wall time measured by the most recent trial.")
+
+	// lastTrialWinner tracks the previous decision across all pipelines
+	// in the process: 0 = none yet, 1 = reordered, 2 = plain.
+	lastTrialWinner atomic.Int32
+)
+
+// recordTrial publishes one decided trial to the process registry.
+func recordTrial(reorderedWon bool, rrTime, nrTime time.Duration) {
+	cur := int32(2)
+	if reorderedWon {
+		cur = 1
+		onlineTrialsReordered.Inc()
+	} else {
+		onlineTrialsPlain.Inc()
+	}
+	if prev := lastTrialWinner.Swap(cur); prev != 0 && prev != cur {
+		onlineWinnerFlips.Inc()
+	}
+	onlineTrialRRSeconds.SetDuration(rrTime)
+	onlineTrialNRSeconds.SetDuration(nrTime)
+}

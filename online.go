@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -100,6 +101,15 @@ func NewOnlinePipeline(m *Matrix, cfg Config) (*OnlinePipeline, error) {
 // reports (true, false) and Degraded returns the recorded cause. A
 // failed or cancelled build is never stored in the plan cache.
 func NewOnlinePipelineCtx(ctx context.Context, m *Matrix, cfg Config) (*OnlinePipeline, error) {
+	return newOnlinePipelineCtx(ctx, m, cfg, nil)
+}
+
+// newOnlinePipelineCtx is NewOnlinePipelineCtx with an optional trace
+// ring: when ring is non-nil, the background reordered build runs under
+// a "build_reordered" trace — carrying the preprocessing stage spans
+// recorded inside reorder — which is pushed to the ring when the build
+// settles. The Server passes its /debug/traces ring here.
+func newOnlinePipelineCtx(ctx context.Context, m *Matrix, cfg Config, ring *obs.TraceRing) (*OnlinePipeline, error) {
 	nr, err := NewPipelineNRCtx(ctx, m, cfg)
 	if err != nil {
 		return nil, err
@@ -112,6 +122,11 @@ func NewOnlinePipelineCtx(ctx context.Context, m *Matrix, cfg Config) (*OnlinePi
 	go func() {
 		defer close(o.buildDone)
 		defer cancel()
+		var tr *obs.Trace
+		if ring != nil {
+			tr = obs.NewTrace("build_reordered")
+			bctx = obs.WithTrace(bctx, tr)
+		}
 		var rr *Pipeline
 		// Guard the whole build: stage-internal panics already surface
 		// as errors, and this converts any residual glue-code panic too
@@ -124,9 +139,21 @@ func NewOnlinePipelineCtx(ctx context.Context, m *Matrix, cfg Config) (*OnlinePi
 		if err != nil {
 			o.degraded.Store(&degradeReason{err: err})
 			o.winner.Store(o.nr)
+			onlineDegraded.Inc()
+			if tr != nil {
+				tr.Annotate("outcome", "degraded")
+				tr.Finish(err)
+				ring.Push(tr)
+			}
 			return
 		}
 		o.rr.Store(rr)
+		if tr != nil {
+			tr.Annotate("outcome", "ok")
+			tr.Annotate("stages", rr.PlanStages().String())
+			tr.Finish(nil)
+			ring.Push(tr)
+		}
 	}()
 	return o, nil
 }
@@ -184,6 +211,33 @@ func (o *OnlinePipeline) TrialTimes() (reordered, plain time.Duration) {
 
 // Pipeline returns the winning pipeline once decided (nil before).
 func (o *OnlinePipeline) Pipeline() *Pipeline { return o.winner.Load() }
+
+// Preprocessed reports, without blocking, whether the background
+// reordered build has finished (successfully or by degrading) — the
+// readiness signal a /readyz probe wants: once true, every serving
+// decision the pipeline will ever make is already cheap.
+func (o *OnlinePipeline) Preprocessed() bool {
+	select {
+	case <-o.buildDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// PlanStages returns the preprocessing stage breakdown of the plan a
+// call arriving now would execute on: the winner's once decided, else
+// the reordered plan's when its build has landed, else the no-reorder
+// plan's.
+func (o *OnlinePipeline) PlanStages() StageTimings {
+	if w := o.winner.Load(); w != nil {
+		return w.PlanStages()
+	}
+	if rr := o.rr.Load(); rr != nil {
+		return rr.PlanStages()
+	}
+	return o.nr.PlanStages()
+}
 
 // SpMM computes Y = S·X. The first call with both plans ready runs the
 // trial and keeps the faster plan; later calls use the winner
@@ -365,5 +419,6 @@ func (o *OnlinePipeline) decide(rr *Pipeline, rrTime, nrTime time.Duration) *Pip
 		w = rr
 	}
 	o.winner.Store(w)
+	recordTrial(w == rr, rrTime, nrTime)
 	return w
 }

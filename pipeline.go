@@ -9,6 +9,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
 )
@@ -76,6 +77,12 @@ func NewPipelineNRCtx(ctx context.Context, m *Matrix, cfg Config) (*Pipeline, er
 // tiled representation).
 func (p *Pipeline) Plan() *Plan { return p.plan }
 
+// PlanStages returns the per-stage wall-clock breakdown of the
+// preprocessing that produced this pipeline's plan. A cache-hit build
+// reports zero for the skipped stages (only the value regather, if
+// any, shows up under Permute).
+func (p *Pipeline) PlanStages() StageTimings { return p.plan.Stages }
+
 // Matrix returns the original (unreordered) matrix.
 func (p *Pipeline) Matrix() *Matrix { return p.orig }
 
@@ -122,7 +129,10 @@ func (p *Pipeline) SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
 	}
 	// Row i of the reordered result is original row RowPerm[i]; gather
 	// with the inverse permutation to restore the caller's order.
-	return dense.PermuteRowsInto(y, yre, p.plan.InvRowPerm)
+	sp := obs.TraceFrom(ctx).StartSpan("permute_output")
+	err := dense.PermuteRowsInto(y, yre, p.plan.InvRowPerm)
+	sp.End()
+	return err
 }
 
 // SDDMM computes O = S ⊙ (Y·Xᵀ) using the tiled execution; O has the
@@ -164,9 +174,13 @@ func (p *Pipeline) SDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) e
 	}
 	// The tiled matrix's rows are a permutation of the original's; feed
 	// the kernel the permuted Y and scatter values back.
+	tr := obs.TraceFrom(ctx)
 	yre := dense.Get(y.Rows, y.Cols)
 	defer dense.Put(yre)
-	if err := dense.PermuteRowsInto(yre, y, p.plan.RowPerm); err != nil {
+	sp := tr.StartSpan("permute_input")
+	err := dense.PermuteRowsInto(yre, y, p.plan.RowPerm)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	ore := p.getSDDMMScratch()
@@ -177,11 +191,13 @@ func (p *Pipeline) SDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) e
 	// Scatter reordered-row values back to their original rows. Row
 	// permutation leaves the within-row column order untouched, so each
 	// row's value segment copies verbatim.
+	sp = tr.StartSpan("permute_output")
 	re := p.plan.Tiled.Src
 	for i, orig := range p.plan.RowPerm {
 		copy(out.Val[p.orig.RowPtr[orig]:p.orig.RowPtr[orig+1]],
 			ore.Val[re.RowPtr[i]:re.RowPtr[i+1]])
 	}
+	sp.End()
 	return nil
 }
 

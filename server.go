@@ -3,11 +3,13 @@ package repro
 import (
 	"context"
 	"errors"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -66,6 +68,9 @@ type ServerConfig struct {
 	// instead of re-running LSH/clustering) and Close snapshots the
 	// cache back to it.
 	PlanDir string
+	// TraceRing bounds the per-request trace ring served at
+	// /debug/traces (most recent first). Default 256.
+	TraceRing int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -92,6 +97,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 100 * time.Millisecond
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
 	}
 	return c
 }
@@ -143,14 +151,25 @@ type Server struct {
 	cfg    ServerConfig
 	cancel context.CancelFunc
 
+	// reg holds this Server's metric families; every counter Stats
+	// reads is a registry object, so /metrics and Stats can never
+	// disagree. traces is the /debug/traces ring.
+	reg    *obs.Registry
+	traces *obs.TraceRing
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
 
-	completed atomic.Int64
-	failed    atomic.Int64
-	retries   atomic.Int64
-	fallbacks atomic.Int64
+	completed *obs.Counter
+	failed    *obs.Counter
+	retries   *obs.Counter
+	fallbacks *obs.Counter
+
+	reqSpMM      *obs.Histogram
+	reqSpMMInto  *obs.Histogram
+	reqSDDMM     *obs.Histogram
+	reqSDDMMInto *obs.Histogram
 }
 
 // NewServer builds a serving-grade front end over m: the no-reorder
@@ -166,37 +185,115 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 			return nil, err
 		}
 	}
+	reg := obs.NewRegistry()
+	traces := obs.NewTraceRing(scfg.TraceRing)
 	sctx, cancel := context.WithCancel(ctx)
-	pipe, err := NewOnlinePipelineCtx(sctx, m, cfg)
+	pipe, err := newOnlinePipelineCtx(sctx, m, cfg, traces)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		pipe:   pipe,
-		adm:    serve.NewAdmission(scfg.MaxInFlight, scfg.MaxQueue),
-		brk:    serve.NewBreaker(scfg.BreakerThreshold, scfg.BreakerCooldown),
+		adm:    serve.NewAdmissionObs(scfg.MaxInFlight, scfg.MaxQueue, reg),
+		brk:    serve.NewBreakerObs(scfg.BreakerThreshold, scfg.BreakerCooldown, reg),
 		cfg:    scfg,
 		cancel: cancel,
-	}, nil
+		reg:    reg,
+		traces: traces,
+	}
+	s.completed = reg.Counter("spmmrr_server_completed_total",
+		"Requests that returned a result.")
+	s.failed = reg.Counter("spmmrr_server_failed_total",
+		"Admitted requests whose final attempt still errored.")
+	s.retries = reg.Counter("spmmrr_server_retries_total",
+		"Re-attempts after transient failures (attempts beyond each request's first).")
+	s.fallbacks = reg.Counter("spmmrr_server_fallbacks_total",
+		"Attempts routed to the no-reorder pipeline by the circuit breaker.")
+	reqHelp := "End-to-end request latency through the resilience stack, by operation."
+	s.reqSpMM = reg.Histogram("spmmrr_server_request_seconds", reqHelp,
+		obs.LatencyBuckets(), obs.L("op", "spmm"))
+	s.reqSpMMInto = reg.Histogram("spmmrr_server_request_seconds", reqHelp,
+		obs.LatencyBuckets(), obs.L("op", "spmm_into"))
+	s.reqSDDMM = reg.Histogram("spmmrr_server_request_seconds", reqHelp,
+		obs.LatencyBuckets(), obs.L("op", "sddmm"))
+	s.reqSDDMMInto = reg.Histogram("spmmrr_server_request_seconds", reqHelp,
+		obs.LatencyBuckets(), obs.L("op", "sddmm_into"))
+	reg.GaugeFunc("spmmrr_server_degraded",
+		"1 when the background reordered build was abandoned, else 0.",
+		func() float64 {
+			if d, _ := s.pipe.Degraded(); d {
+				return 1
+			}
+			return 0
+		})
+	// The plan cache is process-wide and swappable (SetPlanCacheCapacity
+	// installs a new one), so its numbers are collected at scrape time
+	// through the current cache's Stats rather than bound to counters.
+	cacheHelp := "Plan-cache lookups served, by tier."
+	reg.CounterFunc("spmmrr_plancache_hits_total", cacheHelp,
+		func() int64 { return PlanCacheStats().Hits }, obs.L("tier", "memory"))
+	reg.CounterFunc("spmmrr_plancache_hits_total", cacheHelp,
+		func() int64 { return PlanCacheStats().DiskHits }, obs.L("tier", "disk"))
+	missHelp := "Plan-cache lookups that missed, by tier."
+	reg.CounterFunc("spmmrr_plancache_misses_total", missHelp,
+		func() int64 { return PlanCacheStats().Misses }, obs.L("tier", "memory"))
+	reg.CounterFunc("spmmrr_plancache_misses_total", missHelp,
+		func() int64 { return PlanCacheStats().DiskMisses }, obs.L("tier", "disk"))
+	reg.CounterFunc("spmmrr_plancache_evictions_total",
+		"Plans evicted from the in-memory LRU.",
+		func() int64 { return PlanCacheStats().Evictions })
+	reg.GaugeFunc("spmmrr_plancache_entries",
+		"Plans currently held in the in-memory tier.",
+		func() float64 { return float64(PlanCacheStats().Entries) })
+	return s, nil
 }
 
 // Pipeline exposes the wrapped online pipeline (trial state, Degraded,
 // WaitPreprocessed).
 func (s *Server) Pipeline() *OnlinePipeline { return s.pipe }
 
-// Stats returns a snapshot of every resilience counter.
+// PlanStages returns the preprocessing stage breakdown of the plan the
+// server would execute on right now (see OnlinePipeline.PlanStages).
+func (s *Server) PlanStages() StageTimings { return s.pipe.PlanStages() }
+
+// Stats returns a snapshot of every resilience counter. Every number
+// is read from the same registry objects /metrics renders, so the two
+// views cannot disagree.
 func (s *Server) Stats() ServerStats {
 	degraded, _ := s.pipe.Degraded()
 	return ServerStats{
 		Admission: s.adm.Stats(),
 		Breaker:   s.brk.Stats(),
-		Completed: s.completed.Load(),
-		Failed:    s.failed.Load(),
-		Retries:   s.retries.Load(),
-		Fallbacks: s.fallbacks.Load(),
+		Completed: s.completed.Value(),
+		Failed:    s.failed.Value(),
+		Retries:   s.retries.Value(),
+		Fallbacks: s.fallbacks.Value(),
 		Degraded:  degraded,
 	}
+}
+
+// Registry exposes the Server's metric registry (admission, breaker,
+// server, plan-cache families). Process-wide families (kernels,
+// preprocessing, online trials) live in obs.Default().
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Traces exposes the Server's per-request trace ring (most recent
+// first), the source of /debug/traces.
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
+
+// ObsHandler returns the Server's observability HTTP handler:
+// /metrics (Prometheus text exposition over the Server's registry
+// merged with the process-wide one), /healthz, /readyz (ready once the
+// background reordered build has settled — built or degraded),
+// /debug/traces (JSON trace ring), and /debug/pprof/*.
+func (s *Server) ObsHandler() http.Handler {
+	return obs.NewHandler(obs.HandlerConfig{
+		Registries: []*obs.Registry{s.reg, obs.Default()},
+		Traces:     s.traces,
+		Ready:      s.pipe.Preprocessed,
+		Healthy:    func() bool { return !s.closed.Load() },
+	})
 }
 
 // SpMM computes Y = S·X through the full resilience stack. It returns
@@ -205,7 +302,7 @@ func (s *Server) Stats() ServerStats {
 // backoff before any error surfaces.
 func (s *Server) SpMM(ctx context.Context, x *Dense) (*Dense, error) {
 	var y *Dense
-	err := s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+	err := s.do(ctx, "spmm", s.reqSpMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
 		var err error
 		if fallback != nil {
 			y, err = fallback.SpMMCtx(ctx, x)
@@ -223,7 +320,7 @@ func (s *Server) SpMM(ctx context.Context, x *Dense) (*Dense, error) {
 // SpMMInto is SpMM into a caller-provided output (see
 // Pipeline.SpMMInto); steady-state calls stay allocation-free.
 func (s *Server) SpMMInto(ctx context.Context, y *Dense, x *Dense) error {
-	return s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+	return s.do(ctx, "spmm_into", s.reqSpMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
 		if fallback != nil {
 			return fallback.SpMMIntoCtx(ctx, y, x)
 		}
@@ -234,7 +331,7 @@ func (s *Server) SpMMInto(ctx context.Context, y *Dense, x *Dense) error {
 // SDDMM computes O = S ⊙ (Y·Xᵀ) through the full resilience stack.
 func (s *Server) SDDMM(ctx context.Context, x, y *Dense) (*Matrix, error) {
 	var out *Matrix
-	err := s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+	err := s.do(ctx, "sddmm", s.reqSDDMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
 		var err error
 		if fallback != nil {
 			out, err = fallback.SDDMMCtx(ctx, x, y)
@@ -252,7 +349,7 @@ func (s *Server) SDDMM(ctx context.Context, x, y *Dense) (*Matrix, error) {
 // SDDMMInto is SDDMM into a caller-provided output with the matrix's
 // sparsity structure.
 func (s *Server) SDDMMInto(ctx context.Context, out *Matrix, x, y *Dense) error {
-	return s.do(ctx, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+	return s.do(ctx, "sddmm_into", s.reqSDDMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
 		if fallback != nil {
 			return fallback.SDDMMIntoCtx(ctx, out, x, y)
 		}
@@ -261,12 +358,24 @@ func (s *Server) SDDMMInto(ctx context.Context, out *Matrix, x, y *Dense) error 
 }
 
 // do runs one request through admission, deadline, retry, and breaker
-// routing. run receives a nil fallback to execute the full online path
-// or a concrete pipeline to execute the no-reorder fallback.
-func (s *Server) do(ctx context.Context, weight int64, run func(context.Context, *Pipeline) error) error {
+// routing, recording a per-request trace (admission wait, attempts,
+// retry backoffs, kernel spans recorded further down the stack) that
+// lands in the /debug/traces ring. run receives a nil fallback to
+// execute the full online path or a concrete pipeline to execute the
+// no-reorder fallback.
+func (s *Server) do(ctx context.Context, op string, hist *obs.Histogram, weight int64, run func(context.Context, *Pipeline) error) error {
 	if s.closed.Load() {
 		return ErrServerClosed
 	}
+	start := time.Now()
+	tr := obs.NewTrace(op)
+	ctx = obs.WithTrace(ctx, tr)
+	// Push after everything else (defers run LIFO): once pushed, the
+	// ring owns the trace and may recycle it.
+	defer func() {
+		s.traces.Push(tr)
+		hist.ObserveSince(start)
+	}()
 	if s.cfg.DefaultDeadline > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
@@ -274,12 +383,17 @@ func (s *Server) do(ctx context.Context, weight int64, run func(context.Context,
 			defer cancel()
 		}
 	}
+	asp := tr.StartSpan("admission")
 	if err := s.adm.Acquire(ctx, weight); err != nil {
+		asp.End()
 		if errors.Is(err, serve.ErrClosed) {
-			return ErrServerClosed
+			err = ErrServerClosed
 		}
+		tr.Annotate("outcome", "rejected")
+		tr.Finish(err)
 		return err
 	}
+	asp.End()
 	defer s.adm.Release(weight)
 
 	retries, err := serve.Retry(ctx,
@@ -288,10 +402,14 @@ func (s *Server) do(ctx context.Context, weight int64, run func(context.Context,
 		func(int) error { return s.attempt(ctx, run) })
 	s.retries.Add(int64(retries))
 	if err != nil {
-		s.failed.Add(1)
+		s.failed.Inc()
+		tr.Annotate("outcome", "failed")
+		tr.Finish(err)
 		return err
 	}
-	s.completed.Add(1)
+	s.completed.Inc()
+	tr.Annotate("outcome", "completed")
+	tr.Finish(nil)
 	return nil
 }
 
@@ -301,13 +419,22 @@ func (s *Server) do(ctx context.Context, weight int64, run func(context.Context,
 // flight all serve the no-reorder plan anyway, and their outcomes must
 // not open (or close) the reordered path's circuit.
 func (s *Server) attempt(ctx context.Context, run func(context.Context, *Pipeline) error) error {
+	tr := obs.TraceFrom(ctx)
+	sp := tr.StartSpan("attempt")
+	defer sp.End()
 	if !s.reorderedPathActive() {
+		tr.Annotate("path", "plain")
 		return run(ctx, nil)
 	}
+	// Breaker state as observed when this attempt was routed; Allow may
+	// advance it (Open → HalfOpen).
+	tr.Annotate("breaker", s.brk.State().String())
 	if !s.brk.Allow() {
-		s.fallbacks.Add(1)
+		s.fallbacks.Inc()
+		tr.Annotate("path", "fallback")
 		return run(ctx, s.pipe.nr)
 	}
+	tr.Annotate("path", "reordered")
 	err := run(ctx, nil)
 	switch {
 	case err == nil:

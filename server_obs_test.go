@@ -1,0 +1,198 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// obsTestServer builds a decided, warm Server for observability tests:
+// the reordered build has landed and the first-call trial has run, so
+// requests take the steady-state path.
+// Each test passes a distinct seed so its matrix misses the
+// process-wide plan cache and triggers a real background build.
+func obsTestServer(t *testing.T, seed int64) (*repro.Server, *repro.Dense) {
+	t.Helper()
+	m := freshScrambled(t, seed)
+	cfg := repro.DefaultConfig()
+	cfg.PreprocessBudget = time.Hour
+	s, err := repro.NewServer(context.Background(), m, cfg, repro.ServerConfig{
+		DefaultDeadline: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	if err := s.Pipeline().WaitPreprocessed(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	x := repro.NewRandomDense(m.Cols, 64, 11)
+	if _, err := s.SpMM(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	return s, x
+}
+
+// Every metric family the issue requires must appear in a /metrics
+// scrape of a live server, and the document must conform to the
+// Prometheus text grammar.
+func TestServerMetricsFamilies(t *testing.T) {
+	s, x := obsTestServer(t, 7001)
+	yd := repro.NewRandomDense(s.Pipeline().Pipeline().Matrix().Rows, 64, 12)
+	if _, err := s.SDDMM(context.Background(), x, yd); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	s.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		// admission
+		"spmmrr_admission_admitted_total",
+		"spmmrr_admission_shed_total",
+		"spmmrr_admission_wait_seconds_bucket",
+		"spmmrr_admission_in_flight",
+		// breaker
+		"spmmrr_breaker_trips_total",
+		"spmmrr_breaker_state",
+		// retry + request outcomes
+		"spmmrr_server_retries_total",
+		"spmmrr_server_completed_total",
+		`spmmrr_server_request_seconds_bucket{op="spmm",le="+Inf"}`,
+		// plan cache, both tiers
+		`spmmrr_plancache_hits_total{tier="memory"}`,
+		`spmmrr_plancache_hits_total{tier="disk"}`,
+		`spmmrr_plancache_misses_total{tier="memory"}`,
+		`spmmrr_plancache_misses_total{tier="disk"}`,
+		// preprocessing, per stage
+		`spmmrr_preprocess_builds_total{variant="full"}`,
+		`spmmrr_preprocess_stage_seconds_count{stage="clustering"}`,
+		`spmmrr_preprocess_stage_seconds_count{stage="tiling"}`,
+		// kernel latency
+		`spmmrr_kernel_seconds_bucket`,
+		`kernel="spmm_aspt"`,
+		// online trial
+		"spmmrr_online_trials_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// A served request's trace must account for at least 95% of its wall
+// time as a span union: admission wait, retry attempts, kernel
+// execution, and output permutation leave no unexplained gaps.
+func TestServerTraceCoversWallTime(t *testing.T) {
+	s, x := obsTestServer(t, 7002)
+	for i := 0; i < 5; i++ {
+		if _, err := s.SpMM(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	best, seen := 0.0, 0
+	for _, tr := range s.Traces().Snapshot() {
+		if tr.Op != "spmm" || tr.Err != "" || tr.WallUS <= 0 {
+			continue
+		}
+		seen++
+		if r := float64(tr.SpanCoverageUS()) / float64(tr.WallUS); r > best {
+			best = r
+		}
+	}
+	if seen == 0 {
+		t.Fatalf("no finished spmm traces in the ring")
+	}
+	if best < 0.95 {
+		t.Fatalf("best span-union coverage %.3f < 0.95 over %d traces", best, seen)
+	}
+}
+
+// The trace ring is served at /debug/traces as JSON, each entry
+// carrying op, spans, and the routing-decision annotations.
+func TestServerDebugTracesEndpoint(t *testing.T) {
+	s, x := obsTestServer(t, 7003)
+	if _, err := s.SpMM(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces = %d", rec.Code)
+	}
+	var traces []obs.TraceSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatalf("/debug/traces is not a trace list: %v\n%s", err, rec.Body.String())
+	}
+	var spmm, build *obs.TraceSnapshot
+	for i := range traces {
+		switch traces[i].Op {
+		case "spmm":
+			if spmm == nil {
+				spmm = &traces[i]
+			}
+		case "build_reordered":
+			build = &traces[i]
+		}
+	}
+	if spmm == nil {
+		t.Fatalf("no spmm trace served: %s", rec.Body.String())
+	}
+	if len(spmm.Spans) == 0 || spmm.Attrs["outcome"] != "completed" {
+		t.Fatalf("spmm trace incomplete: %+v", *spmm)
+	}
+	if path := spmm.Attrs["path"]; path != "reordered" && path != "plain" && path != "fallback" {
+		t.Fatalf("spmm trace has no routing path annotation: %+v", spmm.Attrs)
+	}
+	if build == nil {
+		t.Fatalf("background build trace not in ring: %s", rec.Body.String())
+	}
+	if build.Attrs["outcome"] != "ok" || build.Attrs["stages"] == "" {
+		t.Fatalf("build trace missing outcome/stages: %+v", build.Attrs)
+	}
+	var hasStage bool
+	for _, sp := range build.Spans {
+		if strings.HasPrefix(sp.Name, "stage_") {
+			hasStage = true
+		}
+	}
+	if !hasStage {
+		t.Fatalf("build trace has no per-stage spans: %+v", build.Spans)
+	}
+}
+
+// Plan stage timings surface through the online pipeline and the
+// server, and agree with the winning pipeline's plan.
+func TestServerPlanStagesSurfaced(t *testing.T) {
+	s, _ := obsTestServer(t, 7004)
+	st := s.PlanStages()
+	if st.Total() <= 0 {
+		t.Fatalf("PlanStages total %v, want > 0", st.Total())
+	}
+	if got := s.Pipeline().PlanStages(); got != st {
+		t.Fatalf("server and pipeline stage timings disagree: %+v vs %+v", st, got)
+	}
+	if got := s.Pipeline().Pipeline().PlanStages(); got != st {
+		t.Fatalf("winner pipeline stage timings disagree: %+v vs %+v", st, got)
+	}
+}

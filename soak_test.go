@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"math"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,6 +14,7 @@ import (
 
 	"repro"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/testutil"
 )
 
@@ -92,6 +95,52 @@ func TestServerChaosSoak(t *testing.T) {
 	if done, _ := s.Pipeline().Decided(); !done {
 		t.Fatalf("priming request did not decide the trial")
 	}
+
+	// scrape reads /metrics through the real HTTP handler, requires a
+	// grammar-conformant exposition, and returns the parsed samples.
+	scrape := func() map[string]float64 {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("/metrics = %d", rec.Code)
+		}
+		body := rec.Body.String()
+		if err := obs.ValidateExposition(body); err != nil {
+			t.Fatalf("malformed exposition: %v", err)
+		}
+		samples, err := obs.ParseSamples(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	// assertMonotone requires that no counter-like series (counters and
+	// histogram children) lost a series or went backwards between two
+	// scrapes — scraping mid-chaos must never observe a decrement.
+	assertMonotone := func(prev, cur map[string]float64) {
+		t.Helper()
+		for key, v := range prev {
+			name := key
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			switch {
+			case strings.HasSuffix(name, "_total"), strings.HasSuffix(name, "_count"),
+				strings.HasSuffix(name, "_sum"), strings.HasSuffix(name, "_bucket"):
+			default:
+				continue
+			}
+			nv, ok := cur[key]
+			if !ok {
+				t.Fatalf("series %s disappeared between scrapes", key)
+			}
+			if nv < v {
+				t.Fatalf("series %s went backwards between scrapes: %v -> %v", key, v, nv)
+			}
+		}
+	}
+	pre := scrape()
 
 	// Per-client operands and fault-free reference results, computed
 	// before any fault is armed.
@@ -210,7 +259,13 @@ func TestServerChaosSoak(t *testing.T) {
 
 	// Chaos phase, then a fault-free tail so in-flight retries and the
 	// breaker's recovery probe get a clean runway before reconciliation.
-	time.Sleep(chaosBudget)
+	// Halfway through, scrape /metrics under full load: the exposition
+	// must stay well-formed and every counter monotone even while faults
+	// fire and requests race the collector.
+	time.Sleep(chaosBudget / 2)
+	mid := scrape()
+	assertMonotone(pre, mid)
+	time.Sleep(chaosBudget - chaosBudget/2)
 	close(stopInj)
 	<-injDone
 	faultinject.Reset()
@@ -283,6 +338,27 @@ func TestServerChaosSoak(t *testing.T) {
 	}
 	if st.Degraded {
 		t.Fatalf("serving-time faults degraded the pipeline (build finished pre-chaos)")
+	}
+
+	// Stats() and /metrics read the same registry objects, so with the
+	// load stopped they must agree exactly — the "can never disagree"
+	// contract of the single snapshot path.
+	final := scrape()
+	assertMonotone(mid, final)
+	for key, want := range map[string]float64{
+		"spmmrr_server_completed_total":   float64(st.Completed),
+		"spmmrr_server_failed_total":      float64(st.Failed),
+		"spmmrr_server_retries_total":     float64(st.Retries),
+		"spmmrr_server_fallbacks_total":   float64(st.Fallbacks),
+		"spmmrr_admission_admitted_total": float64(st.Admission.Admitted),
+		"spmmrr_admission_shed_total":     float64(st.Admission.Shed),
+		"spmmrr_admission_expired_total":  float64(st.Admission.Expired),
+		"spmmrr_breaker_trips_total":      float64(st.Breaker.Trips),
+		"spmmrr_breaker_rejected_total":   float64(st.Breaker.Rejected),
+	} {
+		if got, ok := final[key]; !ok || got != want {
+			t.Fatalf("scrape %s = %v (present=%v), Stats() says %v", key, got, ok, want)
+		}
 	}
 
 	// Graceful shutdown with zero in-flight work must be prompt and
