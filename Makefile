@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess fuzz experiments corpus clean
+.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess bench-kernels fuzz experiments corpus clean
 
 all: build lint test
 
@@ -58,6 +58,19 @@ bench-preprocess:
 		$(BENCH_PREPROCESS_FLAGS) ./internal/reorder/ ./internal/plancache/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_preprocess.json
 	@echo "wrote BENCH_preprocess.json"
+
+# SpMM kernel corpus: every execution strategy (rowwise, merge, ELL/HYB,
+# ASpT) on the structural families the autotuner discriminates between
+# (skewed R-MAT, banded, uniform), emitted as BENCH_kernels.json. Each
+# line also reports imb@32, the deterministic row-chunking load-imbalance
+# factor (see DESIGN.md §12). Quick smoke run:
+#   make bench-kernels BENCH_KERNELS_FLAGS="-short -benchtime 1x"
+BENCH_KERNELS_FLAGS ?= -benchtime 1s
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'KernelCorpus' -benchmem \
+		$(BENCH_KERNELS_FLAGS) ./internal/kernels/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_kernels.json
+	@echo "wrote BENCH_kernels.json"
 
 # Short fuzz session over the input parsers.
 fuzz:

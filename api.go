@@ -46,6 +46,25 @@ type Config = reorder.Config
 // Plan is the result of preprocessing a matrix.
 type Plan = reorder.Plan
 
+// Kernel identifies the SpMM execution strategy of a plan. The zero
+// value KernelAuto asks the per-matrix autotuner to choose from the
+// matrix's structural features (skew, hub rows, dense-tile ratio); any
+// other value forces that kernel via Config.Kernel.
+type Kernel = reorder.Kernel
+
+// Kernel values for Config.Kernel and Pipeline.Kernel.
+const (
+	KernelAuto      = reorder.KernelAuto
+	KernelRowWise   = reorder.KernelRowWise
+	KernelMerge     = reorder.KernelMerge
+	KernelELLHybrid = reorder.KernelELLHybrid
+	KernelASpT      = reorder.KernelASpT
+)
+
+// ParseKernel maps a kernel name ("auto", "rowwise", "merge",
+// "ellhybrid", "aspt") to its Kernel value.
+func ParseKernel(s string) (Kernel, error) { return reorder.ParseKernel(s) }
+
 // StageTimings is the per-stage wall-clock breakdown of preprocessing
 // (Plan.Stages), surfaced through Pipeline.PlanStages and
 // Server.PlanStages.

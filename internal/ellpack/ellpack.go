@@ -29,6 +29,10 @@ type Matrix struct {
 	RowLen      []int32
 	Cols        []int32
 	Vals        []float32
+
+	// cum[i] is the number of true (non-padding) entries in rows [0, i),
+	// built by FromCSR; see CumWork.
+	cum []int64
 }
 
 // FromCSR converts a CSR matrix. maxWidth, when positive, rejects
@@ -58,7 +62,23 @@ func FromCSR(m *sparse.CSR, maxWidth int) (*Matrix, error) {
 			e.Vals[s*m.Rows+i] = vals[s]
 		}
 	}
+	e.cum = make([]int64, m.Rows+1)
+	for i := 0; i <= m.Rows; i++ {
+		e.cum[i] = int64(m.RowPtr[i])
+	}
 	return e, nil
+}
+
+// CumWork returns the number of true entries in rows [0, i) — the
+// cumulative-work signal the nnz-balanced executor partitions on
+// (CumWork(0) == 0, CumWork(Rows) == NNZ()). Hand-assembled matrices
+// without the prefix array fall back to a uniform width-based estimate,
+// which only affects balance, never correctness.
+func (e *Matrix) CumWork(i int) int64 {
+	if e.cum != nil {
+		return e.cum[i]
+	}
+	return int64(i) * int64(e.Width)
 }
 
 // NNZ returns the number of true (non-padding) entries.
@@ -138,6 +158,15 @@ func SimulateSpMM(dev gpusim.Config, e *Matrix, k int) (*gpusim.Stats, error) {
 	padded := float64(e.Rows*e.Width)*float64(dev.IndexBytes+dev.ElemBytes) +
 		float64(e.Rows)*float64(dev.IndexBytes)
 	delta := padded - compact
+	// On near-uniform matrices the slab part matches the compact nnz
+	// exactly and the row arrays differ (RowLen is one read per row,
+	// RowPtr two), driving delta negative — which would credit ELL with
+	// *less* DRAM traffic than the padded slab it actually streams.
+	// The slab is never smaller than the compact structure, so clamp:
+	// ELL's structure traffic is at least CSR's.
+	if delta < 0 {
+		delta = 0
+	}
 	st.DRAMBytes += delta
 	st.L2Bytes += delta
 	st.StructBytes += delta

@@ -1,4 +1,4 @@
-package ellpack
+package ellpack_test
 
 import (
 	"math"
@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/dense"
+	"repro/internal/ellpack"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 	"repro/internal/sparse"
@@ -24,7 +25,7 @@ func mustCSR(t *testing.T, rows, cols int, sets [][]int32) *sparse.CSR {
 
 func TestFromCSRLayout(t *testing.T) {
 	m := mustCSR(t, 3, 5, [][]int32{{0, 4}, {2}, {1, 3, 4}})
-	e, err := FromCSR(m, 0)
+	e, err := ellpack.FromCSR(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,17 +50,17 @@ func TestFromCSRLayout(t *testing.T) {
 
 func TestFromCSRWidthCap(t *testing.T) {
 	m := mustCSR(t, 2, 8, [][]int32{{0, 1, 2, 3, 4}, {0}})
-	if _, err := FromCSR(m, 4); err == nil {
+	if _, err := ellpack.FromCSR(m, 4); err == nil {
 		t.Fatalf("width cap not enforced")
 	}
-	if _, err := FromCSR(m, 5); err != nil {
+	if _, err := ellpack.FromCSR(m, 5); err != nil {
 		t.Fatalf("width cap rejected exact fit: %v", err)
 	}
 }
 
 func TestRoundTrip(t *testing.T) {
 	m := mustCSR(t, 4, 6, [][]int32{{0, 5}, {}, {1, 2, 3}, {4}})
-	e, err := FromCSR(m, 0)
+	e, err := ellpack.FromCSR(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestSpMMMatchesCSR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := FromCSR(m, 0)
+	e, err := ellpack.FromCSR(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestSpMMMatchesCSR(t *testing.T) {
 
 func TestSpMMShapeError(t *testing.T) {
 	m := mustCSR(t, 2, 3, [][]int32{{0}, {1}})
-	e, err := FromCSR(m, 0)
+	e, err := ellpack.FromCSR(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestSimulatePaddingPenalty(t *testing.T) {
 		sets[i] = []int32{int32(i % 256)}
 	}
 	m := mustCSR(t, 256, 256, sets)
-	e, err := FromCSR(m, 0)
+	e, err := ellpack.FromCSR(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSimulatePaddingPenalty(t *testing.T) {
 		t.Fatalf("fixture not skewed enough: padding %v", e.PaddingRatio())
 	}
 	dev := gpusim.P100()
-	ell, err := SimulateSpMM(dev, e, 256)
+	ell, err := ellpack.SimulateSpMM(dev, e, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,12 +149,12 @@ func TestSimulateUniformCompetitive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := FromCSR(m, 0)
+	e, err := ellpack.FromCSR(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dev := gpusim.P100()
-	ell, err := SimulateSpMM(dev, e, 256)
+	ell, err := ellpack.SimulateSpMM(dev, e, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestPropertyELLRoundTripAndSpMM(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		e, err := FromCSR(m, 0)
+		e, err := ellpack.FromCSR(m, 0)
 		if err != nil {
 			return false
 		}
@@ -212,5 +213,56 @@ func TestPropertyELLRoundTripAndSpMM(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSimulateUniformNotCredited(t *testing.T) {
+	// Regression: on an exactly uniform matrix the padded slab equals the
+	// compact nonzeros, and the per-row structure arrays differ (RowLen
+	// is one read per row, RowPtr two) — the old accounting pushed that
+	// negative delta into the traffic totals, crediting ELL with *less*
+	// DRAM traffic than the slab it streams. ELL must never be charged
+	// below the CSR baseline.
+	sets := make([][]int32, 512)
+	for i := range sets {
+		for c := int32(0); c < 4; c++ {
+			sets[i] = append(sets[i], (int32(i)+c*7)%512)
+		}
+	}
+	m := mustCSR(t, 512, 512, sets)
+	e, err := ellpack.FromCSR(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PaddingRatio() != 0 {
+		t.Fatalf("fixture not uniform: padding %v", e.PaddingRatio())
+	}
+	dev := gpusim.P100()
+	ell, err := ellpack.SimulateSpMM(dev, e, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := gpusim.SpMMRowWise(dev, m, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ell.DRAMBytes < csr.DRAMBytes {
+		t.Fatalf("uniform ELL credited below CSR: %v < %v DRAM bytes", ell.DRAMBytes, csr.DRAMBytes)
+	}
+	if ell.StructBytes < csr.StructBytes {
+		t.Fatalf("uniform ELL structure credited below CSR: %v < %v", ell.StructBytes, csr.StructBytes)
+	}
+}
+
+func TestELLCumWork(t *testing.T) {
+	m := mustCSR(t, 4, 8, [][]int32{{0, 1}, {}, {2}, {0, 1, 2, 3}})
+	e, err := ellpack.FromCSR(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= m.Rows; i++ {
+		if got, want := e.CumWork(i), int64(m.RowPtr[i]); got != want {
+			t.Fatalf("CumWork(%d) = %d, want %d", i, got, want)
+		}
 	}
 }

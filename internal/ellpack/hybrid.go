@@ -2,6 +2,7 @@ package ellpack
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dense"
@@ -18,6 +19,11 @@ type Hybrid struct {
 	ELL *Matrix
 	// Spill holds the overflow entries in row-major COO order.
 	Spill []sparse.Entry
+
+	// cum[i] is the total stored work (ELL + spill nonzeros) of rows
+	// [0, i) — the source matrix's RowPtr, since the two partitions
+	// exactly tile its nonzeros. Built by FromCSRHybrid; see CumWork.
+	cum []int64
 }
 
 // DefaultHybridQuantile is the row-length quantile used to size the ELL
@@ -31,7 +37,10 @@ func FromCSRHybrid(m *sparse.CSR, q float64) (*Hybrid, error) {
 	if q == 0 {
 		q = DefaultHybridQuantile
 	}
-	if q < 0 || q > 1 {
+	// Negated range check so NaN (for which both q < 0 and q > 1 are
+	// false) is rejected instead of flowing into the platform-dependent
+	// float->int conversion below.
+	if !(q > 0 && q <= 1) {
 		return nil, fmt.Errorf("ellpack: hybrid quantile %v out of (0, 1]", q)
 	}
 	lens := make([]int, m.Rows)
@@ -41,7 +50,17 @@ func FromCSRHybrid(m *sparse.CSR, q float64) (*Hybrid, error) {
 	sort.Ints(lens)
 	width := 0
 	if m.Rows > 0 {
-		idx := int(q * float64(m.Rows-1))
+		// Nearest-rank (ceiling) quantile: the q-quantile of n sorted
+		// values is the ⌈q·n⌉-th smallest. Truncating instead picks the
+		// floor rank, which with 2 rows and q=0.75 selects the *shorter*
+		// row and spills half the matrix.
+		idx := int(math.Ceil(q*float64(m.Rows))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= m.Rows {
+			idx = m.Rows - 1
+		}
 		width = lens[idx]
 	}
 
@@ -71,7 +90,23 @@ func FromCSRHybrid(m *sparse.CSR, q float64) (*Hybrid, error) {
 			h.Spill = append(h.Spill, sparse.Entry{Row: int32(i), Col: cols[s], Val: vals[s]})
 		}
 	}
+	h.cum = make([]int64, m.Rows+1)
+	for i := 0; i <= m.Rows; i++ {
+		h.cum[i] = int64(m.RowPtr[i])
+	}
 	return h, nil
+}
+
+// CumWork returns the total stored work (ELL + spill entries) of rows
+// [0, i) — the cumulative-work signal the nnz-balanced executor
+// partitions on. Hand-assembled Hybrids without the prefix array fall
+// back to the ELL part's estimate (balance only; correctness is
+// unaffected).
+func (h *Hybrid) CumWork(i int) int64 {
+	if h.cum != nil {
+		return h.cum[i]
+	}
+	return h.ELL.CumWork(i)
 }
 
 // NNZ returns the total stored nonzeros (ELL + spill).

@@ -1,11 +1,13 @@
-package ellpack
+package ellpack_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/dense"
+	"repro/internal/ellpack"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 	"repro/internal/sparse"
@@ -17,7 +19,7 @@ func TestHybridSplit(t *testing.T) {
 	// row spills 4 entries.
 	sets := [][]int32{{0}, {1}, {2}, {0, 1, 2, 3, 4}}
 	m := mustCSR(t, 4, 8, sets)
-	h, err := FromCSRHybrid(m, 0.75)
+	h, err := ellpack.FromCSRHybrid(m, 0.75)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,13 +39,13 @@ func TestHybridSplit(t *testing.T) {
 
 func TestHybridQuantileValidation(t *testing.T) {
 	m := mustCSR(t, 2, 2, [][]int32{{0}, {1}})
-	if _, err := FromCSRHybrid(m, -0.1); err == nil {
+	if _, err := ellpack.FromCSRHybrid(m, -0.1); err == nil {
 		t.Errorf("negative quantile accepted")
 	}
-	if _, err := FromCSRHybrid(m, 1.5); err == nil {
+	if _, err := ellpack.FromCSRHybrid(m, 1.5); err == nil {
 		t.Errorf("quantile > 1 accepted")
 	}
-	if _, err := FromCSRHybrid(m, 0); err != nil {
+	if _, err := ellpack.FromCSRHybrid(m, 0); err != nil {
 		t.Errorf("default quantile rejected: %v", err)
 	}
 }
@@ -53,7 +55,7 @@ func TestHybridSpMMMatchesCSR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := FromCSRHybrid(m, 0)
+	h, err := ellpack.FromCSRHybrid(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,20 +86,20 @@ func TestHybridBeatsELLOnSkewed(t *testing.T) {
 		sets[i] = []int32{int32(i % 256)}
 	}
 	m := mustCSR(t, 256, 256, sets)
-	e, err := FromCSR(m, 0)
+	e, err := ellpack.FromCSR(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := FromCSRHybrid(m, 0)
+	h, err := ellpack.FromCSRHybrid(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dev := gpusim.P100()
-	ell, err := SimulateSpMM(dev, e, 256)
+	ell, err := ellpack.SimulateSpMM(dev, e, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyb, err := SimulateSpMMHybrid(dev, h, 256)
+	hyb, err := ellpack.SimulateSpMMHybrid(dev, h, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +133,7 @@ func TestPropertyHybrid(t *testing.T) {
 			return false
 		}
 		q := 0.25 + 0.75*rng.Float64()
-		h, err := FromCSRHybrid(m, q)
+		h, err := ellpack.FromCSRHybrid(m, q)
 		if err != nil {
 			return false
 		}
@@ -151,5 +153,52 @@ func TestPropertyHybrid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHybridQuantileRejectsNaN(t *testing.T) {
+	// Regression: NaN fails both q < 0 and q > 1, so it used to flow
+	// into the float->int width index, which is platform-dependent.
+	m := mustCSR(t, 2, 2, [][]int32{{0}, {1}})
+	if _, err := ellpack.FromCSRHybrid(m, math.NaN()); err == nil {
+		t.Fatalf("NaN quantile accepted")
+	}
+}
+
+func TestHybridQuantileNearestRank(t *testing.T) {
+	// Regression: with rows of lengths {1, 3}, the 0.75 quantile must be
+	// the nearest (ceiling) rank ⌈0.75·2⌉ = 2nd smallest = 3. Floor-rank
+	// truncation picked the *shorter* row and spilled 2 of 4 nonzeros.
+	m := mustCSR(t, 2, 4, [][]int32{{0}, {0, 1, 2}})
+	h, err := ellpack.FromCSRHybrid(m, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ELL.Width != 3 {
+		t.Fatalf("width = %d, want 3 (nearest-rank quantile)", h.ELL.Width)
+	}
+	if len(h.Spill) != 0 {
+		t.Fatalf("spill = %d, want 0", len(h.Spill))
+	}
+	// The 0.5 quantile is the 1st smallest = 1: the long row spills.
+	h, err = ellpack.FromCSRHybrid(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ELL.Width != 1 || len(h.Spill) != 2 {
+		t.Fatalf("q=0.5: width = %d spill = %d, want 1 and 2", h.ELL.Width, len(h.Spill))
+	}
+}
+
+func TestHybridCumWork(t *testing.T) {
+	m := mustCSR(t, 4, 8, [][]int32{{0}, {}, {0, 1, 2, 3, 4}, {1, 2}})
+	h, err := ellpack.FromCSRHybrid(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= m.Rows; i++ {
+		if got, want := h.CumWork(i), int64(m.RowPtr[i]); got != want {
+			t.Fatalf("CumWork(%d) = %d, want %d", i, got, want)
+		}
 	}
 }

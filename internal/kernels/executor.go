@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/aspt"
 	"repro/internal/dense"
+	"repro/internal/ellpack"
 	"repro/internal/faultinject"
 	"repro/internal/par"
 	"repro/internal/sparse"
@@ -64,9 +65,21 @@ type job struct {
 	// Operands, interpreted by run.
 	csr  *sparse.CSR
 	tile *aspt.Matrix
+	ell  *ellpack.Matrix
+	hyb  *ellpack.Hybrid
 	x    *dense.Matrix
 	y    *dense.Matrix
 	out  []float32 // SDDMM output values
+
+	// Merge-kernel state (see merge.go): when run is runSpMMMerge the
+	// generic chunks slice holds {i, i+1} indices into mergeChunks, and
+	// each chunk's head-fragment partial sums land in its carry slot
+	// (carryRow[c] == -1 when chunk c carries nothing). The slices keep
+	// their capacity across pooled reuse so steady-state calls stay
+	// allocation-free.
+	mergeChunks []mergeChunk
+	carryRow    []int32
+	carryVal    []float32
 }
 
 // failure boxes the first error of a job (atomic.Pointer needs a
@@ -98,10 +111,13 @@ func putJob(j *job) {
 	j.run = nil
 	j.csr = nil
 	j.tile = nil
+	j.ell = nil
+	j.hyb = nil
 	j.x = nil
 	j.y = nil
 	j.out = nil
 	j.chunks = j.chunks[:0]
+	j.mergeChunks = j.mergeChunks[:0]
 	j.next.Store(0)
 	j.ctx = nil
 	j.stop.Store(false)
@@ -270,6 +286,20 @@ func (j *job) dispatch(rows int, cum func(int) int64) error {
 		return j.err()
 	}
 	j.chunks = appendBalancedChunks(j.chunks[:0], rows, cum, workers*chunksPerWorker)
+	return j.dispatchChunks(workers)
+}
+
+// dispatchChunks runs j.run over the already-prepared j.chunks with up
+// to workers participants (the caller plus pool goroutines). dispatch
+// builds nnz-balanced row chunks and delegates here; kernels with a
+// custom partition (the merge kernel splits on flat nonzero index, not
+// rows) fill j.chunks themselves and call this directly. A single
+// worker still drains every chunk — serially, with the same per-chunk
+// cancellation and panic isolation as the parallel path.
+func (j *job) dispatchChunks(workers int) error {
+	if len(j.chunks) == 0 {
+		return par.CtxErr(j.ctx)
+	}
 	executorChunks.Observe(float64(len(j.chunks)))
 	if len(j.chunks) == 1 {
 		c := j.chunks[0]
@@ -280,14 +310,16 @@ func (j *job) dispatch(rows int, cum func(int) int64) error {
 		j.runChunk(c.lo, c.hi)
 		return j.err()
 	}
-	startWorkers()
-	for w := 0; w < workers-1; w++ {
-		j.wg.Add(1)
-		select {
-		case jobQueue <- j:
-		default:
-			j.wg.Done()
-			w = workers // queue full; run with whoever already joined
+	if workers > 1 {
+		startWorkers()
+		for w := 0; w < workers-1; w++ {
+			j.wg.Add(1)
+			select {
+			case jobQueue <- j:
+			default:
+				j.wg.Done()
+				w = workers // queue full; run with whoever already joined
+			}
 		}
 	}
 	mine := j.steal()

@@ -15,6 +15,15 @@ var (
 	kernelSpMMASpT = obs.Default().Histogram("spmmrr_kernel_seconds",
 		"Kernel execution latency by kernel variant.",
 		obs.LatencyBuckets(), obs.L("kernel", "spmm_aspt"))
+	kernelSpMMMerge = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "spmm_merge"))
+	kernelSpMMELL = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "spmm_ell"))
+	kernelSpMMHybrid = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "spmm_hyb"))
 	kernelSDDMMRowWise = obs.Default().Histogram("spmmrr_kernel_seconds",
 		"Kernel execution latency by kernel variant.",
 		obs.LatencyBuckets(), obs.L("kernel", "sddmm_rowwise"))

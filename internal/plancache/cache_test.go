@@ -285,3 +285,42 @@ func eq[T comparable](a, b []T) bool {
 	}
 	return true
 }
+
+// TestKernelChoiceCached checks the autotuned kernel is part of plan
+// identity: a cached plan replays its kernel choice, and a config with
+// a different kernel override is a different cache entry.
+func TestKernelChoiceCached(t *testing.T) {
+	c := New(8)
+	m := clusteredMatrix(t, 1024, 512, 9)
+	cfg := reorder.DefaultConfig()
+	cfg.Kernel = reorder.KernelMerge
+	plan, err := c.Preprocess(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kernel != reorder.KernelMerge {
+		t.Fatalf("preprocessed kernel = %v, want merge", plan.Kernel)
+	}
+	hit, ok := c.Get(m, cfg, Full)
+	if !ok {
+		t.Fatal("miss on identical matrix+config")
+	}
+	if hit.Kernel != reorder.KernelMerge {
+		t.Fatalf("cached kernel = %v, want merge", hit.Kernel)
+	}
+	// A hit on the same structure with different values must keep the
+	// kernel too (the reskin path).
+	hit, ok = c.Get(withValues(m, 2), cfg, Full)
+	if !ok {
+		t.Fatal("miss on same-structure matrix")
+	}
+	if hit.Kernel != reorder.KernelMerge {
+		t.Fatalf("reskinned kernel = %v, want merge", hit.Kernel)
+	}
+	// A different kernel override is a different plan.
+	cfg2 := cfg
+	cfg2.Kernel = reorder.KernelRowWise
+	if _, ok := c.Get(m, cfg2, Full); ok {
+		t.Error("hit despite different kernel override")
+	}
+}

@@ -1,0 +1,160 @@
+package reorder
+
+// Per-matrix kernel selection. The executor in internal/kernels offers
+// four SpMM strategies — row-wise CSR, merge-based nonzero splitting,
+// the ELL+COO hybrid, and the ASpT tiled kernel — whose relative speed
+// is decided by matrix structure, not size: skew (nnz/row coefficient
+// of variation, max/mean row length) rewards the merge kernel, near
+// uniformity tolerates the hybrid slab, and a high dense-tile ratio is
+// the precondition for ASpT (the paper's Fig 9 skip heuristic, in
+// reverse). The choice is made once at preprocessing time from features
+// already computed (or O(rows) to compute), stored in the Plan beside
+// the permutations, serialised into plan snapshots, and keyed into the
+// plan-cache fingerprint via Config — so a cached or deployed plan
+// replays the same kernel it was tuned for.
+//
+// reorder deliberately does not import internal/kernels (kernels' tests
+// depend on reorder); the enum here is mapped to actual kernel entry
+// points by the top-level repro package.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Kernel identifies the SpMM execution strategy of a Plan.
+type Kernel uint8
+
+const (
+	// KernelAuto resolves to a concrete kernel during Preprocess (or
+	// SavedPlan.Apply) via ChooseKernel. It never appears in a returned
+	// Plan.
+	KernelAuto Kernel = iota
+	// KernelRowWise is the row-wise CSR kernel (paper Alg 1).
+	KernelRowWise
+	// KernelMerge is the merge-based (nonzero-split) CSR kernel.
+	KernelMerge
+	// KernelELLHybrid is the ELL+COO hybrid slab kernel.
+	KernelELLHybrid
+	// KernelASpT executes the plan's tiled representation.
+	KernelASpT
+
+	kernelCount // sentinel for validation
+)
+
+var kernelNames = [...]string{"auto", "rowwise", "merge", "ellhybrid", "aspt"}
+
+func (k Kernel) String() string {
+	if int(k) < len(kernelNames) {
+		return kernelNames[k]
+	}
+	return fmt.Sprintf("kernel(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined kernel value (including Auto).
+func (k Kernel) Valid() bool { return k < kernelCount }
+
+// ParseKernel maps a name ("auto", "rowwise", "merge", "ellhybrid",
+// "aspt") to its Kernel value.
+func ParseKernel(s string) (Kernel, error) {
+	for i, n := range kernelNames {
+		if s == n {
+			return Kernel(i), nil
+		}
+	}
+	return KernelAuto, fmt.Errorf("reorder: unknown kernel %q", s)
+}
+
+// KernelFeatures are the structural signals ChooseKernel decides on.
+// All are O(rows) from a CSR plus the plan's dense-tile ratio.
+type KernelFeatures struct {
+	Rows, NNZ int
+	// RowLenCV is the coefficient of variation of row lengths.
+	RowLenCV float64
+	// MaxOverMean is MaxRowLen / AvgRowLen (1 = perfectly uniform).
+	MaxOverMean float64
+	// DenseRatio is the fraction of nonzeros inside dense tiles after
+	// reordering (Plan.DenseRatioAfter).
+	DenseRatio float64
+}
+
+// kernelFeaturesOf extracts features from the reordered matrix without
+// touching the nonzeros: row lengths come from RowPtr.
+func kernelFeaturesOf(m *sparse.CSR, denseRatio float64) KernelFeatures {
+	f := KernelFeatures{Rows: m.Rows, NNZ: m.NNZ(), DenseRatio: denseRatio}
+	if m.Rows == 0 || f.NNZ == 0 {
+		return f
+	}
+	sum, sumSq, maxLen := 0.0, 0.0, 0
+	for i := 0; i < m.Rows; i++ {
+		l := m.RowLen(i)
+		sum += float64(l)
+		sumSq += float64(l) * float64(l)
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	mean := sum / float64(m.Rows)
+	if variance := sumSq/float64(m.Rows) - mean*mean; variance > 0 && mean > 0 {
+		f.RowLenCV = math.Sqrt(variance) / mean
+	}
+	if mean > 0 {
+		f.MaxOverMean = float64(maxLen) / mean
+	}
+	return f
+}
+
+// Autotuner thresholds. Tuned against `make bench-kernels` (see
+// DESIGN.md §12): the regimes where each kernel measurably wins, with
+// the tie regions resolved toward the row-wise baseline, whose
+// nnz-balanced chunking is within noise of the alternatives on
+// non-pathological inputs.
+const (
+	// autotuneASpTDenseRatio: above this dense-tile nonzero fraction the
+	// tiled kernel's X-reuse wins — the same 10% boundary the paper uses
+	// to decide whether reordering (whose whole point is raising this
+	// ratio) pays.
+	autotuneASpTDenseRatio = 0.10
+	// autotuneMergeCV / autotuneMergeMaxOverMean: either strong overall
+	// skew or a single dominating hub row serialises a row-granular
+	// chunk; the merge kernel bounds per-chunk work at ~nnz/chunks
+	// regardless.
+	autotuneMergeCV          = 1.5
+	autotuneMergeMaxOverMean = 16.0
+	// autotuneHybridCV: near-uniform row lengths keep the ELL slab
+	// padding (and the spill) negligible, making the slab's
+	// branch-light column sweep competitive; beyond this CV the slab
+	// pads or spills too much to bother.
+	autotuneHybridCV = 0.25
+)
+
+// ChooseKernel picks the execution strategy for a matrix with the given
+// features. The decision order mirrors specificity: the dense-tile
+// ratio (the paper's own signal) first, then skew extremes, then the
+// row-wise default.
+func ChooseKernel(f KernelFeatures) Kernel {
+	if f.NNZ == 0 {
+		return KernelRowWise
+	}
+	if f.DenseRatio >= autotuneASpTDenseRatio {
+		return KernelASpT
+	}
+	if f.RowLenCV >= autotuneMergeCV || f.MaxOverMean >= autotuneMergeMaxOverMean {
+		return KernelMerge
+	}
+	if f.RowLenCV <= autotuneHybridCV {
+		return KernelELLHybrid
+	}
+	return KernelRowWise
+}
+
+// resolveKernel applies the Config override or the autotuner to a
+// freshly built plan.
+func resolveKernel(p *Plan) Kernel {
+	if k := p.Cfg.Kernel; k != KernelAuto && k.Valid() {
+		return k
+	}
+	return ChooseKernel(kernelFeaturesOf(p.Reordered, p.DenseRatioAfter))
+}

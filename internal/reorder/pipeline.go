@@ -55,6 +55,11 @@ type Config struct {
 	// Disable turns the pipeline into plain ASpT-NR: no reordering at
 	// all, only tiling.
 	Disable bool
+	// Kernel overrides the per-matrix kernel autotuner: KernelAuto (the
+	// zero value) lets ChooseKernel pick from the matrix's structural
+	// features; any other value is used as-is. Participates in the
+	// plan-cache fingerprint like every Config field.
+	Kernel Kernel
 	// Workers bounds the parallelism of the whole preprocessing engine
 	// (tiling, row permutation, similarity scans; LSH inherits it when
 	// LSH.Workers is 0, and tiling when ASpT.Workers is 0). 0 means
@@ -120,6 +125,12 @@ type Plan struct {
 
 	Round1Applied bool
 	Round2Applied bool
+
+	// Kernel is the SpMM execution strategy selected for this plan —
+	// Cfg.Kernel when overridden, otherwise the autotuner's choice from
+	// the reordered matrix's structure. Never KernelAuto in a Plan
+	// returned by Preprocess or SavedPlan.Apply.
+	Kernel Kernel
 
 	// Fig 9 metrics. "Before" values describe plain ASpT-NR on the
 	// original matrix; "After" the final plan.
@@ -193,11 +204,11 @@ func (p *Plan) NeedsReordering() bool { return p.Round1Applied || p.Round2Applie
 // Describe renders a human-readable plan summary (used by the CLIs).
 func (p *Plan) Describe() string {
 	return fmt.Sprintf(
-		"round1=%v round2=%v preprocess=%v\n"+
+		"round1=%v round2=%v kernel=%v preprocess=%v\n"+
 			"  dense-tile ratio %.3f -> %.3f (Δ%+.3f)\n"+
 			"  rest avg similarity %.3f -> %.3f (Δ%+.3f)\n"+
 			"  round1: %d candidate pairs, %d merges; round2: %d pairs, %d merges",
-		p.Round1Applied, p.Round2Applied, p.Preprocess.Round(time.Millisecond),
+		p.Round1Applied, p.Round2Applied, p.Kernel, p.Preprocess.Round(time.Millisecond),
 		p.DenseRatioBefore, p.DenseRatioAfter, p.DeltaDenseRatio(),
 		p.AvgSimBefore, p.AvgSimAfter, p.DeltaAvgSim(),
 		p.Round1Stats.CandidatePairs, p.Round1Stats.Merges,
@@ -348,6 +359,7 @@ func PreprocessCtx(ctx context.Context, m *sparse.CSR, cfg Config) (*Plan, error
 		p.AvgSimAfter = restSim
 	}
 
+	p.Kernel = resolveKernel(p)
 	p.Preprocess = time.Since(start)
 	recordBuild(p, start)
 	traceStages(obs.TraceFrom(ctx), p.Stages, start)

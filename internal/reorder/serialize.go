@@ -24,7 +24,7 @@ import (
 //	magic   uint32 = 0x52525032 ("2PRR")
 //	version uint32 = 1
 //	rows    uint32
-//	flags   uint32 (bit0 round1, bit1 round2)
+//	flags   uint32 (bit0 round1, bit1 round2, bits 8-11 kernel choice)
 //	rowPerm   [rows]uint32
 //	restOrder [rows]uint32
 //	crc32   uint32 (IEEE, over everything above)
@@ -63,6 +63,13 @@ func WritePlan(w io.Writer, p *Plan) error {
 	if p.Round2Applied {
 		flags |= 2
 	}
+	if !p.Kernel.Valid() {
+		return fmt.Errorf("reorder: plan has invalid kernel %v", p.Kernel)
+	}
+	// Bits 8-11 carry the tuned kernel choice so a deployed plan replays
+	// the kernel it was tuned for. Zero (KernelAuto, and every pre-kernel
+	// v1 file) means "re-resolve at Apply time".
+	flags |= uint32(p.Kernel) << 8
 	buf := make([]byte, 16+8*rows+8)
 	binary.LittleEndian.PutUint32(buf[0:], planMagicV1)
 	binary.LittleEndian.PutUint32(buf[4:], planVersion)
@@ -127,8 +134,12 @@ type SavedPlan struct {
 	Rows          int
 	Round1Applied bool
 	Round2Applied bool
-	RowPerm       []int32
-	RestOrder     []int32
+	// Kernel is the stored kernel choice; KernelAuto for legacy files
+	// written before kernel tuning existed (Apply re-resolves it).
+	Kernel  Kernel
+	RowPerm []int32
+	// RestOrder is the leftover-part processing order.
+	RestOrder []int32
 }
 
 // ReadPlan parses a plan file in format v1 (with CRC verification) or
@@ -177,6 +188,10 @@ func ReadPlan(r io.Reader) (*SavedPlan, error) {
 		Rows:          rows,
 		Round1Applied: flags&1 != 0,
 		Round2Applied: flags&2 != 0,
+		Kernel:        Kernel(flags >> 8 & 0xF),
+	}
+	if !sp.Kernel.Valid() {
+		return nil, fmt.Errorf("%w: unknown kernel %d", ErrPlanFormat, uint8(sp.Kernel))
 	}
 	for _, dst := range []*[]int32{&sp.RowPerm, &sp.RestOrder} {
 		perm, err := readPermutation(r, rows, crc)
@@ -288,5 +303,16 @@ func (sp *SavedPlan) Apply(m *sparse.CSR, cfg Config) (*Plan, error) {
 		Round2Applied: sp.Round2Applied,
 	}
 	p.DenseRatioAfter = tiled.DenseRatio()
+	// Kernel precedence: an explicit Config override wins, then the
+	// choice stored with the snapshot; legacy files with no stored
+	// choice re-run the autotuner on the rebuilt plan.
+	switch {
+	case cfg.Kernel != KernelAuto && cfg.Kernel.Valid():
+		p.Kernel = cfg.Kernel
+	case sp.Kernel != KernelAuto:
+		p.Kernel = sp.Kernel
+	default:
+		p.Kernel = ChooseKernel(kernelFeaturesOf(p.Reordered, p.DenseRatioAfter))
+	}
 	return p, nil
 }

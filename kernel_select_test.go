@@ -1,0 +1,78 @@
+package repro_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// TestPipelineKernelOverrides runs the same SpMM through every kernel
+// override and checks (a) the pipeline reports the requested kernel and
+// (b) the results agree with the plain reference within float
+// tolerance — the permute-back path must be kernel-agnostic.
+func TestPipelineKernelOverrides(t *testing.T) {
+	m := scrambled(t)
+	x := repro.NewRandomDense(m.Cols, 16, 3)
+	want, err := repro.SpMM(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []repro.Kernel{
+		repro.KernelRowWise, repro.KernelMerge, repro.KernelELLHybrid, repro.KernelASpT,
+	} {
+		cfg := repro.DefaultConfig()
+		cfg.Kernel = k
+		p, err := repro.NewPipeline(m, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if p.Kernel() != k {
+			t.Fatalf("pipeline kernel = %v, want %v", p.Kernel(), k)
+		}
+		got, err := p.SpMM(x)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		for i := range want.Data {
+			if d := math.Abs(float64(want.Data[i] - got.Data[i])); d > 1e-3 {
+				t.Fatalf("%v kernel diverges at %d by %v", k, i, d)
+			}
+		}
+	}
+}
+
+// TestPipelineKernelAutotuned checks the default config resolves to a
+// concrete kernel and that the choice survives a plan snapshot
+// round-trip through SavePlan / NewPipelineFromSavedPlan.
+func TestPipelineKernelAutotuned(t *testing.T) {
+	m := scrambled(t)
+	p, err := repro.NewPipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kernel() == repro.KernelAuto {
+		t.Fatal("pipeline kernel left unresolved")
+	}
+	var buf bytes.Buffer
+	if err := p.SavePlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := repro.NewPipelineFromSavedPlan(m, repro.DefaultConfig(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Kernel() != p.Kernel() {
+		t.Fatalf("snapshot kernel = %v, want %v", p2.Kernel(), p.Kernel())
+	}
+
+	// The online pipeline and server surface the same choice.
+	o, err := repro.NewOnlinePipeline(m, repro.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kernel() == repro.KernelAuto {
+		t.Fatal("online pipeline kernel left unresolved")
+	}
+}

@@ -29,7 +29,35 @@ var (
 	// lastTrialWinner tracks the previous decision across all pipelines
 	// in the process: 0 = none yet, 1 = reordered, 2 = plain.
 	lastTrialWinner atomic.Int32
+
+	// Kernel-choice counters, one per strategy, bumped when a pipeline
+	// is constructed: the distribution shows which kernels the autotuner
+	// actually selects on the workload's matrices.
+	kernelChoiceRowWise = obs.Default().Counter("spmmrr_kernel_choice_total",
+		"Pipelines constructed, by selected SpMM kernel.", obs.L("kernel", "rowwise"))
+	kernelChoiceMerge = obs.Default().Counter("spmmrr_kernel_choice_total",
+		"Pipelines constructed, by selected SpMM kernel.", obs.L("kernel", "merge"))
+	kernelChoiceELLHybrid = obs.Default().Counter("spmmrr_kernel_choice_total",
+		"Pipelines constructed, by selected SpMM kernel.", obs.L("kernel", "ellhybrid"))
+	kernelChoiceASpT = obs.Default().Counter("spmmrr_kernel_choice_total",
+		"Pipelines constructed, by selected SpMM kernel.", obs.L("kernel", "aspt"))
 )
+
+// recordKernelChoice publishes a constructed pipeline's kernel to the
+// process registry. Unknown values (a hand-built plan) count as the
+// ASpT fallback the executor will actually take.
+func recordKernelChoice(k Kernel) {
+	switch k {
+	case KernelRowWise:
+		kernelChoiceRowWise.Inc()
+	case KernelMerge:
+		kernelChoiceMerge.Inc()
+	case KernelELLHybrid:
+		kernelChoiceELLHybrid.Inc()
+	default:
+		kernelChoiceASpT.Inc()
+	}
+}
 
 // recordTrial publishes one decided trial to the process registry.
 func recordTrial(reorderedWon bool, rrTime, nrTime time.Duration) {

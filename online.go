@@ -239,6 +239,19 @@ func (o *OnlinePipeline) PlanStages() StageTimings {
 	return o.nr.PlanStages()
 }
 
+// Kernel returns the SpMM kernel of the plan a call arriving now would
+// execute on (winner, else built reordered plan, else the no-reorder
+// plan), resolving the same way as PlanStages.
+func (o *OnlinePipeline) Kernel() Kernel {
+	if w := o.winner.Load(); w != nil {
+		return w.Kernel()
+	}
+	if rr := o.rr.Load(); rr != nil {
+		return rr.Kernel()
+	}
+	return o.nr.Kernel()
+}
+
 // SpMM computes Y = S·X. The first call with both plans ready runs the
 // trial and keeps the faster plan; later calls use the winner
 // lock-free. While the reordered plan is still building in the

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/dense"
+	"repro/internal/ellpack"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 	"repro/internal/obs"
@@ -26,10 +27,33 @@ type Pipeline struct {
 	orig *Matrix
 	plan *Plan
 
+	// hyb is the ELL+COO representation of the reordered matrix, built
+	// at construction only when the plan's kernel choice is
+	// KernelELLHybrid. It is built per pipeline, never stored in the
+	// (value-reskinnable) plan cache, so its values always match this
+	// pipeline's matrix.
+	hyb *ellpack.Hybrid
+
 	// sddmmScratch pools reordered-row-space SDDMM value buffers. The
 	// pooled matrices share the reordered matrix's structure arrays
 	// (read-only) and own only their Val slice.
 	sddmmScratch sync.Pool
+}
+
+// newPipeline finishes construction from a built plan: the kernel
+// choice is materialised (the hybrid slab is converted now, off the
+// serving path) and published to the kernel-choice counter.
+func newPipeline(orig *Matrix, plan *Plan) (*Pipeline, error) {
+	p := &Pipeline{orig: orig, plan: plan}
+	if plan.Kernel == reorder.KernelELLHybrid {
+		hyb, err := ellpack.FromCSRHybrid(plan.Reordered, 0)
+		if err != nil {
+			return nil, fmt.Errorf("repro: building hybrid representation: %w", err)
+		}
+		p.hyb = hyb
+	}
+	recordKernelChoice(plan.Kernel)
+	return p, nil
 }
 
 // NewPipeline preprocesses m (Fig 5 workflow: round-1 reordering, ASpT
@@ -54,7 +78,7 @@ func NewPipelineCtx(ctx context.Context, m *Matrix, cfg Config) (*Pipeline, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{orig: m, plan: plan}, nil
+	return newPipeline(m, plan)
 }
 
 // NewPipelineNR builds a no-reordering (plain ASpT) pipeline — the
@@ -70,7 +94,7 @@ func NewPipelineNRCtx(ctx context.Context, m *Matrix, cfg Config) (*Pipeline, er
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{orig: m, plan: plan}, nil
+	return newPipeline(m, plan)
 }
 
 // Plan exposes the underlying preprocessing plan (metrics, permutations,
@@ -85,6 +109,13 @@ func (p *Pipeline) PlanStages() StageTimings { return p.plan.Stages }
 
 // Matrix returns the original (unreordered) matrix.
 func (p *Pipeline) Matrix() *Matrix { return p.orig }
+
+// Kernel returns the SpMM execution strategy this pipeline runs —
+// either the Config override or the per-matrix autotuner's choice (see
+// reorder.ChooseKernel). SDDMM always executes the tiled representation
+// regardless: the tile/rest split is what lets SDDMM scatter values
+// back in source order.
+func (p *Pipeline) Kernel() Kernel { return p.plan.Kernel }
 
 // SpMM computes Y = S·X using the tiled, reordered execution and returns
 // Y in the original row order.
@@ -124,13 +155,33 @@ func (p *Pipeline) SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
 	}
 	yre := dense.Get(p.orig.Rows, x.Cols)
 	defer dense.Put(yre)
-	if err := kernels.SpMMASpTIntoCtx(ctx, yre, p.plan.Tiled, x); err != nil {
+	// Execute in reordered row space with the plan's tuned kernel. Every
+	// variant honours the same contract: cancellation between chunks,
+	// panic isolation, zero steady-state allocations.
+	var err error
+	switch p.plan.Kernel {
+	case reorder.KernelRowWise:
+		err = kernels.SpMMRowWiseIntoCtx(ctx, yre, p.plan.Reordered, x)
+	case reorder.KernelMerge:
+		err = kernels.SpMMMergeIntoCtx(ctx, yre, p.plan.Reordered, x)
+	case reorder.KernelELLHybrid:
+		if p.hyb != nil {
+			err = kernels.SpMMHybridIntoCtx(ctx, yre, p.hyb, x)
+			break
+		}
+		// A hand-assembled Pipeline without the slab (zero value plus
+		// field poking) still computes, via the tiled fallback.
+		fallthrough
+	default:
+		err = kernels.SpMMASpTIntoCtx(ctx, yre, p.plan.Tiled, x)
+	}
+	if err != nil {
 		return err
 	}
 	// Row i of the reordered result is original row RowPerm[i]; gather
 	// with the inverse permutation to restore the caller's order.
 	sp := obs.TraceFrom(ctx).StartSpan("permute_output")
-	err := dense.PermuteRowsInto(y, yre, p.plan.InvRowPerm)
+	err = dense.PermuteRowsInto(y, yre, p.plan.InvRowPerm)
 	sp.End()
 	return err
 }
@@ -258,7 +309,7 @@ func NewPipelineFromSavedPlan(m *Matrix, cfg Config, r io.Reader) (*Pipeline, er
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{orig: m, plan: plan}, nil
+	return newPipeline(m, plan)
 }
 
 // SavePlanFile writes the plan to path atomically and durably (temp
@@ -280,7 +331,7 @@ func NewPipelineFromPlanFile(m *Matrix, cfg Config, path string) (*Pipeline, err
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{orig: m, plan: plan}, nil
+	return newPipeline(m, plan)
 }
 
 // ErrPlanFormat is wrapped by every plan-file deserialization failure:

@@ -257,6 +257,10 @@ func (s *Server) Pipeline() *OnlinePipeline { return s.pipe }
 // server would execute on right now (see OnlinePipeline.PlanStages).
 func (s *Server) PlanStages() StageTimings { return s.pipe.PlanStages() }
 
+// Kernel returns the SpMM kernel of the plan the server would execute
+// on right now (see OnlinePipeline.Kernel).
+func (s *Server) Kernel() Kernel { return s.pipe.Kernel() }
+
 // Stats returns a snapshot of every resilience counter. Every number
 // is read from the same registry objects /metrics renders, so the two
 // views cannot disagree.
