@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess bench-kernels fuzz experiments corpus clean
+.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess bench-kernels bench-serving fuzz experiments corpus clean
 
 all: build lint test
 
@@ -30,12 +30,14 @@ race:
 	$(GO) test -race ./...
 
 # Chaos soak: the full Server (admission, retry, breaker, persistence)
-# under fault injection, cancellations, and concurrent load, raced.
+# under fault injection, cancellations, and concurrent load, raced —
+# plus the coalesced multi-tenant soak, which asserts exact per-tenant
+# outcome reconciliation under the same pressure.
 # PR CI runs the short budget (make soak SOAK_FLAGS=-short); the
 # nightly job runs it full-length.
 SOAK_FLAGS ?=
 soak:
-	$(GO) test -race -count=1 -run TestServerChaosSoak -v $(SOAK_FLAGS) .
+	$(GO) test -race -count=1 -run 'TestServerChaosSoak|TestServerCoalescedMultiTenantSoak' -v $(SOAK_FLAGS) .
 
 # Observability smoke: boot the real spmmrr binary in serving mode with
 # -obs-listen, scrape /metrics, /healthz, /readyz, and /debug/traces,
@@ -71,6 +73,18 @@ bench-kernels:
 		$(BENCH_KERNELS_FLAGS) ./internal/kernels/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
+
+# Serving-layer throughput: aggregate MB/s of concurrent K=1 SpMM
+# requests through the Server, independent vs coalesced into one
+# batched pass, at effective K = 1/4/16 — emitted as
+# BENCH_serving.json. Quick smoke run:
+#   make bench-serving BENCH_SERVING_FLAGS="-short -benchtime 1x"
+BENCH_SERVING_FLAGS ?= -benchtime 1s
+bench-serving:
+	$(GO) test -run '^$$' -bench 'ServingEffectiveK' -benchmem \
+		$(BENCH_SERVING_FLAGS) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_serving.json
+	@echo "wrote BENCH_serving.json"
 
 # Short fuzz session over the input parsers.
 fuzz:

@@ -52,6 +52,13 @@ type Plan = reorder.Plan
 // other value forces that kernel via Config.Kernel.
 type Kernel = reorder.Kernel
 
+// BatchOp is one Y = S·X operand pair of a batched SpMM pass
+// (Pipeline.SpMMBatchIntoCtx, OnlinePipeline.SpMMBatchIntoCtx): the
+// X operands of a batch are column-stacked into one pooled scratch
+// matrix, the kernel runs once at the combined width, and each op's
+// columns are scattered back into its Y.
+type BatchOp = kernels.BatchOp
+
 // Kernel values for Config.Kernel and Pipeline.Kernel.
 const (
 	KernelAuto      = reorder.KernelAuto

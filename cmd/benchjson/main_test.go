@@ -74,11 +74,11 @@ func TestParseEmptyInputYieldsEmptyArray(t *testing.T) {
 
 func TestParseRejectsMalformedLines(t *testing.T) {
 	malformed := []string{
-		"BenchmarkOdd-8 10 123",             // odd value/unit pairing
-		"BenchmarkNoPairs-8 10",             // no metrics at all
-		"NotABenchmark-8 10 123 ns/op",      // wrong prefix
+		"BenchmarkOdd-8 10 123",              // odd value/unit pairing
+		"BenchmarkNoPairs-8 10",              // no metrics at all
+		"NotABenchmark-8 10 123 ns/op",       // wrong prefix
 		"BenchmarkBadIters-8 zero 123 ns/op", // non-numeric iterations
-		"BenchmarkBadValue-8 10 abc ns/op",  // non-numeric value
+		"BenchmarkBadValue-8 10 abc ns/op",   // non-numeric value
 	}
 	for _, line := range malformed {
 		if res, ok := parseLine(line); ok {

@@ -51,6 +51,8 @@ func main() {
 		planDir   = flag.String("plandir", "", "with -serve: plan snapshot directory for warm start and shutdown snapshot")
 		serveFor  = flag.Duration("serve-duration", 0, "with -serve: stop automatically after this long (0 = run until a signal)")
 		obsListen = flag.String("obs-listen", "", "with -serve: expose /metrics, /healthz, /readyz, /debug/traces and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = no listener)")
+		coalesce  = flag.Duration("coalesce-window", 0, "with -serve: batch concurrent SpMM requests arriving within this window into one kernel pass at the combined width (0 = off; try 200us-1ms)")
+		shardNNZ  = flag.Int("shard-nnz", 0, "with -serve: split matrices above this many nonzeros into nnz-balanced row panels, each served by its own pipeline (0 = off)")
 	)
 	flag.Parse()
 
@@ -74,7 +76,15 @@ func main() {
 		fatal(err)
 	}
 	if *serve {
-		if err := runServe(m, cfg, *planDir, *serveFor, *k, *obsListen); err != nil {
+		opts := serveOptions{
+			planDir:        *planDir,
+			duration:       *serveFor,
+			k:              *k,
+			obsListen:      *obsListen,
+			coalesceWindow: *coalesce,
+			shardNNZ:       *shardNNZ,
+		}
+		if err := runServe(m, cfg, opts); err != nil {
 			fatal(err)
 		}
 		return

@@ -144,6 +144,27 @@ func TestCLIServeWarmStart(t *testing.T) {
 	}
 }
 
+// Serving with -coalesce-window and -shard-nnz: the matrix shards into
+// row panels, concurrent load clients coalesce into batched passes, and
+// the drain line reports the coalescing counters.
+func TestCLIServeCoalescedSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-gen", "scrambled", "-rows", "512", "-k", "16",
+		"-serve", "-serve-duration", "2s",
+		"-coalesce-window", "500us", "-shard-nnz", "4096").CombinedOutput()
+	if err != nil {
+		t.Fatalf("serve run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"sharded into", "row panels", "coalescing concurrent requests", "drained;", "no reorder trial", "coalescing ", "leads"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("coalesced sharded serve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // SIGTERM must trigger the graceful path: drain, stats line, snapshot,
 // exit code 0.
 func TestCLIServeGracefulSIGTERM(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -16,8 +17,19 @@ import (
 	"repro/internal/faultinject"
 )
 
+// serveOptions collects the -serve mode's knobs.
+type serveOptions struct {
+	planDir        string
+	duration       time.Duration
+	k              int
+	obsListen      string
+	coalesceWindow time.Duration
+	shardNNZ       int
+}
+
 // runServe hosts m behind the full serving stack (admission control,
-// retry, circuit breaker, durable plans) and drives it with a
+// retry, circuit breaker, durable plans, and — when configured —
+// request coalescing and row-panel sharding) and drives it with a
 // self-generated SpMM load until SIGINT/SIGTERM arrives or the optional
 // duration elapses. Shutdown is graceful: the load stops, in-flight
 // requests drain through Server.Close, and — with a plan directory
@@ -26,13 +38,13 @@ import (
 // HTTP observability listener is hosted on that address for the life of
 // the server: /metrics (Prometheus text), /healthz, /readyz,
 // /debug/traces, and /debug/pprof.
-func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.Duration, k int, obsListen string) error {
-	if planDir != "" {
-		n, err := repro.LoadPlanDir(planDir)
+func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
+	if opts.planDir != "" {
+		n, err := repro.LoadPlanDir(opts.planDir)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("serve: warm start from %s (%d plan snapshot(s))\n", planDir, n)
+		fmt.Printf("serve: warm start from %s (%d plan snapshot(s))\n", opts.planDir, n)
 	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -42,19 +54,30 @@ func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.D
 
 	s, err := repro.NewServer(context.Background(), m, cfg, repro.ServerConfig{
 		DefaultDeadline: 2 * time.Second,
-		PlanDir:         planDir,
+		PlanDir:         opts.planDir,
+		CoalesceWindow:  opts.coalesceWindow,
+		ShardNNZ:        opts.shardNNZ,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serve: accepting requests (K=%d); no-reorder plan ready, reordered plan building in background\n", k)
+	k := opts.k
+	if sh := s.Sharded(); sh != nil {
+		fmt.Printf("serve: accepting requests (K=%d); matrix sharded into %d row panels, all plans ready\n",
+			k, sh.Panels())
+	} else {
+		fmt.Printf("serve: accepting requests (K=%d); no-reorder plan ready, reordered plan building in background\n", k)
+	}
+	if opts.coalesceWindow > 0 {
+		fmt.Printf("serve: coalescing concurrent requests within %v into batched passes\n", opts.coalesceWindow)
+	}
 
 	var obsSrv *http.Server
-	if obsListen != "" {
+	if opts.obsListen != "" {
 		if err := faultinject.Fire("obs.listen"); err != nil {
 			return fmt.Errorf("observability listener: %w", err)
 		}
-		ln, err := net.Listen("tcp", obsListen)
+		ln, err := net.Listen("tcp", opts.obsListen)
 		if err != nil {
 			return fmt.Errorf("observability listener: %w", err)
 		}
@@ -63,28 +86,42 @@ func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.D
 		fmt.Printf("serve: observability on http://%s\n", ln.Addr())
 	}
 
+	// One load client normally; several when coalescing, so concurrent
+	// arrivals actually share windows and the batched pass is exercised.
+	clients := 1
+	if opts.coalesceWindow > 0 {
+		clients = 4
+	}
 	var completed, failed atomic.Int64
 	loadDone := make(chan struct{})
 	go func() {
 		defer close(loadDone)
-		x := repro.NewRandomDense(m.Cols, k, 7)
-		y := repro.NewDense(m.Rows, k)
-		for runCtx.Err() == nil {
-			if err := s.SpMMInto(runCtx, y, x); err != nil {
-				if runCtx.Err() != nil {
-					return
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				x := repro.NewRandomDense(m.Cols, k, int64(7+c))
+				y := repro.NewDense(m.Rows, k)
+				for runCtx.Err() == nil {
+					if err := s.SpMMInto(runCtx, y, x); err != nil {
+						if runCtx.Err() != nil {
+							return
+						}
+						failed.Add(1)
+						continue
+					}
+					completed.Add(1)
 				}
-				failed.Add(1)
-				continue
-			}
-			completed.Add(1)
+			}(c)
 		}
+		wg.Wait()
 	}()
 
-	if duration > 0 {
+	if opts.duration > 0 {
 		select {
 		case <-sigCtx.Done():
-		case <-time.After(duration):
+		case <-time.After(opts.duration):
 		}
 	} else {
 		<-sigCtx.Done()
@@ -108,20 +145,28 @@ func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.D
 	}
 
 	st := s.Stats()
-	decided, rrWon := s.Pipeline().Decided()
 	trial := "trial undecided"
-	switch {
-	case st.Degraded:
-		trial = "degraded to no-reorder"
-	case decided && rrWon:
-		trial = "trial chose reordered"
-	case decided:
-		trial = "trial chose no-reorder"
+	if pipe := s.Pipeline(); pipe == nil {
+		trial = fmt.Sprintf("sharded (%d panels, no reorder trial)", s.Sharded().Panels())
+	} else {
+		decided, rrWon := pipe.Decided()
+		switch {
+		case st.Degraded:
+			trial = "degraded to no-reorder"
+		case decided && rrWon:
+			trial = "trial chose reordered"
+		case decided:
+			trial = "trial chose no-reorder"
+		}
 	}
 	fmt.Printf("serve: drained; %d completed, %d failed, %d shed, %d retries, breaker %s, %s\n",
 		st.Completed, st.Failed, st.Admission.Shed, st.Retries, st.Breaker.State, trial)
-	if planDir != "" {
-		entries, err := os.ReadDir(planDir)
+	if ts, ok := s.TenantStats(repro.DefaultTenant); ok && opts.coalesceWindow > 0 {
+		fmt.Printf("serve: coalescing %d leads, %d joins, %d excised\n",
+			ts.Coalesce.Leads, ts.Coalesce.Joins, ts.Coalesce.Excised)
+	}
+	if opts.planDir != "" {
+		entries, err := os.ReadDir(opts.planDir)
 		if err != nil {
 			return err
 		}
@@ -131,7 +176,7 @@ func runServe(m *repro.Matrix, cfg repro.Config, planDir string, duration time.D
 				n++
 			}
 		}
-		fmt.Printf("serve: plan cache snapshotted to %s (%d file(s))\n", planDir, n)
+		fmt.Printf("serve: plan cache snapshotted to %s (%d file(s))\n", opts.planDir, n)
 	}
 	return nil
 }

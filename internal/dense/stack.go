@@ -1,0 +1,75 @@
+package dense
+
+import "fmt"
+
+// Column stacking for the batched serving path: N dense operands with
+// the same row count are laid side by side into one wider matrix, so a
+// single SpMM pass computes all of them at once. Because storage is
+// row-major, stacking is a per-row copy of contiguous segments — the
+// unstack direction is the same copy in reverse, and both directions
+// are allocation-free.
+//
+// The win is arithmetic intensity: an SpMM pass walks the sparse
+// operand's RowPtr/ColIdx/Val once regardless of the dense width K, so
+// serving N width-k requests as one width N·k pass amortises the index
+// traversal N ways (the K-scaling analysis of Yang–Buluç–Owens,
+// PAPERS.md). The serving layer stacks into pooled scratch (Get/Put),
+// runs one kernel pass, and unstacks each caller's columns back out.
+
+// StackColsInto writes [srcs[0] | srcs[1] | ...] into dst: dst row r is
+// the concatenation of every source's row r, in order. Every source
+// must have dst.Rows rows and the column counts must sum to dst.Cols.
+func StackColsInto(dst *Matrix, srcs []*Matrix) error {
+	if err := checkStackShapes(dst, srcs); err != nil {
+		return err
+	}
+	for r := 0; r < dst.Rows; r++ {
+		dr := dst.Row(r)
+		off := 0
+		for _, s := range srcs {
+			copy(dr[off:off+s.Cols], s.Row(r))
+			off += s.Cols
+		}
+	}
+	return nil
+}
+
+// UnstackColsInto is the inverse of StackColsInto: each destination
+// receives its column band of src. Every destination must have src.Rows
+// rows and the column counts must sum to src.Cols.
+func UnstackColsInto(dsts []*Matrix, src *Matrix) error {
+	if err := checkStackShapes(src, dsts); err != nil {
+		return err
+	}
+	for r := 0; r < src.Rows; r++ {
+		sr := src.Row(r)
+		off := 0
+		for _, d := range dsts {
+			copy(d.Row(r), sr[off:off+d.Cols])
+			off += d.Cols
+		}
+	}
+	return nil
+}
+
+// checkStackShapes validates one wide matrix against the narrow band
+// matrices it stacks to (or unstacks from).
+func checkStackShapes(wide *Matrix, bands []*Matrix) error {
+	if len(bands) == 0 {
+		return fmt.Errorf("dense: empty stack operand list")
+	}
+	total := 0
+	for i, b := range bands {
+		if b == nil {
+			return fmt.Errorf("dense: stack operand %d is nil", i)
+		}
+		if b.Rows != wide.Rows {
+			return fmt.Errorf("dense: stack operand %d has %d rows, want %d", i, b.Rows, wide.Rows)
+		}
+		total += b.Cols
+	}
+	if total != wide.Cols {
+		return fmt.Errorf("dense: stacked width %d does not match %d", total, wide.Cols)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package dense
+
+import (
+	"testing"
+)
+
+func TestStackUnstackRoundTrip(t *testing.T) {
+	srcs := []*Matrix{
+		NewRandom(5, 1, 1),
+		NewRandom(5, 3, 2),
+		NewRandom(5, 2, 3),
+	}
+	wide := New(5, 6)
+	if err := StackColsInto(wide, srcs); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the layout: wide row r = concat of source rows.
+	for r := 0; r < 5; r++ {
+		off := 0
+		for i, s := range srcs {
+			for c := 0; c < s.Cols; c++ {
+				if wide.At(r, off+c) != s.At(r, c) {
+					t.Fatalf("wide(%d,%d) != src%d(%d,%d)", r, off+c, i, r, c)
+				}
+			}
+			off += s.Cols
+		}
+	}
+	dsts := []*Matrix{New(5, 1), New(5, 3), New(5, 2)}
+	if err := UnstackColsInto(dsts, wide); err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcs {
+		if MaxAbsDiff(srcs[i], dsts[i]) != 0 {
+			t.Fatalf("operand %d did not round-trip", i)
+		}
+	}
+}
+
+func TestStackShapeErrors(t *testing.T) {
+	wide := New(4, 3)
+	cases := map[string][]*Matrix{
+		"empty":      {},
+		"nil":        {nil},
+		"rows":       {New(3, 3)},
+		"width":      {New(4, 2)},
+		"width-sum":  {New(4, 2), New(4, 2)},
+		"rows-mixed": {New(4, 2), New(5, 1)},
+	}
+	for name, bands := range cases {
+		if err := StackColsInto(wide, bands); err == nil {
+			t.Errorf("StackColsInto(%s) accepted a bad shape", name)
+		}
+		if err := UnstackColsInto(bands, wide); err == nil {
+			t.Errorf("UnstackColsInto(%s) accepted a bad shape", name)
+		}
+	}
+}
+
+func TestStackAllocFree(t *testing.T) {
+	srcs := []*Matrix{NewRandom(64, 4, 1), NewRandom(64, 4, 2)}
+	dsts := []*Matrix{New(64, 4), New(64, 4)}
+	wide := New(64, 8)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := StackColsInto(wide, srcs); err != nil {
+			t.Fatal(err)
+		}
+		if err := UnstackColsInto(dsts, wide); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("stack/unstack allocates %v per call, want 0", allocs)
+	}
+}

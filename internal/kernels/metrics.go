@@ -31,6 +31,15 @@ var (
 		"Kernel execution latency by kernel variant.",
 		obs.LatencyBuckets(), obs.L("kernel", "sddmm_aspt"))
 
+	kernelSpMMBatch = obs.Default().Histogram("spmmrr_kernel_seconds",
+		"Kernel execution latency by kernel variant.",
+		obs.LatencyBuckets(), obs.L("kernel", "spmm_batch"))
+	// Operands per batched pass: the effective-K amplification the
+	// coalescing layer actually achieved (1 = nothing coalesced).
+	kernelSpMMBatchOps = obs.Default().Histogram("spmmrr_kernel_batch_ops",
+		"Operand pairs computed per batched SpMM pass.",
+		obs.ExponentialBuckets(1, 2, 8))
+
 	executorChunks = obs.Default().Histogram("spmmrr_executor_chunks_per_call",
 		"nnz-balanced chunks produced per kernel dispatch.",
 		obs.ExponentialBuckets(1, 2, 10))

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Coalescer batches concurrent requests for the same downstream
+// resource into one execution. The first arrival opens a batch and
+// arms the coalescing window; requests landing inside the window join
+// the batch; when the window elapses — or the batch hits its operand
+// cap — the whole batch runs as a single call to the run function.
+// Like the rest of this package it is generic over the work: T is
+// whatever per-request operand the caller's run function consumes
+// (the Server uses one Y/X operand pair per request, so a batch is
+// one wide column-stacked kernel pass).
+//
+// Per-waiter contract:
+//
+//   - Every waiter keeps its own context. A waiter whose context dies
+//     *before* the batch launches is excised: it returns ctx.Err()
+//     immediately and its operand is dropped from the batch without
+//     poisoning the other waiters.
+//   - Once the batch has launched, a waiter rides to completion even
+//     if its context dies — its operand is already being written by
+//     the running batch, so returning early would hand the caller a
+//     buffer the batch is still mutating. All waiters of a launched
+//     batch share the batch's outcome.
+//
+// The zero Coalescer is not usable; construct with NewCoalescer.
+type Coalescer[T any] struct {
+	window time.Duration
+	maxOps int
+	run    func([]T) error
+
+	mu  sync.Mutex
+	cur *cbatch[T]
+
+	leads   *obs.Counter
+	joins   *obs.Counter
+	excised *obs.Counter
+	sizes   *obs.Histogram // operands per launched batch (after excision)
+}
+
+// cbatch is one coalescing batch. items/dead are guarded by the
+// coalescer's mu until launch; err is written before done closes, so
+// waiters reading err after <-done observe it without locking.
+type cbatch[T any] struct {
+	items    []T
+	dead     []bool
+	launched bool
+	err      error
+	done     chan struct{}
+	timer    *time.Timer
+}
+
+// CoalescerStats is a snapshot of a coalescer's counters.
+type CoalescerStats struct {
+	Leads   int64 // batches opened (first arrival in a window)
+	Joins   int64 // requests that joined an open batch
+	Excised int64 // waiters removed pre-launch by context expiry
+}
+
+// NewCoalescer returns a coalescer batching up to maxOps requests per
+// window. window <= 0 disables coalescing (every request runs alone,
+// immediately); maxOps < 1 means an unbounded batch (window-only).
+func NewCoalescer[T any](window time.Duration, maxOps int, run func([]T) error) *Coalescer[T] {
+	return NewCoalescerObs(window, maxOps, run, nil)
+}
+
+// NewCoalescerObs is NewCoalescer with the coalescer's counters and
+// batch-size histogram registered in reg (metric families
+// spmmrr_coalesce_*). A nil reg keeps the counters private.
+func NewCoalescerObs[T any](window time.Duration, maxOps int, run func([]T) error, reg *obs.Registry) *Coalescer[T] {
+	c := &Coalescer[T]{window: window, maxOps: maxOps, run: run}
+	if reg == nil {
+		c.leads, c.joins, c.excised = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		return c
+	}
+	c.leads = reg.Counter("spmmrr_coalesce_batches_total",
+		"Coalescing batches opened (one per window with traffic).")
+	c.joins = reg.Counter("spmmrr_coalesce_joins_total",
+		"Requests that joined an already-open coalescing batch.")
+	c.excised = reg.Counter("spmmrr_coalesce_excised_total",
+		"Waiters excised from a batch pre-launch by context expiry.")
+	c.sizes = reg.Histogram("spmmrr_coalesce_batch_ops",
+		"Operands per launched coalescing batch (after excision).",
+		obs.ExponentialBuckets(1, 2, 8))
+	return c
+}
+
+// Stats returns a snapshot of the coalescer's counters.
+func (c *Coalescer[T]) Stats() CoalescerStats {
+	return CoalescerStats{
+		Leads:   c.leads.Value(),
+		Joins:   c.joins.Value(),
+		Excised: c.excised.Value(),
+	}
+}
+
+// Do submits one operand and blocks until its batch has run (or the
+// caller's context dies pre-launch). The error is the batch's: nil
+// when the batched run succeeded, the run's error for every waiter of
+// a failed batch, or ctx.Err() for an excised waiter.
+func (c *Coalescer[T]) Do(ctx context.Context, item T) error {
+	if c.window <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.leads.Inc()
+		c.sizes.Observe(1)
+		return c.run([]T{item})
+	}
+	c.mu.Lock()
+	b := c.cur
+	var idx int
+	full := false
+	if b == nil {
+		b = &cbatch[T]{done: make(chan struct{})}
+		c.cur = b
+		// The window timer launches the batch; a full batch launches
+		// early via the filling waiter below. launch() resolves the race
+		// (first in wins) and stops the loser.
+		b.timer = time.AfterFunc(c.window, func() { c.launch(b) })
+		c.leads.Inc()
+	} else {
+		c.joins.Inc()
+	}
+	idx = len(b.items)
+	b.items = append(b.items, item)
+	b.dead = append(b.dead, false)
+	if c.maxOps > 0 && len(b.items) >= c.maxOps {
+		// Detach under the lock so no further request can join, then
+		// launch synchronously: the waiter that filled the batch pays
+		// the launch, not a timer goroutine.
+		c.cur = nil
+		full = true
+	}
+	c.mu.Unlock()
+	if full {
+		c.launch(b)
+	}
+
+	select {
+	case <-b.done:
+		return b.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		if !b.launched {
+			// Pre-launch: excise this waiter. Its slot is marked dead and
+			// skipped at launch; the batch itself is unharmed.
+			b.dead[idx] = true
+			c.excised.Inc()
+			c.mu.Unlock()
+			return ctx.Err()
+		}
+		c.mu.Unlock()
+		// Launched: the batch is writing into this waiter's operand.
+		// Ride to completion and report the batch's outcome.
+		<-b.done
+		return b.err
+	}
+}
+
+// launch runs a batch exactly once: the timer path and the
+// batch-full path race here, first in wins. Live operands are
+// compacted under the lock; the run executes outside it.
+func (c *Coalescer[T]) launch(b *cbatch[T]) {
+	c.mu.Lock()
+	if b.launched {
+		c.mu.Unlock()
+		return
+	}
+	b.launched = true
+	if c.cur == b {
+		c.cur = nil
+	}
+	n := 0
+	for i := range b.items {
+		if !b.dead[i] {
+			b.items[n] = b.items[i]
+			n++
+		}
+	}
+	live := b.items[:n]
+	c.mu.Unlock()
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	if n > 0 {
+		c.sizes.Observe(float64(n))
+		b.err = c.run(live)
+	}
+	close(b.done)
+}

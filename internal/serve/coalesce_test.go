@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// batchRecorder collects the batches a coalescer launches.
+type batchRecorder struct {
+	mu      sync.Mutex
+	batches [][]int
+	err     error
+}
+
+func (r *batchRecorder) run(items []int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := append([]int(nil), items...)
+	r.batches = append(r.batches, cp)
+	return r.err
+}
+
+func (r *batchRecorder) snapshot() [][]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]int(nil), r.batches...)
+}
+
+// TestCoalescerWindowBatches: concurrent arrivals inside one window
+// coalesce into a single run.
+func TestCoalescerWindowBatches(t *testing.T) {
+	rec := &batchRecorder{}
+	c := NewCoalescer(200*time.Millisecond, 0, rec.run)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Do(context.Background(), i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	batches := rec.snapshot()
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	if total != n {
+		t.Fatalf("processed %d operands, want %d", total, n)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("a 200ms window split %d concurrent arrivals into %d batches", n, len(batches))
+	}
+	st := c.Stats()
+	if st.Leads != 1 || st.Joins != int64(n-1) {
+		t.Fatalf("stats = %+v, want 1 lead and %d joins", st, n-1)
+	}
+}
+
+// TestCoalescerMaxOpsLaunchesEarly: a full batch does not wait out the
+// window — the filling waiter launches it synchronously.
+func TestCoalescerMaxOpsLaunchesEarly(t *testing.T) {
+	rec := &batchRecorder{}
+	c := NewCoalescer(time.Hour, 4, rec.run)
+	const n = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Do(context.Background(), i); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("full batches waited for the window (%v)", elapsed)
+	}
+	total := 0
+	for _, b := range rec.snapshot() {
+		if len(b) > 4 {
+			t.Fatalf("batch of %d exceeds maxOps 4", len(b))
+		}
+		total += len(b)
+	}
+	if total != n {
+		t.Fatalf("processed %d operands, want %d", total, n)
+	}
+}
+
+// TestCoalescerDisabled: window <= 0 runs every request alone,
+// immediately, with no timer in the path.
+func TestCoalescerDisabled(t *testing.T) {
+	rec := &batchRecorder{}
+	c := NewCoalescer(0, 0, rec.run)
+	for i := 0; i < 3; i++ {
+		if err := c.Do(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batches := rec.snapshot()
+	if len(batches) != 3 {
+		t.Fatalf("disabled coalescer ran %d batches, want 3 solo runs", len(batches))
+	}
+	for _, b := range batches {
+		if len(b) != 1 {
+			t.Fatalf("disabled coalescer batched %d operands", len(b))
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Do(ctx, 9); err != context.Canceled {
+		t.Fatalf("cancelled solo Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestCoalescerExcisePreLaunch: a waiter whose context dies before
+// launch returns its context error promptly, and the batch runs with
+// only the surviving operands.
+func TestCoalescerExcisePreLaunch(t *testing.T) {
+	rec := &batchRecorder{}
+	c := NewCoalescer(400*time.Millisecond, 0, rec.run)
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	errA := make(chan error, 1)
+	go func() { errA <- c.Do(ctxA, 1) }()
+	waitFor(t, func() bool { return c.Stats().Leads == 1 })
+	errB := make(chan error, 1)
+	go func() { errB <- c.Do(context.Background(), 2) }()
+	waitFor(t, func() bool { return c.Stats().Joins == 1 })
+	cancelA()
+	select {
+	case err := <-errA:
+		if err != context.Canceled {
+			t.Fatalf("excised waiter = %v, want context.Canceled", err)
+		}
+	case <-time.After(300 * time.Millisecond):
+		t.Fatal("excised waiter did not return before the window elapsed")
+	}
+	if err := <-errB; err != nil {
+		t.Fatalf("surviving waiter: %v", err)
+	}
+	batches := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 1 || batches[0][0] != 2 {
+		t.Fatalf("batch after excision = %v, want [[2]]", batches)
+	}
+	if st := c.Stats(); st.Excised != 1 {
+		t.Fatalf("excised counter = %d, want 1", st.Excised)
+	}
+}
+
+// TestCoalescerEmptyBatchSkipsRun: if every waiter is excised, the
+// window fires on an empty batch and the run function never executes.
+func TestCoalescerEmptyBatchSkipsRun(t *testing.T) {
+	rec := &batchRecorder{}
+	c := NewCoalescer(50*time.Millisecond, 0, rec.run)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Do(ctx, 1) }()
+	waitFor(t, func() bool { return c.Stats().Leads == 1 })
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("excised lead = %v, want context.Canceled", err)
+	}
+	time.Sleep(120 * time.Millisecond) // let the window fire on the empty batch
+	if batches := rec.snapshot(); len(batches) != 0 {
+		t.Fatalf("empty batch still ran: %v", batches)
+	}
+}
+
+// TestCoalescerErrorFansOut: a failed batch reports the same error to
+// every waiter.
+func TestCoalescerErrorFansOut(t *testing.T) {
+	sentinel := errors.New("kernel exploded")
+	rec := &batchRecorder{err: sentinel}
+	c := NewCoalescer(100*time.Millisecond, 0, rec.run)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Do(context.Background(), i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != sentinel {
+			t.Fatalf("waiter %d got %v, want the batch error", i, err)
+		}
+	}
+}
+
+// TestCoalescerPostLaunchCancelRides: once the batch has launched, a
+// cancelled waiter must NOT return while the run is still writing its
+// operand — it rides to completion and reports the batch's outcome.
+func TestCoalescerPostLaunchCancelRides(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	c := NewCoalescer(10*time.Millisecond, 0, func(items []int) error {
+		close(entered)
+		<-release
+		return nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Do(ctx, 1) }()
+	<-entered
+	cancel()
+	select {
+	case err := <-errCh:
+		t.Fatalf("waiter returned %v while its batch was still running", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatalf("riding waiter = %v, want the batch's nil", err)
+	}
+}
+
+// TestCoalescerChaos hammers the coalescer with concurrent waiters and
+// aggressive deadlines; run under -race this is the memory-model check
+// for the join/excise/launch races. Every operand must be either
+// processed exactly once or excised exactly once.
+func TestCoalescerChaos(t *testing.T) {
+	var mu sync.Mutex
+	processed := map[int]int{}
+	c := NewCoalescer(500*time.Microsecond, 8, func(items []int) error {
+		mu.Lock()
+		for _, it := range items {
+			processed[it]++
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	const n = 256
+	var wg sync.WaitGroup
+	excised := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%3 == 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%7)*200*time.Microsecond)
+				defer cancel()
+			}
+			err := c.Do(ctx, i)
+			switch err {
+			case nil:
+			case context.DeadlineExceeded, context.Canceled:
+				excised[i] = true
+			default:
+				t.Errorf("waiter %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		got := processed[i]
+		if excised[i] {
+			if got != 0 {
+				t.Fatalf("operand %d was excised yet processed %d times", i, got)
+			}
+		} else if got != 1 {
+			t.Fatalf("operand %d processed %d times, want exactly once", i, got)
+		}
+	}
+	st := c.Stats()
+	if st.Leads+st.Joins != n {
+		t.Fatalf("leads %d + joins %d != %d submissions", st.Leads, st.Joins, n)
+	}
+	_ = fmt.Sprintf("%+v", st)
+}

@@ -41,7 +41,18 @@ var (
 		"Pipelines constructed, by selected SpMM kernel.", obs.L("kernel", "ellhybrid"))
 	kernelChoiceASpT = obs.Default().Counter("spmmrr_kernel_choice_total",
 		"Pipelines constructed, by selected SpMM kernel.", obs.L("kernel", "aspt"))
+
+	// Row-panel sharding: the panel-count distribution shows how the
+	// nnz threshold actually splits the workload's matrices (all-ones =
+	// sharding configured but never triggering).
+	shardPanelsBuilt = obs.Default().Histogram("spmmrr_shard_panels",
+		"Row panels per constructed ShardedPipeline.",
+		obs.ExponentialBuckets(1, 2, 8))
 )
+
+// recordShardPanels publishes a constructed sharded pipeline's panel
+// count to the process registry.
+func recordShardPanels(n int) { shardPanelsBuilt.Observe(float64(n)) }
 
 // recordKernelChoice publishes a constructed pipeline's kernel to the
 // process registry. Unknown values (a hand-built plan) count as the

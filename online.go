@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -212,6 +213,9 @@ func (o *OnlinePipeline) TrialTimes() (reordered, plain time.Duration) {
 // Pipeline returns the winning pipeline once decided (nil before).
 func (o *OnlinePipeline) Pipeline() *Pipeline { return o.winner.Load() }
 
+// Matrix returns the original (unreordered) matrix.
+func (o *OnlinePipeline) Matrix() *Matrix { return o.nr.Matrix() }
+
 // Preprocessed reports, without blocking, whether the background
 // reordered build has finished (successfully or by degrading) — the
 // readiness signal a /readyz probe wants: once true, every serving
@@ -343,6 +347,17 @@ func (o *OnlinePipeline) trialSpMM(ctx context.Context, rr *Pipeline, x *Dense) 
 		return yRR, nil
 	}
 	return yNR, nil
+}
+
+// SpMMBatchIntoCtx computes every op's Y = S·X in one batched kernel
+// pass (see Pipeline.SpMMBatchIntoCtx) through whichever plan a call
+// arriving now would execute on. The single pass at the combined width
+// flows through SpMMIntoCtx, so a batch arriving before the trial has
+// decided runs the trial like any other call — at the batch's combined
+// width, which is also the width the winner will mostly serve if
+// coalescing stays effective.
+func (o *OnlinePipeline) SpMMBatchIntoCtx(ctx context.Context, ops []BatchOp) error {
+	return kernels.SpMMBatchIntoCtx(ctx, o, ops)
 }
 
 // SDDMM computes O = S ⊙ (Y·Xᵀ) with the same first-call trial, the

@@ -118,10 +118,14 @@ func (p *Pipeline) Matrix() *Matrix { return p.orig }
 func (p *Pipeline) Kernel() Kernel { return p.plan.Kernel }
 
 // SpMM computes Y = S·X using the tiled, reordered execution and returns
-// Y in the original row order.
+// Y in the original row order. The output comes from the process-wide
+// dense scratch pool (it is fully overwritten before returning), so a
+// serving loop that hands results back with PutDense when done recycles
+// them instead of allocating per call.
 func (p *Pipeline) SpMM(x *Dense) (*Dense, error) {
-	y := dense.New(p.orig.Rows, x.Cols)
+	y := dense.Get(p.orig.Rows, x.Cols)
 	if err := p.SpMMInto(y, x); err != nil {
+		dense.Put(y)
 		return nil, err
 	}
 	return y, nil
@@ -129,13 +133,27 @@ func (p *Pipeline) SpMM(x *Dense) (*Dense, error) {
 
 // SpMMCtx is SpMM with cooperative cancellation between kernel chunks
 // and panic isolation (a kernel panic returns as an error instead of
-// crashing the process).
+// crashing the process). Like SpMM, the output is pooled scratch —
+// return it with PutDense to keep the loop allocation-free.
 func (p *Pipeline) SpMMCtx(ctx context.Context, x *Dense) (*Dense, error) {
-	y := dense.New(p.orig.Rows, x.Cols)
+	y := dense.Get(p.orig.Rows, x.Cols)
 	if err := p.SpMMIntoCtx(ctx, y, x); err != nil {
+		dense.Put(y)
 		return nil, err
 	}
 	return y, nil
+}
+
+// SpMMBatchIntoCtx computes every op's Y = S·X in a single batched
+// kernel pass: the X operands are column-stacked into pooled scratch,
+// the plan's autotuned kernel runs once at the combined width, and each
+// op's columns are scattered back into its own Y. This is the
+// arithmetic-intensity lever behind request coalescing (DESIGN.md §13):
+// the sparse structure — and the output permutation — are traversed
+// once for the whole batch instead of once per operand. Steady-state
+// calls perform no heap allocations.
+func (p *Pipeline) SpMMBatchIntoCtx(ctx context.Context, ops []BatchOp) error {
+	return kernels.SpMMBatchIntoCtx(ctx, p, ops)
 }
 
 // SpMMInto computes Y = S·X into the caller-provided y

@@ -3,11 +3,14 @@ package repro
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dense"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -25,6 +28,18 @@ type OverloadError = serve.Overload
 
 // ErrServerClosed is returned for requests arriving after Close.
 var ErrServerClosed = errors.New("repro: server closed")
+
+// ErrUnknownTenant is wrapped by tenant-routed calls naming an id that
+// was never registered. Test with errors.Is.
+var ErrUnknownTenant = errors.New("repro: unknown tenant")
+
+// ErrTenantExists is wrapped by AddTenant when the id is already
+// registered. Test with errors.Is.
+var ErrTenantExists = errors.New("repro: tenant already registered")
+
+// DefaultTenant is the id under which NewServer's matrix is served;
+// SpMM/SDDMM without a tenant id route here.
+const DefaultTenant = "default"
 
 // AdmissionStats reports the Server's admission-gate counters.
 type AdmissionStats = serve.AdmissionStats
@@ -71,6 +86,29 @@ type ServerConfig struct {
 	// TraceRing bounds the per-request trace ring served at
 	// /debug/traces (most recent first). Default 256.
 	TraceRing int
+	// CoalesceWindow, when positive, batches concurrent SpMM requests
+	// against the same tenant matrix: the first arrival opens a window
+	// of this length, requests landing inside it column-stack into ONE
+	// kernel pass at the combined width (the K-scaling effect: the
+	// sparse structure is traversed once for the whole batch), and each
+	// waiter keeps its own context, deadline, and admission accounting.
+	// 0 disables coalescing. Windows in the 100µs–1ms range trade that
+	// much added latency for the batched pass's throughput.
+	CoalesceWindow time.Duration
+	// CoalesceMaxOps caps operands per coalesced batch; a full batch
+	// launches immediately instead of waiting out the window.
+	// Default 16.
+	CoalesceMaxOps int
+	// ShardNNZ, when positive, row-panel-shards any tenant matrix with
+	// more than this many nonzeros: the matrix splits into nnz-balanced
+	// panels of ~ShardNNZ nonzeros, each preprocessed and served
+	// through its own pipeline (plan cache shared), with SpMM panels
+	// writing disjoint row ranges of the output concurrently. Sharded
+	// tenants build synchronously in the constructor and never consult
+	// the reordered-path circuit breaker (each panel autotunes its own
+	// kernel instead of trialling reordering matrix-wide). 0 disables
+	// sharding.
+	ShardNNZ int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -101,6 +139,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.TraceRing <= 0 {
 		c.TraceRing = 256
 	}
+	if c.CoalesceMaxOps <= 0 {
+		c.CoalesceMaxOps = 16
+	}
 	return c
 }
 
@@ -126,6 +167,83 @@ type ServerStats struct {
 	Degraded bool
 }
 
+// servingUnit abstracts the two execution backends a tenant can serve
+// from: an OnlinePipeline (the §4 trial between reordered and plain
+// execution) or a ShardedPipeline (nnz-balanced row panels, each with
+// its own autotuned plan).
+type servingUnit interface {
+	SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error
+	SpMMBatchIntoCtx(ctx context.Context, ops []BatchOp) error
+	SDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) error
+}
+
+// tenant is one served matrix: its execution unit, admission weight,
+// optional request coalescer, and per-outcome counters. Exactly one of
+// online/sharded is non-nil; unit aliases it.
+type tenant struct {
+	id      string
+	weight  int64
+	m       *Matrix
+	unit    servingUnit
+	online  *OnlinePipeline
+	sharded *ShardedPipeline
+	coal    *serve.Coalescer[BatchOp]
+
+	admitted  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	shed      *obs.Counter
+	expired   *obs.Counter
+}
+
+// TenantStats is one tenant's outcome counters. Every request the
+// tenant ever saw lands in exactly one terminal counter, so the
+// numbers reconcile exactly:
+//
+//	Admitted  == Completed + Failed + Cancelled
+//	submitted == Admitted + Shed + Expired
+//
+// Cancelled counts admitted requests that ended with their context's
+// error (deadline or cancellation, including waiters excised from a
+// coalescing batch pre-launch); Failed counts every other admitted
+// error; Shed counts overload rejections; Expired counts requests that
+// left before admission (queue deadline, pre-queue context death, or
+// gate shutdown).
+type TenantStats struct {
+	ID      string
+	Weight  int64
+	Sharded bool
+	Panels  int // row panels when sharded, else 0
+
+	Admitted  int64
+	Completed int64
+	Failed    int64
+	Cancelled int64
+	Shed      int64
+	Expired   int64
+
+	// Coalesce reports the tenant's request-coalescing counters (all
+	// zero when CoalesceWindow is off).
+	Coalesce serve.CoalescerStats
+}
+
+func (t *tenant) stats() TenantStats {
+	ts := TenantStats{
+		ID: t.id, Weight: t.weight, Sharded: t.sharded != nil,
+		Admitted: t.admitted.Value(), Completed: t.completed.Value(),
+		Failed: t.failed.Value(), Cancelled: t.cancelled.Value(),
+		Shed: t.shed.Value(), Expired: t.expired.Value(),
+	}
+	if t.sharded != nil {
+		ts.Panels = t.sharded.Panels()
+	}
+	if t.coal != nil {
+		ts.Coalesce = t.coal.Stats()
+	}
+	return ts
+}
+
 // Server wraps an OnlinePipeline with the three layers a production
 // deployment hits before any kernel runs (DESIGN.md §10):
 //
@@ -145,11 +263,20 @@ type ServerStats struct {
 // A Server is safe for concurrent use; Close drains in-flight
 // requests and is idempotent.
 type Server struct {
-	pipe   *OnlinePipeline
-	adm    *serve.Admission
-	brk    *serve.Breaker
-	cfg    ServerConfig
-	cancel context.CancelFunc
+	// pipe is the default tenant's online pipeline, nil when the
+	// default matrix crossed ShardNNZ and is served sharded instead.
+	pipe    *OnlinePipeline
+	adm     *serve.Admission
+	brk     *serve.Breaker
+	cfg     ServerConfig
+	cancel  context.CancelFunc
+	baseCtx context.Context // server lifecycle: coalesced batches run under it
+
+	// tmu guards the tenant registry; def is the DefaultTenant entry
+	// (also in the map) and is immutable after construction.
+	tmu     sync.RWMutex
+	tenants map[string]*tenant
+	def     *tenant
 
 	// reg holds this Server's metric families; every counter Stats
 	// reads is a registry object, so /metrics and Stats can never
@@ -188,20 +315,33 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 	reg := obs.NewRegistry()
 	traces := obs.NewTraceRing(scfg.TraceRing)
 	sctx, cancel := context.WithCancel(ctx)
-	pipe, err := newOnlinePipelineCtx(sctx, m, cfg, traces)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
 	s := &Server{
-		pipe:   pipe,
-		adm:    serve.NewAdmissionObs(scfg.MaxInFlight, scfg.MaxQueue, reg),
-		brk:    serve.NewBreakerObs(scfg.BreakerThreshold, scfg.BreakerCooldown, reg),
-		cfg:    scfg,
-		cancel: cancel,
-		reg:    reg,
-		traces: traces,
+		adm:     serve.NewAdmissionObs(scfg.MaxInFlight, scfg.MaxQueue, reg),
+		brk:     serve.NewBreakerObs(scfg.BreakerThreshold, scfg.BreakerCooldown, reg),
+		cfg:     scfg,
+		cancel:  cancel,
+		baseCtx: sctx,
+		tenants: map[string]*tenant{},
+		reg:     reg,
+		traces:  traces,
 	}
+	if scfg.ShardNNZ > 0 && m.NNZ() > scfg.ShardNNZ {
+		sharded, err := NewShardedPipelineCtx(sctx, m, cfg, scfg.ShardNNZ)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.def = s.newTenant(DefaultTenant, 1, nil, sharded)
+	} else {
+		pipe, err := newOnlinePipelineCtx(sctx, m, cfg, traces)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.pipe = pipe
+		s.def = s.newTenant(DefaultTenant, 1, pipe, nil)
+	}
+	s.tenants[DefaultTenant] = s.def
 	s.completed = reg.Counter("spmmrr_server_completed_total",
 		"Requests that returned a result.")
 	s.failed = reg.Counter("spmmrr_server_failed_total",
@@ -222,6 +362,9 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 	reg.GaugeFunc("spmmrr_server_degraded",
 		"1 when the background reordered build was abandoned, else 0.",
 		func() float64 {
+			if s.pipe == nil {
+				return 0 // sharded default: no reordered trial to abandon
+			}
 			if d, _ := s.pipe.Degraded(); d {
 				return 1
 			}
@@ -249,23 +392,200 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 	return s, nil
 }
 
-// Pipeline exposes the wrapped online pipeline (trial state, Degraded,
-// WaitPreprocessed).
+// newTenant wires one tenant: outcome counters in the Server registry
+// (labelled by tenant id), the request coalescer when CoalesceWindow is
+// on, and mirror counters for the coalescer so /metrics carries
+// per-tenant coalesce hit/miss.
+func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, sharded *ShardedPipeline) *tenant {
+	if weight < 1 {
+		weight = 1
+	}
+	t := &tenant{id: id, weight: weight, online: online, sharded: sharded}
+	if online != nil {
+		t.unit, t.m = online, online.Matrix()
+	} else {
+		t.unit, t.m = sharded, sharded.Matrix()
+	}
+	t.admitted = s.reg.Counter("spmmrr_tenant_admitted_total",
+		"Tenant requests admitted through the gate.", obs.L("tenant", id))
+	help := "Tenant requests by terminal outcome."
+	t.completed = s.reg.Counter("spmmrr_tenant_requests_total", help,
+		obs.L("tenant", id), obs.L("outcome", "completed"))
+	t.failed = s.reg.Counter("spmmrr_tenant_requests_total", help,
+		obs.L("tenant", id), obs.L("outcome", "failed"))
+	t.cancelled = s.reg.Counter("spmmrr_tenant_requests_total", help,
+		obs.L("tenant", id), obs.L("outcome", "cancelled"))
+	t.shed = s.reg.Counter("spmmrr_tenant_requests_total", help,
+		obs.L("tenant", id), obs.L("outcome", "shed"))
+	t.expired = s.reg.Counter("spmmrr_tenant_requests_total", help,
+		obs.L("tenant", id), obs.L("outcome", "expired"))
+	if s.cfg.CoalesceWindow > 0 {
+		t.coal = serve.NewCoalescer(s.cfg.CoalesceWindow, s.cfg.CoalesceMaxOps,
+			func(ops []BatchOp) error {
+				// The batched pass runs under the server's lifecycle
+				// context: a waiter's deadline governs how long it waits,
+				// never a pass that other waiters' operands share. Close
+				// cancels baseCtx only after the gate has drained.
+				return t.unit.SpMMBatchIntoCtx(s.baseCtx, ops)
+			})
+		s.reg.CounterFunc("spmmrr_coalesce_batches_total",
+			"Coalescing batches opened (one per window with traffic).",
+			func() int64 { return t.coal.Stats().Leads }, obs.L("tenant", id))
+		s.reg.CounterFunc("spmmrr_coalesce_joins_total",
+			"Requests that joined an already-open coalescing batch.",
+			func() int64 { return t.coal.Stats().Joins }, obs.L("tenant", id))
+		s.reg.CounterFunc("spmmrr_coalesce_excised_total",
+			"Waiters excised from a batch pre-launch by context expiry.",
+			func() int64 { return t.coal.Stats().Excised }, obs.L("tenant", id))
+	}
+	return t
+}
+
+// AddTenant registers a second matrix under id, served through the
+// same admission gate, breaker, retry policy, and (when configured)
+// its own coalescing window. weight scales the admission cost of the
+// tenant's requests: a request for K dense columns charges K*weight
+// units (min 1), so a weight-4 tenant consumes the shared gate four
+// times faster than a weight-1 tenant at the same K — the lever for
+// tiering tenants on one server.
+//
+// The tenant's matrix shards into row panels when it crosses
+// cfg.ShardNNZ (built synchronously under ctx); otherwise it serves
+// through an online pipeline whose reordered plan builds in the
+// background under the server's lifecycle, exactly like NewServer's
+// matrix. Plans flow through the shared process-wide plan cache.
+func (s *Server) AddTenant(ctx context.Context, id string, m *Matrix, cfg Config, weight int64) error {
+	if s.closed.Load() {
+		return ErrServerClosed
+	}
+	if id == "" {
+		return errors.New("repro: empty tenant id")
+	}
+	s.tmu.RLock()
+	_, dup := s.tenants[id]
+	s.tmu.RUnlock()
+	if dup {
+		return fmt.Errorf("%w: %q", ErrTenantExists, id)
+	}
+	var t *tenant
+	if s.cfg.ShardNNZ > 0 && m.NNZ() > s.cfg.ShardNNZ {
+		sharded, err := NewShardedPipelineCtx(ctx, m, cfg, s.cfg.ShardNNZ)
+		if err != nil {
+			return err
+		}
+		t = s.newTenant(id, weight, nil, sharded)
+	} else {
+		online, err := newOnlinePipelineCtx(s.baseCtx, m, cfg, s.traces)
+		if err != nil {
+			return err
+		}
+		t = s.newTenant(id, weight, online, nil)
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if _, dup := s.tenants[id]; dup {
+		return fmt.Errorf("%w: %q", ErrTenantExists, id)
+	}
+	s.tenants[id] = t
+	return nil
+}
+
+// Tenants lists the registered tenant ids, sorted.
+func (s *Server) Tenants() []string {
+	s.tmu.RLock()
+	ids := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	s.tmu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// TenantStats returns one tenant's outcome counters; ok is false for
+// an unknown id.
+func (s *Server) TenantStats(id string) (ts TenantStats, ok bool) {
+	s.tmu.RLock()
+	t, ok := s.tenants[id]
+	s.tmu.RUnlock()
+	if !ok {
+		return TenantStats{}, false
+	}
+	return t.stats(), true
+}
+
+// AllTenantStats snapshots every tenant's counters, sorted by id.
+func (s *Server) AllTenantStats() []TenantStats {
+	s.tmu.RLock()
+	all := make([]TenantStats, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		all = append(all, t.stats())
+	}
+	s.tmu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+// tenantByID resolves a tenant id for the *Tenant entry points.
+func (s *Server) tenantByID(id string) (*tenant, error) {
+	s.tmu.RLock()
+	t, ok := s.tenants[id]
+	s.tmu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	return t, nil
+}
+
+// snapshotTenants copies the registry for lock-free iteration.
+func (s *Server) snapshotTenants() []*tenant {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	all := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		all = append(all, t)
+	}
+	return all
+}
+
+// Pipeline exposes the default tenant's online pipeline (trial state,
+// Degraded, WaitPreprocessed) — nil when the default matrix is served
+// sharded (ShardNNZ crossed), which has no online trial.
 func (s *Server) Pipeline() *OnlinePipeline { return s.pipe }
+
+// Sharded exposes the default tenant's sharded pipeline — nil unless
+// the default matrix crossed ShardNNZ.
+func (s *Server) Sharded() *ShardedPipeline { return s.def.sharded }
 
 // PlanStages returns the preprocessing stage breakdown of the plan the
 // server would execute on right now (see OnlinePipeline.PlanStages).
-func (s *Server) PlanStages() StageTimings { return s.pipe.PlanStages() }
+// A sharded default tenant reports its first panel's stages.
+func (s *Server) PlanStages() StageTimings {
+	if s.pipe == nil {
+		return s.def.sharded.panels[0].pipe.PlanStages()
+	}
+	return s.pipe.PlanStages()
+}
 
 // Kernel returns the SpMM kernel of the plan the server would execute
-// on right now (see OnlinePipeline.Kernel).
-func (s *Server) Kernel() Kernel { return s.pipe.Kernel() }
+// on right now (see OnlinePipeline.Kernel). A sharded default tenant
+// reports its first panel's kernel; other panels may differ (see
+// ShardedPipeline.PanelKernel).
+func (s *Server) Kernel() Kernel {
+	if s.pipe == nil {
+		return s.def.sharded.PanelKernel(0)
+	}
+	return s.pipe.Kernel()
+}
 
 // Stats returns a snapshot of every resilience counter. Every number
 // is read from the same registry objects /metrics renders, so the two
 // views cannot disagree.
 func (s *Server) Stats() ServerStats {
-	degraded, _ := s.pipe.Degraded()
+	degraded := false
+	if s.pipe != nil {
+		degraded, _ = s.pipe.Degraded()
+	}
 	return ServerStats{
 		Admission: s.adm.Stats(),
 		Breaker:   s.brk.Stats(),
@@ -295,54 +615,110 @@ func (s *Server) ObsHandler() http.Handler {
 	return obs.NewHandler(obs.HandlerConfig{
 		Registries: []*obs.Registry{s.reg, obs.Default()},
 		Traces:     s.traces,
-		Ready:      s.pipe.Preprocessed,
+		Ready:      s.preprocessed,
 		Healthy:    func() bool { return !s.closed.Load() },
 	})
+}
+
+// preprocessed reports whether every tenant's background build has
+// settled (sharded tenants build synchronously, so they are always
+// ready) — the /readyz condition.
+func (s *Server) preprocessed() bool {
+	for _, t := range s.snapshotTenants() {
+		if t.online != nil && !t.online.Preprocessed() {
+			return false
+		}
+	}
+	return true
 }
 
 // SpMM computes Y = S·X through the full resilience stack. It returns
 // ErrOverloaded (load shed), ErrServerClosed, the context's error, or
 // the final attempt's error; transient failures are retried with
-// backoff before any error surfaces.
+// backoff before any error surfaces. The output comes from the
+// process-wide dense scratch pool (see Pipeline.SpMM) — hand it back
+// with PutDense to keep the serving loop allocation-free.
+//
+// With CoalesceWindow configured, concurrent SpMM/SpMMInto calls for
+// the same tenant coalesce into one batched kernel pass at the
+// combined width; each caller still pays its own admission weight and
+// keeps its own deadline.
 func (s *Server) SpMM(ctx context.Context, x *Dense) (*Dense, error) {
-	var y *Dense
-	err := s.do(ctx, "spmm", s.reqSpMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
-		var err error
-		if fallback != nil {
-			y, err = fallback.SpMMCtx(ctx, x)
-		} else {
-			y, err = s.pipe.SpMMCtx(ctx, x)
-		}
-		return err
+	return s.spmmTenant(ctx, s.def, x)
+}
+
+// SpMMTenant is SpMM against the tenant registered under id.
+func (s *Server) SpMMTenant(ctx context.Context, id string, x *Dense) (*Dense, error) {
+	t, err := s.tenantByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.spmmTenant(ctx, t, x)
+}
+
+func (s *Server) spmmTenant(ctx context.Context, t *tenant, x *Dense) (*Dense, error) {
+	y := dense.Get(t.m.Rows, x.Cols)
+	err := s.do(ctx, t, "spmm", s.reqSpMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+		return s.runSpMM(ctx, t, fallback, y, x)
 	})
 	if err != nil {
+		dense.Put(y)
 		return nil, err
 	}
 	return y, nil
 }
 
 // SpMMInto is SpMM into a caller-provided output (see
-// Pipeline.SpMMInto); steady-state calls stay allocation-free.
+// Pipeline.SpMMInto); steady-state calls stay allocation-free when
+// coalescing is off (a coalesced pass allocates only per batch, in
+// pooled scratch).
 func (s *Server) SpMMInto(ctx context.Context, y *Dense, x *Dense) error {
-	return s.do(ctx, "spmm_into", s.reqSpMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
-		if fallback != nil {
-			return fallback.SpMMIntoCtx(ctx, y, x)
-		}
-		return s.pipe.SpMMIntoCtx(ctx, y, x)
+	return s.spmmIntoTenant(ctx, s.def, y, x)
+}
+
+// SpMMIntoTenant is SpMMInto against the tenant registered under id.
+func (s *Server) SpMMIntoTenant(ctx context.Context, id string, y *Dense, x *Dense) error {
+	t, err := s.tenantByID(id)
+	if err != nil {
+		return err
+	}
+	return s.spmmIntoTenant(ctx, t, y, x)
+}
+
+func (s *Server) spmmIntoTenant(ctx context.Context, t *tenant, y *Dense, x *Dense) error {
+	return s.do(ctx, t, "spmm_into", s.reqSpMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+		return s.runSpMM(ctx, t, fallback, y, x)
 	})
+}
+
+// runSpMM executes one SpMM attempt: the breaker's no-reorder fallback
+// runs direct (per-request, uncoalesced); the main path goes through
+// the tenant's coalescer when one is configured. Shapes are validated
+// before joining a batch so one malformed request can never fail a
+// batch it shares with well-formed ones.
+func (s *Server) runSpMM(ctx context.Context, t *tenant, fallback *Pipeline, y, x *Dense) error {
+	if fallback != nil {
+		return fallback.SpMMIntoCtx(ctx, y, x)
+	}
+	if t.coal != nil {
+		if y.Rows != t.m.Rows || y.Cols != x.Cols || x.Rows != t.m.Cols {
+			return fmt.Errorf("repro: SpMM operands y %dx%d, x %dx%d do not fit a %dx%d matrix",
+				y.Rows, y.Cols, x.Rows, x.Cols, t.m.Rows, t.m.Cols)
+		}
+		return t.coal.Do(ctx, BatchOp{Y: y, X: x})
+	}
+	return t.unit.SpMMIntoCtx(ctx, y, x)
 }
 
 // SDDMM computes O = S ⊙ (Y·Xᵀ) through the full resilience stack.
 func (s *Server) SDDMM(ctx context.Context, x, y *Dense) (*Matrix, error) {
-	var out *Matrix
-	err := s.do(ctx, "sddmm", s.reqSDDMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
-		var err error
+	t := s.def
+	out := t.m.Clone()
+	err := s.do(ctx, t, "sddmm", s.reqSDDMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
 		if fallback != nil {
-			out, err = fallback.SDDMMCtx(ctx, x, y)
-		} else {
-			out, err = s.pipe.SDDMMCtx(ctx, x, y)
+			return fallback.SDDMMIntoCtx(ctx, out, x, y)
 		}
-		return err
+		return t.unit.SDDMMIntoCtx(ctx, out, x, y)
 	})
 	if err != nil {
 		return nil, err
@@ -353,11 +729,24 @@ func (s *Server) SDDMM(ctx context.Context, x, y *Dense) (*Matrix, error) {
 // SDDMMInto is SDDMM into a caller-provided output with the matrix's
 // sparsity structure.
 func (s *Server) SDDMMInto(ctx context.Context, out *Matrix, x, y *Dense) error {
-	return s.do(ctx, "sddmm_into", s.reqSDDMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+	return s.sddmmIntoTenant(ctx, s.def, out, x, y)
+}
+
+// SDDMMIntoTenant is SDDMMInto against the tenant registered under id.
+func (s *Server) SDDMMIntoTenant(ctx context.Context, id string, out *Matrix, x, y *Dense) error {
+	t, err := s.tenantByID(id)
+	if err != nil {
+		return err
+	}
+	return s.sddmmIntoTenant(ctx, t, out, x, y)
+}
+
+func (s *Server) sddmmIntoTenant(ctx context.Context, t *tenant, out *Matrix, x, y *Dense) error {
+	return s.do(ctx, t, "sddmm_into", s.reqSDDMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
 		if fallback != nil {
 			return fallback.SDDMMIntoCtx(ctx, out, x, y)
 		}
-		return s.pipe.SDDMMIntoCtx(ctx, out, x, y)
+		return t.unit.SDDMMIntoCtx(ctx, out, x, y)
 	})
 }
 
@@ -366,13 +755,17 @@ func (s *Server) SDDMMInto(ctx context.Context, out *Matrix, x, y *Dense) error 
 // retry backoffs, kernel spans recorded further down the stack) that
 // lands in the /debug/traces ring. run receives a nil fallback to
 // execute the full online path or a concrete pipeline to execute the
-// no-reorder fallback.
-func (s *Server) do(ctx context.Context, op string, hist *obs.Histogram, weight int64, run func(context.Context, *Pipeline) error) error {
+// no-reorder fallback. The request's gate cost is weight (the dense
+// column count) scaled by the tenant's admission weight, and its
+// terminal outcome lands in exactly one tenant counter (see
+// TenantStats for the reconciliation identities).
+func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogram, weight int64, run func(context.Context, *Pipeline) error) error {
 	if s.closed.Load() {
 		return ErrServerClosed
 	}
 	start := time.Now()
 	tr := obs.NewTrace(op)
+	tr.Annotate("tenant", t.id)
 	ctx = obs.WithTrace(ctx, tr)
 	// Push after everything else (defers run LIFO): once pushed, the
 	// ring owns the trace and may recycle it.
@@ -387,46 +780,66 @@ func (s *Server) do(ctx context.Context, op string, hist *obs.Histogram, weight 
 			defer cancel()
 		}
 	}
+	if weight < 1 {
+		weight = 1
+	}
+	weight *= t.weight
 	asp := tr.StartSpan("admission")
 	if err := s.adm.Acquire(ctx, weight); err != nil {
 		asp.End()
-		if errors.Is(err, serve.ErrClosed) {
+		switch {
+		case errors.Is(err, serve.ErrClosed):
 			err = ErrServerClosed
+			t.expired.Inc()
+		case errors.Is(err, ErrOverloaded):
+			t.shed.Inc()
+		default:
+			// Context death or queue-deadline expiry before admission.
+			t.expired.Inc()
 		}
 		tr.Annotate("outcome", "rejected")
 		tr.Finish(err)
 		return err
 	}
 	asp.End()
+	t.admitted.Inc()
 	defer s.adm.Release(weight)
 
 	retries, err := serve.Retry(ctx,
 		serve.RetryPolicy{MaxAttempts: s.cfg.MaxAttempts, BaseDelay: s.cfg.RetryBase, MaxDelay: s.cfg.RetryMax},
 		transientError,
-		func(int) error { return s.attempt(ctx, run) })
+		func(int) error { return s.attempt(ctx, t, run) })
 	s.retries.Add(int64(retries))
 	if err != nil {
 		s.failed.Inc()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			t.cancelled.Inc()
+		} else {
+			t.failed.Inc()
+		}
 		tr.Annotate("outcome", "failed")
 		tr.Finish(err)
 		return err
 	}
 	s.completed.Inc()
+	t.completed.Inc()
 	tr.Annotate("outcome", "completed")
 	tr.Finish(nil)
 	return nil
 }
 
 // attempt executes one try, consulting the breaker only when the call
-// would actually exercise the reordered path: a degraded pipeline, a
-// trial already decided for no-reorder, or a reordered build still in
-// flight all serve the no-reorder plan anyway, and their outcomes must
-// not open (or close) the reordered path's circuit.
-func (s *Server) attempt(ctx context.Context, run func(context.Context, *Pipeline) error) error {
+// would actually exercise the reordered path: a sharded tenant (every
+// panel autotunes its own plan, no matrix-wide reorder trial), a
+// degraded pipeline, a trial already decided for no-reorder, or a
+// reordered build still in flight all serve without the reordered
+// plan, and their outcomes must not open (or close) the reordered
+// path's circuit.
+func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Context, *Pipeline) error) error {
 	tr := obs.TraceFrom(ctx)
 	sp := tr.StartSpan("attempt")
 	defer sp.End()
-	if !s.reorderedPathActive() {
+	if !reorderedPathActive(t) {
 		tr.Annotate("path", "plain")
 		return run(ctx, nil)
 	}
@@ -436,7 +849,7 @@ func (s *Server) attempt(ctx context.Context, run func(context.Context, *Pipelin
 	if !s.brk.Allow() {
 		s.fallbacks.Inc()
 		tr.Annotate("path", "fallback")
-		return run(ctx, s.pipe.nr)
+		return run(ctx, t.online.nr)
 	}
 	tr.Annotate("path", "reordered")
 	err := run(ctx, nil)
@@ -451,18 +864,21 @@ func (s *Server) attempt(ctx context.Context, run func(context.Context, *Pipelin
 	return err
 }
 
-// reorderedPathActive reports whether a full-path call right now would
-// execute the reordered plan (as the decided winner, or inside the
-// first-call trial).
-func (s *Server) reorderedPathActive() bool {
-	if d, _ := s.pipe.Degraded(); d {
+// reorderedPathActive reports whether a full-path call for t right now
+// would execute the reordered plan (as the decided winner, or inside
+// the first-call trial).
+func reorderedPathActive(t *tenant) bool {
+	if t.online == nil {
+		return false // sharded: panels autotune, no reorder trial
+	}
+	if d, _ := t.online.Degraded(); d {
 		return false
 	}
-	rr := s.pipe.rr.Load()
+	rr := t.online.rr.Load()
 	if rr == nil {
 		return false // still building: calls serve the no-reorder plan
 	}
-	w := s.pipe.winner.Load()
+	w := t.online.winner.Load()
 	return w == nil || w == rr
 }
 
@@ -487,8 +903,13 @@ func (s *Server) Close(ctx context.Context) error {
 		s.adm.Close()
 		err := s.adm.Drain(ctx)
 		s.cancel()
-		if werr := s.pipe.WaitPreprocessed(ctx); err == nil {
-			err = werr
+		for _, t := range s.snapshotTenants() {
+			if t.online == nil {
+				continue
+			}
+			if werr := t.online.WaitPreprocessed(ctx); err == nil {
+				err = werr
+			}
 		}
 		if s.cfg.PlanDir != "" {
 			if _, serr := SnapshotPlanCache(); err == nil {

@@ -380,3 +380,226 @@ func isPanicError(err error) bool {
 	var pe *repro.PanicError
 	return errors.As(err, &pe)
 }
+
+// TestServerCoalescedMultiTenantSoak drives three tenants — the online
+// default, a row-panel-sharded tenant, and a weight-3 online tenant —
+// through one Server with request coalescing on, under concurrent
+// clients mixing pre-cancelled contexts, aggressive deadlines, and
+// normal traffic against a deliberately small admission gate. No
+// faults are injected, so the per-tenant ledgers must reconcile
+// EXACTLY: every request a client ever submitted lands in precisely
+// one terminal counter of precisely one tenant,
+//
+//	Admitted  == Completed + Failed + Cancelled
+//	submitted == Admitted + Shed + Expired
+//
+// and the per-tenant ledgers must sum to the server-wide admission
+// counters. Run under -race (the `make soak` target does): the
+// coalescer's join/excise/launch races against tenant counters are the
+// point.
+func TestServerCoalescedMultiTenantSoak(t *testing.T) {
+	budget := 2 * time.Second
+	if testing.Short() {
+		budget = 600 * time.Millisecond
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	ma := freshScrambled(t, 7001)
+	mb, err := repro.GenerateScrambledClusters(2048, 2048, 64, 7002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := freshScrambled(t, 7003)
+	warmKernelPool(t, ma)
+	defer testutil.CheckNoGoroutineLeak(t)()
+
+	cfg := repro.DefaultConfig()
+	cfg.Workers = 4
+	cfg.PreprocessBudget = time.Hour
+	// Shard threshold between the two matrix sizes: mb shards, ma and mc
+	// serve online. The small gate forces queueing and shedding under
+	// nine concurrent clients.
+	shardNNZ := (ma.NNZ() + mb.NNZ()) / 2
+	s, err := repro.NewServer(context.Background(), ma, cfg, repro.ServerConfig{
+		MaxInFlight:     24,
+		MaxQueue:        2,
+		DefaultDeadline: 2 * time.Second,
+		CoalesceWindow:  300 * time.Microsecond,
+		CoalesceMaxOps:  8,
+		ShardNNZ:        shardNNZ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTenant(context.Background(), "b-sharded", mb, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTenant(context.Background(), "c-heavy", mc, cfg, 3); err != nil {
+		t.Fatal(err)
+	}
+	if ts, _ := s.TenantStats("b-sharded"); !ts.Sharded || ts.Panels < 2 {
+		t.Fatalf("tenant b-sharded stats = %+v, want sharded into >1 panels", ts)
+	}
+	if ts, _ := s.TenantStats("c-heavy"); ts.Sharded || ts.Weight != 3 {
+		t.Fatalf("tenant c-heavy stats = %+v, want online with weight 3", ts)
+	}
+
+	tenants := []struct {
+		id string
+		m  *repro.Matrix
+	}{
+		{repro.DefaultTenant, ma},
+		{"b-sharded", mb},
+		{"c-heavy", mc},
+	}
+	const clientsPerTenant = 3
+	wants := make([][]*repro.Dense, len(tenants))
+	xss := make([][]*repro.Dense, len(tenants))
+	for ti, tn := range tenants {
+		wants[ti] = make([]*repro.Dense, clientsPerTenant)
+		xss[ti] = make([]*repro.Dense, clientsPerTenant)
+		for c := 0; c < clientsPerTenant; c++ {
+			x := repro.NewRandomDense(tn.m.Cols, 4, int64(1000+10*ti+c))
+			w, err := repro.SpMM(tn.m, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xss[ti][c], wants[ti][c] = x, w
+		}
+	}
+
+	stop := time.Now().Add(budget)
+	tallies := make([]soakTally, len(tenants)*clientsPerTenant)
+	var wg sync.WaitGroup
+	for ti, tn := range tenants {
+		for c := 0; c < clientsPerTenant; c++ {
+			wg.Add(1)
+			go func(ti, c int, id string, m *repro.Matrix) {
+				defer wg.Done()
+				ta := &tallies[ti*clientsPerTenant+c]
+				x, want := xss[ti][c], wants[ti][c]
+				bg := context.Background()
+				for i := 0; time.Now().Before(stop); i++ {
+					var ctx context.Context
+					var cancel context.CancelFunc
+					switch {
+					case i%11 == 0:
+						ctx, cancel = context.WithCancel(bg)
+						cancel() // arrives already cancelled: expires pre-admission
+					case i%7 == 0:
+						ctx, cancel = context.WithTimeout(bg, 500*time.Microsecond)
+					default:
+						ctx, cancel = context.WithTimeout(bg, 2*time.Second)
+					}
+					ta.requests++
+					var err error
+					if i%2 == 0 {
+						var y *repro.Dense
+						y, err = s.SpMMTenant(ctx, id, x)
+						if err == nil {
+							if i%16 == 0 {
+								for k := range want.Data {
+									if math.Abs(float64(want.Data[k]-y.Data[k])) > 1e-4 {
+										ta.unexpected = errDiverged
+										cancel()
+										return
+									}
+								}
+							}
+							repro.PutDense(y)
+						}
+					} else {
+						y := repro.GetDense(m.Rows, x.Cols)
+						err = s.SpMMIntoTenant(ctx, id, y, x)
+						repro.PutDense(y)
+					}
+					cancel()
+					switch {
+					case err == nil:
+						ta.successes++
+					case errors.Is(err, repro.ErrOverloaded):
+						ta.sheds++
+						time.Sleep(time.Millisecond)
+					case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+						ta.ctxErrs++
+					default:
+						ta.unexpected = err
+						return
+					}
+				}
+			}(ti, c, tn.id, tn.m)
+		}
+	}
+	wg.Wait()
+
+	// Per-tenant exact reconciliation: client-observed outcomes against
+	// the tenant's ledger, then the ledger's internal identities.
+	var sumAdmitted, sumShed, sumJoins int64
+	for ti, tn := range tenants {
+		var tt soakTally
+		for c := 0; c < clientsPerTenant; c++ {
+			ta := &tallies[ti*clientsPerTenant+c]
+			if ta.unexpected != nil {
+				t.Fatalf("tenant %s client %d: unexpected error %v", tn.id, c, ta.unexpected)
+			}
+			tt.requests += ta.requests
+			tt.successes += ta.successes
+			tt.sheds += ta.sheds
+			tt.ctxErrs += ta.ctxErrs
+		}
+		ts, ok := s.TenantStats(tn.id)
+		if !ok {
+			t.Fatalf("no stats for tenant %s", tn.id)
+		}
+		if tt.requests == 0 || tt.successes == 0 {
+			t.Fatalf("tenant %s did no work: %+v", tn.id, tt)
+		}
+		if ts.Failed != 0 {
+			t.Fatalf("tenant %s failed %d requests with no fault source", tn.id, ts.Failed)
+		}
+		if ts.Completed != tt.successes {
+			t.Fatalf("tenant %s completed %d, clients observed %d successes", tn.id, ts.Completed, tt.successes)
+		}
+		if ts.Shed != tt.sheds {
+			t.Fatalf("tenant %s shed %d, clients observed %d overload errors", tn.id, ts.Shed, tt.sheds)
+		}
+		if ts.Cancelled+ts.Expired != tt.ctxErrs {
+			t.Fatalf("tenant %s cancelled %d + expired %d != %d client context errors",
+				tn.id, ts.Cancelled, ts.Expired, tt.ctxErrs)
+		}
+		if ts.Admitted != ts.Completed+ts.Failed+ts.Cancelled {
+			t.Fatalf("tenant %s admitted %d != completed %d + failed %d + cancelled %d",
+				tn.id, ts.Admitted, ts.Completed, ts.Failed, ts.Cancelled)
+		}
+		if got := ts.Admitted + ts.Shed + ts.Expired; got != tt.requests {
+			t.Fatalf("tenant %s accounted for %d requests, clients made %d", tn.id, got, tt.requests)
+		}
+		t.Logf("tenant %s: %d requests, %d ok, %d shed, %d ctx; coalesce %d leads / %d joins / %d excised",
+			tn.id, tt.requests, tt.successes, tt.sheds, tt.ctxErrs,
+			ts.Coalesce.Leads, ts.Coalesce.Joins, ts.Coalesce.Excised)
+		sumAdmitted += ts.Admitted
+		sumShed += ts.Shed
+		sumJoins += ts.Coalesce.Joins
+	}
+	// The tenant ledgers must sum to the shared gate's counters — no
+	// request can be double-counted across tenants or slip past both.
+	st := s.Stats()
+	if st.Admission.Admitted != sumAdmitted {
+		t.Fatalf("gate admitted %d, tenant ledgers sum to %d", st.Admission.Admitted, sumAdmitted)
+	}
+	if st.Admission.Shed != sumShed {
+		t.Fatalf("gate shed %d, tenant ledgers sum to %d", st.Admission.Shed, sumShed)
+	}
+	if sumJoins == 0 {
+		t.Fatal("no request ever joined a coalescing batch: the windows never overlapped")
+	}
+	if st.Admission.InFlight != 0 || st.Admission.InUse != 0 || st.Admission.QueueLen != 0 {
+		t.Fatalf("requests still wedged in the gate: %+v", st.Admission)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close after soak: %v (wedged requests?)", err)
+	}
+}
