@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess bench-kernels bench-serving fuzz experiments corpus clean
+.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess bench-kernels bench-serving bench-mutation fuzz experiments corpus clean
 
 all: build lint test
 
@@ -86,10 +86,23 @@ bench-serving:
 		| $(GO) run ./cmd/benchjson -out BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
 
+# Live-mutation cost model: overlay-serve overhead at 0/64/256 mutated
+# rows versus the clean fast path, and a value re-skin through the plan
+# cache's gather maps versus a cold full re-preprocess at a fresh
+# structural epoch — emitted as BENCH_mutation.json. Quick smoke run:
+#   make bench-mutation BENCH_MUTATION_FLAGS="-short -benchtime 1x"
+BENCH_MUTATION_FLAGS ?= -benchtime 1s
+bench-mutation:
+	$(GO) test -run '^$$' -bench 'Mutation' -benchmem \
+		$(BENCH_MUTATION_FLAGS) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_mutation.json
+	@echo "wrote BENCH_mutation.json"
+
 # Short fuzz session over the input parsers.
 fuzz:
 	$(GO) test -fuzz FuzzReadMTX -fuzztime 30s ./internal/sparse/
 	$(GO) test -fuzz FuzzReadPlan -fuzztime 30s ./internal/reorder/
+	$(GO) test -fuzz FuzzMutationLog -fuzztime 30s .
 
 # Regenerate every evaluation artifact at full scale (~5-10 min).
 experiments:

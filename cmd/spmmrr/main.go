@@ -13,6 +13,7 @@
 //	spmmrr -dir corpus/ [-k 512]       # batch summary over .mtx files
 //	spmmrr -in matrix.mtx -serve [-plandir plans/] [-serve-duration 30s]
 //	       [-obs-listen 127.0.0.1:9090]   # /metrics, /healthz, /readyz, /debug/traces, /debug/pprof
+//	       [-mutate-rate 10ms]            # live row mutations under load (overlay + plan swaps)
 package main
 
 import (
@@ -53,6 +54,7 @@ func main() {
 		obsListen = flag.String("obs-listen", "", "with -serve: expose /metrics, /healthz, /readyz, /debug/traces and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = no listener)")
 		coalesce  = flag.Duration("coalesce-window", 0, "with -serve: batch concurrent SpMM requests arriving within this window into one kernel pass at the combined width (0 = off; try 200us-1ms)")
 		shardNNZ  = flag.Int("shard-nnz", 0, "with -serve: split matrices above this many nonzeros into nnz-balanced row panels, each served by its own pipeline (0 = off)")
+		mutRate   = flag.Duration("mutate-rate", 0, "with -serve: submit one live row mutation through the mutation path per interval — value re-skins and structural row replacements alternate, exercising overlay serving and background plan swaps under load (0 = off; try 5ms-50ms)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,7 @@ func main() {
 			obsListen:      *obsListen,
 			coalesceWindow: *coalesce,
 			shardNNZ:       *shardNNZ,
+			mutateRate:     *mutRate,
 		}
 		if err := runServe(m, cfg, opts); err != nil {
 			fatal(err)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/reorder"
 )
 
 // runCLI builds the command once per test binary and runs it with args.
@@ -201,6 +202,75 @@ func TestCLIServeGracefulSIGTERM(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("graceful shutdown output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// Live mutation under load: -mutate-rate pumps value re-skins and
+// structural row replacements through a real serving process; SIGTERM
+// must drain gracefully, report the live-mutation ledger, and snapshot
+// at least one plan whose flag bits carry a post-mutation structural
+// epoch — proof the swapped-in plan, not just the boot-time one,
+// survived the drain.
+func TestCLIServeMutateGracefulSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildCLI(t)
+	plans := t.TempDir()
+	cmd := exec.Command(bin, "-gen", "scrambled", "-rows", "512", "-k", "16",
+		"-serve", "-plandir", plans, "-mutate-rate", "2ms")
+	buf := &lockedBuffer{}
+	cmd.Stdout, cmd.Stderr = buf, buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	// Serve and mutate long enough for background rebuilds to swap
+	// epoch-stamped plans in while the load clients hammer the overlay.
+	time.Sleep(4 * time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not exit cleanly on SIGTERM: %v\n%s", err, buf.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("serve wedged after SIGTERM:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"mutating one live row", "shutdown requested", "drained;",
+		"live mutation epoch", "plan cache snapshotted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mutating serve output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "live mutation epoch 0 ") || strings.Contains(out, "(0 mutations") {
+		t.Fatalf("no mutation ever landed:\n%s", out)
+	}
+	entries, err := os.ReadDir(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochPlans := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".plan") {
+			continue
+		}
+		sp, err := reorder.ReadPlanFile(filepath.Join(plans, e.Name()))
+		if err != nil {
+			t.Fatalf("snapshot %s unreadable: %v", e.Name(), err)
+		}
+		if sp.Epoch > 0 {
+			epochPlans++
+		}
+	}
+	if epochPlans == 0 {
+		t.Fatalf("no snapshotted plan carries a post-mutation epoch (%d plan files):\n%s", len(entries), out)
 	}
 }
 

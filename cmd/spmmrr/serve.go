@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -25,6 +26,7 @@ type serveOptions struct {
 	obsListen      string
 	coalesceWindow time.Duration
 	shardNNZ       int
+	mutateRate     time.Duration
 }
 
 // runServe hosts m behind the full serving stack (admission control,
@@ -70,6 +72,52 @@ func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
 	}
 	if opts.coalesceWindow > 0 {
 		fmt.Printf("serve: coalescing concurrent requests within %v into batched passes\n", opts.coalesceWindow)
+	}
+
+	// Live mutator: alternate value re-skins with structural row
+	// replacements at the configured rate, so the matrix keeps changing
+	// under the serving load — overlay rows accumulate, background
+	// re-preprocessing runs, and fresh plans swap in atomically while
+	// requests are in flight.
+	var mutDone chan struct{}
+	if opts.mutateRate > 0 {
+		fmt.Printf("serve: mutating one live row every %v (value re-skins alternate with structural replacements)\n",
+			opts.mutateRate)
+		mutDone = make(chan struct{})
+		go func() {
+			defer close(mutDone)
+			rng := rand.New(rand.NewSource(1))
+			tick := time.NewTicker(opts.mutateRate)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+				}
+				cur := s.Live().Matrix()
+				r := rng.Intn(cur.Rows)
+				var mu repro.Mutation
+				if cols := cur.RowCols(r); i%2 == 0 && len(cols) > 0 {
+					mu.UpdateValues = []repro.ValueUpdate{{
+						Row: r, Col: int(cols[rng.Intn(len(cols))]), Val: rng.Float32()*2 - 1,
+					}}
+				} else {
+					def := repro.RowDef{Cols: make([]int32, 0, 8), Vals: make([]float32, 0, 8)}
+					for c := rng.Intn(cur.Cols); c < cur.Cols; c += 1 + rng.Intn(cur.Cols/4+1) {
+						def.Cols = append(def.Cols, int32(c))
+						def.Vals = append(def.Vals, rng.Float32()*2-1)
+						if len(def.Cols) == 8 {
+							break
+						}
+					}
+					mu.ReplaceRows = []repro.RowUpdate{{Row: r, Def: def}}
+				}
+				if err := s.Mutate(runCtx, mu); err != nil && runCtx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "serve: mutation rejected: %v\n", err)
+				}
+			}
+		}()
 	}
 
 	var obsSrv *http.Server
@@ -129,6 +177,9 @@ func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
 	stop() // a second signal from here on kills the process the hard way
 	cancelRun()
 	<-loadDone
+	if mutDone != nil {
+		<-mutDone
+	}
 
 	fmt.Println("serve: shutdown requested, draining in-flight requests")
 	closeCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
@@ -164,6 +215,12 @@ func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
 	if ts, ok := s.TenantStats(repro.DefaultTenant); ok && opts.coalesceWindow > 0 {
 		fmt.Printf("serve: coalescing %d leads, %d joins, %d excised\n",
 			ts.Coalesce.Leads, ts.Coalesce.Joins, ts.Coalesce.Excised)
+	}
+	if opts.mutateRate > 0 {
+		lst := s.Live().Stats()
+		fmt.Printf("serve: live mutation epoch %d (%d mutations, %d re-skins, %d plan swaps, %d rebuilds, degraded=%v), overlay %d rows at drain\n",
+			lst.Epoch, lst.Mutations, lst.Reskins, lst.Swaps, lst.RebuildsStarted, lst.Degraded,
+			lst.OverlayRows+lst.TailRows)
 	}
 	if opts.planDir != "" {
 		entries, err := os.ReadDir(opts.planDir)

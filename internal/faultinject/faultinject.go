@@ -30,6 +30,9 @@ var known = []string{
 	"aspt.build",
 	"dense.pool",
 	"kernels.exec",
+	"live.overlay.append",
+	"live.rebuild.start",
+	"live.swap.publish",
 	"lsh.banding",
 	"lsh.pairmerge",
 	"lsh.scoring",

@@ -130,6 +130,11 @@ func configSignature(cfg reorder.Config) string {
 	// away too — otherwise two online pipelines differing only in
 	// budget would never share plans.
 	cfg.PreprocessBudget = 0
+	// cfg.Epoch is deliberately NOT normalised: the structural epoch of
+	// a live matrix is semantic. Two epochs can transiently share the
+	// same structure arrays (e.g. a row replaced and later restored), and
+	// a plan skinned for the old epoch must never satisfy a lookup for
+	// the new one — staleness has to read as a miss.
 	return fmt.Sprintf("%v", cfg)
 }
 

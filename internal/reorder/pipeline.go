@@ -74,6 +74,14 @@ type Config struct {
 	// changes what a successful build produces, so plan-cache
 	// fingerprints ignore it.
 	PreprocessBudget time.Duration
+	// Epoch is the structural epoch of a live (mutable) matrix: each
+	// structural mutation of a served matrix bumps it before the fused
+	// matrix is re-preprocessed. It is semantic — unlike Workers or
+	// PreprocessBudget it is NOT normalised out of plan-cache
+	// fingerprints, and it is stored in the v1 plan-file flag bits
+	// (see planFlag* in serialize.go) so a stale snapshot can never be
+	// re-skinned onto mutated structure. 0 for immutable pipelines.
+	Epoch uint32
 }
 
 // withWorkers propagates the pipeline-wide Workers bound into the

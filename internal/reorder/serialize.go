@@ -24,7 +24,7 @@ import (
 //	magic   uint32 = 0x52525032 ("2PRR")
 //	version uint32 = 1
 //	rows    uint32
-//	flags   uint32 (bit0 round1, bit1 round2, bits 8-11 kernel choice)
+//	flags   uint32 (layout below — planFlag* is the single source of truth)
 //	rowPerm   [rows]uint32
 //	restOrder [rows]uint32
 //	crc32   uint32 (IEEE, over everything above)
@@ -43,6 +43,32 @@ const (
 	planFooterMagic = 0x444E4531
 )
 
+// v1 flag-word layout — the single place the bit assignments live.
+// Every producer (WritePlan) and consumer (ReadPlan, Apply) goes
+// through these constants, and any bit not assigned a meaning here is
+// corruption: ReadPlan rejects it with ErrPlanFormat instead of
+// silently ignoring it, so a future format revision cannot be
+// half-understood by an old reader.
+//
+//	bit  0       round 1 (row reordering) applied
+//	bit  1       round 2 (rest ordering) applied
+//	bits 2-7     reserved — must be zero
+//	bits 8-11    kernel choice (Kernel; 0 = KernelAuto, re-resolve at Apply)
+//	bits 12-31   structural epoch (low 20 bits of Config.Epoch)
+//
+// Legacy v0 files predate everything past bit 1; a v0 flags word with
+// any higher bit set is likewise rejected.
+const (
+	planFlagRound1       = 1 << 0
+	planFlagRound2       = 1 << 1
+	planFlagReservedMask = 0xFC // bits 2-7
+	planFlagKernelShift  = 8
+	planFlagKernelMask   = 0xF // 4 bits, after shift
+	planFlagEpochShift   = 12
+	planFlagEpochMask    = 0xFFFFF // 20 bits, after shift
+	planFlagV0Known      = planFlagRound1 | planFlagRound2
+)
+
 // ErrPlanFormat is wrapped by all plan-deserialization failures.
 var ErrPlanFormat = errors.New("reorder: bad plan file")
 
@@ -58,18 +84,24 @@ func WritePlan(w io.Writer, p *Plan) error {
 	}
 	var flags uint32
 	if p.Round1Applied {
-		flags |= 1
+		flags |= planFlagRound1
 	}
 	if p.Round2Applied {
-		flags |= 2
+		flags |= planFlagRound2
 	}
 	if !p.Kernel.Valid() {
 		return fmt.Errorf("reorder: plan has invalid kernel %v", p.Kernel)
 	}
-	// Bits 8-11 carry the tuned kernel choice so a deployed plan replays
-	// the kernel it was tuned for. Zero (KernelAuto, and every pre-kernel
-	// v1 file) means "re-resolve at Apply time".
-	flags |= uint32(p.Kernel) << 8
+	// The tuned kernel choice rides along so a deployed plan replays the
+	// kernel it was tuned for. Zero (KernelAuto, and every pre-kernel v1
+	// file) means "re-resolve at Apply time".
+	flags |= uint32(p.Kernel) << planFlagKernelShift
+	// The structural epoch of a live matrix is stamped into the high
+	// bits so a snapshot taken at epoch N is rejected at Apply time for
+	// any other epoch — a crash between mutation and snapshot can leave
+	// a stale file on disk, and "stale" must read as a miss, never as a
+	// plan for the wrong structure.
+	flags |= (p.Cfg.Epoch & planFlagEpochMask) << planFlagEpochShift
 	buf := make([]byte, 16+8*rows+8)
 	binary.LittleEndian.PutUint32(buf[0:], planMagicV1)
 	binary.LittleEndian.PutUint32(buf[4:], planVersion)
@@ -136,7 +168,11 @@ type SavedPlan struct {
 	Round2Applied bool
 	// Kernel is the stored kernel choice; KernelAuto for legacy files
 	// written before kernel tuning existed (Apply re-resolves it).
-	Kernel  Kernel
+	Kernel Kernel
+	// Epoch is the structural epoch (low 20 bits of Config.Epoch) the
+	// snapshot was taken at; 0 for immutable pipelines and legacy files.
+	// Apply rejects a mismatch against the target Config's epoch.
+	Epoch   uint32
 	RowPerm []int32
 	// RestOrder is the leftover-part processing order.
 	RestOrder []int32
@@ -156,12 +192,14 @@ func ReadPlan(r io.Reader) (*SavedPlan, error) {
 		return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
 	}
 	var (
-		rows  int
-		flags uint32
-		crc   hash.Hash32
+		rows   int
+		flags  uint32
+		crc    hash.Hash32
+		legacy bool
 	)
 	switch magic := binary.LittleEndian.Uint32(head[0:]); magic {
 	case planMagicV0:
+		legacy = true
 		if _, err := io.ReadFull(r, head[4:12]); err != nil {
 			return nil, fmt.Errorf("%w: header: %v", ErrPlanFormat, err)
 		}
@@ -184,11 +222,18 @@ func ReadPlan(r io.Reader) (*SavedPlan, error) {
 	if rows < 0 || rows > 1<<30 {
 		return nil, fmt.Errorf("%w: implausible row count %d", ErrPlanFormat, rows)
 	}
+	if legacy && flags&^uint32(planFlagV0Known) != 0 {
+		return nil, fmt.Errorf("%w: unknown v0 flag bits %#x", ErrPlanFormat, flags)
+	}
+	if !legacy && flags&planFlagReservedMask != 0 {
+		return nil, fmt.Errorf("%w: reserved flag bits set %#x", ErrPlanFormat, flags)
+	}
 	sp := &SavedPlan{
 		Rows:          rows,
-		Round1Applied: flags&1 != 0,
-		Round2Applied: flags&2 != 0,
-		Kernel:        Kernel(flags >> 8 & 0xF),
+		Round1Applied: flags&planFlagRound1 != 0,
+		Round2Applied: flags&planFlagRound2 != 0,
+		Kernel:        Kernel(flags >> planFlagKernelShift & planFlagKernelMask),
+		Epoch:         flags >> planFlagEpochShift & planFlagEpochMask,
 	}
 	if !sp.Kernel.Valid() {
 		return nil, fmt.Errorf("%w: unknown kernel %d", ErrPlanFormat, uint8(sp.Kernel))
@@ -273,6 +318,15 @@ func (sp *SavedPlan) Apply(m *sparse.CSR, cfg Config) (*Plan, error) {
 	if m.Rows != sp.Rows {
 		return nil, fmt.Errorf("%w: saved plan is for %d rows, matrix has %d",
 			ErrPlanFormat, sp.Rows, m.Rows)
+	}
+	// A snapshot is only valid for the structural epoch it was taken at:
+	// a live matrix that has mutated since the snapshot must treat the
+	// file as a miss, not as a plan (the row count and even both
+	// permutations can coincidentally still validate after a structural
+	// delta). Compared under the 20-bit mask the file format stores.
+	if want := cfg.Epoch & planFlagEpochMask; sp.Epoch != want {
+		return nil, fmt.Errorf("%w: saved plan is for structural epoch %d, want %d",
+			ErrPlanFormat, sp.Epoch, want)
 	}
 	if !sparse.IsPermutation(sp.RowPerm, sp.Rows) {
 		return nil, fmt.Errorf("%w: RowPerm is not a permutation of [0,%d)", ErrPlanFormat, sp.Rows)

@@ -316,6 +316,23 @@ func (a *Admission) Drain(ctx context.Context) error {
 	}
 }
 
+// OverlayWeight scales an admission weight for a request that will be
+// served through a live-mutation overlay: the overlay rows are computed
+// serially on top of the base kernel pass, so a mutated tenant consumes
+// proportionally more of the gate per request. The surcharge is the
+// overlay's nonzero fraction of the base, rounded up, so a tiny overlay
+// costs one extra unit and an overlay comparable to the base doubles
+// the weight. weight passes through unchanged when there is no overlay.
+func OverlayWeight(weight, overlayNNZ, baseNNZ int64) int64 {
+	if overlayNNZ <= 0 || weight <= 0 {
+		return weight
+	}
+	if baseNNZ <= 0 {
+		return 2 * weight
+	}
+	return weight + (weight*overlayNNZ+baseNNZ-1)/baseNNZ
+}
+
 // Stats returns a snapshot of the gate's counters and gauges.
 func (a *Admission) Stats() AdmissionStats {
 	a.mu.Lock()

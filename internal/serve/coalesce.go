@@ -32,9 +32,10 @@ import (
 //
 // The zero Coalescer is not usable; construct with NewCoalescer.
 type Coalescer[T any] struct {
-	window time.Duration
-	maxOps int
-	run    func([]T) error
+	window   time.Duration
+	maxOps   int
+	run      func([]T) error
+	validate func(T) error // optional per-operand launch-time gate
 
 	mu  sync.Mutex
 	cur *cbatch[T]
@@ -42,6 +43,7 @@ type Coalescer[T any] struct {
 	leads   *obs.Counter
 	joins   *obs.Counter
 	excised *obs.Counter
+	invalid *obs.Counter
 	sizes   *obs.Histogram // operands per launched batch (after excision)
 }
 
@@ -51,6 +53,7 @@ type Coalescer[T any] struct {
 type cbatch[T any] struct {
 	items    []T
 	dead     []bool
+	opErr    []error // per-slot validate failure, set at launch under mu
 	launched bool
 	err      error
 	done     chan struct{}
@@ -62,6 +65,7 @@ type CoalescerStats struct {
 	Leads   int64 // batches opened (first arrival in a window)
 	Joins   int64 // requests that joined an open batch
 	Excised int64 // waiters removed pre-launch by context expiry
+	Invalid int64 // operands rejected at launch by the validate hook
 }
 
 // NewCoalescer returns a coalescer batching up to maxOps requests per
@@ -77,7 +81,7 @@ func NewCoalescer[T any](window time.Duration, maxOps int, run func([]T) error) 
 func NewCoalescerObs[T any](window time.Duration, maxOps int, run func([]T) error, reg *obs.Registry) *Coalescer[T] {
 	c := &Coalescer[T]{window: window, maxOps: maxOps, run: run}
 	if reg == nil {
-		c.leads, c.joins, c.excised = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		c.leads, c.joins, c.excised, c.invalid = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
 		return c
 	}
 	c.leads = reg.Counter("spmmrr_coalesce_batches_total",
@@ -86,10 +90,24 @@ func NewCoalescerObs[T any](window time.Duration, maxOps int, run func([]T) erro
 		"Requests that joined an already-open coalescing batch.")
 	c.excised = reg.Counter("spmmrr_coalesce_excised_total",
 		"Waiters excised from a batch pre-launch by context expiry.")
+	c.invalid = reg.Counter("spmmrr_coalesce_invalid_total",
+		"Operands rejected at batch launch by the validate hook.")
 	c.sizes = reg.Histogram("spmmrr_coalesce_batch_ops",
 		"Operands per launched coalescing batch (after excision).",
 		obs.ExponentialBuckets(1, 2, 8))
 	return c
+}
+
+// SetValidate installs a per-operand gate evaluated at batch launch,
+// under the same lock that seals the batch: a mutation that lands
+// between submit and launch (e.g. a live matrix changing shape) is
+// caught at the last possible moment, the stale operand is excised with
+// its own error, and the rest of the batch runs untouched. Call before
+// the coalescer receives traffic; a nil fn disables the gate.
+func (c *Coalescer[T]) SetValidate(fn func(T) error) {
+	c.mu.Lock()
+	c.validate = fn
+	c.mu.Unlock()
 }
 
 // Stats returns a snapshot of the coalescer's counters.
@@ -98,6 +116,7 @@ func (c *Coalescer[T]) Stats() CoalescerStats {
 		Leads:   c.leads.Value(),
 		Joins:   c.joins.Value(),
 		Excised: c.excised.Value(),
+		Invalid: c.invalid.Value(),
 	}
 }
 
@@ -109,6 +128,15 @@ func (c *Coalescer[T]) Do(ctx context.Context, item T) error {
 	if c.window <= 0 {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		c.mu.Lock()
+		v := c.validate
+		c.mu.Unlock()
+		if v != nil {
+			if err := v(item); err != nil {
+				c.invalid.Inc()
+				return err
+			}
 		}
 		c.leads.Inc()
 		c.sizes.Observe(1)
@@ -146,7 +174,7 @@ func (c *Coalescer[T]) Do(ctx context.Context, item T) error {
 
 	select {
 	case <-b.done:
-		return b.err
+		return b.waiterErr(idx)
 	case <-ctx.Done():
 		c.mu.Lock()
 		if !b.launched {
@@ -161,8 +189,19 @@ func (c *Coalescer[T]) Do(ctx context.Context, item T) error {
 		// Launched: the batch is writing into this waiter's operand.
 		// Ride to completion and report the batch's outcome.
 		<-b.done
-		return b.err
+		return b.waiterErr(idx)
 	}
+}
+
+// waiterErr is the outcome for the waiter holding slot idx: its own
+// validate failure when the launch-time gate rejected it, otherwise the
+// batch's shared result. Safe to call only after <-done (opErr and err
+// are sealed before done closes).
+func (b *cbatch[T]) waiterErr(idx int) error {
+	if idx < len(b.opErr) && b.opErr[idx] != nil {
+		return b.opErr[idx]
+	}
+	return b.err
 }
 
 // launch runs a batch exactly once: the timer path and the
@@ -177,6 +216,25 @@ func (c *Coalescer[T]) launch(b *cbatch[T]) {
 	b.launched = true
 	if c.cur == b {
 		c.cur = nil
+	}
+	// Launch-time validation, under the same lock that seals the batch:
+	// no mutation can slip between the check and the run's snapshot of
+	// the live slots. A rejected operand fails alone — its slot records
+	// the error and is compacted away with the dead ones.
+	if v := c.validate; v != nil {
+		for i := range b.items {
+			if b.dead[i] {
+				continue
+			}
+			if err := v(b.items[i]); err != nil {
+				if b.opErr == nil {
+					b.opErr = make([]error, len(b.items))
+				}
+				b.opErr[i] = err
+				b.dead[i] = true
+				c.invalid.Inc()
+			}
+		}
 	}
 	n := 0
 	for i := range b.items {

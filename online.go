@@ -437,6 +437,56 @@ func (o *OnlinePipeline) trialSDDMM(ctx context.Context, rr *Pipeline, x, y *Den
 	return oNR, nil
 }
 
+// reskin rebuilds this online pipeline for a matrix with the *same
+// sparsity structure* but new nonzero values — the value-only mutation
+// path of a live matrix. Both plan-cache lookups hit on structure, so
+// each rebuild is an O(nnz) value regather, not a re-preprocess.
+//
+// The trial decision carries over: structure is what the §4 trial
+// measures, and the structure has not changed, so if the old pipeline
+// had settled on (say) the reordered plan the new one starts settled on
+// its reskinned counterpart — no re-trial, no window where serving
+// would flap back to NR. A degraded pipeline reskins to a degraded one
+// (NR-only, same recorded cause). A pipeline whose background build is
+// still in flight is waited for first: reskinning a moving target would
+// race the build's publication.
+func (o *OnlinePipeline) reskin(ctx context.Context, m *Matrix) (*OnlinePipeline, error) {
+	if err := o.WaitPreprocessed(ctx); err != nil {
+		return nil, err
+	}
+	cfg := o.nr.plan.Cfg
+	nr, err := NewPipelineNRCtx(ctx, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &OnlinePipeline{nr: nr, buildDone: closedChan}
+	if d := o.degraded.Load(); d != nil {
+		n.degraded.Store(d)
+		n.winner.Store(nr)
+		return n, nil
+	}
+	oldRR := o.rr.Load()
+	rr, err := NewPipelineCtx(ctx, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.rr.Store(rr)
+	if w := o.winner.Load(); w != nil {
+		o.mu.Lock()
+		rrT, nrT := o.rrTime, o.nrTime
+		o.mu.Unlock()
+		n.mu.Lock()
+		n.rrTime, n.nrTime = rrT, nrT
+		n.mu.Unlock()
+		if w == oldRR {
+			n.winner.Store(rr)
+		} else {
+			n.winner.Store(nr)
+		}
+	}
+	return n, nil
+}
+
 // decide publishes the winner; ties keep the plain plan (no reordering
 // to maintain). Caller holds o.mu; the times are recorded only here so
 // an aborted trial leaves them zero.

@@ -109,6 +109,29 @@ type ServerConfig struct {
 	// kernel instead of trialling reordering matrix-wide). 0 disables
 	// sharding.
 	ShardNNZ int
+	// RebuildMaxAttempts bounds tries per live-mutation background
+	// rebuild round before the tenant permanently degrades to
+	// overlay-forever serving; RebuildRetryBase/RebuildRetryMax scale
+	// the full-jitter backoff between tries. Defaults 3, 10ms, 250ms
+	// (see LiveConfig).
+	RebuildMaxAttempts                int
+	RebuildRetryBase, RebuildRetryMax time.Duration
+	// MaxOverlayRows bounds each tenant's structural mutation overlay;
+	// mutations past it fail with ErrOverlayFull until a background
+	// rebuild drains the overlay. Default 65536; negative means
+	// unbounded (see LiveConfig.MaxOverlayRows).
+	MaxOverlayRows int
+}
+
+// liveConfig is the per-tenant mutation tuning carved out of the
+// server config.
+func (c ServerConfig) liveConfig() LiveConfig {
+	return LiveConfig{
+		RebuildMaxAttempts: c.RebuildMaxAttempts,
+		RebuildRetryBase:   c.RebuildRetryBase,
+		RebuildRetryMax:    c.RebuildRetryMax,
+		MaxOverlayRows:     c.MaxOverlayRows,
+	}
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -177,17 +200,15 @@ type servingUnit interface {
 	SDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) error
 }
 
-// tenant is one served matrix: its execution unit, admission weight,
-// optional request coalescer, and per-outcome counters. Exactly one of
-// online/sharded is non-nil; unit aliases it.
+// tenant is one served matrix: its live (mutable) pipeline, admission
+// weight, optional request coalescer, and per-outcome counters. Every
+// tenant serves through a LivePipeline wrapping an online or sharded
+// base, so every tenant is mutable (Server.MutateTenant).
 type tenant struct {
-	id      string
-	weight  int64
-	m       *Matrix
-	unit    servingUnit
-	online  *OnlinePipeline
-	sharded *ShardedPipeline
-	coal    *serve.Coalescer[BatchOp]
+	id     string
+	weight int64
+	live   *LivePipeline
+	coal   *serve.Coalescer[BatchOp]
 
 	admitted  *obs.Counter
 	completed *obs.Counter
@@ -226,17 +247,23 @@ type TenantStats struct {
 	// Coalesce reports the tenant's request-coalescing counters (all
 	// zero when CoalesceWindow is off).
 	Coalesce serve.CoalescerStats
+
+	// Live reports the tenant's mutation counters (see LiveStats for
+	// the reconciliation identities).
+	Live LiveStats
 }
 
 func (t *tenant) stats() TenantStats {
+	sharded := t.live.Sharded()
 	ts := TenantStats{
-		ID: t.id, Weight: t.weight, Sharded: t.sharded != nil,
+		ID: t.id, Weight: t.weight, Sharded: sharded != nil,
 		Admitted: t.admitted.Value(), Completed: t.completed.Value(),
 		Failed: t.failed.Value(), Cancelled: t.cancelled.Value(),
 		Shed: t.shed.Value(), Expired: t.expired.Value(),
+		Live: t.live.Stats(),
 	}
-	if t.sharded != nil {
-		ts.Panels = t.sharded.Panels()
+	if sharded != nil {
+		ts.Panels = sharded.Panels()
 	}
 	if t.coal != nil {
 		ts.Coalesce = t.coal.Stats()
@@ -263,9 +290,6 @@ func (t *tenant) stats() TenantStats {
 // A Server is safe for concurrent use; Close drains in-flight
 // requests and is idempotent.
 type Server struct {
-	// pipe is the default tenant's online pipeline, nil when the
-	// default matrix crossed ShardNNZ and is served sharded instead.
-	pipe    *OnlinePipeline
 	adm     *serve.Admission
 	brk     *serve.Breaker
 	cfg     ServerConfig
@@ -338,7 +362,6 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 			cancel()
 			return nil, err
 		}
-		s.pipe = pipe
 		s.def = s.newTenant(DefaultTenant, 1, pipe, nil)
 	}
 	s.tenants[DefaultTenant] = s.def
@@ -362,10 +385,11 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 	reg.GaugeFunc("spmmrr_server_degraded",
 		"1 when the background reordered build was abandoned, else 0.",
 		func() float64 {
-			if s.pipe == nil {
+			o := s.def.live.Online()
+			if o == nil {
 				return 0 // sharded default: no reordered trial to abandon
 			}
-			if d, _ := s.pipe.Degraded(); d {
+			if d, _ := o.Degraded(); d {
 				return 1
 			}
 			return 0
@@ -392,20 +416,18 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 	return s, nil
 }
 
-// newTenant wires one tenant: outcome counters in the Server registry
-// (labelled by tenant id), the request coalescer when CoalesceWindow is
-// on, and mirror counters for the coalescer so /metrics carries
-// per-tenant coalesce hit/miss.
+// newTenant wires one tenant: its LivePipeline (every tenant serves
+// through one, so every tenant is mutable; background rebuilds run
+// under the server lifecycle and trace into the server ring), outcome
+// counters in the Server registry (labelled by tenant id), the request
+// coalescer when CoalesceWindow is on, and mirror counters so /metrics
+// carries per-tenant coalesce and live-mutation families.
 func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, sharded *ShardedPipeline) *tenant {
 	if weight < 1 {
 		weight = 1
 	}
-	t := &tenant{id: id, weight: weight, online: online, sharded: sharded}
-	if online != nil {
-		t.unit, t.m = online, online.Matrix()
-	} else {
-		t.unit, t.m = sharded, sharded.Matrix()
-	}
+	live := newLive(s.baseCtx, online, sharded, s.cfg.ShardNNZ, s.cfg.liveConfig(), s.traces)
+	t := &tenant{id: id, weight: weight, live: live}
 	t.admitted = s.reg.Counter("spmmrr_tenant_admitted_total",
 		"Tenant requests admitted through the gate.", obs.L("tenant", id))
 	help := "Tenant requests by terminal outcome."
@@ -426,8 +448,12 @@ func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, shar
 				// context: a waiter's deadline governs how long it waits,
 				// never a pass that other waiters' operands share. Close
 				// cancels baseCtx only after the gate has drained.
-				return t.unit.SpMMBatchIntoCtx(s.baseCtx, ops)
+				return live.SpMMBatchIntoCtx(s.baseCtx, ops)
 			})
+		// Launch-time gate: a mutation landing between submit and launch
+		// excises the now-stale operand (ErrStaleShape) instead of
+		// failing — or torn-writing — the batch it joined.
+		t.coal.SetValidate(live.validateBatchOp)
 		s.reg.CounterFunc("spmmrr_coalesce_batches_total",
 			"Coalescing batches opened (one per window with traffic).",
 			func() int64 { return t.coal.Stats().Leads }, obs.L("tenant", id))
@@ -437,7 +463,56 @@ func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, shar
 		s.reg.CounterFunc("spmmrr_coalesce_excised_total",
 			"Waiters excised from a batch pre-launch by context expiry.",
 			func() int64 { return t.coal.Stats().Excised }, obs.L("tenant", id))
+		s.reg.CounterFunc("spmmrr_coalesce_invalid_total",
+			"Operands excised at batch launch by the live-shape gate.",
+			func() int64 { return t.coal.Stats().Invalid }, obs.L("tenant", id))
 	}
+	s.reg.CounterFunc("spmmrr_live_mutations_total",
+		"Live-matrix mutation batches applied.",
+		func() int64 { return live.Stats().Mutations }, obs.L("tenant", id))
+	rowHelp := "Live-matrix rows mutated, by operation."
+	s.reg.CounterFunc("spmmrr_live_rows_mutated_total", rowHelp,
+		func() int64 { return live.Stats().RowsReplaced }, obs.L("tenant", id), obs.L("op", "replace"))
+	s.reg.CounterFunc("spmmrr_live_rows_mutated_total", rowHelp,
+		func() int64 { return live.Stats().RowsAppended }, obs.L("tenant", id), obs.L("op", "append"))
+	s.reg.CounterFunc("spmmrr_live_rows_mutated_total", rowHelp,
+		func() int64 { return live.Stats().RowsDeleted }, obs.L("tenant", id), obs.L("op", "delete"))
+	s.reg.CounterFunc("spmmrr_live_value_updates_total",
+		"Individual nonzeros rewritten in place by live mutations.",
+		func() int64 { return live.Stats().ValueUpdates }, obs.L("tenant", id))
+	s.reg.CounterFunc("spmmrr_live_reskins_total",
+		"Value-only O(nnz) base re-skins published.",
+		func() int64 { return live.Stats().Reskins }, obs.L("tenant", id))
+	s.reg.CounterFunc("spmmrr_live_swaps_total",
+		"Rebuilt bases atomically swapped into serving.",
+		func() int64 { return live.Stats().Swaps }, obs.L("tenant", id))
+	rbHelp := "Live-matrix background rebuild attempts, by outcome."
+	s.reg.CounterFunc("spmmrr_live_rebuilds_total", rbHelp,
+		func() int64 { return live.Stats().RebuildsStarted }, obs.L("tenant", id), obs.L("outcome", "started"))
+	s.reg.CounterFunc("spmmrr_live_rebuilds_total", rbHelp,
+		func() int64 { return live.Stats().RebuildsFailed }, obs.L("tenant", id), obs.L("outcome", "failed"))
+	s.reg.CounterFunc("spmmrr_live_rebuilds_total", rbHelp,
+		func() int64 { return live.Stats().RebuildsCancelled }, obs.L("tenant", id), obs.L("outcome", "cancelled"))
+	s.reg.GaugeFunc("spmmrr_live_overlay_rows",
+		"Rows currently served through the mutation overlay.",
+		func() float64 { return float64(live.Stats().OverlayRows + live.Stats().TailRows) }, obs.L("tenant", id))
+	s.reg.GaugeFunc("spmmrr_live_overlay_nnz",
+		"Nonzeros currently served through the mutation overlay.",
+		func() float64 { return float64(live.Stats().OverlayNNZ) }, obs.L("tenant", id))
+	s.reg.GaugeFunc("spmmrr_live_staleness_seconds",
+		"Age of the oldest mutation not yet folded into a rebuilt base.",
+		func() float64 { return live.Stats().StalenessSeconds }, obs.L("tenant", id))
+	s.reg.GaugeFunc("spmmrr_live_epoch",
+		"Publish generation of the live matrix (mutations + swaps).",
+		func() float64 { return float64(live.Stats().Epoch) }, obs.L("tenant", id))
+	s.reg.GaugeFunc("spmmrr_live_degraded",
+		"1 when background rebuilds were permanently abandoned (overlay-forever serving), else 0.",
+		func() float64 {
+			if d, _ := live.Degraded(); d {
+				return 1
+			}
+			return 0
+		}, obs.L("tenant", id))
 	return t
 }
 
@@ -548,23 +623,39 @@ func (s *Server) snapshotTenants() []*tenant {
 	return all
 }
 
-// Pipeline exposes the default tenant's online pipeline (trial state,
-// Degraded, WaitPreprocessed) — nil when the default matrix is served
-// sharded (ShardNNZ crossed), which has no online trial.
-func (s *Server) Pipeline() *OnlinePipeline { return s.pipe }
+// Pipeline exposes the default tenant's *current* online pipeline
+// (trial state, Degraded, WaitPreprocessed) — nil when the default
+// matrix is served sharded (ShardNNZ crossed), which has no online
+// trial. A live-mutation rebuild swap replaces the pipeline; re-read
+// after mutating.
+func (s *Server) Pipeline() *OnlinePipeline { return s.def.live.Online() }
 
-// Sharded exposes the default tenant's sharded pipeline — nil unless
-// the default matrix crossed ShardNNZ.
-func (s *Server) Sharded() *ShardedPipeline { return s.def.sharded }
+// Sharded exposes the default tenant's current sharded pipeline — nil
+// unless the default matrix crossed ShardNNZ.
+func (s *Server) Sharded() *ShardedPipeline { return s.def.live.Sharded() }
+
+// Live exposes the default tenant's live (mutable) pipeline — its
+// mutation stats, epoch, and degradation state.
+func (s *Server) Live() *LivePipeline { return s.def.live }
+
+// LiveTenant exposes the live pipeline of the tenant registered under
+// id.
+func (s *Server) LiveTenant(id string) (*LivePipeline, error) {
+	t, err := s.tenantByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return t.live, nil
+}
 
 // PlanStages returns the preprocessing stage breakdown of the plan the
 // server would execute on right now (see OnlinePipeline.PlanStages).
 // A sharded default tenant reports its first panel's stages.
 func (s *Server) PlanStages() StageTimings {
-	if s.pipe == nil {
-		return s.def.sharded.panels[0].pipe.PlanStages()
+	if o := s.def.live.Online(); o != nil {
+		return o.PlanStages()
 	}
-	return s.pipe.PlanStages()
+	return s.def.live.Sharded().panels[0].pipe.PlanStages()
 }
 
 // Kernel returns the SpMM kernel of the plan the server would execute
@@ -572,10 +663,10 @@ func (s *Server) PlanStages() StageTimings {
 // reports its first panel's kernel; other panels may differ (see
 // ShardedPipeline.PanelKernel).
 func (s *Server) Kernel() Kernel {
-	if s.pipe == nil {
-		return s.def.sharded.PanelKernel(0)
+	if o := s.def.live.Online(); o != nil {
+		return o.Kernel()
 	}
-	return s.pipe.Kernel()
+	return s.def.live.Sharded().PanelKernel(0)
 }
 
 // Stats returns a snapshot of every resilience counter. Every number
@@ -583,8 +674,8 @@ func (s *Server) Kernel() Kernel {
 // views cannot disagree.
 func (s *Server) Stats() ServerStats {
 	degraded := false
-	if s.pipe != nil {
-		degraded, _ = s.pipe.Degraded()
+	if o := s.def.live.Online(); o != nil {
+		degraded, _ = o.Degraded()
 	}
 	return ServerStats{
 		Admission: s.adm.Stats(),
@@ -625,7 +716,7 @@ func (s *Server) ObsHandler() http.Handler {
 // ready) — the /readyz condition.
 func (s *Server) preprocessed() bool {
 	for _, t := range s.snapshotTenants() {
-		if t.online != nil && !t.online.Preprocessed() {
+		if o := t.live.Online(); o != nil && !o.Preprocessed() {
 			return false
 		}
 	}
@@ -657,8 +748,8 @@ func (s *Server) SpMMTenant(ctx context.Context, id string, x *Dense) (*Dense, e
 }
 
 func (s *Server) spmmTenant(ctx context.Context, t *tenant, x *Dense) (*Dense, error) {
-	y := dense.Get(t.m.Rows, x.Cols)
-	err := s.do(ctx, t, "spmm", s.reqSpMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+	y := dense.Get(t.live.Matrix().Rows, x.Cols)
+	err := s.do(ctx, t, "spmm", s.reqSpMM, int64(x.Cols), func(ctx context.Context, fallback bool) error {
 		return s.runSpMM(ctx, t, fallback, y, x)
 	})
 	if err != nil {
@@ -686,39 +777,42 @@ func (s *Server) SpMMIntoTenant(ctx context.Context, id string, y *Dense, x *Den
 }
 
 func (s *Server) spmmIntoTenant(ctx context.Context, t *tenant, y *Dense, x *Dense) error {
-	return s.do(ctx, t, "spmm_into", s.reqSpMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
+	return s.do(ctx, t, "spmm_into", s.reqSpMMInto, int64(x.Cols), func(ctx context.Context, fallback bool) error {
 		return s.runSpMM(ctx, t, fallback, y, x)
 	})
 }
 
 // runSpMM executes one SpMM attempt: the breaker's no-reorder fallback
-// runs direct (per-request, uncoalesced); the main path goes through
-// the tenant's coalescer when one is configured. Shapes are validated
-// before joining a batch so one malformed request can never fail a
-// batch it shares with well-formed ones.
-func (s *Server) runSpMM(ctx context.Context, t *tenant, fallback *Pipeline, y, x *Dense) error {
-	if fallback != nil {
-		return fallback.SpMMIntoCtx(ctx, y, x)
+// runs direct (per-request, uncoalesced, with the live overlay merged —
+// a mutated tenant's fallback must not resurrect pre-mutation data);
+// the main path goes through the tenant's coalescer when one is
+// configured. Shapes are validated before joining a batch so one
+// malformed request can never fail a batch it shares with well-formed
+// ones, and re-validated at batch launch in case a mutation landed in
+// between.
+func (s *Server) runSpMM(ctx context.Context, t *tenant, fallback bool, y, x *Dense) error {
+	if fallback {
+		return t.live.spmmNRIntoCtx(ctx, y, x)
 	}
 	if t.coal != nil {
-		if y.Rows != t.m.Rows || y.Cols != x.Cols || x.Rows != t.m.Cols {
-			return fmt.Errorf("repro: SpMM operands y %dx%d, x %dx%d do not fit a %dx%d matrix",
-				y.Rows, y.Cols, x.Rows, x.Cols, t.m.Rows, t.m.Cols)
+		if err := t.live.validateBatchOp(BatchOp{Y: y, X: x}); err != nil {
+			return err
 		}
 		return t.coal.Do(ctx, BatchOp{Y: y, X: x})
 	}
-	return t.unit.SpMMIntoCtx(ctx, y, x)
+	return t.live.SpMMIntoCtx(ctx, y, x)
 }
 
-// SDDMM computes O = S ⊙ (Y·Xᵀ) through the full resilience stack.
+// SDDMM computes O = S ⊙ (Y·Xᵀ) through the full resilience stack,
+// against the live matrix's current structure.
 func (s *Server) SDDMM(ctx context.Context, x, y *Dense) (*Matrix, error) {
 	t := s.def
-	out := t.m.Clone()
-	err := s.do(ctx, t, "sddmm", s.reqSDDMM, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
-		if fallback != nil {
-			return fallback.SDDMMIntoCtx(ctx, out, x, y)
+	out := t.live.Matrix().Clone()
+	err := s.do(ctx, t, "sddmm", s.reqSDDMM, int64(x.Cols), func(ctx context.Context, fallback bool) error {
+		if fallback {
+			return t.live.sddmmNRIntoCtx(ctx, out, x, y)
 		}
-		return t.unit.SDDMMIntoCtx(ctx, out, x, y)
+		return t.live.SDDMMIntoCtx(ctx, out, x, y)
 	})
 	if err != nil {
 		return nil, err
@@ -742,24 +836,27 @@ func (s *Server) SDDMMIntoTenant(ctx context.Context, id string, out *Matrix, x,
 }
 
 func (s *Server) sddmmIntoTenant(ctx context.Context, t *tenant, out *Matrix, x, y *Dense) error {
-	return s.do(ctx, t, "sddmm_into", s.reqSDDMMInto, int64(x.Cols), func(ctx context.Context, fallback *Pipeline) error {
-		if fallback != nil {
-			return fallback.SDDMMIntoCtx(ctx, out, x, y)
+	return s.do(ctx, t, "sddmm_into", s.reqSDDMMInto, int64(x.Cols), func(ctx context.Context, fallback bool) error {
+		if fallback {
+			return t.live.sddmmNRIntoCtx(ctx, out, x, y)
 		}
-		return t.unit.SDDMMIntoCtx(ctx, out, x, y)
+		return t.live.SDDMMIntoCtx(ctx, out, x, y)
 	})
 }
 
 // do runs one request through admission, deadline, retry, and breaker
 // routing, recording a per-request trace (admission wait, attempts,
 // retry backoffs, kernel spans recorded further down the stack) that
-// lands in the /debug/traces ring. run receives a nil fallback to
-// execute the full online path or a concrete pipeline to execute the
-// no-reorder fallback. The request's gate cost is weight (the dense
-// column count) scaled by the tenant's admission weight, and its
-// terminal outcome lands in exactly one tenant counter (see
-// TenantStats for the reconciliation identities).
-func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogram, weight int64, run func(context.Context, *Pipeline) error) error {
+// lands in the /debug/traces ring. run receives fallback=false to
+// execute the full online path or fallback=true to execute the
+// no-reorder fallback (with the live overlay merged either way). The
+// request's gate cost is weight (the dense column count) scaled by the
+// tenant's admission weight — and by the tenant's current overlay
+// fraction, since overlay rows are computed serially on top of the
+// base pass (see serve.OverlayWeight) — and its terminal outcome lands
+// in exactly one tenant counter (see TenantStats for the
+// reconciliation identities).
+func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogram, weight int64, run func(context.Context, bool) error) error {
 	if s.closed.Load() {
 		return ErrServerClosed
 	}
@@ -784,6 +881,8 @@ func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogr
 		weight = 1
 	}
 	weight *= t.weight
+	overlayNNZ, baseNNZ := t.live.overlayCost()
+	weight = serve.OverlayWeight(weight, overlayNNZ, baseNNZ)
 	asp := tr.StartSpan("admission")
 	if err := s.adm.Acquire(ctx, weight); err != nil {
 		asp.End()
@@ -835,13 +934,13 @@ func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogr
 // reordered build still in flight all serve without the reordered
 // plan, and their outcomes must not open (or close) the reordered
 // path's circuit.
-func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Context, *Pipeline) error) error {
+func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Context, bool) error) error {
 	tr := obs.TraceFrom(ctx)
 	sp := tr.StartSpan("attempt")
 	defer sp.End()
 	if !reorderedPathActive(t) {
 		tr.Annotate("path", "plain")
-		return run(ctx, nil)
+		return run(ctx, false)
 	}
 	// Breaker state as observed when this attempt was routed; Allow may
 	// advance it (Open → HalfOpen).
@@ -849,10 +948,10 @@ func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Contex
 	if !s.brk.Allow() {
 		s.fallbacks.Inc()
 		tr.Annotate("path", "fallback")
-		return run(ctx, t.online.nr)
+		return run(ctx, true)
 	}
 	tr.Annotate("path", "reordered")
-	err := run(ctx, nil)
+	err := run(ctx, false)
 	switch {
 	case err == nil:
 		s.brk.Success()
@@ -868,18 +967,63 @@ func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Contex
 // would execute the reordered plan (as the decided winner, or inside
 // the first-call trial).
 func reorderedPathActive(t *tenant) bool {
-	if t.online == nil {
+	o := t.live.Online()
+	if o == nil {
 		return false // sharded: panels autotune, no reorder trial
 	}
-	if d, _ := t.online.Degraded(); d {
+	if d, _ := o.Degraded(); d {
 		return false
 	}
-	rr := t.online.rr.Load()
+	rr := o.rr.Load()
 	if rr == nil {
 		return false // still building: calls serve the no-reorder plan
 	}
-	w := t.online.winner.Load()
+	w := o.winner.Load()
 	return w == nil || w == rr
+}
+
+// Mutate applies one mutation batch to the default tenant's live
+// matrix (see LivePipeline.Mutate): the batch validates and publishes
+// atomically, serving never pauses, and structural changes are folded
+// back into a fresh preprocessed base in the background. Mutations
+// bypass the admission gate — they are control-plane writes, not
+// serving work — but requests served while an overlay is outstanding
+// pay a proportionally higher admission weight (serve.OverlayWeight).
+func (s *Server) Mutate(ctx context.Context, mu Mutation) error {
+	if s.closed.Load() {
+		return ErrServerClosed
+	}
+	return s.def.live.Mutate(ctx, mu)
+}
+
+// MutateTenant is Mutate against the tenant registered under id.
+func (s *Server) MutateTenant(ctx context.Context, id string, mu Mutation) error {
+	if s.closed.Load() {
+		return ErrServerClosed
+	}
+	t, err := s.tenantByID(id)
+	if err != nil {
+		return err
+	}
+	return t.live.Mutate(ctx, mu)
+}
+
+// UpdateValues rewrites existing nonzeros of the default tenant's
+// matrix in place (see Mutation.UpdateValues).
+func (s *Server) UpdateValues(ctx context.Context, ups []ValueUpdate) error {
+	return s.Mutate(ctx, Mutation{UpdateValues: ups})
+}
+
+// AppendRows grows the default tenant's matrix by new rows (see
+// Mutation.AppendRows).
+func (s *Server) AppendRows(ctx context.Context, rows []RowDef) error {
+	return s.Mutate(ctx, Mutation{AppendRows: rows})
+}
+
+// DeleteRows tombstones rows of the default tenant's matrix to empty
+// (see Mutation.DeleteRows).
+func (s *Server) DeleteRows(ctx context.Context, rows []int) error {
+	return s.Mutate(ctx, Mutation{DeleteRows: rows})
 }
 
 // transientError classifies errors worth retrying: injected faults and
@@ -904,11 +1048,16 @@ func (s *Server) Close(ctx context.Context) error {
 		err := s.adm.Drain(ctx)
 		s.cancel()
 		for _, t := range s.snapshotTenants() {
-			if t.online == nil {
-				continue
+			// Quiesce after cancel: in-flight rebuilds observe the dead
+			// lifecycle context and exit promptly instead of being waited
+			// out; the mutation log closes either way.
+			if qerr := t.live.Quiesce(ctx); err == nil {
+				err = qerr
 			}
-			if werr := t.online.WaitPreprocessed(ctx); err == nil {
-				err = werr
+			if o := t.live.Online(); o != nil {
+				if werr := o.WaitPreprocessed(ctx); err == nil {
+					err = werr
+				}
 			}
 		}
 		if s.cfg.PlanDir != "" {

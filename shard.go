@@ -140,6 +140,46 @@ func NewShardedPipelineCtx(ctx context.Context, m *Matrix, cfg Config, targetNNZ
 	return s, nil
 }
 
+// reskin rebuilds the sharded pipeline for a matrix with the *same
+// sparsity structure* but new nonzero values — the value-only mutation
+// path of a live sharded tenant. The panel bounds are inherited (the
+// structure, and therefore the nnz balance, is unchanged), each panel's
+// rebased RowPtr is shared with the old panel, and every per-panel
+// plan-cache lookup hits on structure, so the whole rebuild is an
+// O(nnz) value regather — no LSH, clustering, or tiling.
+func (s *ShardedPipeline) reskin(ctx context.Context, m *Matrix) (*ShardedPipeline, error) {
+	np := len(s.panels)
+	n := &ShardedPipeline{orig: m, panels: make([]shardPanel, np)}
+	err := par.DoCtx(ctx, np, func(w int) error {
+		pn := s.panels[w]
+		old := pn.pipe.Matrix()
+		end := pn.base + old.NNZ()
+		sub := &sparse.CSR{
+			Rows:   old.Rows,
+			Cols:   old.Cols,
+			RowPtr: old.RowPtr, // rebased pointers are structure: unchanged
+			ColIdx: m.ColIdx[pn.base:end:end],
+			Val:    m.Val[pn.base:end:end],
+		}
+		pipe, err := NewPipelineCtx(ctx, sub, pn.pipe.plan.Cfg)
+		if err != nil {
+			return fmt.Errorf("repro: reskinning panel %d (rows %d–%d): %w", w, pn.lo, pn.hi, err)
+		}
+		n.panels[w] = shardPanel{lo: pn.lo, hi: pn.hi, base: pn.base, pipe: pipe}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.views.New = func() any {
+		return &shardViews{
+			ys:   make([]dense.Matrix, np),
+			outs: make([]sparse.CSR, np),
+		}
+	}
+	return n, nil
+}
+
 // Panels returns the number of row panels.
 func (s *ShardedPipeline) Panels() int { return len(s.panels) }
 

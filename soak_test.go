@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/rand"
 	"net/http/httptest"
 	"runtime"
 	"strings"
@@ -29,6 +30,62 @@ type soakTally struct {
 	ctxErrs    int64
 	faults     int64
 	unexpected error
+}
+
+// soakMutator is one tenant's background mutation driver: it
+// continuously replaces random rows of the live matrix with their own
+// current content. Each replacement is structural as far as the
+// pipeline can tell — it lands in the row overlay, arms background
+// re-preprocessing, and races atomic plan swaps against in-flight
+// serving — but the served values never change, so the clients'
+// precomputed expected outputs stay bit-identical while the entire
+// mutation path churns underneath them.
+type soakMutator struct {
+	ok         atomic.Int64
+	unexpected error
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+func startIdentityMutator(live *repro.LivePipeline, mutate func(context.Context, repro.Mutation) error, seed int64, tolerateFaults bool) *soakMutator {
+	sm := &soakMutator{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(sm.done)
+		rng := rand.New(rand.NewSource(seed))
+		for {
+			select {
+			case <-sm.stop:
+				return
+			default:
+			}
+			cur := live.Matrix()
+			r := rng.Intn(cur.Rows)
+			mu := repro.Mutation{ReplaceRows: []repro.RowUpdate{{Row: r, Def: repro.RowDef{
+				Cols: append([]int32(nil), cur.RowCols(r)...),
+				Vals: append([]float32(nil), cur.RowVals(r)...),
+			}}}}
+			switch err := mutate(context.Background(), mu); {
+			case err == nil:
+				sm.ok.Add(1)
+			case tolerateFaults && errors.Is(err, faultinject.Err):
+				// The overlay-append fault site rejected the batch whole —
+				// designed behavior; the ledger simply must not move.
+			default:
+				sm.unexpected = err
+				return
+			}
+			// Slow enough that rebuild churn doesn't starve the serving
+			// clients on a small GOMAXPROCS, fast enough that overlay
+			// serving and swaps stay continuously in flight.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	return sm
+}
+
+func (sm *soakMutator) halt() {
+	close(sm.stop)
+	<-sm.done
 }
 
 // TestServerChaosSoak drives a full Server with concurrent clients,
@@ -192,6 +249,12 @@ func TestServerChaosSoak(t *testing.T) {
 		}
 	}()
 
+	// Mutator: pump identity-content row replacements through the live
+	// mutation path for the whole soak, so overlay serving, background
+	// rebuilds, and atomic plan swaps all race the chaos clients and the
+	// fault injector mid-flight.
+	mut := startIdentityMutator(s.Live(), s.Mutate, 3001, true)
+
 	stopClients := time.Now().Add(chaosBudget + cleanTail)
 	tallies := make([]soakTally, clients)
 	var wg sync.WaitGroup
@@ -268,8 +331,12 @@ func TestServerChaosSoak(t *testing.T) {
 	time.Sleep(chaosBudget - chaosBudget/2)
 	close(stopInj)
 	<-injDone
+	mut.halt()
 	faultinject.Reset()
 	wg.Wait()
+	if mut.unexpected != nil {
+		t.Fatalf("mutator: unexpected error %v", mut.unexpected)
+	}
 
 	var total soakTally
 	for g := range tallies {
@@ -374,6 +441,31 @@ func TestServerChaosSoak(t *testing.T) {
 	if _, err := s.SpMM(context.Background(), prime); !errors.Is(err, repro.ErrServerClosed) {
 		t.Fatalf("request after Close = %v, want ErrServerClosed", err)
 	}
+
+	// With the pipeline quiesced, the live-mutation ledger must
+	// reconcile exactly: every accepted mutation bumped the epoch once,
+	// every swap bumped it once more, and every rebuild attempt ended in
+	// exactly one of swap / failed / cancelled. Permanent rebuild
+	// degradation is legal here — the injector arms the rebuild and
+	// swap-publish fault sites — and overlay-forever serving was already
+	// verified above by the clients that kept getting exact answers.
+	lst := s.Live().Stats()
+	if mut.ok.Load() == 0 {
+		t.Fatal("mutator never landed a mutation")
+	}
+	if lst.Mutations != mut.ok.Load() {
+		t.Fatalf("live recorded %d mutations, mutator landed %d", lst.Mutations, mut.ok.Load())
+	}
+	if lst.Epoch != uint64(lst.Mutations+lst.Swaps) {
+		t.Fatalf("live epoch %d != mutations %d + swaps %d", lst.Epoch, lst.Mutations, lst.Swaps)
+	}
+	if lst.RebuildsStarted != lst.Swaps+lst.RebuildsFailed+lst.RebuildsCancelled {
+		t.Fatalf("rebuilds started %d != swaps %d + failed %d + cancelled %d",
+			lst.RebuildsStarted, lst.Swaps, lst.RebuildsFailed, lst.RebuildsCancelled)
+	}
+	t.Logf("live: %d mutations, %d swaps, %d rebuilds (%d failed, %d cancelled), degraded=%v, overlay %d rows at close",
+		lst.Mutations, lst.Swaps, lst.RebuildsStarted, lst.RebuildsFailed, lst.RebuildsCancelled,
+		lst.Degraded, lst.OverlayRows+lst.TailRows)
 }
 
 func isPanicError(err error) bool {
@@ -451,6 +543,24 @@ func TestServerCoalescedMultiTenantSoak(t *testing.T) {
 		{repro.DefaultTenant, ma},
 		{"b-sharded", mb},
 		{"c-heavy", mc},
+	}
+
+	// One identity-content mutator per tenant: live mutation, overlay
+	// serving, and background swaps race the coalescer and the tenant
+	// ledgers for the whole soak. No faults are injected, so every
+	// mutation must land.
+	lives := make([]*repro.LivePipeline, len(tenants))
+	muts := make([]*soakMutator, len(tenants))
+	for ti, tn := range tenants {
+		lv, err := s.LiveTenant(tn.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lives[ti] = lv
+		id := tn.id
+		muts[ti] = startIdentityMutator(lv, func(ctx context.Context, mu repro.Mutation) error {
+			return s.MutateTenant(ctx, id, mu)
+		}, int64(8000+ti), false)
 	}
 	const clientsPerTenant = 3
 	wants := make([][]*repro.Dense, len(tenants))
@@ -531,6 +641,12 @@ func TestServerCoalescedMultiTenantSoak(t *testing.T) {
 		}
 	}
 	wg.Wait()
+	for ti, tn := range tenants {
+		muts[ti].halt()
+		if err := muts[ti].unexpected; err != nil {
+			t.Fatalf("tenant %s mutator: unexpected error %v", tn.id, err)
+		}
+	}
 
 	// Per-tenant exact reconciliation: client-observed outcomes against
 	// the tenant's ledger, then the ledger's internal identities.
@@ -601,5 +717,35 @@ func TestServerCoalescedMultiTenantSoak(t *testing.T) {
 	defer cancel()
 	if err := s.Close(ctx); err != nil {
 		t.Fatalf("Close after soak: %v (wedged requests?)", err)
+	}
+
+	// With every tenant quiesced, the live-mutation ledgers must
+	// reconcile exactly — and with no fault source, nothing may have
+	// failed or degraded. Rebuilds cancelled by Close are the only legal
+	// non-swap terminal outcome.
+	for ti, tn := range tenants {
+		lst := lives[ti].Stats()
+		if lst.Mutations == 0 {
+			t.Fatalf("tenant %s: mutator never landed a mutation", tn.id)
+		}
+		if lst.Mutations != muts[ti].ok.Load() {
+			t.Fatalf("tenant %s: live recorded %d mutations, mutator landed %d",
+				tn.id, lst.Mutations, muts[ti].ok.Load())
+		}
+		if lst.Epoch != uint64(lst.Mutations+lst.Swaps) {
+			t.Fatalf("tenant %s: epoch %d != mutations %d + swaps %d",
+				tn.id, lst.Epoch, lst.Mutations, lst.Swaps)
+		}
+		if lst.RebuildsStarted != lst.Swaps+lst.RebuildsFailed+lst.RebuildsCancelled {
+			t.Fatalf("tenant %s: rebuilds started %d != swaps %d + failed %d + cancelled %d",
+				tn.id, lst.RebuildsStarted, lst.Swaps, lst.RebuildsFailed, lst.RebuildsCancelled)
+		}
+		if lst.Degraded || lst.RebuildsFailed != 0 {
+			t.Fatalf("tenant %s: rebuilds failed (%d) or pipeline degraded (%v) with no fault source",
+				tn.id, lst.RebuildsFailed, lst.Degraded)
+		}
+		t.Logf("tenant %s live: %d mutations, %d swaps, %d rebuilds (%d cancelled), overlay %d rows at close",
+			tn.id, lst.Mutations, lst.Swaps, lst.RebuildsStarted, lst.RebuildsCancelled,
+			lst.OverlayRows+lst.TailRows)
 	}
 }
