@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint soak obs-smoke bench bench-preprocess bench-kernels bench-serving bench-mutation fuzz experiments corpus clean
+.PHONY: all build test race vet lint soak integrity-smoke obs-smoke bench bench-preprocess bench-kernels bench-serving bench-mutation fuzz experiments corpus clean
 
 all: build lint test
 
@@ -38,6 +38,17 @@ race:
 SOAK_FLAGS ?=
 soak:
 	$(GO) test -race -count=1 -run 'TestServerChaosSoak|TestServerCoalescedMultiTenantSoak' -v $(SOAK_FLAGS) .
+
+# Integrity smoke: the silent-corruption chaos soak (VerifyFraction=1.0,
+# all integrity.corrupt.* sites armed in turn) — detection, two-tier
+# plan eviction, bit-correct reference fallback while quarantined,
+# probation reinstatement, exact ledger reconciliation — plus the
+# zero-allocation-overhead pin on the verify path, raced.
+# PR CI runs the short budget (make integrity-smoke INTEGRITY_FLAGS=-short,
+# two corruption episodes); the nightly job runs all four full-length.
+INTEGRITY_FLAGS ?=
+integrity-smoke:
+	$(GO) test -race -count=1 -run 'TestServerIntegritySoak|TestServerVerifyPathAllocOverhead' -v $(INTEGRITY_FLAGS) .
 
 # Observability smoke: boot the real spmmrr binary in serving mode with
 # -obs-listen, scrape /metrics, /healthz, /readyz, and /debug/traces,

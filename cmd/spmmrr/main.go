@@ -55,6 +55,7 @@ func main() {
 		coalesce  = flag.Duration("coalesce-window", 0, "with -serve: batch concurrent SpMM requests arriving within this window into one kernel pass at the combined width (0 = off; try 200us-1ms)")
 		shardNNZ  = flag.Int("shard-nnz", 0, "with -serve: split matrices above this many nonzeros into nnz-balanced row panels, each served by its own pipeline (0 = off)")
 		mutRate   = flag.Duration("mutate-rate", 0, "with -serve: submit one live row mutation through the mutation path per interval — value re-skins and structural row replacements alternate, exercising overlay serving and background plan swaps under load (0 = off; try 5ms-50ms)")
+		verifyFr  = flag.Float64("verify-fraction", 0, "with -serve: shadow-verify this fraction of requests by recomputing sampled output rows with the reference kernel on the original matrix; a confirmed mismatch quarantines the transformed plans until a rebuild passes probation (0 = off; try 0.01)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 			coalesceWindow: *coalesce,
 			shardNNZ:       *shardNNZ,
 			mutateRate:     *mutRate,
+			verifyFraction: *verifyFr,
 		}
 		if err := runServe(m, cfg, opts); err != nil {
 			fatal(err)

@@ -27,6 +27,7 @@ type serveOptions struct {
 	coalesceWindow time.Duration
 	shardNNZ       int
 	mutateRate     time.Duration
+	verifyFraction float64
 }
 
 // runServe hosts m behind the full serving stack (admission control,
@@ -59,6 +60,7 @@ func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
 		PlanDir:         opts.planDir,
 		CoalesceWindow:  opts.coalesceWindow,
 		ShardNNZ:        opts.shardNNZ,
+		VerifyFraction:  opts.verifyFraction,
 	})
 	if err != nil {
 		return err
@@ -72,6 +74,9 @@ func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
 	}
 	if opts.coalesceWindow > 0 {
 		fmt.Printf("serve: coalescing concurrent requests within %v into batched passes\n", opts.coalesceWindow)
+	}
+	if opts.verifyFraction > 0 {
+		fmt.Printf("serve: shadow-verifying %.2g of requests against the reference kernel\n", opts.verifyFraction)
 	}
 
 	// Live mutator: alternate value re-skins with structural row
@@ -221,6 +226,14 @@ func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
 		fmt.Printf("serve: live mutation epoch %d (%d mutations, %d re-skins, %d plan swaps, %d rebuilds, degraded=%v), overlay %d rows at drain\n",
 			lst.Epoch, lst.Mutations, lst.Reskins, lst.Swaps, lst.RebuildsStarted, lst.Degraded,
 			lst.OverlayRows+lst.TailRows)
+	}
+	if opts.verifyFraction > 0 {
+		if ts, ok := s.TenantStats(repro.DefaultTenant); ok {
+			ig := ts.Integrity
+			fmt.Printf("serve: integrity %d verified clean, %d mismatches, %d skipped; %d quarantines, %d reinstated, %d still quarantined\n",
+				ig.ChecksClean, ig.ChecksMismatch, ig.ChecksSkipped,
+				ig.Quarantines, ig.Reinstated, ig.StillQuarantined)
+		}
 	}
 	if opts.planDir != "" {
 		entries, err := os.ReadDir(opts.planDir)

@@ -22,6 +22,14 @@ import (
 // with errors.Is.
 var Err = errors.New("faultinject: injected fault")
 
+// ErrCorrupt is the sentinel returned by CorruptAt hooks. Corruption
+// sites (the "integrity.corrupt.*" family) flip data only when the
+// hook's error matches ErrCorrupt via errors.Is; any other hook error
+// (e.g. the generic chaos soak's ErrorAt sweep over all Sites()) is a
+// deliberate no-op at those sites, so arming them with plain Err never
+// corrupts results.
+var ErrCorrupt = errors.New("faultinject: injected corruption")
+
 // known lists every site name that appears in a production Fire call.
 // Chaos tests iterate over Sites() so that adding a fault-injection
 // point automatically widens their coverage; TestKnownSitesMatchSource
@@ -29,6 +37,9 @@ var Err = errors.New("faultinject: injected fault")
 var known = []string{
 	"aspt.build",
 	"dense.pool",
+	"integrity.corrupt.gather",
+	"integrity.corrupt.overlay",
+	"integrity.corrupt.plan",
 	"kernels.exec",
 	"live.overlay.append",
 	"live.rebuild.start",
@@ -88,6 +99,12 @@ func Set(site string, fn func() error) (restore func()) {
 // ErrorAt installs a hook at site that always returns Err.
 func ErrorAt(site string) (restore func()) {
 	return Set(site, func() error { return Err })
+}
+
+// CorruptAt installs a hook at site that always returns ErrCorrupt,
+// arming one of the "integrity.corrupt.*" silent-corruption sites.
+func CorruptAt(site string) (restore func()) {
+	return Set(site, func() error { return ErrCorrupt })
 }
 
 // PanicAt installs a hook at site that always panics, simulating a bug

@@ -22,6 +22,7 @@ package plancache
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/integrity"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/reorder"
@@ -423,7 +425,6 @@ func (c *Cache) GetTier(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.
 		}
 		return nil, TierMiss
 	}
-	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*entry)
 	c.mu.Unlock()
@@ -432,19 +433,105 @@ func (c *Cache) GetTier(m *sparse.CSR, cfg reorder.Config, v Variant) (*reorder.
 	np.Cfg = cfg
 	np.Stages = reorder.StageTimings{}
 	if valueHash(m.Val) != e.valHash {
-		reskin(&np, e, m, cfg.Workers)
+		if err := reskin(&np, e, m, cfg.Workers); err != nil {
+			// The entry's gather maps are structurally invalid — a
+			// poisoned entry must not serve and must not stay cached.
+			// Drop it (from the disk tier too) and report a miss; the
+			// caller recomputes, which is always correct.
+			c.mu.Lock()
+			if el2, ok := c.byKey[k]; ok && el2 == el {
+				delete(c.byKey, k)
+				c.ll.Remove(el2)
+				c.evictions++
+			}
+			c.misses++
+			dir := c.dir
+			c.mu.Unlock()
+			if dir != "" {
+				os.Remove(filepath.Join(dir, planFileName(k)))
+			}
+			return nil, TierMiss
+		}
 	}
+	c.mu.Lock()
+	c.hits++ // counted only once the plan is actually servable
+	c.mu.Unlock()
 	if np.Preprocess = time.Since(start); np.Preprocess <= 0 {
 		np.Preprocess = time.Nanosecond
 	}
 	return &np, TierMemory
 }
 
+// Evict removes the plan for (m, cfg, v) from both cache tiers — the
+// in-memory LRU entry and the content-addressed snapshot file in the
+// attached directory — so a later lookup is a guaranteed recompute.
+// This is the integrity quarantine controller's hammer: once a served
+// result traced back to this plan fails shadow verification, every
+// copy of the plan is suspect (the entry's gather maps, its value
+// arrays, and the on-disk snapshot all derive from the same build).
+// It reports whether anything was removed.
+func (c *Cache) Evict(m *sparse.CSR, cfg reorder.Config, v Variant) bool {
+	if c == nil {
+		return false
+	}
+	k := fingerprint(m, cfg, v)
+	removed := false
+	c.mu.Lock()
+	if el, ok := c.byKey[k]; ok {
+		delete(c.byKey, k)
+		c.ll.Remove(el)
+		c.evictions++
+		removed = true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		if err := os.Remove(filepath.Join(dir, planFileName(k))); err == nil {
+			removed = true
+		}
+	}
+	return removed
+}
+
 // reskin replaces the three value arrays of the shallow-copied plan
 // with gathers from m through the entry's index maps, sharing every
-// structure array with the cached plan.
-func reskin(np *reorder.Plan, e *entry, m *sparse.CSR, workers int) {
+// structure array with the cached plan. It fails (and the caller must
+// drop the entry) when any gather index is out of range for m's value
+// array — the cheap structural gate; in-range misdirection is the
+// silent kind only shadow verification catches.
+func reskin(np *reorder.Plan, e *entry, m *sparse.CSR, workers int) error {
 	t0 := time.Now()
+	// Corruption fault site: silently misroute one pair of in-range
+	// gather indices in the *cached entry* — persistent until the entry
+	// is evicted, exactly like a real poisoned cache. Only an armed
+	// CorruptAt hook (errors.Is ErrCorrupt) corrupts; the generic chaos
+	// soak's ErrorAt sweep is a no-op here.
+	if err := faultinject.Fire("integrity.corrupt.gather"); errors.Is(err, faultinject.ErrCorrupt) {
+		// Every map is misrouted so the corruption reaches serving no
+		// matter which representation the panel's autotuned kernel reads
+		// (Reordered feeds the row-wise, merge, and hybrid kernels; the
+		// tile/rest maps feed ASpT).
+		hit := false
+		for _, from := range [][]int32{e.reorderFrom, e.tileFrom, e.restFrom} {
+			if n := len(from); n >= 3 && from[n/3] != from[2*n/3] {
+				from[n/3], from[2*n/3] = from[2*n/3], from[n/3]
+				hit = true
+			}
+		}
+		if hit {
+			integrity.CorruptionInjected()
+		}
+	}
+	nv := len(m.Val)
+	if err := integrity.CheckGather(e.reorderFrom, nv); err != nil {
+		return err
+	}
+	if err := integrity.CheckGather(e.tileFrom, nv); err != nil {
+		return err
+	}
+	if err := integrity.CheckGather(e.restFrom, nv); err != nil {
+		return err
+	}
 	old := e.plan
 	re := &sparse.CSR{
 		Rows:   old.Reordered.Rows,
@@ -462,6 +549,7 @@ func reskin(np *reorder.Plan, e *entry, m *sparse.CSR, workers int) {
 	np.Reordered = re
 	np.Tiled = &tiled
 	np.Stages.Permute = time.Since(t0)
+	return nil
 }
 
 func gather(src []float32, from []int32, workers int) []float32 {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/reorder"
+	"repro/internal/sparse"
 )
 
 func planFilesIn(t *testing.T, dir string) []string {
@@ -125,6 +126,74 @@ func TestCorruptSnapshotFallsBack(t *testing.T) {
 	t.Run("bitflip", func(t *testing.T) {
 		corrupt(t, func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b })
 	})
+}
+
+// TestEvictRemovesDiskSnapshot is the quarantine controller's property:
+// once a plan is evicted for failing shadow verification, every copy is
+// gone — the memory entry, the snapshot file, AND the file must stay
+// gone across a later Snapshot sweep (nothing resurrects a condemned
+// plan from a stale memory copy). A second, healthy plan sharing the
+// cache must be untouched throughout.
+func TestEvictRemovesDiskSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	bad := clusteredMatrix(t, 1024, 512, 7)
+	good := clusteredMatrix(t, 1024, 512, 8)
+	cfg := reorder.DefaultConfig()
+	c := New(4)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*sparse.CSR{bad, good} {
+		if _, err := c.Preprocess(m, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := c.Snapshot(); n != 2 || err != nil {
+		t.Fatalf("Snapshot = (%d, %v), want (2, nil)", n, err)
+	}
+	if files := planFilesIn(t, dir); len(files) != 2 {
+		t.Fatalf("snapshot dir holds %v, want two .plan files", files)
+	}
+
+	if !c.Evict(bad, cfg, Full) {
+		t.Fatal("Evict removed nothing")
+	}
+	if files := planFilesIn(t, dir); len(files) != 1 {
+		t.Fatalf("after evict, snapshot dir holds %v, want one .plan file", files)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 1 {
+		t.Errorf("after evict: stats = %+v, want one surviving entry, one eviction", st)
+	}
+	// A condemned plan is a guaranteed recompute: no memory hit, no disk
+	// resurrection.
+	if _, tier := c.GetTier(bad, cfg, Full); tier != TierMiss {
+		t.Fatalf("evicted plan served from tier %v", tier)
+	}
+
+	// The next snapshot sweep writes only the survivor and must not
+	// bring the evicted file back.
+	if n, err := c.Snapshot(); n != 1 || err != nil {
+		t.Fatalf("post-evict Snapshot = (%d, %v), want (1, nil)", n, err)
+	}
+	if files := planFilesIn(t, dir); len(files) != 1 {
+		t.Fatalf("post-evict snapshot resurrected files: %v", files)
+	}
+	// The healthy plan still round-trips from disk in a fresh cache.
+	b := New(4)
+	if err := b.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get(good, cfg, Full); !ok {
+		t.Error("healthy plan lost its snapshot")
+	}
+	if _, ok := b.Get(bad, cfg, Full); ok {
+		t.Error("evicted plan served from a fresh cache")
+	}
+
+	// Evicting again (nothing left anywhere) reports false.
+	if c.Evict(bad, cfg, Full) {
+		t.Error("second Evict of the same plan reported a removal")
+	}
 }
 
 // TestDiskTierFaultInjection exercises every plancache fault site:

@@ -5,9 +5,20 @@ import (
 	"testing"
 )
 
+// withReservedFlagBits returns a copy of a serialised v1 plan with the
+// given reserved flag bits ORed into the flag word and the CRC footer
+// recomputed, so everything except the reserved-bits check sees a
+// perfectly intact file.
+func withReservedFlagBits(plan []byte, bits byte) []byte {
+	b := append([]byte(nil), plan...)
+	b[12] |= bits // flag word is little-endian at offset 12; bits 2-7 live in its low byte
+	recomputePlanCRC(b)
+	return b
+}
+
 // FuzzReadPlan drives the plan deserialiser with arbitrary bytes: it
 // must never panic or over-allocate, and anything accepted must carry
-// valid permutations.
+// valid permutations and a resolvable kernel choice.
 func FuzzReadPlan(f *testing.F) {
 	// A valid legacy v0-header plan (2 rows) as seed.
 	var valid bytes.Buffer
@@ -35,10 +46,33 @@ func FuzzReadPlan(f *testing.F) {
 	flipped := append([]byte(nil), v1.Bytes()...)
 	flipped[20] ^= 0x10 // bit flip inside RowPerm
 	f.Add(flipped)
+	// Seeds exercising the upper flag-word fields: the kernel choice in
+	// bits 8-11 and the structural epoch in bits 12-31, alone and
+	// together, including the all-ones epoch boundary.
+	for _, p := range []*Plan{
+		{RowPerm: []int32{1, 0, 2}, RestOrder: []int32{0, 2, 1}, Round1Applied: true, Kernel: KernelMerge},
+		{RowPerm: []int32{1, 0, 2}, RestOrder: []int32{0, 2, 1}, Kernel: KernelELLHybrid, Cfg: Config{Epoch: 0xABCDE}},
+		{RowPerm: []int32{0, 1}, RestOrder: []int32{1, 0}, Round1Applied: true, Round2Applied: true,
+			Kernel: KernelASpT, Cfg: Config{Epoch: 0xFFFFF}},
+	} {
+		var b bytes.Buffer
+		if err := WritePlan(&b, p); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+	// Reserved bits 2-7 set, with the CRC recomputed so only the flag
+	// check can reject it — the deserialiser must not half-understand a
+	// future format revision.
+	f.Add(withReservedFlagBits(v1.Bytes(), 0x04))
+	f.Add(withReservedFlagBits(v1.Bytes(), 0xFC))
 	f.Fuzz(func(t *testing.T, in []byte) {
 		sp, err := ReadPlan(bytes.NewReader(in))
 		if err != nil {
 			return
+		}
+		if !sp.Kernel.Valid() {
+			t.Fatalf("accepted plan with invalid kernel %v", sp.Kernel)
 		}
 		if len(sp.RowPerm) != sp.Rows || len(sp.RestOrder) != sp.Rows {
 			t.Fatalf("accepted plan with inconsistent lengths")

@@ -2,7 +2,9 @@ package reorder
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"strings"
 	"testing"
 
@@ -86,6 +88,73 @@ func TestReadPlanRejectsGarbage(t *testing.T) {
 	buf.Write([]byte{0, 0, 0, 0})             // only one perm entry
 	if _, err := ReadPlan(&buf); err == nil || !strings.Contains(err.Error(), "truncated") {
 		t.Errorf("truncated file accepted: %v", err)
+	}
+}
+
+// recomputePlanCRC rewrites the CRC32 footer of a serialised v1 plan in
+// place, so tests can mutate header fields and still present a file
+// whose checksum is clean — isolating the semantic check under test
+// from the integrity check.
+func recomputePlanCRC(b []byte) {
+	off := len(b) - 8
+	binary.LittleEndian.PutUint32(b[off:], crc32.ChecksumIEEE(b[:off]))
+}
+
+// TestPlanFlagBitFields covers the upper flag-word fields end to end:
+// the kernel choice (bits 8-11) and structural epoch (bits 12-31)
+// round-trip, the epoch is truncated to its 20 stored bits, and
+// reserved bits 2-7 are rejected even when the CRC has been recomputed
+// — a structurally perfect file from a future format revision must
+// read as corruption, never be half-understood.
+func TestPlanFlagBitFields(t *testing.T) {
+	p := &Plan{
+		RowPerm:       []int32{2, 0, 1},
+		RestOrder:     []int32{1, 2, 0},
+		Round1Applied: true,
+		Kernel:        KernelMerge,
+		Cfg:           Config{Epoch: 0xABCDE},
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	sp, err := ReadPlan(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kernel != KernelMerge || sp.Epoch != 0xABCDE || !sp.Round1Applied || sp.Round2Applied {
+		t.Fatalf("flag fields did not round-trip: %+v", sp)
+	}
+
+	// An epoch over 20 bits is stored truncated (documented by the
+	// format comment; Apply compares the truncated values).
+	var big bytes.Buffer
+	p.Cfg.Epoch = 0x1FFFFF
+	if err := WritePlan(&big, p); err != nil {
+		t.Fatal(err)
+	}
+	if sp, err := ReadPlan(&big); err != nil {
+		t.Fatal(err)
+	} else if sp.Epoch != 0xFFFFF {
+		t.Fatalf("epoch stored as %#x, want low 20 bits %#x", sp.Epoch, 0xFFFFF)
+	}
+
+	for _, bits := range []byte{0x04, 0x80, 0xFC} {
+		in := withReservedFlagBits(raw, bits)
+		if _, err := ReadPlan(bytes.NewReader(in)); !errors.Is(err, ErrPlanFormat) ||
+			!strings.Contains(err.Error(), "reserved") {
+			t.Errorf("reserved bits %#x: got %v, want reserved-bit ErrPlanFormat", bits, err)
+		}
+	}
+
+	// An out-of-range kernel nibble is rejected even with a clean CRC.
+	badKernel := append([]byte(nil), raw...)
+	badKernel[13] = 0x0F // kernel nibble = 15, past kernelCount
+	recomputePlanCRC(badKernel)
+	if _, err := ReadPlan(bytes.NewReader(badKernel)); !errors.Is(err, ErrPlanFormat) ||
+		!strings.Contains(err.Error(), "kernel") {
+		t.Errorf("invalid kernel nibble: got %v, want kernel ErrPlanFormat", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -9,15 +10,36 @@ import (
 )
 
 // TestPipelineKernelOverrides runs the same SpMM through every kernel
-// override and checks (a) the pipeline reports the requested kernel and
-// (b) the results agree with the plain reference within float
-// tolerance — the permute-back path must be kernel-agnostic.
+// override — on the direct pipeline path, the batched
+// (column-stacked) path, and the sharded scatter-gather path — and
+// checks (a) the pipeline reports the requested kernel and (b) every
+// execution strategy agrees with the plain reference within float
+// tolerance. The permute-back, batch stack/scatter, and panel
+// scatter-gather plumbing must all be kernel-agnostic: a silent
+// disagreement here is exactly the class of corruption the serving
+// stack's shadow verification exists to catch, so this property test
+// is its offline counterpart.
 func TestPipelineKernelOverrides(t *testing.T) {
 	m := scrambled(t)
 	x := repro.NewRandomDense(m.Cols, 16, 3)
 	want, err := repro.SpMM(m, x)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Batch operands at two different widths, so the column-stacked pass
+	// exercises a combined width none of the operands has on its own.
+	x2 := repro.NewRandomDense(m.Cols, 7, 4)
+	want2, err := repro.SpMM(m, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := func(k repro.Kernel, path string, got, ref *repro.Dense) {
+		t.Helper()
+		for i := range ref.Data {
+			if d := math.Abs(float64(ref.Data[i] - got.Data[i])); d > 1e-3 {
+				t.Fatalf("%v kernel (%s path) diverges at %d by %v", k, path, i, d)
+			}
+		}
 	}
 	for _, k := range []repro.Kernel{
 		repro.KernelRowWise, repro.KernelMerge, repro.KernelELLHybrid, repro.KernelASpT,
@@ -35,11 +57,46 @@ func TestPipelineKernelOverrides(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
-		for i := range want.Data {
-			if d := math.Abs(float64(want.Data[i] - got.Data[i])); d > 1e-3 {
-				t.Fatalf("%v kernel diverges at %d by %v", k, i, d)
-			}
+		agree(k, "direct", got, want)
+
+		// Batched path: one column-stacked kernel pass at the combined
+		// width, scattered back per operand.
+		ops := []repro.BatchOp{
+			{Y: repro.NewDense(m.Rows, x.Cols), X: x},
+			{Y: repro.NewDense(m.Rows, x2.Cols), X: x2},
 		}
+		if err := p.SpMMBatchIntoCtx(context.Background(), ops); err != nil {
+			t.Fatalf("%v batch: %v", k, err)
+		}
+		agree(k, "batched", ops[0].Y, want)
+		agree(k, "batched", ops[1].Y, want2)
+
+		// Sharded path: nnz-balanced row panels, each running its own
+		// pipeline under the same kernel override, scatter-gathered into
+		// one output.
+		sh, err := repro.NewShardedPipeline(m, cfg, m.NNZ()/3)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", k, err)
+		}
+		if sh.Panels() < 2 {
+			t.Fatalf("%v: matrix did not shard (%d panels)", k, sh.Panels())
+		}
+		ysh := repro.NewDense(m.Rows, x.Cols)
+		if err := sh.SpMMIntoCtx(context.Background(), ysh, x); err != nil {
+			t.Fatalf("%v sharded: %v", k, err)
+		}
+		agree(k, "sharded", ysh, want)
+
+		// Sharded batched path: the stacked pass per panel.
+		shOps := []repro.BatchOp{
+			{Y: repro.NewDense(m.Rows, x.Cols), X: x},
+			{Y: repro.NewDense(m.Rows, x2.Cols), X: x2},
+		}
+		if err := sh.SpMMBatchIntoCtx(context.Background(), shOps); err != nil {
+			t.Fatalf("%v sharded batch: %v", k, err)
+		}
+		agree(k, "sharded-batched", shOps[0].Y, want)
+		agree(k, "sharded-batched", shOps[1].Y, want2)
 	}
 }
 

@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/dense"
 	"repro/internal/faultinject"
+	"repro/internal/integrity"
 	"repro/internal/kernels"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
@@ -523,6 +525,12 @@ func (l *LivePipeline) applyLocked(ctx context.Context, st *liveState, nm *Mutat
 		if err != nil {
 			return nil, false, err
 		}
+		// Pre-publish invariant gate: a re-skin flows through the plan
+		// cache's gather maps, so a poisoned entry could hand back a
+		// structurally broken plan. Reject it before it can serve.
+		if cerr := checkBasePlans(online, sharded); cerr != nil {
+			return nil, false, cerr
+		}
 		ns := &liveState{
 			structEpoch: st.structEpoch,
 			online:      online, sharded: sharded,
@@ -785,6 +793,85 @@ func (l *LivePipeline) SpMMBatchIntoCtx(ctx context.Context, ops []BatchOp) erro
 	return kernels.SpMMBatchIntoCtx(ctx, l, ops)
 }
 
+// refSpMMIntoCtx serves y = cur·x through the plain row-wise kernel on
+// the fused, original-order matrix — the integrity quarantine path. It
+// shares no transformed representation (permutation, tiles, slabs,
+// gather maps) with any plan under suspicion, and it is bit-identical
+// to the cold-rebuild oracle (repro.SpMM runs the same kernel on the
+// same matrix). Note this is distinct from the breaker's NR fallback:
+// for a sharded tenant the NR fallback IS the sharded pipeline, which
+// may be the very thing quarantined.
+func (l *LivePipeline) refSpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
+	st := l.state.Load()
+	cur := st.cur
+	if y.Rows != cur.Rows || y.Cols != x.Cols || x.Rows != cur.Cols {
+		return fmt.Errorf("%w: operands y %dx%d, x %dx%d vs %dx%d at epoch %d",
+			ErrStaleShape, y.Rows, y.Cols, x.Rows, x.Cols, cur.Rows, cur.Cols, st.epoch)
+	}
+	return kernels.SpMMRowWiseIntoCtx(ctx, y, cur, x)
+}
+
+// refSDDMMIntoCtx is the SDDMM quarantine path (see refSpMMIntoCtx).
+func (l *LivePipeline) refSDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) error {
+	st := l.state.Load()
+	cur := st.cur
+	if out != cur && !out.SameStructure(cur) {
+		return fmt.Errorf("%w: SDDMM output structure differs from the live matrix at epoch %d",
+			ErrStaleShape, st.epoch)
+	}
+	if y.Rows != cur.Rows || x.Rows != cur.Cols || x.Cols != y.Cols {
+		return fmt.Errorf("%w: operands y %dx%d, x %dx%d vs %dx%d at epoch %d",
+			ErrStaleShape, y.Rows, y.Cols, x.Rows, x.Cols, cur.Rows, cur.Cols, st.epoch)
+	}
+	return kernels.SDDMMRowWiseIntoCtx(ctx, out, cur, x, y)
+}
+
+// baseGen identifies the current base-plan generation for the
+// integrity monitor: it advances exactly when the base plans are
+// replaced — a value-only re-skin or a rebuild swap — and never on
+// overlay mutations, which don't touch the suspect plans. The monitor
+// quarantines a generation and reinstates only after observing a
+// different one serve a clean probation window.
+func (l *LivePipeline) baseGen() uint64 {
+	return uint64(l.reskins.Value() + l.swaps.Value())
+}
+
+// ForceRebuild arms a background re-preprocess of the current fused
+// matrix even when the overlay is clean — the integrity controller's
+// healing kick after evicting a suspect plan from the cache. A no-op
+// while closed, degraded, already rebuilding, or with rebuilds
+// disabled (in those cases the tenant simply stays on the quarantine
+// fallback, which is always correct).
+func (l *LivePipeline) ForceRebuild() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.rebuilding || l.lcfg.RebuildDisabled || l.degraded.Load() != nil {
+		return
+	}
+	l.startRebuildLocked()
+}
+
+// evictPlans removes the current base's plans — both workflow variants,
+// every panel for a sharded base — from both plan-cache tiers (memory
+// and disk snapshot), so the healing rebuild recomputes them from
+// scratch instead of reloading the suspect entries.
+func (l *LivePipeline) evictPlans() {
+	st := l.state.Load()
+	pc := planCache.Load()
+	if st.online != nil {
+		cfg := st.baseCfg()
+		pc.Evict(st.baseM, cfg, plancache.Full)
+		pc.Evict(st.baseM, cfg, plancache.NR)
+		return
+	}
+	for i := range st.sharded.panels {
+		pn := &st.sharded.panels[i]
+		cfg := pn.pipe.plan.Cfg
+		pc.Evict(pn.pipe.Matrix(), cfg, plancache.Full)
+		pc.Evict(pn.pipe.Matrix(), cfg, plancache.NR)
+	}
+}
+
 func (st *liveState) spmmInto(ctx context.Context, y *Dense, x *Dense, nrOnly bool) error {
 	cur := st.cur
 	if y.Rows != cur.Rows || y.Cols != x.Cols || x.Rows != cur.Cols {
@@ -831,6 +918,27 @@ func (st *liveState) spmmInto(ctx context.Context, y *Dense, x *Dense, nrOnly bo
 	for r := st.baseM.Rows; r < cur.Rows; r++ {
 		if err := row(r); err != nil {
 			return err
+		}
+	}
+	// Corruption fault site: flip one entry of the lowest overlay (or
+	// first tail) row in the *served output* — the fused truth stays
+	// intact, modelling a bug in the overlay merge itself. Never fires
+	// into the breaker/quarantine fallback path, and only an armed
+	// CorruptAt hook corrupts (the generic chaos soak's ErrorAt sweep
+	// is a no-op here).
+	if err := faultinject.Fire("integrity.corrupt.overlay"); errors.Is(err, faultinject.ErrCorrupt) && !nrOnly && y.Cols > 0 {
+		r := -1
+		for ov := range st.overlay {
+			if r < 0 || ov < r {
+				r = ov
+			}
+		}
+		if r < 0 && cur.Rows > st.baseM.Rows {
+			r = st.baseM.Rows
+		}
+		if r >= 0 {
+			y.Row(r)[0] = y.Row(r)[0]*2 + 1
+			integrity.CorruptionInjected()
 		}
 	}
 	return nil
@@ -1032,6 +1140,12 @@ func (l *LivePipeline) rebuildAttempt() (err error) {
 			return err
 		}
 	}
+	// Pre-swap invariant gate (outside the lock — O(rows+nnz)): a
+	// structurally corrupt rebuild counts as a failed attempt and never
+	// publishes; the retry/degrade machinery owns what happens next.
+	if err := checkBasePlans(online, sharded); err != nil {
+		return err
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -1061,6 +1175,33 @@ func (l *LivePipeline) rebuildAttempt() (err error) {
 	l.state.Store(ns)
 	l.swaps.Inc()
 	return nil
+}
+
+// checkBasePlans validates the pre-swap structural invariants
+// (integrity.CheckPlan: permutation bijectivity, RowPtr monotonicity,
+// index ranges) of every plan a base unit serves from — the NR and
+// reordered plans of an online base, or every panel of a sharded one.
+// Exactly one of online/sharded is non-nil.
+func checkBasePlans(online *OnlinePipeline, sharded *ShardedPipeline) error {
+	if online != nil {
+		if err := checkPipelinePlan(online.nr); err != nil {
+			return err
+		}
+		if rr := online.rr.Load(); rr != nil {
+			return checkPipelinePlan(rr)
+		}
+		return nil
+	}
+	for i := range sharded.panels {
+		if err := checkPipelinePlan(sharded.panels[i].pipe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkPipelinePlan(p *Pipeline) error {
+	return integrity.CheckPlan(p.plan.RowPerm, p.plan.InvRowPerm, p.plan.Reordered)
 }
 
 // Rebuilding reports whether a background re-preprocess is in flight.

@@ -2,13 +2,16 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
 	"repro/internal/dense"
 	"repro/internal/ellpack"
+	"repro/internal/faultinject"
 	"repro/internal/gpusim"
+	"repro/internal/integrity"
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/reorder"
@@ -164,6 +167,57 @@ func (p *Pipeline) SpMMInto(y *Dense, x *Dense) error {
 	return p.SpMMIntoCtx(context.Background(), y, x)
 }
 
+// fireCorruptPlan is the "integrity.corrupt.plan" fault site: when a
+// test arms it with faultinject.CorruptAt, it flips one value in every
+// executable slab derived from the plan — the reordered CSR, the ASpT
+// tile and leftover arrays, and the ELL/HYB slab — so whichever kernel
+// the plan selected serves a plausible-but-wrong number. The flips are
+// persistent (exactly like a real corrupted plan build); only eviction
+// and a rebuild heal them. Any hook error other than ErrCorrupt (e.g.
+// the generic chaos soak arming ErrorAt at every site) is a no-op.
+// Callers must not run this concurrently with other requests on the
+// same pipeline — the integrity soak serves sequentially while armed.
+func (p *Pipeline) fireCorruptPlan() {
+	if !errors.Is(faultinject.Fire("integrity.corrupt.plan"), faultinject.ErrCorrupt) {
+		return
+	}
+	hit := false
+	flip := func(v []float32) {
+		if len(v) > 0 {
+			i := len(v) / 2
+			v[i] = v[i]*2 + 1
+			hit = true
+		}
+	}
+	if p.plan.Reordered != nil && p.plan.Reordered != p.orig {
+		flip(p.plan.Reordered.Val)
+	}
+	if t := p.plan.Tiled; t != nil {
+		flip(t.TileVal)
+		if t.Rest != nil && t.Rest != p.orig {
+			flip(t.Rest.Val)
+		}
+	}
+	if h := p.hyb; h != nil {
+		// Flip a real (non-padding) ELL slot: padded tails are never
+		// read by the kernel, so a flip there would be undetectable.
+		flipped := false
+		for r := 0; r < h.ELL.Rows && !flipped; r++ {
+			if h.ELL.RowLen[r] > 0 {
+				h.ELL.Vals[r*h.ELL.Width] = h.ELL.Vals[r*h.ELL.Width]*2 + 1
+				flipped, hit = true, true
+			}
+		}
+		if !flipped && len(h.Spill) > 0 {
+			h.Spill[0].Val = h.Spill[0].Val*2 + 1
+			hit = true
+		}
+	}
+	if hit {
+		integrity.CorruptionInjected()
+	}
+}
+
 // SpMMIntoCtx is SpMMInto with cooperative cancellation between kernel
 // chunks and panic isolation. On error y's contents are unspecified.
 func (p *Pipeline) SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
@@ -171,6 +225,7 @@ func (p *Pipeline) SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
 		return fmt.Errorf("repro: SpMMInto output is %dx%d, want %dx%d",
 			y.Rows, y.Cols, p.orig.Rows, x.Cols)
 	}
+	p.fireCorruptPlan()
 	yre := dense.Get(p.orig.Rows, x.Cols)
 	defer dense.Put(yre)
 	// Execute in reordered row space with the plan's tuned kernel. Every
@@ -237,6 +292,7 @@ func (p *Pipeline) SDDMMInto(out *Matrix, x, y *Dense) error {
 // kernel chunks and panic isolation. On error out.Val's contents are
 // unspecified.
 func (p *Pipeline) SDDMMIntoCtx(ctx context.Context, out *Matrix, x, y *Dense) error {
+	p.fireCorruptPlan()
 	if out != p.orig && !out.SameStructure(p.orig) {
 		return fmt.Errorf("repro: SDDMMInto output structure differs from the matrix (%s vs %s)",
 			out, p.orig)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/dense"
 	"repro/internal/faultinject"
+	"repro/internal/integrity"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -121,6 +122,25 @@ type ServerConfig struct {
 	// rebuild drains the overlay. Default 65536; negative means
 	// unbounded (see LiveConfig.MaxOverlayRows).
 	MaxOverlayRows int
+	// VerifyFraction enables sampled shadow verification: this fraction
+	// of served SpMM/SDDMM requests (per tenant) is recomputed on a
+	// random subset of output rows with the reference row-wise kernel
+	// against the original, unpermuted matrix and compared under a
+	// reassociation-aware tolerance. A confirmed mismatch quarantines
+	// the tenant's plans: they are evicted from both plan-cache tiers,
+	// traffic routes to the reference fallback, a background rebuild is
+	// kicked, and the tenant reinstates only after ProbationRequests
+	// fully-verified requests pass clean. 0 (the default) disables
+	// sampling; 1.0 verifies every request. The unsampled path costs
+	// two atomic operations and zero allocations per request.
+	VerifyFraction float64
+	// VerifyRows is how many output rows each sampled verification
+	// recomputes. Default 8; negative verifies every row.
+	VerifyRows int
+	// ProbationRequests is the number of consecutively verified clean
+	// requests required to reinstate a quarantined tenant after its
+	// rebuild lands. Default 32.
+	ProbationRequests int
 }
 
 // liveConfig is the per-tenant mutation tuning carved out of the
@@ -164,6 +184,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.CoalesceMaxOps <= 0 {
 		c.CoalesceMaxOps = 16
+	}
+	if c.VerifyRows == 0 {
+		c.VerifyRows = 8
+	}
+	if c.ProbationRequests <= 0 {
+		c.ProbationRequests = 32
 	}
 	return c
 }
@@ -209,6 +235,7 @@ type tenant struct {
 	weight int64
 	live   *LivePipeline
 	coal   *serve.Coalescer[BatchOp]
+	integ  *integrity.Monitor
 
 	admitted  *obs.Counter
 	completed *obs.Counter
@@ -251,6 +278,11 @@ type TenantStats struct {
 	// Live reports the tenant's mutation counters (see LiveStats for
 	// the reconciliation identities).
 	Live LiveStats
+
+	// Integrity reports the tenant's shadow-verification and
+	// quarantine ledgers (see integrity.Stats for the reconciliation
+	// identities; all zero with VerifyFraction off and no mismatches).
+	Integrity integrity.Stats
 }
 
 func (t *tenant) stats() TenantStats {
@@ -260,7 +292,7 @@ func (t *tenant) stats() TenantStats {
 		Admitted: t.admitted.Value(), Completed: t.completed.Value(),
 		Failed: t.failed.Value(), Cancelled: t.cancelled.Value(),
 		Shed: t.shed.Value(), Expired: t.expired.Value(),
-		Live: t.live.Stats(),
+		Live: t.live.Stats(), Integrity: t.integ.Stats(),
 	}
 	if sharded != nil {
 		ts.Panels = sharded.Panels()
@@ -427,7 +459,8 @@ func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, shar
 		weight = 1
 	}
 	live := newLive(s.baseCtx, online, sharded, s.cfg.ShardNNZ, s.cfg.liveConfig(), s.traces)
-	t := &tenant{id: id, weight: weight, live: live}
+	t := &tenant{id: id, weight: weight, live: live,
+		integ: integrity.NewMonitor(s.cfg.VerifyFraction, s.cfg.ProbationRequests)}
 	t.admitted = s.reg.Counter("spmmrr_tenant_admitted_total",
 		"Tenant requests admitted through the gate.", obs.L("tenant", id))
 	help := "Tenant requests by terminal outcome."
@@ -513,6 +546,28 @@ func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, shar
 			}
 			return 0
 		}, obs.L("tenant", id))
+	// Integrity families are registered unconditionally (all zero with
+	// VerifyFraction off), so dashboards and the scrape test see a
+	// stable exposition regardless of configuration.
+	checkHelp := "Shadow-verification checks, by outcome."
+	s.reg.CounterFunc("spmmrr_integrity_checks_total", checkHelp,
+		func() int64 { return t.integ.Stats().ChecksClean }, obs.L("tenant", id), obs.L("outcome", "clean"))
+	s.reg.CounterFunc("spmmrr_integrity_checks_total", checkHelp,
+		func() int64 { return t.integ.Stats().ChecksMismatch }, obs.L("tenant", id), obs.L("outcome", "mismatch"))
+	s.reg.CounterFunc("spmmrr_integrity_checks_total", checkHelp,
+		func() int64 { return t.integ.Stats().ChecksSkipped }, obs.L("tenant", id), obs.L("outcome", "skipped"))
+	s.reg.CounterFunc("spmmrr_integrity_quarantines_total",
+		"Quarantine episodes opened by confirmed verification mismatches.",
+		func() int64 { return t.integ.Stats().Quarantines }, obs.L("tenant", id))
+	s.reg.CounterFunc("spmmrr_integrity_reinstated_total",
+		"Quarantined tenants reinstated after a clean probation window.",
+		func() int64 { return t.integ.Stats().Reinstated }, obs.L("tenant", id))
+	s.reg.CounterFunc("spmmrr_integrity_probation_failures_total",
+		"Probation windows failed by a repeat mismatch (back to quarantine).",
+		func() int64 { return t.integ.Stats().ProbationFailures }, obs.L("tenant", id))
+	s.reg.GaugeFunc("spmmrr_integrity_quarantined",
+		"1 while the tenant is quarantined or on probation, else 0.",
+		func() float64 { return float64(t.integ.Stats().StillQuarantined) }, obs.L("tenant", id))
 	return t
 }
 
@@ -749,8 +804,8 @@ func (s *Server) SpMMTenant(ctx context.Context, id string, x *Dense) (*Dense, e
 
 func (s *Server) spmmTenant(ctx context.Context, t *tenant, x *Dense) (*Dense, error) {
 	y := dense.Get(t.live.Matrix().Rows, x.Cols)
-	err := s.do(ctx, t, "spmm", s.reqSpMM, int64(x.Cols), func(ctx context.Context, fallback bool) error {
-		return s.runSpMM(ctx, t, fallback, y, x)
+	err := s.do(ctx, t, "spmm", s.reqSpMM, int64(x.Cols), func(ctx context.Context, mode serveMode) error {
+		return s.runSpMM(ctx, t, mode, y, x)
 	})
 	if err != nil {
 		dense.Put(y)
@@ -777,22 +832,49 @@ func (s *Server) SpMMIntoTenant(ctx context.Context, id string, y *Dense, x *Den
 }
 
 func (s *Server) spmmIntoTenant(ctx context.Context, t *tenant, y *Dense, x *Dense) error {
-	return s.do(ctx, t, "spmm_into", s.reqSpMMInto, int64(x.Cols), func(ctx context.Context, fallback bool) error {
-		return s.runSpMM(ctx, t, fallback, y, x)
+	return s.do(ctx, t, "spmm_into", s.reqSpMMInto, int64(x.Cols), func(ctx context.Context, mode serveMode) error {
+		return s.runSpMM(ctx, t, mode, y, x)
 	})
 }
+
+// serveMode selects how one attempt executes a request. The breaker
+// and the integrity quarantine each own a degraded mode; they are
+// deliberately distinct paths — the breaker's no-reorder fallback can
+// itself be the suspect pipeline for a sharded tenant, so quarantined
+// requests run the reference row-wise kernels instead.
+type serveMode int
+
+const (
+	// modeFull: the normal serving path (coalesced when configured).
+	modeFull serveMode = iota
+	// modeVerify: the normal path, then shadow-verify sampled output
+	// rows against the reference kernel on the unpermuted matrix.
+	modeVerify
+	// modeFallback: the breaker's no-reorder fallback.
+	modeFallback
+	// modeQuarantine: the integrity reference path — row-wise kernels
+	// on the original matrix, bypassing every transformed plan.
+	modeQuarantine
+)
 
 // runSpMM executes one SpMM attempt: the breaker's no-reorder fallback
 // runs direct (per-request, uncoalesced, with the live overlay merged —
 // a mutated tenant's fallback must not resurrect pre-mutation data);
-// the main path goes through the tenant's coalescer when one is
-// configured. Shapes are validated before joining a batch so one
+// a quarantined tenant serves the reference row-wise kernel on the
+// unpermuted matrix; the main path goes through the tenant's coalescer
+// when one is configured, with sampled requests shadow-verified after
+// the batch lands. Shapes are validated before joining a batch so one
 // malformed request can never fail a batch it shares with well-formed
 // ones, and re-validated at batch launch in case a mutation landed in
 // between.
-func (s *Server) runSpMM(ctx context.Context, t *tenant, fallback bool, y, x *Dense) error {
-	if fallback {
+func (s *Server) runSpMM(ctx context.Context, t *tenant, mode serveMode, y, x *Dense) error {
+	switch mode {
+	case modeFallback:
 		return t.live.spmmNRIntoCtx(ctx, y, x)
+	case modeQuarantine:
+		return t.live.refSpMMIntoCtx(ctx, y, x)
+	case modeVerify:
+		return s.serveVerifiedSpMM(ctx, t, y, x)
 	}
 	if t.coal != nil {
 		if err := t.live.validateBatchOp(BatchOp{Y: y, X: x}); err != nil {
@@ -803,16 +885,95 @@ func (s *Server) runSpMM(ctx context.Context, t *tenant, fallback bool, y, x *De
 	return t.live.SpMMIntoCtx(ctx, y, x)
 }
 
+// serveVerifiedSpMM serves one sampled request on the normal path and
+// then shadow-verifies a random subset of output rows against the
+// reference row-wise kernel on the original (unpermuted) matrix. The
+// published state is loaded once before serving and compared by
+// pointer afterwards: every publish installs a fresh liveState, so
+// pointer equality proves the output was computed against exactly the
+// snapshot we would verify it with — if a mutation or plan swap landed
+// in between, the check is skipped (counted, never silently dropped)
+// rather than risking a false mismatch.
+func (s *Server) serveVerifiedSpMM(ctx context.Context, t *tenant, y, x *Dense) error {
+	gen := t.live.baseGen()
+	st0 := t.live.state.Load()
+	if t.coal != nil {
+		if err := t.live.validateBatchOp(BatchOp{Y: y, X: x}); err != nil {
+			return err
+		}
+		if err := t.coal.Do(ctx, BatchOp{Y: y, X: x}); err != nil {
+			return err
+		}
+	} else if err := st0.spmmInto(ctx, y, x, false); err != nil {
+		return err
+	}
+	if st1 := t.live.state.Load(); st1 != st0 {
+		t.integ.OnSkipped()
+		return nil
+	}
+	if err := integrity.CheckSpMMRows(st0.cur, x, y, s.cfg.VerifyRows, t.integ.Seed(),
+		integrity.DefaultRelTol, integrity.DefaultAbsTol); err != nil {
+		return s.onMismatch(t, gen, err)
+	}
+	t.integ.OnVerified()
+	return nil
+}
+
+// runSDDMM is runSpMM's SDDMM analog (no coalescing on this path).
+func (s *Server) runSDDMM(ctx context.Context, t *tenant, mode serveMode, out *Matrix, x, y *Dense) error {
+	switch mode {
+	case modeFallback:
+		return t.live.sddmmNRIntoCtx(ctx, out, x, y)
+	case modeQuarantine:
+		return t.live.refSDDMMIntoCtx(ctx, out, x, y)
+	case modeVerify:
+		return s.serveVerifiedSDDMM(ctx, t, out, x, y)
+	}
+	return t.live.SDDMMIntoCtx(ctx, out, x, y)
+}
+
+// serveVerifiedSDDMM is serveVerifiedSpMM's SDDMM analog.
+func (s *Server) serveVerifiedSDDMM(ctx context.Context, t *tenant, out *Matrix, x, y *Dense) error {
+	gen := t.live.baseGen()
+	st0 := t.live.state.Load()
+	if err := st0.sddmmInto(ctx, out, x, y, false); err != nil {
+		return err
+	}
+	if st1 := t.live.state.Load(); st1 != st0 {
+		t.integ.OnSkipped()
+		return nil
+	}
+	if err := integrity.CheckSDDMMRows(st0.cur, x, y, out.Val, s.cfg.VerifyRows, t.integ.Seed(),
+		integrity.DefaultRelTol, integrity.DefaultAbsTol); err != nil {
+		return s.onMismatch(t, gen, err)
+	}
+	t.integ.OnVerified()
+	return nil
+}
+
+// onMismatch handles a confirmed shadow-verification failure: on the
+// first confirmation for this plan generation the tenant's plans are
+// evicted from both cache tiers (memory and disk — a corrupt plan must
+// not warm-start the next process) and a background rebuild is kicked
+// so the tenant can heal; either way the request errors with
+// integrity.ErrMismatch, which the retry loop treats as transient so
+// the caller's surviving attempts re-route through the quarantine
+// reference path.
+func (s *Server) onMismatch(t *tenant, gen uint64, cause error) error {
+	if t.integ.OnMismatch(gen) {
+		t.live.evictPlans()
+		t.live.ForceRebuild()
+	}
+	return cause
+}
+
 // SDDMM computes O = S ⊙ (Y·Xᵀ) through the full resilience stack,
 // against the live matrix's current structure.
 func (s *Server) SDDMM(ctx context.Context, x, y *Dense) (*Matrix, error) {
 	t := s.def
 	out := t.live.Matrix().Clone()
-	err := s.do(ctx, t, "sddmm", s.reqSDDMM, int64(x.Cols), func(ctx context.Context, fallback bool) error {
-		if fallback {
-			return t.live.sddmmNRIntoCtx(ctx, out, x, y)
-		}
-		return t.live.SDDMMIntoCtx(ctx, out, x, y)
+	err := s.do(ctx, t, "sddmm", s.reqSDDMM, int64(x.Cols), func(ctx context.Context, mode serveMode) error {
+		return s.runSDDMM(ctx, t, mode, out, x, y)
 	})
 	if err != nil {
 		return nil, err
@@ -836,27 +997,25 @@ func (s *Server) SDDMMIntoTenant(ctx context.Context, id string, out *Matrix, x,
 }
 
 func (s *Server) sddmmIntoTenant(ctx context.Context, t *tenant, out *Matrix, x, y *Dense) error {
-	return s.do(ctx, t, "sddmm_into", s.reqSDDMMInto, int64(x.Cols), func(ctx context.Context, fallback bool) error {
-		if fallback {
-			return t.live.sddmmNRIntoCtx(ctx, out, x, y)
-		}
-		return t.live.SDDMMIntoCtx(ctx, out, x, y)
+	return s.do(ctx, t, "sddmm_into", s.reqSDDMMInto, int64(x.Cols), func(ctx context.Context, mode serveMode) error {
+		return s.runSDDMM(ctx, t, mode, out, x, y)
 	})
 }
 
-// do runs one request through admission, deadline, retry, and breaker
-// routing, recording a per-request trace (admission wait, attempts,
-// retry backoffs, kernel spans recorded further down the stack) that
-// lands in the /debug/traces ring. run receives fallback=false to
-// execute the full online path or fallback=true to execute the
-// no-reorder fallback (with the live overlay merged either way). The
-// request's gate cost is weight (the dense column count) scaled by the
-// tenant's admission weight — and by the tenant's current overlay
-// fraction, since overlay rows are computed serially on top of the
-// base pass (see serve.OverlayWeight) — and its terminal outcome lands
-// in exactly one tenant counter (see TenantStats for the
-// reconciliation identities).
-func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogram, weight int64, run func(context.Context, bool) error) error {
+// do runs one request through admission, deadline, retry, breaker,
+// and integrity routing, recording a per-request trace (admission
+// wait, attempts, retry backoffs, kernel spans recorded further down
+// the stack) that lands in the /debug/traces ring. run receives the
+// serveMode chosen by attempt: the full online path, the same path
+// followed by a sampled shadow verification, the breaker's no-reorder
+// fallback, or the quarantine reference path (the live overlay is
+// merged in every mode). The request's gate cost is weight (the dense
+// column count) scaled by the tenant's admission weight — and by the
+// tenant's current overlay fraction, since overlay rows are computed
+// serially on top of the base pass (see serve.OverlayWeight) — and
+// its terminal outcome lands in exactly one tenant counter (see
+// TenantStats for the reconciliation identities).
+func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogram, weight int64, run func(context.Context, serveMode) error) error {
 	if s.closed.Load() {
 		return ErrServerClosed
 	}
@@ -927,20 +1086,35 @@ func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogr
 	return nil
 }
 
-// attempt executes one try, consulting the breaker only when the call
-// would actually exercise the reordered path: a sharded tenant (every
-// panel autotunes its own plan, no matrix-wide reorder trial), a
-// degraded pipeline, a trial already decided for no-reorder, or a
-// reordered build still in flight all serve without the reordered
-// plan, and their outcomes must not open (or close) the reordered
-// path's circuit.
-func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Context, bool) error) error {
+// attempt executes one try. The integrity monitor routes first: a
+// quarantined tenant serves the reference path outright (no breaker
+// accounting — the transformed plans aren't exercised), and a sampled
+// healthy request upgrades to modeVerify. The breaker is then
+// consulted only when the call would actually exercise the reordered
+// path: a sharded tenant (every panel autotunes its own plan, no
+// matrix-wide reorder trial), a degraded pipeline, a trial already
+// decided for no-reorder, or a reordered build still in flight all
+// serve without the reordered plan, and their outcomes must not open
+// (or close) the reordered path's circuit. A verification mismatch is
+// likewise excluded from breaker accounting: the quarantine owns that
+// failure mode, and double-charging it would conflate "plan computes
+// wrong numbers" with "path is unhealthy" in the fallback ledgers.
+func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Context, serveMode) error) error {
 	tr := obs.TraceFrom(ctx)
 	sp := tr.StartSpan("attempt")
 	defer sp.End()
+	dec := t.integ.Route(t.live.baseGen())
+	if dec.Fallback {
+		tr.Annotate("path", "quarantine")
+		return run(ctx, modeQuarantine)
+	}
+	mode := modeFull
+	if dec.Verify {
+		mode = modeVerify
+	}
 	if !reorderedPathActive(t) {
 		tr.Annotate("path", "plain")
-		return run(ctx, false)
+		return run(ctx, mode)
 	}
 	// Breaker state as observed when this attempt was routed; Allow may
 	// advance it (Open → HalfOpen).
@@ -948,15 +1122,17 @@ func (s *Server) attempt(ctx context.Context, t *tenant, run func(context.Contex
 	if !s.brk.Allow() {
 		s.fallbacks.Inc()
 		tr.Annotate("path", "fallback")
-		return run(ctx, true)
+		return run(ctx, modeFallback)
 	}
 	tr.Annotate("path", "reordered")
-	err := run(ctx, false)
+	err := run(ctx, mode)
 	switch {
 	case err == nil:
 		s.brk.Success()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The caller gave up; says nothing about the path's health.
+	case errors.Is(err, integrity.ErrMismatch):
+		// The quarantine controller owns this outcome.
 	default:
 		s.brk.Failure()
 	}
@@ -1027,12 +1203,16 @@ func (s *Server) DeleteRows(ctx context.Context, rows []int) error {
 }
 
 // transientError classifies errors worth retrying: injected faults and
-// recovered worker panics are momentary by construction; validation
-// and shape errors are not, and context errors are handled by Retry
-// itself.
+// recovered worker panics are momentary by construction, and a
+// verification mismatch quarantines the tenant before it surfaces, so
+// the retry re-routes through the reference path and usually succeeds
+// in-request; validation and shape errors are not transient, and
+// context errors are handled by Retry itself.
 func transientError(err error) bool {
 	var pe *PanicError
-	return errors.Is(err, faultinject.Err) || errors.As(err, &pe)
+	return errors.Is(err, faultinject.Err) ||
+		errors.Is(err, integrity.ErrMismatch) ||
+		errors.As(err, &pe)
 }
 
 // Close shuts the server down gracefully: new requests fail fast with

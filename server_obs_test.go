@@ -92,6 +92,17 @@ func TestServerMetricsFamilies(t *testing.T) {
 		`kernel="spmm_aspt"`,
 		// online trial
 		"spmmrr_online_trials_total",
+		// integrity: shadow verification + quarantine controller,
+		// per-tenant, all three check outcomes
+		"spmmrr_integrity_checks_total",
+		`outcome="clean"`,
+		`outcome="mismatch"`,
+		`outcome="skipped"`,
+		"spmmrr_integrity_quarantines_total",
+		"spmmrr_integrity_reinstated_total",
+		"spmmrr_integrity_probation_failures_total",
+		"spmmrr_integrity_quarantined",
+		"spmmrr_integrity_corruptions_injected_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)

@@ -229,6 +229,81 @@ func TestServerCoalesceBadShapeDoesNotPoisonBatch(t *testing.T) {
 	}
 }
 
+// TestServerCoalesceMutationMidWindowStaleShape: a structural mutation
+// landing between a batch's join phase and its launch must fail every
+// now-stale waiter with its own typed ErrStaleShape — the launch-time
+// re-validation gate, not a batch-wide error or a silently misshapen
+// kernel pass — and the very next correctly-shaped request must
+// succeed.
+func TestServerCoalesceMutationMidWindowStaleShape(t *testing.T) {
+	m := freshScrambled(t, 3005)
+	warmKernelPool(t, m)
+
+	const n = 3
+	s := degradedServer(t, m, repro.ServerConfig{
+		CoalesceWindow: 300 * time.Millisecond,
+		CoalesceMaxOps: n + 4, // launch via window expiry, never op count
+	})
+
+	x := repro.NewRandomDense(m.Cols, 2, 51)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			y := repro.NewDense(m.Rows, 2) // sized for the pre-mutation shape
+			errs[i] = s.SpMMInto(context.Background(), y, x)
+		}(i)
+	}
+	// Wait until the batch has formed (one lead, the rest joined), then
+	// grow the matrix while the window is still open.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ts, _ := s.TenantStats(repro.DefaultTenant)
+		if ts.Coalesce.Leads == 1 && ts.Coalesce.Joins == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never formed: %+v", ts.Coalesce)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.AppendRows(context.Background(), []repro.RowDef{{Cols: []int32{0}, Vals: []float32{1}}}); err != nil {
+		t.Fatalf("mid-window append: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, repro.ErrStaleShape) {
+			t.Fatalf("waiter %d: got %v, want ErrStaleShape", i, err)
+		}
+	}
+	ts, _ := s.TenantStats(repro.DefaultTenant)
+	if ts.Coalesce.Invalid != n {
+		t.Fatalf("invalid operands = %d, want %d (every waiter re-validated at launch)", ts.Coalesce.Invalid, n)
+	}
+
+	// The new shape serves: output sized for the grown matrix.
+	cur := s.Live().Matrix()
+	if cur.Rows != m.Rows+1 {
+		t.Fatalf("live matrix has %d rows, want %d", cur.Rows, m.Rows+1)
+	}
+	want, err := repro.SpMM(cur, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := repro.NewDense(cur.Rows, 2)
+	if err := s.SpMMInto(context.Background(), y, x); err != nil {
+		t.Fatalf("post-mutation request: %v", err)
+	}
+	for j := range want.Data {
+		if math.Abs(float64(want.Data[j]-y.Data[j])) > 1e-4 {
+			t.Fatalf("post-mutation result diverges at %d", j)
+		}
+	}
+	repro.PutDense(want)
+}
+
 // TestServerShardedDefaultTenant: a default matrix over ShardNNZ serves
 // through nnz-balanced row panels — results match the plain reference
 // for SpMM (coalesced and not) and SDDMM, and the accessors reflect the
