@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint soak integrity-smoke obs-smoke bench bench-preprocess bench-kernels bench-serving bench-mutation fuzz experiments corpus clean
+.PHONY: all build test race vet lint soak integrity-smoke obs-smoke bench bench-preprocess bench-kernels bench-serving bench-mutation bench-obs fuzz experiments corpus clean
 
 all: build lint test
 
@@ -51,9 +51,10 @@ integrity-smoke:
 	$(GO) test -race -count=1 -run 'TestServerIntegritySoak|TestServerVerifyPathAllocOverhead' -v $(INTEGRITY_FLAGS) .
 
 # Observability smoke: boot the real spmmrr binary in serving mode with
-# -obs-listen, scrape /metrics, /healthz, /readyz, and /debug/traces,
-# and fail on a malformed exposition (the same grammar a Prometheus
-# scraper applies), then SIGTERM and require a clean drain.
+# -obs-listen and -explain, scrape /metrics, /healthz, /readyz,
+# /debug/traces, /debug/events, and /debug/explain, fail on a malformed
+# exposition or event ledger (the same grammars a scraper applies),
+# then SIGTERM and require a clean drain printing the explain document.
 obs-smoke:
 	$(GO) test -count=1 -run TestCLIServeObservability -v ./cmd/spmmrr/
 
@@ -108,6 +109,20 @@ bench-mutation:
 		$(BENCH_MUTATION_FLAGS) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_mutation.json
 	@echo "wrote BENCH_mutation.json"
+
+# Observability overhead: the decided-pipeline concurrent serving bench
+# that the attribution, SLO, and feedback instrumentation sits inside —
+# the budget is <=2% versus the pre-instrumentation baseline and zero
+# allocations per op (the test suite pins the alloc contract; compare
+# ns/op across commits for the time budget). Emitted as BENCH_obs.json.
+# Quick smoke run:
+#   make bench-obs BENCH_OBS_FLAGS="-short -benchtime 1x"
+BENCH_OBS_FLAGS ?= -benchtime 1s
+bench-obs:
+	$(GO) test -run '^$$' -bench 'OnlineSpMMConcurrent' -benchmem \
+		$(BENCH_OBS_FLAGS) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
+	@echo "wrote BENCH_obs.json"
 
 # Short fuzz session over the input parsers.
 fuzz:

@@ -52,6 +52,11 @@ type Plan = reorder.Plan
 // other value forces that kernel via Config.Kernel.
 type Kernel = reorder.Kernel
 
+// KernelFeatures are the structural signals the per-matrix autotuner
+// decided a plan's kernel on (Plan.Features), surfaced through
+// Server.Explain so a kernel choice can be replayed and audited.
+type KernelFeatures = reorder.KernelFeatures
+
 // BatchOp is one Y = S·X operand pair of a batched SpMM pass
 // (Pipeline.SpMMBatchIntoCtx, OnlinePipeline.SpMMBatchIntoCtx): the
 // X operands of a batch are column-stacked into one pooled scratch

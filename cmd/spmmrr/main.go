@@ -56,6 +56,7 @@ func main() {
 		shardNNZ  = flag.Int("shard-nnz", 0, "with -serve: split matrices above this many nonzeros into nnz-balanced row panels, each served by its own pipeline (0 = off)")
 		mutRate   = flag.Duration("mutate-rate", 0, "with -serve: submit one live row mutation through the mutation path per interval — value re-skins and structural row replacements alternate, exercising overlay serving and background plan swaps under load (0 = off; try 5ms-50ms)")
 		verifyFr  = flag.Float64("verify-fraction", 0, "with -serve: shadow-verify this fraction of requests by recomputing sampled output rows with the reference kernel on the original matrix; a confirmed mismatch quarantines the transformed plans until a rebuild passes probation (0 = off; try 0.01)")
+		explain   = flag.Bool("explain", false, "with -serve: print the default tenant's /debug/explain document (plan fingerprint, kernel verdict, trial, attribution, SLO) as JSON at drain")
 	)
 	flag.Parse()
 
@@ -88,6 +89,7 @@ func main() {
 			shardNNZ:       *shardNNZ,
 			mutateRate:     *mutRate,
 			verifyFraction: *verifyFr,
+			explain:        *explain,
 		}
 		if err := runServe(m, cfg, opts); err != nil {
 			fatal(err)

@@ -302,7 +302,7 @@ func TestCLIServeObservability(t *testing.T) {
 	}
 	bin := buildCLI(t)
 	cmd := exec.Command(bin, "-gen", "scrambled", "-rows", "512", "-k", "16",
-		"-serve", "-obs-listen", "127.0.0.1:0")
+		"-serve", "-obs-listen", "127.0.0.1:0", "-explain")
 	buf := &lockedBuffer{}
 	cmd.Stdout, cmd.Stderr = buf, buf
 	if err := cmd.Start(); err != nil {
@@ -382,6 +382,27 @@ func TestCLIServeObservability(t *testing.T) {
 	} else if !json.Valid([]byte(body)) {
 		t.Fatalf("/debug/traces not JSON:\n%s", body)
 	}
+	if code, body, _ = get("/debug/events"); code != http.StatusOK {
+		t.Fatalf("/debug/events = %d", code)
+	} else if err := obs.ValidateEvents([]byte(body)); err != nil {
+		t.Fatalf("/debug/events ledger invalid: %v\n%s", err, body)
+	}
+	if code, body, _ = get("/debug/explain"); code != http.StatusOK {
+		t.Fatalf("/debug/explain = %d", code)
+	} else {
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("/debug/explain not JSON: %v\n%s", err, body)
+		}
+		for _, key := range []string{"tenant", "mode", "plan_fingerprint", "kernel", "slo", "trial"} {
+			if _, ok := doc[key]; !ok {
+				t.Fatalf("/debug/explain missing %q:\n%s", key, body)
+			}
+		}
+	}
+	if code, _, _ := get("/debug/explain?tenant=ghost"); code != http.StatusNotFound {
+		t.Fatalf("/debug/explain?tenant=ghost = %d, want 404", code)
+	}
 	if code, _, _ := get("/debug/pprof/"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ = %d", code)
 	}
@@ -402,6 +423,24 @@ func TestCLIServeObservability(t *testing.T) {
 	}
 	if out := buf.String(); !strings.Contains(out, "drained;") {
 		t.Fatalf("graceful shutdown output missing:\n%s", out)
+	}
+	// -explain prints the diagnosis document at drain: find the JSON
+	// object after the announcement line and check its identity fields.
+	out := buf.String()
+	i := strings.Index(out, "serve: explain ")
+	if i < 0 {
+		t.Fatalf("-explain printed nothing at drain:\n%s", out)
+	}
+	j := strings.IndexByte(out[i:], '{')
+	if j < 0 {
+		t.Fatalf("no JSON after explain announcement:\n%s", out[i:])
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(strings.NewReader(out[i+j:])).Decode(&doc); err != nil {
+		t.Fatalf("drain explain document not JSON: %v\n%s", err, out[i:])
+	}
+	if doc["tenant"] != "default" || doc["plan_fingerprint"] == "" {
+		t.Fatalf("drain explain document incomplete: %v", doc)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
@@ -28,6 +29,7 @@ type serveOptions struct {
 	shardNNZ       int
 	mutateRate     time.Duration
 	verifyFraction float64
+	explain        bool
 }
 
 // runServe hosts m behind the full serving stack (admission control,
@@ -234,6 +236,20 @@ func runServe(m *repro.Matrix, cfg repro.Config, opts serveOptions) error {
 				ig.ChecksClean, ig.ChecksMismatch, ig.ChecksSkipped,
 				ig.Quarantines, ig.Reinstated, ig.StillQuarantined)
 		}
+	}
+	if opts.explain {
+		// The explain document reads state that survives the drain
+		// (atomics, registries), so printing it here reflects the final
+		// settled picture — the same JSON /debug/explain served live.
+		ex, err := s.Explain(repro.DefaultTenant)
+		if err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		b, err := json.MarshalIndent(ex, "", "  ")
+		if err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		fmt.Printf("serve: explain %s\n%s\n", repro.DefaultTenant, b)
 	}
 	if opts.planDir != "" {
 		entries, err := os.ReadDir(opts.planDir)

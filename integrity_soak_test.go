@@ -9,6 +9,7 @@ import (
 	"repro"
 	"repro/internal/faultinject"
 	"repro/internal/integrity"
+	"repro/internal/obs"
 	"repro/internal/testutil"
 )
 
@@ -54,6 +55,9 @@ func TestServerIntegritySoak(t *testing.T) {
 		VerifyRows:        -1,
 		ProbationRequests: 4,
 		MaxAttempts:       3,
+		// Large enough that nothing is evicted during the soak, so the
+		// quarantine/reinstate event ledger reconciles exactly.
+		EventRing: 1 << 14,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -279,6 +283,38 @@ func TestServerIntegritySoak(t *testing.T) {
 	}
 	if fin.ChecksClean < int64(len(episodes))*4 {
 		t.Fatalf("clean checks %d, want >= %d (4 probation passes per episode)", fin.ChecksClean, n*4)
+	}
+
+	// Decision-event ledger: every quarantine and reinstatement in the
+	// integrity counters must have left a matching ring event, carrying
+	// the tenant it happened to.
+	ring := s.Events()
+	if ring.Emitted() > uint64(ring.Cap()) {
+		t.Fatalf("event ring overflowed (%d emitted, cap %d): ledger no longer exact", ring.Emitted(), ring.Cap())
+	}
+	var quarantines, reinstates int64
+	for _, e := range ring.Snapshot() {
+		switch e.Type {
+		case obs.EventQuarantine:
+			quarantines++
+		case obs.EventReinstate:
+			reinstates++
+		default:
+			continue
+		}
+		if e.Tenant != repro.DefaultTenant {
+			t.Fatalf("integrity event on wrong tenant: %+v", e)
+		}
+		if e.Type == obs.EventQuarantine && e.Detail == "" {
+			t.Fatalf("quarantine event missing its cause: %+v", e)
+		}
+	}
+	if quarantines != fin.Quarantines+fin.ProbationFailures {
+		t.Fatalf("quarantine events %d != quarantines %d + probation failures %d",
+			quarantines, fin.Quarantines, fin.ProbationFailures)
+	}
+	if reinstates != fin.Reinstated {
+		t.Fatalf("reinstate events %d != reinstated %d", reinstates, fin.Reinstated)
 	}
 }
 

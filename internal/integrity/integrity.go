@@ -107,6 +107,7 @@ type Monitor struct {
 	mu            sync.Mutex
 	quarGen       uint64 // plan generation the quarantine was declared on
 	probationLeft int
+	onReinstate   func() // fired under mu when probation completes
 
 	checksClean       atomic.Int64
 	checksMismatch    atomic.Int64
@@ -235,7 +236,20 @@ func (m *Monitor) OnVerified() {
 	if m.probationLeft <= 0 {
 		m.state.Store(int32(Healthy))
 		m.reinstated.Add(1)
+		if m.onReinstate != nil {
+			m.onReinstate()
+		}
 	}
+}
+
+// OnReinstate registers a hook fired exactly once per reinstatement
+// (probation window completing), under the monitor's lock — it must
+// not call back into the monitor. The serving stack uses it to emit
+// reinstate decision events whose count reconciles with Stats().
+func (m *Monitor) OnReinstate(fn func()) {
+	m.mu.Lock()
+	m.onReinstate = fn
+	m.mu.Unlock()
 }
 
 // OnSkipped records a verification that could not run because the

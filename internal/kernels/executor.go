@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aspt"
 	"repro/internal/dense"
@@ -70,6 +71,17 @@ type job struct {
 	x    *dense.Matrix
 	y    *dense.Matrix
 	out  []float32 // SDDMM output values
+
+	// Attribution state (see metrics.go): attr is the per-kernel
+	// aggregate selected by the entry point (nil disables chunk
+	// timing); chunkNS/chunkMax/chunkCount accumulate per-chunk wall
+	// times across the workers stealing from this job, and the entry
+	// point flushes them via attr.recordPass after a successful
+	// dispatch.
+	attr       *kernelAttr
+	chunkNS    atomic.Int64
+	chunkMax   atomic.Int64
+	chunkCount atomic.Int64
 
 	// Merge-kernel state (see merge.go): when run is runSpMMMerge the
 	// generic chunks slice holds {i, i+1} indices into mergeChunks, and
@@ -122,6 +134,10 @@ func putJob(j *job) {
 	j.ctx = nil
 	j.stop.Store(false)
 	j.fail.Store(nil)
+	j.attr = nil
+	j.chunkNS.Store(0)
+	j.chunkMax.Store(0)
+	j.chunkCount.Store(0)
 	jobPool.Put(j)
 }
 
@@ -187,7 +203,29 @@ func (j *job) runChunk(lo, hi int) {
 		j.recordFail(err)
 		return
 	}
+	if j.attr == nil {
+		j.run(j, lo, hi)
+		return
+	}
+	start := time.Now()
 	j.run(j, lo, hi)
+	j.observeChunk(time.Since(start))
+}
+
+// observeChunk folds one chunk's wall time into the job's attribution
+// accumulators and the kernel's chunk-latency histogram: two atomic
+// adds, a CAS max, and one lock-free histogram Observe.
+func (j *job) observeChunk(d time.Duration) {
+	ns := int64(d)
+	j.chunkNS.Add(ns)
+	j.chunkCount.Add(1)
+	for {
+		old := j.chunkMax.Load()
+		if ns <= old || j.chunkMax.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	j.attr.chunkSeconds.Observe(d.Seconds())
 }
 
 func (j *job) recoverChunk() {

@@ -75,8 +75,12 @@ func SpMMELLIntoCtx(ctx context.Context, y *dense.Matrix, e *ellpack.Matrix, x *
 	j := getJob()
 	j.run = runSpMMELL
 	j.ctx = ctx
+	j.attr = attrSpMMELL
 	j.ell, j.x, j.y = e, x, y
 	err := j.dispatch(e.Rows, e.CumWork)
+	if err == nil {
+		attrSpMMELL.recordPass(j, int(e.CumWork(e.Rows)), e.Rows, x.Cols)
+	}
 	putJob(j)
 	sp.End()
 	kernelSpMMELL.ObserveSince(start)
@@ -137,8 +141,12 @@ func SpMMHybridIntoCtx(ctx context.Context, y *dense.Matrix, h *ellpack.Hybrid, 
 	j := getJob()
 	j.run = runSpMMHybrid
 	j.ctx = ctx
+	j.attr = attrSpMMHybrid
 	j.ell, j.hyb, j.x, j.y = h.ELL, h, x, y
 	err := j.dispatch(h.ELL.Rows, h.CumWork)
+	if err == nil {
+		attrSpMMHybrid.recordPass(j, int(h.CumWork(h.ELL.Rows)), h.ELL.Rows, x.Cols)
+	}
 	putJob(j)
 	sp.End()
 	kernelSpMMHybrid.ObserveSince(start)

@@ -105,8 +105,12 @@ func SpMMRowWiseIntoCtx(ctx context.Context, y *dense.Matrix, s *sparse.CSR, x *
 	j := getJob()
 	j.run = runSpMMRowWise
 	j.ctx = ctx
+	j.attr = attrSpMMRowWise
 	j.csr, j.x, j.y = s, x, y
 	err := j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
+	if err == nil {
+		attrSpMMRowWise.recordPass(j, s.NNZ(), s.Rows, x.Cols)
+	}
 	putJob(j)
 	sp.End()
 	kernelSpMMRowWise.ObserveSince(start)
@@ -164,8 +168,12 @@ func SpMMASpTIntoCtx(ctx context.Context, y *dense.Matrix, t *aspt.Matrix, x *de
 	j := getJob()
 	j.run = runSpMMASpT
 	j.ctx = ctx
+	j.attr = attrSpMMASpT
 	j.tile, j.x, j.y = t, x, y
 	err := j.dispatch(t.Src.Rows, t.CumWork)
+	if err == nil {
+		attrSpMMASpT.recordPass(j, t.Src.NNZ(), t.Src.Rows, x.Cols)
+	}
 	putJob(j)
 	sp.End()
 	kernelSpMMASpT.ObserveSince(start)
@@ -260,8 +268,12 @@ func SDDMMRowWiseIntoCtx(ctx context.Context, out, s *sparse.CSR, x, y *dense.Ma
 	j := getJob()
 	j.run = runSDDMMRowWise
 	j.ctx = ctx
+	j.attr = attrSDDMMRowWise
 	j.csr, j.x, j.y, j.out = s, x, y, out.Val
 	err := j.dispatch(s.Rows, func(i int) int64 { return int64(s.RowPtr[i]) })
+	if err == nil {
+		attrSDDMMRowWise.recordPass(j, s.NNZ(), s.Rows, x.Cols)
+	}
 	putJob(j)
 	sp.End()
 	kernelSDDMMRowWise.ObserveSince(start)
@@ -321,8 +333,12 @@ func SDDMMASpTIntoCtx(ctx context.Context, out *sparse.CSR, t *aspt.Matrix, x, y
 	j := getJob()
 	j.run = runSDDMMASpT
 	j.ctx = ctx
+	j.attr = attrSDDMMASpT
 	j.tile, j.x, j.y, j.out = t, x, y, out.Val
 	err := j.dispatch(t.Src.Rows, t.CumWork)
+	if err == nil {
+		attrSDDMMASpT.recordPass(j, t.Src.NNZ(), t.Src.Rows, x.Cols)
+	}
 	putJob(j)
 	sp.End()
 	kernelSDDMMASpT.ObserveSince(start)

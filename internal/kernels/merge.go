@@ -76,6 +76,7 @@ func SpMMMergeIntoCtx(ctx context.Context, y *dense.Matrix, s *sparse.CSR, x *de
 	sp := obs.TraceFrom(ctx).StartSpan("kernel_spmm_merge")
 	j := getJob()
 	j.ctx = ctx
+	j.attr = attrSpMMMerge
 	j.csr, j.x, j.y = s, x, y
 	var err error
 	if s.NNZ() == 0 {
@@ -91,6 +92,9 @@ func SpMMMergeIntoCtx(ctx context.Context, y *dense.Matrix, s *sparse.CSR, x *de
 		if err == nil {
 			mergeFixup(j)
 		}
+	}
+	if err == nil {
+		attrSpMMMerge.recordPass(j, s.NNZ(), s.Rows, x.Cols)
 	}
 	putJob(j)
 	sp.End()

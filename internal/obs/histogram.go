@@ -143,6 +143,19 @@ func LatencyBuckets() []float64 {
 	}
 }
 
+// FineLatencyBuckets extends LatencyBuckets downward with
+// sub-microsecond bounds (250ns to 5µs) for timings far below request
+// granularity — per-chunk kernel wall times in particular, which land
+// almost entirely inside LatencyBuckets' first 10µs bucket. Only newly
+// registered families use this layout; already-registered families
+// keep their first-registered bounds (Registry.Histogram: first wins),
+// so golden exposition tests over the original layouts stay valid.
+func FineLatencyBuckets() []float64 {
+	return append([]float64{
+		250e-9, 500e-9, 1e-6, 2.5e-6, 5e-6,
+	}, LatencyBuckets()...)
+}
+
 // LinearBuckets returns count bounds starting at start, spaced width
 // apart.
 func LinearBuckets(start, width float64, count int) []float64 {

@@ -12,6 +12,12 @@ type HandlerConfig struct {
 	Registries []*Registry
 	// Traces, when non-nil, is served as JSON at /debug/traces.
 	Traces *TraceRing
+	// Events, when non-nil, is served as JSON at /debug/events.
+	Events *EventRing
+	// Explain, when non-nil, serves /debug/explain?tenant=X: it
+	// returns the JSON-marshalable decision record for one tenant, or
+	// an error when the tenant is unknown (rendered as 404).
+	Explain func(tenant string) (any, error)
 	// Ready reports request-serving readiness for /readyz (for the
 	// serving stack: a warm reordered plan has landed or the degraded
 	// decision has been made). A nil Ready means always ready.
@@ -23,11 +29,13 @@ type HandlerConfig struct {
 
 // NewHandler returns the observability endpoint mux:
 //
-//	/metrics       Prometheus text format v0.0.4
-//	/healthz       200 "ok" while Healthy() (liveness)
-//	/readyz        200 "ready" once Ready() (readiness)
-//	/debug/traces  recent-trace ring as a JSON array
-//	/debug/pprof/  the standard net/http/pprof surface
+//	/metrics        Prometheus text format v0.0.4
+//	/healthz        200 "ok" while Healthy() (liveness)
+//	/readyz         200 "ready" once Ready() (readiness)
+//	/debug/traces   recent-trace ring as a JSON array
+//	/debug/events   recent decision events as a JSON array
+//	/debug/explain  per-tenant decision record (?tenant=X)
+//	/debug/pprof/   the standard net/http/pprof surface
 func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -56,6 +64,26 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(cfg.Traces.Snapshot())
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Events.Snapshot())
+	})
+	if cfg.Explain != nil {
+		mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {
+			tenant := r.URL.Query().Get("tenant")
+			doc, err := cfg.Explain(tenant)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(doc)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

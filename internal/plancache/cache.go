@@ -168,6 +168,18 @@ func fingerprint(m *sparse.CSR, cfg reorder.Config, v Variant) key {
 	return key(d)
 }
 
+// Fingerprint renders the cache key of (matrix, config, variant) as
+// the 32-hex-digit string used in snapshot file names. It is the
+// stable plan identity that decision events and /debug/explain carry:
+// two tenants (or two points in time) serving the same fingerprint are
+// provably executing the same plan. O(nnz) — cheap next to any build,
+// but callers on serving paths should compute it once and cache the
+// string.
+func Fingerprint(m *sparse.CSR, cfg reorder.Config, v Variant) string {
+	k := fingerprint(m, cfg, v)
+	return fmt.Sprintf("%016x%016x", k[0], k[1])
+}
+
 // valueHash fingerprints the nonzero values alone (bit patterns, so
 // NaNs and -0 are distinguished exactly like the kernels see them).
 func valueHash(vals []float32) key {

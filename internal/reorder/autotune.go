@@ -151,10 +151,16 @@ func ChooseKernel(f KernelFeatures) Kernel {
 }
 
 // resolveKernel applies the Config override or the autotuner to a
-// freshly built plan.
+// freshly built plan, capturing the structural features the decision
+// was made on into the plan so observability layers can replay the
+// verdict (Plan.Features feeds /debug/explain and the autotuner
+// feedback loop). Features are captured even under an explicit Config
+// override — that is exactly the case where predicted-vs-configured
+// disagreement is worth surfacing.
 func resolveKernel(p *Plan) Kernel {
+	p.Features = kernelFeaturesOf(p.Reordered, p.DenseRatioAfter)
 	if k := p.Cfg.Kernel; k != KernelAuto && k.Valid() {
 		return k
 	}
-	return ChooseKernel(kernelFeaturesOf(p.Reordered, p.DenseRatioAfter))
+	return ChooseKernel(p.Features)
 }

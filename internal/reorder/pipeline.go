@@ -140,6 +140,13 @@ type Plan struct {
 	// returned by Preprocess or SavedPlan.Apply.
 	Kernel Kernel
 
+	// Features are the structural signals the kernel decision was made
+	// on (captured even when Cfg.Kernel overrides the autotuner), kept
+	// for decision observability: /debug/explain replays
+	// ChooseKernel(Features) against Kernel, and the autotuner feedback
+	// loop compares realized throughput to the structural prediction.
+	Features KernelFeatures
+
 	// Fig 9 metrics. "Before" values describe plain ASpT-NR on the
 	// original matrix; "After" the final plan.
 	DenseRatioBefore float64

@@ -357,6 +357,10 @@ func (sp *SavedPlan) Apply(m *sparse.CSR, cfg Config) (*Plan, error) {
 		Round2Applied: sp.Round2Applied,
 	}
 	p.DenseRatioAfter = tiled.DenseRatio()
+	// Features are recomputed from the rebuilt matrix regardless of how
+	// the kernel is picked below, so explain/feedback observability has
+	// them even for snapshot-carried and overridden choices.
+	p.Features = kernelFeaturesOf(p.Reordered, p.DenseRatioAfter)
 	// Kernel precedence: an explicit Config override wins, then the
 	// choice stored with the snapshot; legacy files with no stored
 	// choice re-run the autotuner on the rebuilt plan.
@@ -366,7 +370,7 @@ func (sp *SavedPlan) Apply(m *sparse.CSR, cfg Config) (*Plan, error) {
 	case sp.Kernel != KernelAuto:
 		p.Kernel = sp.Kernel
 	default:
-		p.Kernel = ChooseKernel(kernelFeaturesOf(p.Reordered, p.DenseRatioAfter))
+		p.Kernel = ChooseKernel(p.Features)
 	}
 	return p, nil
 }

@@ -65,6 +65,10 @@ type Breaker struct {
 	openedAt    time.Time
 	probing     bool // a HalfOpen probe is in flight
 
+	// onTransition, when set, is invoked under mu at every state
+	// change (see OnTransition).
+	onTransition func(from, to BreakerState)
+
 	// Counters are obs objects (updated under mu) so a registry-backed
 	// breaker serves /metrics from the same memory Stats reads.
 	trips     *obs.Counter
@@ -73,6 +77,28 @@ type Breaker struct {
 	rejected  *obs.Counter
 	failures  *obs.Counter
 	successes *obs.Counter
+}
+
+// OnTransition registers a hook invoked at every state change with the
+// old and new state, exactly once per transition (it runs under the
+// breaker's lock, so it sees transitions in order and must not call
+// back into the breaker). The serving stack uses it to emit
+// breaker_transition decision events whose count reconciles exactly
+// with the trips/half-opens/closes counters.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// transitionLocked records a state change and fires the hook. Callers
+// hold b.mu.
+func (b *Breaker) transitionLocked(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
+	}
 }
 
 // NewBreaker returns a closed breaker tripping after threshold
@@ -128,7 +154,7 @@ func (b *Breaker) Allow() bool {
 		return true
 	case Open:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = HalfOpen
+			b.transitionLocked(HalfOpen)
 			b.probing = true
 			b.halfOpens.Inc()
 			return true
@@ -155,7 +181,7 @@ func (b *Breaker) Success() {
 	b.successes.Inc()
 	b.consecutive = 0
 	if b.state == HalfOpen {
-		b.state = Closed
+		b.transitionLocked(Closed)
 		b.probing = false
 		b.closes.Inc()
 	}
@@ -169,7 +195,7 @@ func (b *Breaker) Failure() {
 	switch b.state {
 	case HalfOpen:
 		// The probe failed: straight back to Open for another cooldown.
-		b.state = Open
+		b.transitionLocked(Open)
 		b.openedAt = b.now()
 		b.probing = false
 		b.consecutive = 0
@@ -177,7 +203,7 @@ func (b *Breaker) Failure() {
 	case Closed:
 		b.consecutive++
 		if b.consecutive >= b.threshold {
-			b.state = Open
+			b.transitionLocked(Open)
 			b.openedAt = b.now()
 			b.consecutive = 0
 			b.trips.Inc()

@@ -257,6 +257,15 @@ type LivePipeline struct {
 
 	degraded atomic.Pointer[degradeReason]
 
+	// sink receives decision events (plan swaps, overlay degradation;
+	// trial/mispick events flow through the online base's own sink).
+	// mispickWindow is the feedback window threaded to rebuilt bases;
+	// mispickCarry accumulates mispick counts of bases replaced by
+	// rebuild swaps so Mispicked never goes backwards.
+	sink          atomic.Pointer[eventSink]
+	mispickWindow atomic.Int64
+	mispickCarry  atomic.Int64
+
 	mutations    obs.Counter // published mutation batches
 	valueUpdates obs.Counter
 	rowsReplaced obs.Counter
@@ -365,6 +374,45 @@ func (l *LivePipeline) Sharded() *ShardedPipeline { return l.state.Load().sharde
 // Epoch returns the current publish generation: it bumps by one per
 // applied mutation and per rebuild swap.
 func (l *LivePipeline) Epoch() uint64 { return l.state.Load().epoch }
+
+// Mispicked returns the tenant's total autotuner-feedback mispick
+// count: windows in which the serving plan underperformed the trial
+// loser, summed across every base this pipeline has served through
+// (re-skins copy the count; rebuild swaps fold it into a carry).
+// Always 0 for a sharded base — panels run no trial to second-guess.
+func (l *LivePipeline) Mispicked() int64 {
+	n := l.mispickCarry.Load()
+	if o := l.state.Load().online; o != nil {
+		n += o.Mispicked()
+	}
+	return n
+}
+
+// setEventSink routes this pipeline's decision events (plan swaps,
+// overlay degradation, trial winners, mispicks) to ring, labelled with
+// tenant. Call before serving; rebuilt bases inherit the sink.
+func (l *LivePipeline) setEventSink(ring *obs.EventRing, tenant string) {
+	if ring == nil {
+		return
+	}
+	es := &eventSink{ring: ring, tenant: tenant}
+	l.sink.Store(es)
+	if o := l.state.Load().online; o != nil {
+		o.sink.Store(es)
+	}
+}
+
+// setMispickWindow threads the autotuner-feedback window to the
+// current and every future online base.
+func (l *LivePipeline) setMispickWindow(n int) {
+	if n <= 0 {
+		return
+	}
+	l.mispickWindow.Store(int64(n))
+	if o := l.state.Load().online; o != nil {
+		o.setMispickWindow(n)
+	}
+}
 
 // Degraded reports whether background rebuilding was permanently
 // abandoned (overlay-forever serving) and the error that caused it.
@@ -1057,6 +1105,11 @@ func (l *LivePipeline) rebuildLoop() {
 			// a base that will not build. The overlay keeps serving —
 			// correct, bounded, and visibly degraded.
 			l.degraded.Store(&degradeReason{err: err})
+			l.sink.Load().emit(obs.Event{
+				Type:   obs.EventOverlayDegraded,
+				Epoch:  l.state.Load().epoch,
+				Detail: err.Error(),
+			})
 		}
 		st := l.state.Load()
 		if err != nil || l.closed || !st.mutated() {
@@ -1125,6 +1178,14 @@ func (l *LivePipeline) rebuildAttempt() (err error) {
 		if err != nil {
 			return err
 		}
+		// The rebuilt base inherits the event sink and feedback window
+		// before it publishes (nothing serves through it yet).
+		if es := l.sink.Load(); es != nil {
+			online.sink.Store(es)
+		}
+		if w := l.mispickWindow.Load(); w > 0 {
+			online.setMispickWindow(int(w))
+		}
 		if werr := online.WaitPreprocessed(l.ctx); werr != nil {
 			return werr
 		}
@@ -1145,6 +1206,17 @@ func (l *LivePipeline) rebuildAttempt() (err error) {
 	// publishes; the retry/degrade machinery owns what happens next.
 	if err := checkBasePlans(online, sharded); err != nil {
 		return err
+	}
+	// Fingerprint the rebuilt base for the swap event while still off
+	// the lock (the digest is O(nnz)).
+	var swapFP, swapKernel string
+	if es := l.sink.Load(); es != nil {
+		swapFP = plancache.Fingerprint(snapM, cfg, plancache.Full)
+		if online != nil {
+			swapKernel = online.Kernel().String()
+		} else {
+			swapKernel = sharded.PanelKernel(0).String()
+		}
 	}
 
 	l.mu.Lock()
@@ -1172,8 +1244,19 @@ func (l *LivePipeline) rebuildAttempt() (err error) {
 	// epoch when they originally published.
 	ns.epoch = cur.epoch + 1
 	l.pending = nil
+	// The replaced base's mispick count folds into the carry so the
+	// tenant's total never goes backwards across swaps.
+	if cur.online != nil {
+		l.mispickCarry.Add(cur.online.mispicks.Load())
+	}
 	l.state.Store(ns)
 	l.swaps.Inc()
+	l.sink.Load().emit(obs.Event{
+		Type:   obs.EventPlanSwap,
+		Epoch:  ns.epoch,
+		PlanFP: swapFP,
+		Kernel: swapKernel,
+	})
 	return nil
 }
 

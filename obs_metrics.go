@@ -48,6 +48,14 @@ var (
 	shardPanelsBuilt = obs.Default().Histogram("spmmrr_shard_panels",
 		"Row panels per constructed ShardedPipeline.",
 		obs.ExponentialBuckets(1, 2, 8))
+
+	// Autotuner feedback: windows of observed serving throughput in
+	// which the trial winner underperformed the measured trial loser —
+	// the signal that the one-shot §4 decision (or the structural
+	// autotune) no longer matches the live workload. Observability
+	// only: the plan is never flipped mid-serve.
+	autotuneMispicks = obs.Default().Counter("spmmrr_autotune_mispick_total",
+		"Feedback windows where the serving plan underperformed the trial loser.")
 )
 
 // recordShardPanels publishes a constructed sharded pipeline's panel
@@ -69,6 +77,10 @@ func recordKernelChoice(k Kernel) {
 		kernelChoiceASpT.Inc()
 	}
 }
+
+// recordMispick publishes one autotuner-feedback mispick window to the
+// process registry.
+func recordMispick() { autotuneMispicks.Inc() }
 
 // recordTrial publishes one decided trial to the process registry.
 func recordTrial(reorderedWon bool, rrTime, nrTime time.Duration) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/plancache"
 )
 
 // OnlinePipeline implements the paper's §4 *online* trial-and-error
@@ -56,7 +57,53 @@ type OnlinePipeline struct {
 	mu     sync.Mutex // serialises the trial; guards the times below
 	rrTime time.Duration
 	nrTime time.Duration
+
+	// Autotuner feedback (observability only — the winner is never
+	// flipped mid-serve). Decided SpMM calls accumulate wall time and
+	// flops into the fb* atomics; every fbWindow samples the window is
+	// drained and its observed cost per flop compared against
+	// loserNSPerFlop, the trial loser's measured cost — a window where
+	// the serving plan underperforms the plan the trial rejected is a
+	// mispick (see DESIGN.md §16). loserNSPerFlop and planFP are plain
+	// fields written in decide before winner publishes; the
+	// release-acquire pair on winner makes them safe to read on any
+	// decided call.
+	fbWindow int64 // samples per evaluation window (0 disables)
+	fbCount  atomic.Int64
+	fbNS     atomic.Int64
+	fbFlops  atomic.Int64
+	mispicks atomic.Int64
+
+	loserNSPerFlop float64
+	planFP         string
+
+	// sink, when set, receives decision events (trial winner, mispick).
+	sink atomic.Pointer[eventSink]
 }
+
+// eventSink binds a decision-event ring to the tenant label its events
+// carry. Shared by OnlinePipeline and LivePipeline.
+type eventSink struct {
+	ring   *obs.EventRing
+	tenant string
+}
+
+func (s *eventSink) emit(e obs.Event) {
+	if s != nil {
+		e.Tenant = s.tenant
+		s.ring.Emit(e)
+	}
+}
+
+// defaultMispickWindow is the feedback evaluation window when no
+// explicit ServerConfig.MispickWindow is threaded through.
+const defaultMispickWindow = 64
+
+// mispickSlack is how much worse (×) than the trial loser a window's
+// observed cost per flop must be before it counts as a mispick —
+// absorbing timer noise and cache effects so a dead-heat trial does
+// not flap the counter.
+const mispickSlack = 1.1
 
 type degradeReason struct{ err error }
 
@@ -82,7 +129,7 @@ func NewOnlinePipeline(m *Matrix, cfg Config) (*OnlinePipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &OnlinePipeline{nr: nr, buildDone: closedChan}
+	o := &OnlinePipeline{nr: nr, buildDone: closedChan, fbWindow: defaultMispickWindow}
 	o.rr.Store(rr)
 	return o, nil
 }
@@ -115,7 +162,7 @@ func newOnlinePipelineCtx(ctx context.Context, m *Matrix, cfg Config, ring *obs.
 	if err != nil {
 		return nil, err
 	}
-	o := &OnlinePipeline{nr: nr, buildDone: make(chan struct{})}
+	o := &OnlinePipeline{nr: nr, buildDone: make(chan struct{}), fbWindow: defaultMispickWindow}
 	bctx, cancel := context.WithCancel(ctx)
 	if cfg.PreprocessBudget > 0 {
 		bctx, cancel = context.WithTimeout(ctx, cfg.PreprocessBudget)
@@ -269,7 +316,12 @@ func (o *OnlinePipeline) SpMM(x *Dense) (*Dense, error) {
 // without publishing a winner; a later call re-runs the trial.
 func (o *OnlinePipeline) SpMMCtx(ctx context.Context, x *Dense) (*Dense, error) {
 	if w := o.winner.Load(); w != nil {
-		return w.SpMMCtx(ctx, x)
+		start := time.Now()
+		y, err := w.SpMMCtx(ctx, x)
+		if err == nil {
+			o.observeServe(time.Since(start), x.Cols)
+		}
+		return y, err
 	}
 	rr := o.rr.Load()
 	if rr == nil {
@@ -292,7 +344,12 @@ func (o *OnlinePipeline) SpMMInto(y *Dense, x *Dense) error {
 // chunks and panic isolation.
 func (o *OnlinePipeline) SpMMIntoCtx(ctx context.Context, y *Dense, x *Dense) error {
 	if w := o.winner.Load(); w != nil {
-		return w.SpMMIntoCtx(ctx, y, x)
+		start := time.Now()
+		err := w.SpMMIntoCtx(ctx, y, x)
+		if err == nil {
+			o.observeServe(time.Since(start), x.Cols)
+		}
+		return err
 	}
 	rr := o.rr.Load()
 	if rr == nil {
@@ -343,7 +400,7 @@ func (o *OnlinePipeline) trialSpMM(ctx context.Context, rr *Pipeline, x *Dense) 
 		return nil, err
 	}
 	nrTime := time.Since(t0)
-	if o.decide(rr, rrTime, nrTime) == rr {
+	if o.decide(rr, rrTime, nrTime, x.Cols) == rr {
 		return yRR, nil
 	}
 	return yNR, nil
@@ -431,7 +488,7 @@ func (o *OnlinePipeline) trialSDDMM(ctx context.Context, rr *Pipeline, x, y *Den
 		return nil, err
 	}
 	nrTime := time.Since(t0)
-	if o.decide(rr, rrTime, nrTime) == rr {
+	if o.decide(rr, rrTime, nrTime, x.Cols) == rr {
 		return oRR, nil
 	}
 	return oNR, nil
@@ -459,7 +516,9 @@ func (o *OnlinePipeline) reskin(ctx context.Context, m *Matrix) (*OnlinePipeline
 	if err != nil {
 		return nil, err
 	}
-	n := &OnlinePipeline{nr: nr, buildDone: closedChan}
+	n := &OnlinePipeline{nr: nr, buildDone: closedChan, fbWindow: o.fbWindow}
+	n.sink.Store(o.sink.Load())
+	n.mispicks.Store(o.mispicks.Load())
 	if d := o.degraded.Load(); d != nil {
 		n.degraded.Store(d)
 		n.winner.Store(nr)
@@ -478,6 +537,12 @@ func (o *OnlinePipeline) reskin(ctx context.Context, m *Matrix) (*OnlinePipeline
 		n.mu.Lock()
 		n.rrTime, n.nrTime = rrT, nrT
 		n.mu.Unlock()
+		// The trial decision carries over, and with it the feedback
+		// baseline: a value-only re-skin preserves structure, so both
+		// the fingerprint and the loser's cost per flop still describe
+		// the plans now serving. Written before winner.Store publishes.
+		n.loserNSPerFlop = o.loserNSPerFlop
+		n.planFP = o.planFP
 		if w == oldRR {
 			n.winner.Store(rr)
 		} else {
@@ -489,14 +554,111 @@ func (o *OnlinePipeline) reskin(ctx context.Context, m *Matrix) (*OnlinePipeline
 
 // decide publishes the winner; ties keep the plain plan (no reordering
 // to maintain). Caller holds o.mu; the times are recorded only here so
-// an aborted trial leaves them zero.
-func (o *OnlinePipeline) decide(rr *Pipeline, rrTime, nrTime time.Duration) *Pipeline {
+// an aborted trial leaves them zero. k is the dense width the trial
+// ran at — it converts the loser's wall time into the cost-per-flop
+// baseline the feedback loop compares serving windows against. The
+// baseline and the winner's plan fingerprint are plain fields written
+// before winner.Store publishes, so any decided call reads them safely
+// through the release-acquire pair on winner.
+func (o *OnlinePipeline) decide(rr *Pipeline, rrTime, nrTime time.Duration, k int) *Pipeline {
 	o.rrTime, o.nrTime = rrTime, nrTime
-	w := o.nr
+	w, won, loser := o.nr, nrTime, rrTime
+	variant := plancache.NR
 	if rrTime < nrTime {
-		w = rr
+		w, won, loser = rr, rrTime, nrTime
+		variant = plancache.Full
 	}
+	if flops := kernels.Flops(o.nr.Matrix().NNZ(), k); flops > 0 {
+		o.loserNSPerFlop = float64(loser.Nanoseconds()) / flops
+	}
+	o.planFP = plancache.Fingerprint(o.nr.Matrix(), o.nr.plan.Cfg, variant)
 	o.winner.Store(w)
 	recordTrial(w == rr, rrTime, nrTime)
+	detail := "plain"
+	if w == rr {
+		detail = "reordered"
+	}
+	speedup := 0.0
+	if won > 0 {
+		speedup = float64(loser) / float64(won)
+	}
+	o.sink.Load().emit(obs.Event{
+		Type:   obs.EventTrialWinner,
+		PlanFP: o.planFP,
+		Kernel: w.Kernel().String(),
+		Detail: detail,
+		Value:  speedup,
+	})
 	return w
+}
+
+// observeServe accumulates one successful decided SpMM call into the
+// feedback window and evaluates the window when it fills. Atomics
+// only — this sits on the zero-allocation serving fast path.
+func (o *OnlinePipeline) observeServe(d time.Duration, k int) {
+	if o.fbWindow <= 0 {
+		return
+	}
+	o.fbNS.Add(d.Nanoseconds())
+	o.fbFlops.Add(int64(kernels.Flops(o.nr.Matrix().NNZ(), k)))
+	if n := o.fbCount.Add(1); n%o.fbWindow == 0 {
+		o.evaluateWindow()
+	}
+}
+
+// evaluateWindow drains one feedback window and flags a mispick when
+// the observed serving cost per flop exceeds the trial loser's by more
+// than mispickSlack. Observability only: the winner never flips.
+func (o *OnlinePipeline) evaluateWindow() {
+	ns := o.fbNS.Swap(0)
+	flops := o.fbFlops.Swap(0)
+	base := o.loserNSPerFlop // decided: safe via winner's release-acquire
+	if base <= 0 || ns <= 0 || flops <= 0 {
+		return // degraded pipeline or unmeasured trial: no baseline
+	}
+	observed := float64(ns) / float64(flops)
+	if observed <= mispickSlack*base {
+		return
+	}
+	o.mispicks.Add(1)
+	recordMispick()
+	o.sink.Load().emit(obs.Event{
+		Type:   obs.EventMispick,
+		PlanFP: o.planFP,
+		Kernel: o.winner.Load().Kernel().String(),
+		Detail: "serving cost/flop exceeded trial loser",
+		Value:  observed / base,
+	})
+}
+
+// Mispicked returns how many feedback windows observed the serving
+// plan underperforming the measured trial loser (see DESIGN.md §16).
+func (o *OnlinePipeline) Mispicked() int64 { return o.mispicks.Load() }
+
+// PlanFingerprint returns the plan-cache fingerprint of the winning
+// plan once the trial has decided ("" before, and "" for a degraded
+// pipeline — no trial ever measured its plan).
+func (o *OnlinePipeline) PlanFingerprint() string {
+	if o.winner.Load() == nil {
+		return ""
+	}
+	return o.planFP
+}
+
+// setEventSink routes this pipeline's decision events (trial winner,
+// mispick) to ring, labelled with tenant. nil rings are ignored.
+func (o *OnlinePipeline) setEventSink(ring *obs.EventRing, tenant string) {
+	if ring == nil {
+		return
+	}
+	o.sink.Store(&eventSink{ring: ring, tenant: tenant})
+}
+
+// setMispickWindow overrides the feedback evaluation window (samples
+// per evaluation; <=0 restores the default). Call before serving.
+func (o *OnlinePipeline) setMispickWindow(n int) {
+	if n <= 0 {
+		n = defaultMispickWindow
+	}
+	o.fbWindow = int64(n)
 }

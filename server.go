@@ -141,6 +141,25 @@ type ServerConfig struct {
 	// requests required to reinstate a quarantined tenant after its
 	// rebuild lands. Default 32.
 	ProbationRequests int
+	// SLOTarget is the per-request latency objective the per-tenant SLO
+	// watchdog scores requests against: a request is a violation when it
+	// fails or takes longer than the target. 0 (the default) scores
+	// failures only — the rolling p50/p99 gauges stay live either way.
+	SLOTarget time.Duration
+	// SLOWindow is the rolling request window (sample count) the
+	// watchdog computes quantiles and error-budget burn over.
+	// Default 128.
+	SLOWindow int
+	// EventRing bounds the structured decision-event ring served at
+	// /debug/events (trial winners, plan swaps, breaker transitions,
+	// quarantines, mispicks, SLO burns; most recent first). Default 256.
+	EventRing int
+	// MispickWindow is the autotuner feedback window: every this many
+	// decided serving calls per tenant, the observed cost per flop is
+	// compared against the trial loser's, and a window where the chosen
+	// plan underperforms counts as a mispick (observability only).
+	// Default 64.
+	MispickWindow int
 }
 
 // liveConfig is the per-tenant mutation tuning carved out of the
@@ -191,7 +210,137 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.ProbationRequests <= 0 {
 		c.ProbationRequests = 32
 	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 128
+	}
+	if c.EventRing <= 0 {
+		c.EventRing = 256
+	}
+	if c.MispickWindow <= 0 {
+		c.MispickWindow = defaultMispickWindow
+	}
 	return c
+}
+
+// sloBudget is the error budget the burn rate normalises against: 1%
+// of the requests in the window may violate the objective before the
+// budget is burning (rate > 1).
+const sloBudget = 0.01
+
+// sloWindow is one tenant's rolling latency and error-budget ledger: a
+// fixed ring of the last SLOWindow request latencies and violation
+// flags. record is allocation-free (mutex plus ring writes); quantiles
+// sort only at scrape time.
+type sloWindow struct {
+	target time.Duration
+
+	mu         sync.Mutex
+	lat        []float64 // latency ring, seconds
+	bad        []bool    // violation ring, parallel to lat
+	next, n    int
+	badN       int // violations currently inside the window
+	burning    bool
+	violations int64 // violations ever (monotone)
+}
+
+func newSLOWindow(target time.Duration, window int) *sloWindow {
+	if window < 1 {
+		window = 1
+	}
+	return &sloWindow{target: target, lat: make([]float64, window), bad: make([]bool, window)}
+}
+
+// record folds one finished request into the window and reports
+// whether it pushed the error budget into burning (burn rate crossing
+// 1) along with the rate at that moment — the edge the SLO burn event
+// is emitted on.
+func (w *sloWindow) record(d time.Duration, failed bool) (burnStart bool, rate float64) {
+	viol := failed || (w.target > 0 && d > w.target)
+	w.mu.Lock()
+	if w.bad[w.next] {
+		w.badN--
+	}
+	w.lat[w.next] = d.Seconds()
+	w.bad[w.next] = viol
+	if w.next++; w.next == len(w.lat) {
+		w.next = 0
+	}
+	if w.n < len(w.lat) {
+		w.n++
+	}
+	if viol {
+		w.badN++
+		w.violations++
+	}
+	rate = float64(w.badN) / float64(w.n) / sloBudget
+	if rate > 1 {
+		if !w.burning {
+			w.burning = true
+			burnStart = true
+		}
+	} else {
+		w.burning = false
+	}
+	w.mu.Unlock()
+	return burnStart, rate
+}
+
+// quantile returns the q-quantile (nearest rank) of the window's
+// latencies in seconds; 0 before any request. Scrape-time only: it
+// copies and sorts the window.
+func (w *sloWindow) quantile(q float64) float64 {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return 0
+	}
+	s := make([]float64, w.n)
+	copy(s, w.lat[:w.n])
+	w.mu.Unlock()
+	sort.Float64s(s)
+	i := int(q*float64(len(s)-1) + 0.5)
+	return s[i]
+}
+
+func (w *sloWindow) burnRate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return 0
+	}
+	return float64(w.badN) / float64(w.n) / sloBudget
+}
+
+func (w *sloWindow) violationTotal() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.violations
+}
+
+// SLOStatus is one tenant's SLO watchdog snapshot (Server.Explain).
+type SLOStatus struct {
+	TargetSeconds float64 `json:"target_seconds"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+	BurnRate      float64 `json:"burn_rate"`
+	Violations    int64   `json:"violations_total"`
+	Burning       bool    `json:"burning"`
+}
+
+func (w *sloWindow) status() SLOStatus {
+	st := SLOStatus{
+		TargetSeconds: w.target.Seconds(),
+		P50Seconds:    w.quantile(0.50),
+		P99Seconds:    w.quantile(0.99),
+	}
+	w.mu.Lock()
+	if w.n > 0 {
+		st.BurnRate = float64(w.badN) / float64(w.n) / sloBudget
+	}
+	st.Violations = w.violations
+	st.Burning = w.burning
+	w.mu.Unlock()
+	return st
 }
 
 // ServerStats is a point-in-time snapshot of every resilience counter;
@@ -236,6 +385,7 @@ type tenant struct {
 	live   *LivePipeline
 	coal   *serve.Coalescer[BatchOp]
 	integ  *integrity.Monitor
+	slo    *sloWindow
 
 	admitted  *obs.Counter
 	completed *obs.Counter
@@ -336,9 +486,11 @@ type Server struct {
 
 	// reg holds this Server's metric families; every counter Stats
 	// reads is a registry object, so /metrics and Stats can never
-	// disagree. traces is the /debug/traces ring.
+	// disagree. traces is the /debug/traces ring; events is the
+	// structured decision-event ring behind /debug/events.
 	reg    *obs.Registry
 	traces *obs.TraceRing
+	events *obs.EventRing
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -380,7 +532,18 @@ func NewServer(ctx context.Context, m *Matrix, cfg Config, scfg ServerConfig) (*
 		tenants: map[string]*tenant{},
 		reg:     reg,
 		traces:  traces,
+		events:  obs.NewEventRing(scfg.EventRing),
 	}
+	// Every breaker state change lands in the event ring, so the
+	// trips/half-opens/closes counters reconcile against a replayable
+	// ledger (the hook fires under the breaker lock, exactly once per
+	// transition).
+	s.brk.OnTransition(func(from, to serve.BreakerState) {
+		s.events.Emit(obs.Event{
+			Type:   obs.EventBreakerTransition,
+			Detail: from.String() + "->" + to.String(),
+		})
+	})
 	if scfg.ShardNNZ > 0 && m.NNZ() > scfg.ShardNNZ {
 		sharded, err := NewShardedPipelineCtx(sctx, m, cfg, scfg.ShardNNZ)
 		if err != nil {
@@ -459,8 +622,17 @@ func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, shar
 		weight = 1
 	}
 	live := newLive(s.baseCtx, online, sharded, s.cfg.ShardNNZ, s.cfg.liveConfig(), s.traces)
+	live.setEventSink(s.events, id)
+	live.setMispickWindow(s.cfg.MispickWindow)
 	t := &tenant{id: id, weight: weight, live: live,
-		integ: integrity.NewMonitor(s.cfg.VerifyFraction, s.cfg.ProbationRequests)}
+		integ: integrity.NewMonitor(s.cfg.VerifyFraction, s.cfg.ProbationRequests),
+		slo:   newSLOWindow(s.cfg.SLOTarget, s.cfg.SLOWindow)}
+	// Reinstatements are rare control-plane transitions; ledger them in
+	// the event ring so the soak's event/metric reconciliation can
+	// account for every one.
+	t.integ.OnReinstate(func() {
+		s.events.Emit(obs.Event{Type: obs.EventReinstate, Tenant: id, Epoch: live.Epoch()})
+	})
 	t.admitted = s.reg.Counter("spmmrr_tenant_admitted_total",
 		"Tenant requests admitted through the gate.", obs.L("tenant", id))
 	help := "Tenant requests by terminal outcome."
@@ -568,6 +740,25 @@ func (s *Server) newTenant(id string, weight int64, online *OnlinePipeline, shar
 	s.reg.GaugeFunc("spmmrr_integrity_quarantined",
 		"1 while the tenant is quarantined or on probation, else 0.",
 		func() float64 { return float64(t.integ.Stats().StillQuarantined) }, obs.L("tenant", id))
+	// SLO watchdog families: rolling quantiles and error-budget burn
+	// over the last SLOWindow requests. Registered unconditionally
+	// (with SLOTarget unset only failures count as violations) so the
+	// exposition is stable across configurations.
+	s.reg.GaugeFunc("spmmrr_slo_p50_seconds",
+		"Rolling median request latency over the SLO window.",
+		func() float64 { return t.slo.quantile(0.50) }, obs.L("tenant", id))
+	s.reg.GaugeFunc("spmmrr_slo_p99_seconds",
+		"Rolling p99 request latency over the SLO window.",
+		func() float64 { return t.slo.quantile(0.99) }, obs.L("tenant", id))
+	s.reg.GaugeFunc("spmmrr_slo_burn_rate",
+		"Error-budget burn rate over the SLO window (>1 = burning the 1% budget).",
+		func() float64 { return t.slo.burnRate() }, obs.L("tenant", id))
+	s.reg.CounterFunc("spmmrr_slo_violations_total",
+		"Requests that failed or exceeded the SLO latency target.",
+		func() int64 { return t.slo.violationTotal() }, obs.L("tenant", id))
+	s.reg.CounterFunc("spmmrr_tenant_mispicks_total",
+		"Autotuner feedback windows where the tenant's serving plan underperformed the trial loser.",
+		func() int64 { return live.Mispicked() }, obs.L("tenant", id))
 	return t
 }
 
@@ -752,17 +943,32 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // first), the source of /debug/traces.
 func (s *Server) Traces() *obs.TraceRing { return s.traces }
 
+// Events exposes the Server's structured decision-event ring (most
+// recent first), the source of /debug/events: trial winners, plan
+// swaps, overlay degradations, breaker transitions, quarantines,
+// reinstatements, autotuner mispicks, and SLO budget burns.
+func (s *Server) Events() *obs.EventRing { return s.events }
+
 // ObsHandler returns the Server's observability HTTP handler:
 // /metrics (Prometheus text exposition over the Server's registry
 // merged with the process-wide one), /healthz, /readyz (ready once the
 // background reordered build has settled — built or degraded),
-// /debug/traces (JSON trace ring), and /debug/pprof/*.
+// /debug/traces (JSON trace ring), /debug/events (JSON decision-event
+// ring), /debug/explain?tenant=X (one joined diagnosis document, see
+// Explain), and /debug/pprof/*.
 func (s *Server) ObsHandler() http.Handler {
 	return obs.NewHandler(obs.HandlerConfig{
 		Registries: []*obs.Registry{s.reg, obs.Default()},
 		Traces:     s.traces,
-		Ready:      s.preprocessed,
-		Healthy:    func() bool { return !s.closed.Load() },
+		Events:     s.events,
+		Explain: func(tenant string) (any, error) {
+			if tenant == "" {
+				tenant = DefaultTenant
+			}
+			return s.Explain(tenant)
+		},
+		Ready:   s.preprocessed,
+		Healthy: func() bool { return !s.closed.Load() },
 	})
 }
 
@@ -961,6 +1167,12 @@ func (s *Server) serveVerifiedSDDMM(ctx context.Context, t *tenant, out *Matrix,
 // reference path.
 func (s *Server) onMismatch(t *tenant, gen uint64, cause error) error {
 	if t.integ.OnMismatch(gen) {
+		s.events.Emit(obs.Event{
+			Type:   obs.EventQuarantine,
+			Tenant: t.id,
+			Epoch:  t.live.Epoch(),
+			Detail: cause.Error(),
+		})
 		t.live.evictPlans()
 		t.live.ForceRebuild()
 	}
@@ -1015,7 +1227,7 @@ func (s *Server) sddmmIntoTenant(ctx context.Context, t *tenant, out *Matrix, x,
 // serially on top of the base pass (see serve.OverlayWeight) — and
 // its terminal outcome lands in exactly one tenant counter (see
 // TenantStats for the reconciliation identities).
-func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogram, weight int64, run func(context.Context, serveMode) error) error {
+func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogram, weight int64, run func(context.Context, serveMode) error) (err error) {
 	if s.closed.Load() {
 		return ErrServerClosed
 	}
@@ -1024,10 +1236,22 @@ func (s *Server) do(ctx context.Context, t *tenant, op string, hist *obs.Histogr
 	tr.Annotate("tenant", t.id)
 	ctx = obs.WithTrace(ctx, tr)
 	// Push after everything else (defers run LIFO): once pushed, the
-	// ring owns the trace and may recycle it.
+	// ring owns the trace and may recycle it. The same defer feeds the
+	// SLO watchdog: every terminal outcome — completed, failed, shed,
+	// expired — scores against the tenant's window, and the edge into
+	// budget burn emits one slo_burn event.
 	defer func() {
 		s.traces.Push(tr)
-		hist.ObserveSince(start)
+		d := time.Since(start)
+		hist.Observe(d.Seconds())
+		if burnStart, rate := t.slo.record(d, err != nil); burnStart {
+			s.events.Emit(obs.Event{
+				Type:   obs.EventSLOBurn,
+				Tenant: t.id,
+				Detail: "error budget burning",
+				Value:  rate,
+			})
+		}
 	}()
 	if s.cfg.DefaultDeadline > 0 {
 		if _, has := ctx.Deadline(); !has {

@@ -3,6 +3,7 @@ package repro_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -43,9 +44,12 @@ func obsTestServer(t *testing.T, seed int64) (*repro.Server, *repro.Dense) {
 	return s, x
 }
 
-// Every metric family the issue requires must appear in a /metrics
-// scrape of a live server, and the document must conform to the
-// Prometheus text grammar.
+// Every registered metric family — server-scoped and process-wide —
+// must appear in a /metrics scrape of a live server, and the document
+// must conform to the Prometheus text grammar. The check is generic:
+// it walks both registries' snapshots and requires every series to be
+// exposed, so a family added anywhere in the stack is covered without
+// editing this test.
 func TestServerMetricsFamilies(t *testing.T) {
 	s, x := obsTestServer(t, 7001)
 	yd := repro.NewRandomDense(s.Pipeline().Pipeline().Matrix().Rows, 64, 12)
@@ -65,48 +69,66 @@ func TestServerMetricsFamilies(t *testing.T) {
 	if err := obs.ValidateExposition(body); err != nil {
 		t.Fatalf("exposition invalid: %v\n%s", err, body)
 	}
-	for _, want := range []string{
-		// admission
-		"spmmrr_admission_admitted_total",
-		"spmmrr_admission_shed_total",
-		"spmmrr_admission_wait_seconds_bucket",
-		"spmmrr_admission_in_flight",
-		// breaker
-		"spmmrr_breaker_trips_total",
-		"spmmrr_breaker_state",
-		// retry + request outcomes
-		"spmmrr_server_retries_total",
-		"spmmrr_server_completed_total",
-		`spmmrr_server_request_seconds_bucket{op="spmm",le="+Inf"}`,
-		// plan cache, both tiers
-		`spmmrr_plancache_hits_total{tier="memory"}`,
-		`spmmrr_plancache_hits_total{tier="disk"}`,
-		`spmmrr_plancache_misses_total{tier="memory"}`,
-		`spmmrr_plancache_misses_total{tier="disk"}`,
-		// preprocessing, per stage
-		`spmmrr_preprocess_builds_total{variant="full"}`,
-		`spmmrr_preprocess_stage_seconds_count{stage="clustering"}`,
-		`spmmrr_preprocess_stage_seconds_count{stage="tiling"}`,
-		// kernel latency
-		`spmmrr_kernel_seconds_bucket`,
-		`kernel="spmm_aspt"`,
-		// online trial
-		"spmmrr_online_trials_total",
-		// integrity: shadow verification + quarantine controller,
-		// per-tenant, all three check outcomes
-		"spmmrr_integrity_checks_total",
-		`outcome="clean"`,
-		`outcome="mismatch"`,
-		`outcome="skipped"`,
-		"spmmrr_integrity_quarantines_total",
-		"spmmrr_integrity_reinstated_total",
-		"spmmrr_integrity_probation_failures_total",
-		"spmmrr_integrity_quarantined",
-		"spmmrr_integrity_corruptions_injected_total",
-	} {
-		if !strings.Contains(body, want) {
-			t.Fatalf("/metrics missing %q:\n%s", want, body)
+	samples, err := obs.ParseSamples(body)
+	if err != nil {
+		t.Fatalf("exposition unparseable: %v", err)
+	}
+
+	// Every series either registry knows about must be on the wire:
+	// counters and gauges under their own key, histograms as the
+	// derived _sum/_count/+Inf-bucket series.
+	checked := 0
+	for _, reg := range []*obs.Registry{s.Registry(), obs.Default()} {
+		for _, smp := range reg.Snapshot() {
+			labelSuffix := smp.Key()[len(smp.Name):]
+			keys := []string{smp.Key()}
+			if smp.Kind == obs.KindHistogram {
+				keys = []string{
+					smp.Name + "_sum" + labelSuffix,
+					smp.Name + "_count" + labelSuffix,
+				}
+			}
+			for _, key := range keys {
+				if _, ok := samples[key]; !ok {
+					t.Errorf("/metrics missing registered series %q", key)
+				}
+			}
+			checked++
 		}
+	}
+	if t.Failed() {
+		t.Fatalf("scrape body:\n%s", body)
+	}
+	if checked < 40 {
+		t.Fatalf("only %d registered series checked; registries look empty", checked)
+	}
+
+	// And the families this growth step introduced must actually be
+	// registered — the generic walk above can't notice a family that
+	// was never created.
+	for _, want := range []string{
+		`spmmrr_kernel_imbalance_count{kernel="spmm_aspt"}`,
+		`spmmrr_kernel_chunk_seconds_count{kernel="spmm_aspt"}`,
+		`spmmrr_kernel_nnz_total{kernel="spmm_aspt"}`,
+		`spmmrr_kernel_passes_total{kernel="spmm_aspt"}`,
+		`spmmrr_kernel_gflops{kernel="spmm_aspt"}`,
+		`spmmrr_kernel_gbps{kernel="spmm_aspt"}`,
+		"spmmrr_autotune_mispick_total",
+		`spmmrr_slo_p50_seconds{tenant="default"}`,
+		`spmmrr_slo_p99_seconds{tenant="default"}`,
+		`spmmrr_slo_burn_rate{tenant="default"}`,
+		`spmmrr_slo_violations_total{tenant="default"}`,
+		`spmmrr_tenant_mispicks_total{tenant="default"}`,
+	} {
+		if _, ok := samples[want]; !ok {
+			t.Fatalf("/metrics missing required series %q:\n%s", want, body)
+		}
+	}
+
+	// Request latency observed by the SLO window must be reflected in
+	// the quantile gauges once traffic has flowed.
+	if samples[`spmmrr_slo_p99_seconds{tenant="default"}`] <= 0 {
+		t.Fatalf("p99 gauge is zero after served traffic")
 	}
 }
 
@@ -205,5 +227,162 @@ func TestServerPlanStagesSurfaced(t *testing.T) {
 	}
 	if got := s.Pipeline().Pipeline().PlanStages(); got != st {
 		t.Fatalf("winner pipeline stage timings disagree: %+v vs %+v", st, got)
+	}
+}
+
+// Explain must join the whole decision chain for an online tenant:
+// plan identity, autotuner verdict, trial outcome, attribution, and
+// SLO state, all consistent with the public accessors.
+func TestServerExplainOnline(t *testing.T) {
+	s, _ := obsTestServer(t, 7005)
+	ex, err := s.Explain(repro.DefaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Tenant != repro.DefaultTenant || ex.Mode != "online" {
+		t.Fatalf("identity: %+v", ex)
+	}
+	if ex.PlanFingerprint == "" {
+		t.Fatal("no plan fingerprint")
+	}
+	if got := s.Pipeline().PlanFingerprint(); got != ex.PlanFingerprint {
+		t.Fatalf("fingerprint disagrees with pipeline: %q vs %q", ex.PlanFingerprint, got)
+	}
+	if !ex.Trial.Decided {
+		t.Fatal("trial not decided in explain")
+	}
+	if ex.Trial.ReorderedSeconds <= 0 || ex.Trial.PlainSeconds <= 0 {
+		t.Fatalf("trial times missing: %+v", ex.Trial)
+	}
+	if ex.Kernel == "" || ex.KernelVerdict == "" {
+		t.Fatalf("kernel sections empty: %+v", ex)
+	}
+	if got := s.Kernel().String(); ex.Kernel != got {
+		t.Fatalf("explain kernel %q, server serves %q", ex.Kernel, got)
+	}
+	if ex.NNZ <= 0 || ex.Rows <= 0 {
+		t.Fatalf("shape missing: %+v", ex)
+	}
+	if len(ex.Attribution) == 0 {
+		t.Fatal("no kernel attribution after served traffic")
+	}
+	for _, a := range ex.Attribution {
+		if a.Passes <= 0 || a.NNZ <= 0 || a.GFLOPS <= 0 || a.MeanImbalance < 1 {
+			t.Fatalf("implausible attribution row: %+v", a)
+		}
+	}
+	if ex.SLO.P99Seconds <= 0 || ex.SLO.Violations != 0 || ex.SLO.Burning {
+		t.Fatalf("SLO section after clean traffic: %+v", ex.SLO)
+	}
+
+	if _, err := s.Explain("no-such-tenant"); !errors.Is(err, repro.ErrUnknownTenant) {
+		t.Fatalf("unknown tenant error = %v", err)
+	}
+}
+
+// A sharded tenant's explain document reports the panel layout: the
+// panels must tile the row space exactly, each with a valid kernel.
+func TestServerExplainSharded(t *testing.T) {
+	m := freshScrambled(t, 7006)
+	s, err := repro.NewServer(context.Background(), m, repro.DefaultConfig(), repro.ServerConfig{
+		DefaultDeadline: 5 * time.Second,
+		ShardNNZ:        m.NNZ()/4 + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	ex, err := s.Explain(repro.DefaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Mode != "sharded" {
+		t.Fatalf("mode = %q", ex.Mode)
+	}
+	sh := s.Sharded()
+	if sh == nil || len(ex.Panels) != sh.Panels() || len(ex.Panels) < 2 {
+		t.Fatalf("panels = %d, sharded reports %v", len(ex.Panels), sh)
+	}
+	next := 0
+	for i, p := range ex.Panels {
+		if p.Lo != next || p.Hi <= p.Lo || p.Kernel == "" {
+			t.Fatalf("panel %d malformed: %+v", i, p)
+		}
+		next = p.Hi
+	}
+	if next != m.Rows {
+		t.Fatalf("panels cover %d rows of %d", next, m.Rows)
+	}
+	if ex.PlanFingerprint == "" || ex.Trial.Decided {
+		t.Fatalf("sharded identity/trial: %+v", ex)
+	}
+}
+
+// The /debug/explain and /debug/events endpoints serve the documents
+// over HTTP: explain resolves the default tenant when none is named,
+// 404s unknown tenants, and the event ledger validates against the
+// schema and records the trial decision.
+func TestServerExplainAndEventsEndpoints(t *testing.T) {
+	s, _ := obsTestServer(t, 7007)
+	h := s.ObsHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/explain", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/explain = %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("explain is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	for _, key := range []string{
+		"tenant", "mode", "plan_fingerprint", "kernel", "kernel_verdict",
+		"features", "trial", "mispicks", "live", "integrity",
+		"kernel_attribution", "slo",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("explain missing %q: %v", key, doc)
+		}
+	}
+	if doc["tenant"] != repro.DefaultTenant {
+		t.Fatalf("bare /debug/explain resolved tenant %v", doc["tenant"])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/explain?tenant=ghost", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/explain?tenant=ghost = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/events = %d", rec.Code)
+	}
+	if err := obs.ValidateEvents(rec.Body.Bytes()); err != nil {
+		t.Fatalf("event ledger invalid: %v\n%s", err, rec.Body.String())
+	}
+	var evs []obs.Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	var trial *obs.Event
+	for i := range evs {
+		if evs[i].Type == obs.EventTrialWinner {
+			trial = &evs[i]
+		}
+	}
+	if trial == nil {
+		t.Fatalf("no trial_winner event in ledger: %+v", evs)
+	}
+	if trial.Tenant != repro.DefaultTenant || trial.PlanFP == "" || trial.Kernel == "" || trial.Value <= 0 {
+		t.Fatalf("trial_winner event incomplete: %+v", *trial)
+	}
+	if got := s.Pipeline().PlanFingerprint(); trial.PlanFP != got {
+		t.Fatalf("event fingerprint %q, pipeline %q", trial.PlanFP, got)
 	}
 }

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
 	"math/rand"
@@ -133,6 +134,9 @@ func TestServerChaosSoak(t *testing.T) {
 		BreakerThreshold: 3,
 		BreakerCooldown:  20 * time.Millisecond,
 		PlanDir:          dir,
+		// Large enough that nothing is evicted during the soak, so the
+		// decision-event ledger below reconciles exactly.
+		EventRing: 1 << 15,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -466,6 +470,49 @@ func TestServerChaosSoak(t *testing.T) {
 	t.Logf("live: %d mutations, %d swaps, %d rebuilds (%d failed, %d cancelled), degraded=%v, overlay %d rows at close",
 		lst.Mutations, lst.Swaps, lst.RebuildsStarted, lst.RebuildsFailed, lst.RebuildsCancelled,
 		lst.Degraded, lst.OverlayRows+lst.TailRows)
+
+	// Decision-event ledger: every state transition the metrics counted
+	// must have left a matching event in the ring — same-site emission,
+	// so with nothing evicted the counts reconcile exactly.
+	ring := s.Events()
+	if ring.Emitted() > uint64(ring.Cap()) {
+		t.Fatalf("event ring overflowed (%d emitted, cap %d): ledger no longer exact", ring.Emitted(), ring.Cap())
+	}
+	events := ring.Snapshot()
+	if err := obs.ValidateEvents(mustJSON(t, events)); err != nil {
+		t.Fatalf("event ledger invalid: %v", err)
+	}
+	counts := map[string]int64{}
+	for _, e := range events {
+		counts[e.Type]++
+	}
+	if got, want := counts[obs.EventBreakerTransition], b.Trips+b.HalfOpens+b.Closes; got != want {
+		t.Fatalf("breaker_transition events %d != trips %d + half-opens %d + closes %d",
+			got, b.Trips, b.HalfOpens, b.Closes)
+	}
+	if got := counts[obs.EventPlanSwap]; got != lst.Swaps {
+		t.Fatalf("plan_swap events %d != live swaps %d", got, lst.Swaps)
+	}
+	if counts[obs.EventTrialWinner] == 0 {
+		t.Fatal("primed trial decided but no trial_winner event in the ledger")
+	}
+	if !lst.Degraded && counts[obs.EventOverlayDegraded] != 0 {
+		t.Fatalf("%d overlay_degraded events but live is not degraded", counts[obs.EventOverlayDegraded])
+	}
+	if counts[obs.EventQuarantine] != 0 || counts[obs.EventReinstate] != 0 {
+		t.Fatalf("integrity events with verification off: %v", counts)
+	}
+	t.Logf("events: %v (%d total)", counts, len(events))
+}
+
+// mustJSON marshals v for schema validation inside soak assertions.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func isPanicError(err error) bool {
